@@ -1,0 +1,73 @@
+//! Criterion end-to-end benchmarks: one entry per experiment family
+//! (single passes of A1/A2/A3, the baselines, and the Theorem 1/2 drivers
+//! on a small instance). The scientific quantity of the experiments is the
+//! *round count* (printed by the `src/bin/` harnesses); these benches track
+//! the wall-clock cost of simulating them, which is what a developer
+//! iterating on the implementation cares about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use congest_graph::generators::Gnp;
+use congest_sim::SimConfig;
+use congest_triangles::baselines::{DolevCliqueListing, NaiveLocalListing};
+use congest_triangles::{
+    find_triangles, list_triangles, run_congest, A1Program, A2Program, A3Program,
+    ConstantsProfile, FindingConfig, ListingConfig,
+};
+
+fn bench_single_passes(c: &mut Criterion) {
+    let graph = Gnp::new(48, 0.4).seeded(1).generate();
+    c.bench_function("a1_single_pass_n48", |b| {
+        b.iter(|| {
+            run_congest(&graph, SimConfig::congest(1), |info| {
+                A1Program::new(info, 0.3, 1.0)
+            })
+            .rounds()
+        })
+    });
+    c.bench_function("a2_single_pass_n48", |b| {
+        b.iter(|| {
+            run_congest(&graph, SimConfig::congest(2), |info| {
+                A2Program::new(info, 0.3, 1.0)
+            })
+            .rounds()
+        })
+    });
+    c.bench_function("a3_single_pass_n48", |b| {
+        b.iter(|| {
+            run_congest(&graph, SimConfig::congest(3), |info| {
+                A3Program::new(info, 0.3, ConstantsProfile::Scaled)
+            })
+            .rounds()
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let graph = Gnp::new(48, 0.4).seeded(2).generate();
+    c.bench_function("naive_local_listing_n48", |b| {
+        b.iter(|| run_congest(&graph, SimConfig::congest(4), NaiveLocalListing::new).rounds())
+    });
+    c.bench_function("dolev_clique_listing_n48", |b| {
+        b.iter(|| run_congest(&graph, SimConfig::clique(5), DolevCliqueListing::new).rounds())
+    });
+}
+
+fn bench_drivers(c: &mut Criterion) {
+    let graph = Gnp::new(32, 0.4).seeded(3).generate();
+    let finding = FindingConfig::scaled(&graph);
+    let listing = ListingConfig::scaled(&graph).with_repetitions(2);
+    c.bench_function("theorem1_finding_driver_n32", |b| {
+        b.iter(|| find_triangles(&graph, &finding, 7).total_rounds)
+    });
+    c.bench_function("theorem2_listing_driver_n32", |b| {
+        b.iter(|| list_triangles(&graph, &listing, 7).total_rounds)
+    });
+}
+
+criterion_group!(
+    name = algorithms;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_passes, bench_baselines, bench_drivers
+);
+criterion_main!(algorithms);

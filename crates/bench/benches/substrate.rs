@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the substrates: reference triangle
+//! listing, `Δ(X)` machinery, hash-family evaluation, wire encoding and the
+//! simulator's per-round overhead.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use congest_graph::generators::Gnp;
+use congest_graph::{delta, triangles, NodeId};
+use congest_hash::KWiseFamily;
+use congest_sim::{NodeProgram, NodeStatus, RoundContext, SimConfig, Simulation};
+use congest_wire::{BitWriter, IdCodec};
+
+fn bench_reference_listing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_listing");
+    for n in [64usize, 128, 256] {
+        let graph = Gnp::new(n, 0.3).seeded(1).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| triangles::list_all(g).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta_machinery(c: &mut Criterion) {
+    let graph = Gnp::new(96, 0.4).seeded(2).generate();
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = delta::sample_x(&graph, 0.4, &mut rng);
+    let u: BTreeSet<NodeId> = graph.nodes().collect();
+    c.bench_function("delta_bad_nodes_n96", |b| {
+        b.iter(|| delta::bad_nodes(&graph, &x, &u, 50.0).len())
+    });
+}
+
+fn bench_hash_family(c: &mut Criterion) {
+    let family = KWiseFamily::new(3, 10_000, 64);
+    let mut rng = StdRng::seed_from_u64(4);
+    let h = family.sample(&mut rng);
+    c.bench_function("hash_eval_10k_keys", |b| {
+        b.iter(|| (0..10_000u64).map(|x| h.hash(x)).sum::<u64>())
+    });
+}
+
+fn bench_wire_encoding(c: &mut Criterion) {
+    let codec = IdCodec::new(100_000);
+    let ids: Vec<u64> = (0..1_000).map(|i| i * 97 % 100_000).collect();
+    c.bench_function("wire_encode_1k_ids", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            codec.encode_list(&mut w, &ids);
+            w.finish().bit_len()
+        })
+    });
+}
+
+/// A trivial program used to measure the engine's per-round overhead.
+struct Ping;
+impl NodeProgram for Ping {
+    type Output = ();
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+        if ctx.round() < 50 {
+            NodeStatus::Active
+        } else {
+            NodeStatus::Halted
+        }
+    }
+    fn finish(&mut self) {}
+}
+
+fn bench_simulator_overhead(c: &mut Criterion) {
+    let graph = Gnp::new(256, 0.1).seeded(5).generate();
+    c.bench_function("simulator_50_rounds_n256", |b| {
+        b.iter(|| {
+            Simulation::new(&graph, SimConfig::congest(0), |_| Ping)
+                .run()
+                .metrics
+                .rounds
+        })
+    });
+}
+
+criterion_group!(
+    name = substrate;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reference_listing,
+        bench_delta_machinery,
+        bench_hash_family,
+        bench_wire_encoding,
+        bench_simulator_overhead
+);
+criterion_main!(substrate);

@@ -1,0 +1,103 @@
+//! Experiment E9 — the structural lemmas behind Algorithm A3:
+//!
+//! * Lemma 2: for a triangle that is not ε-heavy, a random `X` (density
+//!   `1/(9 n^ε)`) leaves all three of its edges in `Δ(X)` with probability
+//!   at least 2/3;
+//! * Lemma 3: with `r = sqrt(54 n^{1+ε} ln n)`, at most half the nodes of
+//!   any `U` are not r-good (measured here for `U = V`);
+//! * Lemma 4 (Rivin): a graph with `t` triangles has at least
+//!   `(√2/3)·t^{2/3}` edges.
+
+use std::collections::BTreeSet;
+
+use congest_bench::{table::fmt_f64, Table};
+use congest_graph::generators::{Classic, Gnp, PlantedLight};
+use congest_graph::{delta, heavy, triangles, NodeId};
+use congest_info::rivin_edge_lower_bound;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let epsilon = 0.4;
+    let trials = 60u64;
+
+    // Lemma 2 on planted-light instances.
+    println!("# E9 / Lemmas 2-4 — structural properties (eps = {epsilon}, {trials} X-samples)\n");
+    let mut lemma2 = Table::new(["n", "light triangle", "survival rate", "Lemma 2 bound"]);
+    for &n in &[48usize, 96, 160] {
+        let gen = PlantedLight::new(n, 6);
+        let graph = gen.generate();
+        let t = gen.planted()[0];
+        let mut rng = StdRng::seed_from_u64(0xE9 + n as u64);
+        let mut survived = 0u64;
+        for _ in 0..trials {
+            let x = delta::sample_x(&graph, epsilon, &mut rng);
+            if delta::pair_in_delta(&graph, &x, t[0], t[1])
+                && delta::pair_in_delta(&graph, &x, t[1], t[2])
+                && delta::pair_in_delta(&graph, &x, t[0], t[2])
+            {
+                survived += 1;
+            }
+        }
+        lemma2.row([
+            n.to_string(),
+            format!("{{{}, {}, {}}}", t[0], t[1], t[2]),
+            fmt_f64(survived as f64 / trials as f64),
+            "0.667".to_string(),
+        ]);
+    }
+    lemma2.print();
+
+    // Lemma 3 on G(n, 1/2).
+    let mut lemma3 = Table::new(["n", "r", "bad nodes", "bound |U|/2"]);
+    for &n in &[48usize, 96, 160] {
+        let graph = Gnp::new(n, 0.5).seeded(9 + n as u64).generate();
+        let r = (54.0 * (n as f64).powf(1.0 + epsilon) * (n as f64).ln()).sqrt();
+        let mut rng = StdRng::seed_from_u64(0x1E9 + n as u64);
+        let x = delta::sample_x(&graph, epsilon, &mut rng);
+        let u: BTreeSet<NodeId> = graph.nodes().collect();
+        let bad = delta::bad_nodes(&graph, &x, &u, r);
+        lemma3.row([
+            n.to_string(),
+            fmt_f64(r),
+            bad.len().to_string(),
+            (n / 2).to_string(),
+        ]);
+    }
+    println!("\n## Lemma 3 — nodes that are not r-good (U = V)\n");
+    lemma3.print();
+
+    // Lemma 4 on assorted graphs.
+    let mut lemma4 = Table::new(["graph", "triangles t", "edges m", "Rivin bound", "m >= bound"]);
+    let cases: Vec<(String, congest_graph::Graph)> = vec![
+        ("K_16".into(), Classic::Complete(16).generate()),
+        ("C_20".into(), Classic::Cycle(20).generate()),
+        ("G(64, 0.5)".into(), Gnp::new(64, 0.5).seeded(3).generate()),
+        ("G(64, 0.9)".into(), Gnp::new(64, 0.9).seeded(4).generate()),
+        ("planted-light(60, 10)".into(), PlantedLight::new(60, 10).generate()),
+    ];
+    for (name, graph) in cases {
+        let t = triangles::count_all(&graph);
+        let m = graph.edge_count();
+        let bound = rivin_edge_lower_bound(t);
+        lemma4.row([
+            name,
+            t.to_string(),
+            m.to_string(),
+            fmt_f64(bound),
+            (m as f64 >= bound).to_string(),
+        ]);
+    }
+    println!("\n## Lemma 4 — Rivin's edge bound\n");
+    lemma4.print();
+
+    // Sanity: heaviness partition shown for one instance, to tie the lemmas
+    // back to the algorithmic split.
+    let g = Gnp::new(96, 0.5).seeded(7).generate();
+    let (heavy_set, light_set) = heavy::partition_by_heaviness(&g, epsilon);
+    println!(
+        "\nHeaviness split on G(96, 0.5), eps = {epsilon}: {} heavy / {} light triangles.",
+        heavy_set.len(),
+        light_set.len()
+    );
+}

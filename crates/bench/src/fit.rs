@@ -1,0 +1,105 @@
+//! Log–log power-law fitting for scaling experiments.
+//!
+//! Each round-complexity experiment produces a series of `(n, rounds)`
+//! points; the claim under test is always of the form
+//! `rounds = Θ(n^α · polylog n)`. The harness fits `rounds ≈ C · n^α` by
+//! least squares in log–log space and reports `α`, so the measured exponent
+//! can be compared with the paper's (2/3 for finding, 3/4 for listing, 1
+//! for the naive baseline, 1/3 for the clique baseline and the lower
+//! bound). Polylog factors bias the fitted exponent slightly upwards at
+//! small `n`, which EXPERIMENTS.md notes where relevant.
+
+/// Result of a least-squares fit of `y ≈ C · x^alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The fitted exponent `alpha`.
+    pub exponent: f64,
+    /// The fitted multiplicative constant `C`.
+    pub constant: f64,
+    /// Coefficient of determination (R²) of the fit in log–log space.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ C · x^alpha` to the given points by linear regression in
+/// log–log space.
+///
+/// Points with non-positive coordinates are ignored. Returns `None` if
+/// fewer than two usable points remain.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if usable.len() < 2 {
+        return None;
+    }
+    let n = usable.len() as f64;
+    let sum_x: f64 = usable.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = usable.iter().map(|(_, y)| y).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in &usable {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let exponent = sxy / sxx;
+    let intercept = mean_y - exponent * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(PowerLawFit {
+        exponent,
+        constant: intercept.exp(),
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_power_laws() {
+        let points: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 3.0 * (i as f64).powf(0.75))).collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.exponent - 0.75).abs() < 1e-9);
+        assert!((fit.constant - 3.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn tolerates_noise_and_ignores_bad_points() {
+        let mut points: Vec<(f64, f64)> = (2..30)
+            .map(|i| {
+                let x = i as f64;
+                let noise = 1.0 + 0.05 * ((i % 5) as f64 - 2.0) / 2.0;
+                (x, 2.0 * x.powf(0.5) * noise)
+            })
+            .collect();
+        points.push((0.0, 5.0));
+        points.push((3.0, -1.0));
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.exponent - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(1.0, 2.0)]).is_none());
+        assert!(fit_power_law(&[(1.0, 2.0), (1.0, 4.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_series_fits_exponent_zero() {
+        let points: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 7.0)).collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!(fit.exponent.abs() < 1e-9);
+        assert!((fit.constant - 7.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,87 @@
+//! # congest-bench — experiment harness
+//!
+//! Shared machinery for the binaries under `src/bin/`, each of which
+//! regenerates one experiment of EXPERIMENTS.md (Table 1 and the
+//! per-theorem measurements). The harness keeps everything deterministic:
+//! every sweep point is identified by `(n, seed)` and the binaries print
+//! plain-text tables that can be diffed across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use congest_graph::Graph;
+
+pub mod fit;
+pub mod table;
+
+pub use fit::{fit_power_law, PowerLawFit};
+pub use table::Table;
+
+/// Default sweep of network sizes used by the round-complexity experiments.
+///
+/// Sizes are kept laptop-friendly; the scaling exponents are already
+/// clearly visible at these sizes because the simulator charges rounds
+/// exactly as the model defines them.
+pub fn default_sweep() -> Vec<usize> {
+    vec![32, 48, 64, 96, 128, 192, 256]
+}
+
+/// A smaller sweep for the expensive full-driver experiments.
+pub fn small_sweep() -> Vec<usize> {
+    vec![24, 32, 48, 64, 96]
+}
+
+/// Number of random repetitions per sweep point used by default.
+pub fn default_trials() -> u64 {
+    3
+}
+
+/// Runs `f` and returns its result together with the wall-clock time in
+/// seconds (reported for orientation only; the scientific quantity is the
+/// round count, not the wall-clock).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// Convenience description of a graph for table headers.
+pub fn describe(graph: &Graph) -> String {
+    format!(
+        "n={} m={} d_max={}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_increasing() {
+        let s = default_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        let s = small_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(default_trials() >= 1);
+    }
+
+    #[test]
+    fn timed_reports_nonnegative_duration() {
+        let (value, secs) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn describe_mentions_the_size() {
+        let g = congest_graph::generators::Classic::Complete(5).generate();
+        let s = describe(&g);
+        assert!(s.contains("n=5"));
+        assert!(s.contains("m=10"));
+    }
+}

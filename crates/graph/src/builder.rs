@@ -1,0 +1,141 @@
+//! Incremental graph construction.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Incremental builder for [`Graph`].
+///
+/// The builder validates every edge (both endpoints in range, no
+/// self-loops) and silently ignores duplicate insertions, so generators can
+/// be written without tracking what they already added.
+///
+/// ```
+/// use congest_graph::{GraphBuilder, NodeId};
+///
+/// # fn main() -> Result<(), congest_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1))?;
+/// b.add_edge(NodeId(1), NodeId(2))?;
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `node_count` nodes and no edges.
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder {
+            adjacency: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Number of nodes of the graph under construction.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// Adding an edge that is already present is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint is `>= node_count`.
+    /// * [`GraphError::SelfLoop`] if `a == b`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        let n = self.node_count();
+        if a.index() >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: a,
+                node_count: n,
+            });
+        }
+        if b.index() >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: b,
+                node_count: n,
+            });
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+        Ok(())
+    }
+
+    /// Adds every edge of an iterator of `(usize, usize)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first validation error; edges added before the error
+    /// remain in the builder.
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<(), GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        for (a, b) in edges {
+            self.add_edge(NodeId::from_index(a), NodeId::from_index(b))?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`], sorting and
+    /// deduplicating adjacency lists.
+    pub fn build(self) -> Graph {
+        Graph::from_adjacency(self.adjacency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(NodeId(0), NodeId(2)).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId(2),
+                node_count: 2
+            }
+        );
+        let err = b.add_edge(NodeId(5), NodeId(0)).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(NodeId(1), NodeId(1)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId(1) });
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn add_edges_propagates_errors() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edges([(0, 1), (1, 7)]).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The set `Δ(X)` and the `S` / `V` / r-good machinery of Algorithm A(X,r)
+//! (Section 3.2 of the paper), computed centrally.
+//!
+//! The distributed Algorithm A(X,r) implemented in `congest-triangles`
+//! computes these quantities locally at each node from the information it
+//! has received. The centralized versions here serve three purposes:
+//!
+//! * ground truth in unit and property tests of the distributed
+//!   implementation,
+//! * direct empirical verification of Lemmas 2 and 3 (experiment E9),
+//! * analysis helpers for the experiment harness (e.g. measuring how many
+//!   nodes are r-good on a given instance).
+
+use std::collections::BTreeSet;
+
+use crate::{Graph, NodeId};
+
+/// Whether the pair `{a, b}` belongs to `Δ(X)`: no node of `X` is adjacent
+/// to both `a` and `b`.
+///
+/// Note that `Δ(X)` is defined over all pairs of nodes, not only edges.
+pub fn pair_in_delta(g: &Graph, x: &BTreeSet<NodeId>, a: NodeId, b: NodeId) -> bool {
+    !g.common_neighbors(a, b).iter().any(|w| x.contains(w))
+}
+
+/// The set `S^X_U(j, k)` of the paper: the nodes `l ∈ U` such that
+/// `{j, l} ∈ Δ(X)` and `{k, l} ∈ E`.
+///
+/// The definition is asymmetric in `(j, k)`.
+pub fn s_set(
+    g: &Graph,
+    x: &BTreeSet<NodeId>,
+    u: &BTreeSet<NodeId>,
+    j: NodeId,
+    k: NodeId,
+) -> Vec<NodeId> {
+    g.neighbors(k)
+        .iter()
+        .copied()
+        .filter(|&l| l != j && u.contains(&l) && pair_in_delta(g, x, j, l))
+        .collect()
+}
+
+/// The set `V^X_{U,r}(j)` of the paper: the neighbours `k ∈ U` of `j` for
+/// which `|S^X_U(j, k)| > r`.
+pub fn v_set(
+    g: &Graph,
+    x: &BTreeSet<NodeId>,
+    u: &BTreeSet<NodeId>,
+    r: f64,
+    j: NodeId,
+) -> Vec<NodeId> {
+    g.neighbors(j)
+        .iter()
+        .copied()
+        .filter(|&k| u.contains(&k) && (s_set(g, x, u, j, k).len() as f64) > r)
+        .collect()
+}
+
+/// Whether node `j` is r-good for `(U, X)` (Definition 1): it has at most
+/// `r` neighbours `k ∈ U` with `|S^X_U(j,k)| > r`.
+pub fn is_r_good(
+    g: &Graph,
+    x: &BTreeSet<NodeId>,
+    u: &BTreeSet<NodeId>,
+    r: f64,
+    j: NodeId,
+) -> bool {
+    (v_set(g, x, u, r, j).len() as f64) <= r
+}
+
+/// The nodes of `U` that are **not** r-good for `(U, X)` — the quantity
+/// bounded by Lemma 3.
+pub fn bad_nodes(
+    g: &Graph,
+    x: &BTreeSet<NodeId>,
+    u: &BTreeSet<NodeId>,
+    r: f64,
+) -> Vec<NodeId> {
+    u.iter()
+        .copied()
+        .filter(|&j| !is_r_good(g, x, u, r, j))
+        .collect()
+}
+
+/// Statement (2) of Lemma 3: every pair in `Δ(X)` has support
+/// `< 27 n^ε log n`. Returns `true` when the statement holds for the given
+/// `X` (checked over all pairs of nodes, as in the paper).
+pub fn statement2_holds(g: &Graph, x: &BTreeSet<NodeId>, epsilon: f64) -> bool {
+    let n = g.node_count();
+    let bound = 27.0 * (n as f64).powf(epsilon) * (n as f64).ln();
+    for a in g.nodes() {
+        for b in g.nodes() {
+            if a >= b {
+                continue;
+            }
+            if pair_in_delta(g, x, a, b) && (g.edge_support(a, b) as f64) >= bound {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Samples the random set `X` of Lemma 2: each node joins independently
+/// with probability `1 / (9 n^ε)`.
+pub fn sample_x<R: rand::Rng>(g: &Graph, epsilon: f64, rng: &mut R) -> BTreeSet<NodeId> {
+    let n = g.node_count();
+    let p = 1.0 / (9.0 * (n as f64).powf(epsilon));
+    let p = p.clamp(0.0, 1.0);
+    g.nodes().filter(|_| rng.gen_bool(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Classic, Gnp, PlantedLight};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn all_nodes(g: &Graph) -> BTreeSet<NodeId> {
+        g.nodes().collect()
+    }
+
+    #[test]
+    fn delta_of_empty_x_contains_every_pair() {
+        let g = Classic::Complete(6).generate();
+        let x = BTreeSet::new();
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if a < b {
+                    assert!(pair_in_delta(&g, &x, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_removes_pairs_with_a_common_neighbor_in_x() {
+        // Path 0-1-2: the pair {0,2} has common neighbour 1.
+        let g = Classic::Path(3).generate();
+        let x: BTreeSet<NodeId> = [v(1)].into_iter().collect();
+        assert!(!pair_in_delta(&g, &x, v(0), v(2)));
+        // The pair {0,1} has no common neighbour at all, so it stays.
+        assert!(pair_in_delta(&g, &x, v(0), v(1)));
+    }
+
+    #[test]
+    fn s_set_matches_definition_on_a_small_graph() {
+        // Triangle 0-1-2 plus pendant 3 attached to 2.
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let g = b.build();
+        let u = all_nodes(&g);
+        let x = BTreeSet::new();
+        // S(j=0, k=2) = { l in N(2) : {0,l} in Delta(X) } = {1, 3} (and 0
+        // itself is excluded because {0,0} is not a pair).
+        let s = s_set(&g, &x, &u, v(0), v(2));
+        assert_eq!(s, vec![v(1), v(3)]);
+        // With X = {2}: {0,1} has common neighbour 2 in X, so 1 drops out;
+        // {0,3} has common neighbour 2 in X, so 3 drops out.
+        let x: BTreeSet<NodeId> = [v(2)].into_iter().collect();
+        let s = s_set(&g, &x, &u, v(0), v(2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn s_set_excludes_nodes_outside_u() {
+        let g = Classic::Complete(5).generate();
+        let x = BTreeSet::new();
+        let mut u = all_nodes(&g);
+        u.remove(&v(4));
+        let s = s_set(&g, &x, &u, v(0), v(1));
+        assert!(!s.contains(&v(4)));
+    }
+
+    #[test]
+    fn r_goodness_with_huge_r_is_universal() {
+        let g = Gnp::new(30, 0.4).seeded(1).generate();
+        let u = all_nodes(&g);
+        let x = BTreeSet::new();
+        let r = g.node_count() as f64;
+        assert!(bad_nodes(&g, &x, &u, r).is_empty());
+    }
+
+    #[test]
+    fn lemma2_light_triangle_edges_survive_in_delta_often() {
+        // With sparse planted triangles, every edge has support 1, so a
+        // random X of density 1/(9 n^eps) very rarely removes them.
+        let gen = PlantedLight::new(60, 10);
+        let g = gen.generate();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut survived = 0usize;
+        let trials = 50;
+        for _ in 0..trials {
+            let x = sample_x(&g, 0.4, &mut rng);
+            let t = gen.planted()[0];
+            if pair_in_delta(&g, &x, t[0], t[1])
+                && pair_in_delta(&g, &x, t[1], t[2])
+                && pair_in_delta(&g, &x, t[0], t[2])
+            {
+                survived += 1;
+            }
+        }
+        // Lemma 2 promises probability at least 2/3; leave slack for noise.
+        assert!(
+            survived * 2 >= trials,
+            "light triangle survived only {survived}/{trials} times"
+        );
+    }
+
+    #[test]
+    fn lemma3_bad_node_bound_on_random_graph() {
+        let g = Gnp::new(40, 0.5).seeded(77).generate();
+        let n = g.node_count() as f64;
+        let epsilon = 0.3;
+        let r = (54.0 * n.powf(1.0 + epsilon) * n.ln()).sqrt();
+        let mut rng = StdRng::seed_from_u64(123);
+        let x = sample_x(&g, epsilon, &mut rng);
+        let u = all_nodes(&g);
+        let bad = bad_nodes(&g, &x, &u, r);
+        assert!(
+            bad.len() * 2 <= g.node_count(),
+            "more than half the nodes are bad: {}",
+            bad.len()
+        );
+    }
+
+    #[test]
+    fn statement2_holds_for_full_x_on_dense_graph() {
+        // With X = V, every pair with a common neighbour is excluded from
+        // Delta(X); the only surviving pairs have support 0 < bound.
+        let g = Gnp::new(30, 0.5).seeded(3).generate();
+        let x = all_nodes(&g);
+        assert!(statement2_holds(&g, &x, 0.2));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type of the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while building or querying graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier is outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes of the graph.
+        node_count: usize,
+    },
+    /// A self-loop was supplied; the model only considers simple graphs.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: NodeId,
+    },
+    /// An edge-list entry could not be parsed.
+    ParseEdgeList {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} is outside the graph of {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+            }
+            GraphError::ParseEdgeList { line, reason } => {
+                write!(f, "failed to parse edge list at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("outside the graph"));
+        let e = GraphError::SelfLoop { node: NodeId(2) };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::ParseEdgeList {
+            line: 3,
+            reason: "not a number".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

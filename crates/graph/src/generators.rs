@@ -1,0 +1,455 @@
+//! Workload generators.
+//!
+//! These are the input instances of the experiments in EXPERIMENTS.md:
+//!
+//! * [`Gnp`] — the Erdős–Rényi random graph `G(n, p)`; with `p = 1/2` it is
+//!   the hard distribution of the paper's lower bound (Theorem 3).
+//! * [`PlantedHeavy`] — a graph containing an edge shared by at least
+//!   `n^ε` triangles, i.e. a guaranteed ε-heavy triangle (workload of
+//!   Proposition 2 / experiment E4).
+//! * [`PlantedLight`] — a sparse background graph with planted triangles
+//!   whose edges all have small support, i.e. triangles that are *not*
+//!   ε-heavy (workload of Proposition 3 / experiment E5).
+//! * [`TriangleFreeBipartite`] — a triangle-free instance, used to verify
+//!   that the finding algorithms report "not found" and that listing
+//!   outputs nothing.
+//! * [`Classic`] — deterministic topologies (path, cycle, star, complete
+//!   graph, complete bipartite) used by unit tests and examples.
+//!
+//! All generators are deterministic once seeded, so experiments are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Default seed used by generators when the caller does not provide one.
+const DEFAULT_SEED: u64 = 0x1254_7717_2017_0001;
+
+/// The Erdős–Rényi random graph `G(n, p)`: every unordered pair becomes an
+/// edge independently with probability `p`.
+///
+/// ```
+/// use congest_graph::generators::Gnp;
+/// let g = Gnp::new(64, 0.5).seeded(42).generate();
+/// assert_eq!(g.node_count(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gnp {
+    n: usize,
+    p: f64,
+    seed: u64,
+}
+
+impl Gnp {
+    /// A `G(n, p)` generator with the default seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    pub fn new(n: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+        Gnp {
+            n,
+            p,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Sets the random seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> Graph {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = GraphBuilder::new(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if rng.gen_bool(self.p) {
+                    b.add_edge(NodeId::from_index(u), NodeId::from_index(v))
+                        .expect("generated endpoints are always in range");
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// A graph with a planted ε-heavy edge: nodes `0` and `1` are adjacent and
+/// share `support` common neighbours, so the edge `{0,1}` is contained in
+/// `support` triangles. A sparse `G(n, background_p)` is overlaid as noise.
+///
+/// Choosing `support >= n^ε` makes every triangle through `{0,1}` ε-heavy,
+/// which is exactly the case Algorithm A2 (Proposition 2) is responsible
+/// for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantedHeavy {
+    n: usize,
+    support: usize,
+    background_p: f64,
+    seed: u64,
+}
+
+impl PlantedHeavy {
+    /// A planted-heavy-edge generator on `n` nodes where the edge `{0,1}`
+    /// has the given `support` (number of common neighbours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < support + 2` (not enough nodes to host the common
+    /// neighbours) or if `background_p` is not a probability.
+    pub fn new(n: usize, support: usize) -> Self {
+        assert!(
+            n >= support + 2,
+            "need at least support + 2 = {} nodes, got {n}",
+            support + 2
+        );
+        PlantedHeavy {
+            n,
+            support,
+            background_p: 0.0,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Overlays a `G(n, p)` background on top of the planted structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    pub fn with_background(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "background probability must be in [0, 1], got {p}");
+        self.background_p = p;
+        self
+    }
+
+    /// Sets the random seed (only relevant when a background is present).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The planted heavy edge, as node indices `(0, 1)`.
+    pub fn heavy_edge(&self) -> (NodeId, NodeId) {
+        (NodeId(0), NodeId(1))
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        let a = NodeId(0);
+        let c = NodeId(1);
+        b.add_edge(a, c).expect("planted endpoints are in range");
+        for i in 0..self.support {
+            let w = NodeId::from_index(2 + i);
+            b.add_edge(a, w).expect("planted endpoints are in range");
+            b.add_edge(c, w).expect("planted endpoints are in range");
+        }
+        if self.background_p > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            for u in 0..self.n {
+                for v in (u + 1)..self.n {
+                    if rng.gen_bool(self.background_p) {
+                        b.add_edge(NodeId::from_index(u), NodeId::from_index(v))
+                            .expect("generated endpoints are always in range");
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// A sparse graph with planted *light* (non-heavy) triangles: `count`
+/// vertex-disjoint triangles plus an optional sparse background. Every
+/// planted edge has support exactly 1 (just its own triangle) as long as the
+/// background stays sparse, so the planted triangles are not ε-heavy for any
+/// ε with `n^ε > 1` — the case handled by Algorithm A3 (Proposition 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantedLight {
+    n: usize,
+    count: usize,
+    background_p: f64,
+    seed: u64,
+}
+
+impl PlantedLight {
+    /// A generator planting `count` vertex-disjoint triangles on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `3 * count > n`.
+    pub fn new(n: usize, count: usize) -> Self {
+        assert!(
+            3 * count <= n,
+            "cannot plant {count} disjoint triangles in {n} nodes"
+        );
+        PlantedLight {
+            n,
+            count,
+            background_p: 0.0,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Overlays a `G(n, p)` background on top of the planted triangles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    pub fn with_background(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "background probability must be in [0, 1], got {p}");
+        self.background_p = p;
+        self
+    }
+
+    /// Sets the random seed (only relevant when a background is present).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The planted triangles, as triples of node indices.
+    pub fn planted(&self) -> Vec<[NodeId; 3]> {
+        (0..self.count)
+            .map(|i| {
+                [
+                    NodeId::from_index(3 * i),
+                    NodeId::from_index(3 * i + 1),
+                    NodeId::from_index(3 * i + 2),
+                ]
+            })
+            .collect()
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        for t in self.planted() {
+            b.add_edge(t[0], t[1]).expect("planted endpoints are in range");
+            b.add_edge(t[1], t[2]).expect("planted endpoints are in range");
+            b.add_edge(t[0], t[2]).expect("planted endpoints are in range");
+        }
+        if self.background_p > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            for u in 0..self.n {
+                for v in (u + 1)..self.n {
+                    if rng.gen_bool(self.background_p) {
+                        b.add_edge(NodeId::from_index(u), NodeId::from_index(v))
+                            .expect("generated endpoints are always in range");
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// A random bipartite graph, which is triangle-free by construction.
+///
+/// Nodes `0..left` form one side, `left..n` the other; each cross pair is an
+/// edge with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleFreeBipartite {
+    left: usize,
+    right: usize,
+    p: f64,
+    seed: u64,
+}
+
+impl TriangleFreeBipartite {
+    /// A bipartite generator with sides of size `left` and `right` and edge
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    pub fn new(left: usize, right: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+        TriangleFreeBipartite {
+            left,
+            right,
+            p,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Sets the random seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> Graph {
+        let n = self.left + self.right;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = GraphBuilder::new(n);
+        for u in 0..self.left {
+            for v in self.left..n {
+                if rng.gen_bool(self.p) {
+                    b.add_edge(NodeId::from_index(u), NodeId::from_index(v))
+                        .expect("generated endpoints are always in range");
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Deterministic classical topologies used by tests and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classic {
+    /// A simple path `0 - 1 - … - (n-1)`.
+    Path(usize),
+    /// A cycle on `n` nodes.
+    Cycle(usize),
+    /// A star with node `0` at the centre.
+    Star(usize),
+    /// The complete graph `K_n`.
+    Complete(usize),
+    /// The complete bipartite graph `K_{a,b}` (triangle-free).
+    CompleteBipartite(usize, usize),
+}
+
+impl Classic {
+    /// Generates the graph.
+    pub fn generate(&self) -> Graph {
+        match *self {
+            Classic::Path(n) => {
+                let mut b = GraphBuilder::new(n);
+                for i in 1..n {
+                    b.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i))
+                        .expect("path endpoints are in range");
+                }
+                b.build()
+            }
+            Classic::Cycle(n) => {
+                let mut b = GraphBuilder::new(n);
+                if n >= 3 {
+                    for i in 0..n {
+                        b.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n))
+                            .expect("cycle endpoints are in range");
+                    }
+                }
+                b.build()
+            }
+            Classic::Star(n) => {
+                let mut b = GraphBuilder::new(n);
+                for i in 1..n {
+                    b.add_edge(NodeId(0), NodeId::from_index(i))
+                        .expect("star endpoints are in range");
+                }
+                b.build()
+            }
+            Classic::Complete(n) => {
+                let mut b = GraphBuilder::new(n);
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        b.add_edge(NodeId::from_index(u), NodeId::from_index(v))
+                            .expect("complete-graph endpoints are in range");
+                    }
+                }
+                b.build()
+            }
+            Classic::CompleteBipartite(a, bs) => {
+                let mut b = GraphBuilder::new(a + bs);
+                for u in 0..a {
+                    for v in a..(a + bs) {
+                        b.add_edge(NodeId::from_index(u), NodeId::from_index(v))
+                            .expect("bipartite endpoints are in range");
+                    }
+                }
+                b.build()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles;
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = Gnp::new(30, 0.3).seeded(9).generate();
+        let b = Gnp::new(30, 0.3).seeded(9).generate();
+        let c = Gnp::new(30, 0.3).seeded(10).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = Gnp::new(10, 0.0).generate();
+        assert_eq!(empty.edge_count(), 0);
+        let full = Gnp::new(10, 1.0).generate();
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn planted_heavy_has_the_promised_support() {
+        let gen = PlantedHeavy::new(50, 12);
+        let g = gen.generate();
+        let (a, b) = gen.heavy_edge();
+        assert!(g.has_edge(a, b));
+        assert_eq!(g.edge_support(a, b), 12);
+        assert_eq!(triangles::count_all(&g), 12);
+    }
+
+    #[test]
+    fn planted_heavy_with_background_keeps_support_at_least_planted() {
+        let gen = PlantedHeavy::new(60, 8).with_background(0.05).seeded(3);
+        let g = gen.generate();
+        let (a, b) = gen.heavy_edge();
+        assert!(g.edge_support(a, b) >= 8);
+    }
+
+    #[test]
+    fn planted_light_triangles_are_present_and_light() {
+        let gen = PlantedLight::new(30, 5);
+        let g = gen.generate();
+        assert_eq!(triangles::count_all(&g), 5);
+        for t in gen.planted() {
+            assert!(g.is_triangle(crate::Triangle::new(t[0], t[1], t[2])));
+            // Every planted edge has support exactly 1 without background.
+            assert_eq!(g.edge_support(t[0], t[1]), 1);
+        }
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free() {
+        let g = TriangleFreeBipartite::new(20, 25, 0.4).seeded(11).generate();
+        assert_eq!(triangles::count_all(&g), 0);
+        let g = Classic::CompleteBipartite(10, 10).generate();
+        assert_eq!(triangles::count_all(&g), 0);
+    }
+
+    #[test]
+    fn classic_shapes() {
+        assert_eq!(Classic::Path(5).generate().edge_count(), 4);
+        assert_eq!(Classic::Cycle(5).generate().edge_count(), 5);
+        assert_eq!(Classic::Cycle(2).generate().edge_count(), 0);
+        assert_eq!(Classic::Star(6).generate().max_degree(), 5);
+        let k5 = Classic::Complete(5).generate();
+        assert_eq!(k5.edge_count(), 10);
+        assert_eq!(triangles::count_all(&k5), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gnp_rejects_bad_probability() {
+        let _ = Gnp::new(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint triangles")]
+    fn planted_light_validates_capacity() {
+        let _ = PlantedLight::new(5, 2);
+    }
+}

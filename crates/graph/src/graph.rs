@@ -1,0 +1,307 @@
+//! Immutable undirected graph with sorted adjacency lists.
+
+use std::fmt;
+
+use crate::{Edge, GraphBuilder, NodeId, Triangle};
+
+/// An immutable, simple, undirected graph on nodes `0..n`.
+///
+/// The representation is a compressed sparse row (CSR) layout: one sorted
+/// neighbour slice per node. Adjacency tests are `O(log d)`, neighbour
+/// iteration is contiguous, and the structure is cheap to share with the
+/// simulator's per-node programs (`Arc<Graph>`).
+///
+/// Use [`GraphBuilder`] or one of the [`generators`](crate::generators) to
+/// construct a graph.
+///
+/// ```
+/// use congest_graph::{Graph, GraphBuilder, NodeId};
+///
+/// # fn main() -> Result<(), congest_graph::GraphError> {
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(NodeId(0), NodeId(1))?;
+/// b.add_edge(NodeId(1), NodeId(2))?;
+/// b.add_edge(NodeId(0), NodeId(2))?;
+/// let g: Graph = b.build();
+///
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.has_edge(NodeId(0), NodeId(2)));
+/// assert_eq!(g.degree(NodeId(3)), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets: neighbours of node `i` live in
+    /// `neighbors[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists.
+    neighbors: Vec<NodeId>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl Graph {
+    pub(crate) fn from_adjacency(adjacency: Vec<Vec<NodeId>>) -> Self {
+        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
+        let mut neighbors = Vec::new();
+        let mut directed = 0usize;
+        offsets.push(0);
+        for mut list in adjacency {
+            list.sort_unstable();
+            list.dedup();
+            directed += list.len();
+            neighbors.extend_from_slice(&list);
+            offsets.push(neighbors.len());
+        }
+        debug_assert!(directed % 2 == 0, "undirected adjacency must be symmetric");
+        Graph {
+            offsets,
+            neighbors,
+            edge_count: directed / 2,
+        }
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// Sorted neighbour list of `node` (the set `N(node)` of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of the graph.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        assert!(i < self.node_count(), "node {node} out of range");
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of the graph.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Maximum degree `d_max` over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `{a, b}` is an edge of the graph.
+    ///
+    /// Self-queries (`a == b`) return `false`.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || a.index() >= self.node_count() || b.index() >= self.node_count() {
+            return false;
+        }
+        // Search from the lower-degree endpoint.
+        let (from, to) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(from).binary_search(&to).is_ok()
+    }
+
+    /// Whether the triple `t` has its three pairs in the edge set, i.e. is
+    /// an element of `T(G)`.
+    pub fn is_triangle(&self, t: Triangle) -> bool {
+        t.edges().iter().all(|e| self.has_edge(e.lo(), e.hi()))
+    }
+
+    /// Iterator over all undirected edges, each reported once with
+    /// `lo < hi`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| Edge::new(u, v))
+        })
+    }
+
+    /// The set of common neighbours of `a` and `b`, i.e. the nodes `l` with
+    /// `{a,l} ∈ E` and `{b,l} ∈ E` (computed by a linear merge of the two
+    /// sorted adjacency lists).
+    pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let na = self.neighbors(a);
+        let nb = self.neighbors(b);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(na[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The edge support `#({a,b})` of the paper: the number of common
+    /// neighbours of `a` and `b` (the number of triangles containing the
+    /// edge, when `{a,b}` is an edge).
+    pub fn edge_support(&self, a: NodeId, b: NodeId) -> usize {
+        let (mut i, mut j) = (0usize, 0usize);
+        let na = self.neighbors(a);
+        let nb = self.neighbors(b);
+        let mut count = 0usize;
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Returns a mutable copy of the graph as a builder, to derive modified
+    /// instances (used by generators that plant structures into a base
+    /// graph).
+    pub fn to_builder(&self) -> GraphBuilder {
+        let mut b = GraphBuilder::new(self.node_count());
+        for e in self.edges() {
+            b.add_edge(e.lo(), e.hi())
+                .expect("edges of a valid graph are valid builder input");
+        }
+        b
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, d_max={})",
+            self.node_count(),
+            self.edge_count(),
+            self.max_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn triangle_graph() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(v(0), v(1)).unwrap();
+        b.add_edge(v(1), v(2)).unwrap();
+        b.add_edge(v(0), v(2)).unwrap();
+        b.add_edge(v(2), v(3)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_graph();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(v(2)), 3);
+        assert_eq!(g.degree(v(4)), 0);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = triangle_graph();
+        assert!(g.has_edge(v(0), v(1)));
+        assert!(g.has_edge(v(1), v(0)));
+        assert!(!g.has_edge(v(0), v(3)));
+        assert!(!g.has_edge(v(0), v(0)));
+        assert!(!g.has_edge(v(0), v(99)));
+        assert_eq!(g.neighbors(v(2)), &[v(0), v(1), v(3)]);
+    }
+
+    #[test]
+    fn triangle_membership() {
+        let g = triangle_graph();
+        assert!(g.is_triangle(Triangle::new(v(0), v(1), v(2))));
+        assert!(!g.is_triangle(Triangle::new(v(1), v(2), v(3))));
+    }
+
+    #[test]
+    fn edges_are_listed_once_each() {
+        let g = triangle_graph();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&Edge::new(v(0), v(2))));
+        // Lexicographic by (lo, hi).
+        let mut sorted = edges.clone();
+        sorted.sort();
+        assert_eq!(edges, sorted);
+    }
+
+    #[test]
+    fn common_neighbors_and_support() {
+        let g = triangle_graph();
+        assert_eq!(g.common_neighbors(v(0), v(1)), vec![v(2)]);
+        assert_eq!(g.edge_support(v(0), v(1)), 1);
+        assert_eq!(g.edge_support(v(2), v(3)), 0);
+        assert_eq!(g.common_neighbors(v(0), v(3)), vec![v(2)]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1)).unwrap();
+        b.add_edge(v(1), v(0)).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(v(0)), 1);
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let g = triangle_graph();
+        let rebuilt = g.to_builder().build();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighbors_of_missing_node_panics() {
+        let g = triangle_graph();
+        let _ = g.neighbors(v(7));
+    }
+
+    #[test]
+    fn debug_summarizes() {
+        let g = triangle_graph();
+        let s = format!("{g:?}");
+        assert!(s.contains("n=5"));
+        assert!(s.contains("m=4"));
+    }
+}

@@ -1,0 +1,124 @@
+//! ε-heavy edges and triangles (Section 3 of the paper).
+//!
+//! A triangle `t` is **ε-heavy** if it contains an edge `e` with support
+//! `#(e) ≥ n^ε`, i.e. an edge shared by at least `n^ε` triangles. The
+//! paper's upper bounds split the work between Algorithm A1/A2 (which handle
+//! ε-heavy triangles) and Algorithm A3 (which handles the remaining, light
+//! triangles). This module provides the centralized classification used by
+//! tests and by the experiment harness to validate that split.
+
+use crate::{triangles, Edge, Graph, Triangle, TriangleSet};
+
+/// The heaviness threshold `n^ε`, as a real number, for a graph on `n`
+/// nodes.
+///
+/// ```
+/// use congest_graph::heavy::threshold;
+/// assert!((threshold(100, 0.5) - 10.0).abs() < 1e-9);
+/// assert!((threshold(100, 0.0) - 1.0).abs() < 1e-9);
+/// ```
+pub fn threshold(n: usize, epsilon: f64) -> f64 {
+    (n as f64).powf(epsilon)
+}
+
+/// Whether the edge `e` is heavy for the given threshold exponent, i.e.
+/// `#(e) ≥ n^ε`.
+pub fn is_heavy_edge(g: &Graph, e: Edge, epsilon: f64) -> bool {
+    let support = g.edge_support(e.lo(), e.hi()) as f64;
+    support >= threshold(g.node_count(), epsilon)
+}
+
+/// Whether the triangle `t` is ε-heavy: at least one of its edges is heavy.
+pub fn is_heavy_triangle(g: &Graph, t: Triangle, epsilon: f64) -> bool {
+    t.edges().iter().any(|&e| is_heavy_edge(g, e, epsilon))
+}
+
+/// Splits `T(G)` into the ε-heavy triangles `T_ε(G)` and the rest.
+///
+/// Returns `(heavy, light)`.
+pub fn partition_by_heaviness(g: &Graph, epsilon: f64) -> (TriangleSet, TriangleSet) {
+    let mut heavy = TriangleSet::new();
+    let mut light = TriangleSet::new();
+    for t in &triangles::list_all(g) {
+        if is_heavy_triangle(g, *t, epsilon) {
+            heavy.insert(*t);
+        } else {
+            light.insert(*t);
+        }
+    }
+    (heavy, light)
+}
+
+/// All heavy edges of the graph, i.e. edges with `#(e) ≥ n^ε`.
+pub fn heavy_edges(g: &Graph, epsilon: f64) -> Vec<Edge> {
+    g.edges().filter(|&e| is_heavy_edge(g, e, epsilon)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Classic, PlantedHeavy, PlantedLight};
+    use crate::NodeId;
+
+    #[test]
+    fn threshold_is_n_to_the_epsilon() {
+        assert!((threshold(16, 0.5) - 4.0).abs() < 1e-12);
+        assert!((threshold(16, 0.25) - 2.0).abs() < 1e-12);
+        assert!((threshold(1, 0.7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planted_heavy_edge_is_classified_heavy() {
+        let n = 60;
+        let gen = PlantedHeavy::new(n, 20);
+        let g = gen.generate();
+        let (a, b) = gen.heavy_edge();
+        let e = Edge::new(a, b);
+        // 20 >= 60^0.5 ≈ 7.75.
+        assert!(is_heavy_edge(&g, e, 0.5));
+        // But not for epsilon = 1 (60^1 = 60 > 20).
+        assert!(!is_heavy_edge(&g, e, 1.0));
+        let (heavy, light) = partition_by_heaviness(&g, 0.5);
+        assert_eq!(heavy.len(), 20);
+        assert!(light.is_empty());
+    }
+
+    #[test]
+    fn planted_light_triangles_are_classified_light() {
+        let g = PlantedLight::new(30, 5).generate();
+        // Threshold 30^0.3 ≈ 2.8 > 1 = support of every planted edge.
+        let (heavy, light) = partition_by_heaviness(&g, 0.3);
+        assert!(heavy.is_empty());
+        assert_eq!(light.len(), 5);
+    }
+
+    #[test]
+    fn epsilon_zero_makes_every_triangle_heavy() {
+        // n^0 = 1 and every triangle edge has support >= 1.
+        let g = Classic::Complete(6).generate();
+        let (heavy, light) = partition_by_heaviness(&g, 0.0);
+        assert_eq!(heavy.len(), 20);
+        assert!(light.is_empty());
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let g = Classic::Complete(7).generate();
+        let all = triangles::list_all(&g);
+        let (heavy, light) = partition_by_heaviness(&g, 0.8);
+        assert_eq!(heavy.len() + light.len(), all.len());
+        for t in &heavy {
+            assert!(!light.contains(t));
+        }
+    }
+
+    #[test]
+    fn heavy_edges_listing() {
+        let gen = PlantedHeavy::new(40, 10);
+        let g = gen.generate();
+        let edges = heavy_edges(&g, 0.5);
+        // Only the planted edge {0,1} has support >= 40^0.5 ≈ 6.3; the spoke
+        // edges each have support exactly 1.
+        assert_eq!(edges, vec![Edge::new(NodeId(0), NodeId(1))]);
+    }
+}

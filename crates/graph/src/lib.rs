@@ -1,0 +1,51 @@
+//! # congest-graph — graph substrate
+//!
+//! Graph representation, generators, and the combinatorial machinery used
+//! by the reproduction of *"Triangle Finding and Listing in CONGEST
+//! Networks"* (Izumi & Le Gall, PODC 2017):
+//!
+//! * [`Graph`] — an immutable, sorted-adjacency undirected graph with
+//!   `O(1)` degree queries and `O(log d)` adjacency tests, plus a
+//!   [`GraphBuilder`] for incremental construction;
+//! * [`generators`] — the workloads of the experiments: Erdős–Rényi
+//!   `G(n,p)`, planted heavy/light triangle instances, triangle-free
+//!   families, and classical fixed topologies;
+//! * [`triangles`] — centralized reference algorithms (ground truth for the
+//!   distributed algorithms): counting, listing, per-edge support `#(e)`;
+//! * [`heavy`] — ε-heavy edge/triangle classification (Section 3 of the
+//!   paper);
+//! * [`delta`] — the set `Δ(X)` of pairs with no common neighbour in `X`
+//!   and the `S`/`V`/r-good machinery of Algorithm A(X,r) (Section 3.2),
+//!   computed centrally for testing and analysis;
+//! * [`properties`] — structural helpers (connectivity, diameter, degrees).
+//!
+//! ```
+//! use congest_graph::{generators::Gnp, Graph, NodeId};
+//!
+//! let g: Graph = Gnp::new(50, 0.2).seeded(1).generate();
+//! assert_eq!(g.node_count(), 50);
+//! let ref_triangles = congest_graph::triangles::list_all(&g);
+//! for t in &ref_triangles {
+//!     assert!(g.is_triangle(*t));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod delta;
+mod error;
+pub mod generators;
+mod graph;
+pub mod heavy;
+mod node;
+pub mod properties;
+mod triangle;
+pub mod triangles;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use node::NodeId;
+pub use triangle::{Edge, Triangle, TriangleSet};

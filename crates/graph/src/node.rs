@@ -1,0 +1,90 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node (vertex) of the network.
+///
+/// The paper assumes identifiers are drawn from `[0, n-1]`; the simulator
+/// and the graph substrate follow that convention, so a `NodeId` doubles as
+/// an index into per-node arrays.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The identifier as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The identifier as a `u64` (for wire encoding).
+    pub fn as_u64(self) -> u64 {
+        u64::from(self.0)
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (networks larger than
+    /// 4 billion nodes are far outside the simulator's scope).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = NodeId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.as_u64(), 17);
+        assert_eq!(u32::from(id), 17);
+        assert_eq!(usize::from(id), 17);
+        assert_eq!(NodeId::from(17u32), id);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_order() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", NodeId(4)), "v4");
+        assert_eq!(format!("{}", NodeId(4)), "4");
+    }
+}

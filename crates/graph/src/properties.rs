@@ -1,0 +1,117 @@
+//! Structural graph properties used by the experiments and examples.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Breadth-first distances from `source`; unreachable nodes get `None`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.node_count()];
+    if source.index() >= g.node_count() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("dequeued nodes have a distance");
+        for &w in g.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    bfs_distances(g, NodeId(0)).iter().all(|d| d.is_some())
+}
+
+/// The diameter of the graph, or `None` if it is disconnected or empty.
+///
+/// Computed with one BFS per node — `O(nm)`, fine at simulator scales.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0usize;
+    for v in g.nodes() {
+        let dist = bfs_distances(g, v);
+        for d in &dist {
+            match d {
+                Some(d) => best = best.max(*d),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Average degree `2m / n` (0 for the empty graph).
+pub fn average_degree(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / g.node_count() as f64
+    }
+}
+
+/// Degree histogram: entry `i` is the number of nodes of degree `i`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Classic;
+
+    #[test]
+    fn path_distances_and_diameter() {
+        let g = Classic::Path(5).generate();
+        let dist = bfs_distances(&g, NodeId(0));
+        assert_eq!(dist, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(diameter(&g), Some(4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let g = crate::GraphBuilder::new(4).build();
+        assert_eq!(diameter(&g), None);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn complete_graph_diameter_is_one() {
+        let g = Classic::Complete(6).generate();
+        assert_eq!(diameter(&g), Some(1));
+        assert!((average_degree(&g) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_degree_histogram() {
+        let g = Classic::Star(5).generate();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 4);
+        assert_eq!(hist[4], 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = crate::GraphBuilder::new(0).build();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), None);
+        assert_eq!(average_degree(&g), 0.0);
+    }
+}

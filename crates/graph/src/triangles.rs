@@ -1,0 +1,218 @@
+//! Centralized reference triangle algorithms.
+//!
+//! These provide the ground truth against which the distributed algorithms
+//! are checked: `T(G)` (the set of all triangles), the triangle count, the
+//! per-edge support `#(e)`, and the triangles incident to a given node.
+//!
+//! The listing routine is the standard degree-ordered adjacency
+//! intersection: orient each edge from the endpoint with lower
+//! (degree, id) towards the higher one and intersect out-neighbourhoods.
+//! Its running time is `O(m^{3/2})`, fast enough for every graph size the
+//! simulator can handle.
+
+use crate::{Edge, Graph, NodeId, Triangle, TriangleSet};
+
+/// Rank used for the degree ordering: nodes are compared by
+/// `(degree, id)` so the orientation is acyclic and unique.
+fn rank(g: &Graph, v: NodeId) -> (usize, NodeId) {
+    (g.degree(v), v)
+}
+
+/// Lists all triangles of `g` (the set `T(G)` of the paper).
+///
+/// ```
+/// use congest_graph::generators::Classic;
+/// use congest_graph::triangles::list_all;
+///
+/// let k4 = Classic::Complete(4).generate();
+/// assert_eq!(list_all(&k4).len(), 4);
+/// ```
+pub fn list_all(g: &Graph) -> TriangleSet {
+    let mut out = TriangleSet::new();
+    // Out-neighbours under the degree ordering, kept sorted by id.
+    let mut forward: Vec<Vec<NodeId>> = vec![Vec::new(); g.node_count()];
+    for v in g.nodes() {
+        for &w in g.neighbors(v) {
+            if rank(g, v) < rank(g, w) {
+                forward[v.index()].push(w);
+            }
+        }
+        forward[v.index()].sort_unstable();
+    }
+    for v in g.nodes() {
+        let fv = &forward[v.index()];
+        for &u in fv.iter() {
+            let fu = &forward[u.index()];
+            // Intersect fv with fu; both are sorted by id. The triangle
+            // {v, u, w} is reported exactly once, for the ordered pair
+            // (v, u) with rank(v) < rank(u) < rank(w).
+            let mut a = 0usize;
+            let mut b = 0usize;
+            while a < fv.len() && b < fu.len() {
+                match fv[a].cmp(&fu[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.insert(Triangle::new(v, u, fv[a]));
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Counts the triangles of `g` without materializing them.
+pub fn count_all(g: &Graph) -> usize {
+    list_all(g).len()
+}
+
+/// Whether `g` contains at least one triangle.
+pub fn has_triangle(g: &Graph) -> bool {
+    // Early-exit variant of the listing loop.
+    for v in g.nodes() {
+        for &u in g.neighbors(v) {
+            if u <= v {
+                continue;
+            }
+            if g.edge_support(v, u) > 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Lists the triangles containing a specific node (the local-listing output
+/// of Proposition 5).
+pub fn list_containing(g: &Graph, node: NodeId) -> TriangleSet {
+    let mut out = TriangleSet::new();
+    let neighbors = g.neighbors(node);
+    for (i, &u) in neighbors.iter().enumerate() {
+        for &w in &neighbors[i + 1..] {
+            if g.has_edge(u, w) {
+                out.insert(Triangle::new(node, u, w));
+            }
+        }
+    }
+    out
+}
+
+/// Lists the triangles containing a specific edge.
+pub fn list_containing_edge(g: &Graph, edge: Edge) -> TriangleSet {
+    g.common_neighbors(edge.lo(), edge.hi())
+        .into_iter()
+        .map(|w| Triangle::new(edge.lo(), edge.hi(), w))
+        .collect()
+}
+
+/// Brute-force `O(n^3)` listing, used only by tests as an independent
+/// oracle for the optimized routine.
+pub fn list_all_brute_force(g: &Graph) -> TriangleSet {
+    let mut out = TriangleSet::new();
+    let n = g.node_count();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(NodeId::from_index(a), NodeId::from_index(b)) {
+                continue;
+            }
+            for c in (b + 1)..n {
+                let (va, vb, vc) = (
+                    NodeId::from_index(a),
+                    NodeId::from_index(b),
+                    NodeId::from_index(c),
+                );
+                if g.has_edge(va, vc) && g.has_edge(vb, vc) {
+                    out.insert(Triangle::new(va, vb, vc));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Classic, Gnp, PlantedLight};
+
+    #[test]
+    fn complete_graph_counts() {
+        // K_n has C(n,3) triangles.
+        for n in 3..8 {
+            let g = Classic::Complete(n).generate();
+            let expected = n * (n - 1) * (n - 2) / 6;
+            assert_eq!(count_all(&g), expected);
+            assert!(has_triangle(&g));
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        let g = Classic::CompleteBipartite(6, 7).generate();
+        assert_eq!(count_all(&g), 0);
+        assert!(!has_triangle(&g));
+        let g = Classic::Cycle(8).generate();
+        assert!(!has_triangle(&g));
+        let g = Classic::Cycle(3).generate();
+        assert!(has_triangle(&g));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..5 {
+            let g = Gnp::new(25, 0.3).seeded(seed).generate();
+            assert_eq!(list_all(&g), list_all_brute_force(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn listing_output_only_contains_real_triangles() {
+        let g = Gnp::new(40, 0.2).seeded(3).generate();
+        for t in &list_all(&g) {
+            assert!(g.is_triangle(*t));
+        }
+    }
+
+    #[test]
+    fn per_node_listing_is_consistent_with_global_listing() {
+        let g = Gnp::new(30, 0.3).seeded(7).generate();
+        let all = list_all(&g);
+        for v in g.nodes() {
+            let local = list_containing(&g, v);
+            // Every local triangle is a global triangle containing v...
+            for t in &local {
+                assert!(all.contains(t));
+                assert!(t.contains(v));
+            }
+            // ...and vice versa.
+            assert_eq!(all.containing(v).count(), local.len());
+        }
+    }
+
+    #[test]
+    fn per_edge_listing_matches_edge_support() {
+        let g = Gnp::new(30, 0.4).seeded(5).generate();
+        for e in g.edges() {
+            let through = list_containing_edge(&g, e);
+            assert_eq!(through.len(), g.edge_support(e.lo(), e.hi()));
+            for t in &through {
+                assert!(t.contains_edge(e));
+                assert!(g.is_triangle(*t));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_triangles_are_recovered_exactly() {
+        let gen = PlantedLight::new(24, 6);
+        let g = gen.generate();
+        let listed = list_all(&g);
+        assert_eq!(listed.len(), 6);
+        for t in gen.planted() {
+            assert!(listed.contains(&Triangle::new(t[0], t[1], t[2])));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Wegman–Carter k-wise independent hash families.
+
+use congest_wire::{BitReader, BitWriter, Wire, WireError};
+use rand::Rng;
+
+use crate::field::{Mersenne61, MODULUS};
+
+/// Width in bits of one encoded coefficient (an element of `F_{2^61-1}`).
+const COEFFICIENT_BITS: usize = 61;
+
+/// A family of k-wise independent hash functions from `{0,…,domain−1}` to
+/// `{0,…,range−1}`.
+///
+/// A function of the family is a uniformly random polynomial of degree
+/// `< k` over `F_{2^61−1}`, composed with reduction modulo `range`. Over the
+/// prime field the polynomial values at any `k` distinct points are
+/// independent and uniform; the modular reduction introduces the usual
+/// `O(range / p)` bias, which is below `2^-40` for every range used by the
+/// algorithms and therefore far smaller than the constant-factor slack in
+/// Lemma 1.
+///
+/// The family itself carries no randomness — it is a description of
+/// `(k, domain, range)`; call [`KWiseFamily::sample`] to draw a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KWiseFamily {
+    k: usize,
+    domain: u64,
+    range: u64,
+}
+
+impl KWiseFamily {
+    /// Creates the family of k-wise independent functions from
+    /// `{0,…,domain−1}` to `{0,…,range−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `domain == 0`, `range == 0`, or the domain does
+    /// not fit in the field (`domain > 2^61 − 1`).
+    pub fn new(k: usize, domain: u64, range: u64) -> Self {
+        assert!(k >= 1, "independence parameter k must be at least 1");
+        assert!(domain >= 1, "domain must be non-empty");
+        assert!(range >= 1, "range must be non-empty");
+        assert!(
+            domain <= MODULUS,
+            "domain {domain} exceeds the field size 2^61 - 1"
+        );
+        KWiseFamily { k, domain, range }
+    }
+
+    /// The independence parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Size of the domain `|X|`.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Size of the range `|Y|`.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// Number of bits a sampled function occupies on the wire
+    /// (`k` coefficients of 61 bits — the `O(k log n)` encoding of
+    /// Wegman–Carter cited in Section 2 of the paper).
+    pub fn encoded_bits(&self) -> usize {
+        self.k * COEFFICIENT_BITS
+    }
+
+    /// Samples a function of the family uniformly at random.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> HashFunction {
+        let coefficients = (0..self.k)
+            .map(|_| Mersenne61::new(rng.gen_range(0..MODULUS)))
+            .collect();
+        HashFunction {
+            family: *self,
+            coefficients,
+        }
+    }
+
+    /// Decodes a function of *this* family from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated or a coefficient
+    /// is not a canonical field element.
+    pub fn decode_function(
+        &self,
+        reader: &mut BitReader<'_>,
+    ) -> Result<HashFunction, WireError> {
+        let mut coefficients = Vec::with_capacity(self.k);
+        for _ in 0..self.k {
+            let raw = reader.read_bits(COEFFICIENT_BITS)?;
+            if raw >= MODULUS {
+                return Err(WireError::OutOfDomain {
+                    value: raw,
+                    bound: MODULUS,
+                });
+            }
+            coefficients.push(Mersenne61::new(raw));
+        }
+        Ok(HashFunction {
+            family: *self,
+            coefficients,
+        })
+    }
+}
+
+/// A concrete hash function drawn from a [`KWiseFamily`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashFunction {
+    family: KWiseFamily,
+    coefficients: Vec<Mersenne61>,
+}
+
+impl HashFunction {
+    /// The family this function was drawn from.
+    pub fn family(&self) -> KWiseFamily {
+        self.family
+    }
+
+    /// Evaluates the function at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the family's domain; hashing an out-of-range
+    /// key indicates a logic error in the caller.
+    pub fn hash(&self, x: u64) -> u64 {
+        assert!(
+            x < self.family.domain,
+            "key {x} outside hash domain 0..{}",
+            self.family.domain
+        );
+        let value = Mersenne61::poly_eval(&self.coefficients, Mersenne61::new(x));
+        value.value() % self.family.range
+    }
+
+    /// The preimage of `y` inside `0..domain` — the set `H(y)` of Lemma 1.
+    ///
+    /// Linear in the domain size; used by tests and the Lemma 1 experiment,
+    /// not by the distributed algorithms themselves.
+    pub fn preimage(&self, y: u64) -> Vec<u64> {
+        (0..self.family.domain).filter(|&x| self.hash(x) == y).collect()
+    }
+}
+
+impl Wire for HashFunction {
+    fn encode(&self, writer: &mut BitWriter) {
+        for c in &self.coefficients {
+            writer.write_bits(c.value(), COEFFICIENT_BITS);
+        }
+    }
+
+    fn decode(_reader: &mut BitReader<'_>) -> Result<Self, WireError> {
+        // A bare decode cannot know (k, domain, range); decoding must go
+        // through `KWiseFamily::decode_function`. Reaching this code path is
+        // a programming error, reported as a domain error on a sentinel.
+        Err(WireError::OutOfDomain { value: 0, bound: 0 })
+    }
+
+    fn bit_len(&self) -> usize {
+        self.family.encoded_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hashes_land_in_range_and_are_deterministic() {
+        let family = KWiseFamily::new(3, 500, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = family.sample(&mut rng);
+        for x in 0..500 {
+            let y = h.hash(x);
+            assert!(y < 7);
+            assert_eq!(h.hash(x), y);
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_behaviour() {
+        let family = KWiseFamily::new(3, 200, 10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = family.sample(&mut rng);
+        let payload = h.to_payload();
+        assert_eq!(payload.bit_len(), family.encoded_bits());
+        let mut reader = BitReader::new(&payload);
+        let decoded = family.decode_function(&mut reader).unwrap();
+        for x in 0..200 {
+            assert_eq!(h.hash(x), decoded.hash(x));
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_k_times_61_bits() {
+        assert_eq!(KWiseFamily::new(3, 100, 4).encoded_bits(), 183);
+        assert_eq!(KWiseFamily::new(5, 100, 4).encoded_bits(), 305);
+    }
+
+    #[test]
+    fn pairwise_uniformity_statistics() {
+        // Empirically check that Pr[h(x) = y] is close to 1/|Y| for a few
+        // fixed keys, over many sampled functions.
+        let family = KWiseFamily::new(3, 97, 8);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 4000;
+        let mut hits = [0usize; 3];
+        for _ in 0..trials {
+            let h = family.sample(&mut rng);
+            if h.hash(5) == 0 {
+                hits[0] += 1;
+            }
+            if h.hash(50) == 3 {
+                hits[1] += 1;
+            }
+            if h.hash(96) == 7 {
+                hits[2] += 1;
+            }
+        }
+        for h in hits {
+            let freq = h as f64 / trials as f64;
+            assert!(
+                (freq - 1.0 / 8.0).abs() < 0.03,
+                "frequency {freq} too far from 1/8"
+            );
+        }
+    }
+
+    #[test]
+    fn two_wise_collision_probability() {
+        // Pr[h(x) = h(x')] should be about 1/|Y| for distinct keys.
+        let family = KWiseFamily::new(3, 64, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 4000;
+        let mut collisions = 0usize;
+        for _ in 0..trials {
+            let h = family.sample(&mut rng);
+            if h.hash(3) == h.hash(60) {
+                collisions += 1;
+            }
+        }
+        let freq = collisions as f64 / trials as f64;
+        assert!((freq - 0.25).abs() < 0.04, "collision frequency {freq}");
+    }
+
+    #[test]
+    fn lemma1_event_probability_is_at_least_three_quarters_over_y_squared() {
+        // Lemma 1: for a 3-wise independent family, for any x, x', y,
+        //   Pr[ h(x)=h(x')=y  and  |H(y)| <= 4(2 + (|X|-2)/|Y|) ] >= 3/(4|Y|^2).
+        let domain = 60u64;
+        let range = 4u64;
+        let family = KWiseFamily::new(3, domain, range);
+        let mut rng = StdRng::seed_from_u64(2024);
+        let trials = 3000;
+        let mut good = 0usize;
+        let cap = 4.0 * (2.0 + (domain as f64 - 2.0) / range as f64);
+        for _ in 0..trials {
+            let h = family.sample(&mut rng);
+            if h.hash(1) == 0 && h.hash(2) == 0 && (h.preimage(0).len() as f64) <= cap {
+                good += 1;
+            }
+        }
+        let freq = good as f64 / trials as f64;
+        let bound = 3.0 / (4.0 * (range * range) as f64);
+        assert!(
+            freq >= bound * 0.75,
+            "empirical probability {freq} is far below the Lemma 1 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn preimage_partitions_the_domain() {
+        let family = KWiseFamily::new(3, 40, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = family.sample(&mut rng);
+        let total: usize = (0..5).map(|y| h.preimage(y).len()).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside hash domain")]
+    fn hashing_out_of_domain_panics() {
+        let family = KWiseFamily::new(2, 10, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = family.sample(&mut rng);
+        let _ = h.hash(10);
+    }
+
+    #[test]
+    fn decode_rejects_non_canonical_coefficients() {
+        let family = KWiseFamily::new(1, 10, 2);
+        let mut w = BitWriter::new();
+        w.write_bits(MODULUS, 61); // not a canonical residue
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert!(family.decode_function(&mut r).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Arithmetic in the Mersenne-prime field `F_p`, `p = 2^61 − 1`.
+
+/// The prime modulus `2^61 − 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of the field `F_{2^61 − 1}`.
+///
+/// The representation is the canonical residue in `[0, p)`. The Mersenne
+/// structure allows reduction without division, which keeps hash evaluation
+/// cheap even though the simulator evaluates the planted hash functions for
+/// every neighbour of every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mersenne61(u64);
+
+impl Mersenne61 {
+    /// The additive identity.
+    pub const ZERO: Mersenne61 = Mersenne61(0);
+    /// The multiplicative identity.
+    pub const ONE: Mersenne61 = Mersenne61(1);
+
+    /// Creates a field element from an arbitrary `u64`, reducing modulo `p`.
+    pub fn new(value: u64) -> Self {
+        Mersenne61(reduce_partial(value))
+    }
+
+    /// The canonical representative in `[0, p)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Field addition.
+    pub fn add(self, other: Mersenne61) -> Mersenne61 {
+        let sum = self.0 + other.0; // < 2^62, no overflow
+        Mersenne61(reduce_partial(sum))
+    }
+
+    /// Field multiplication.
+    pub fn mul(self, other: Mersenne61) -> Mersenne61 {
+        let product = u128::from(self.0) * u128::from(other.0);
+        // Split into low 61 bits and the rest: x = hi * 2^61 + lo, and
+        // 2^61 ≡ 1 (mod p), so x ≡ hi + lo.
+        let lo = (product & u128::from(MODULUS)) as u64;
+        let hi = (product >> 61) as u64;
+        Mersenne61(reduce_partial(lo + hi))
+    }
+
+    /// Horner evaluation of a polynomial with the given coefficients
+    /// (constant term first) at point `x`.
+    pub fn poly_eval(coefficients: &[Mersenne61], x: Mersenne61) -> Mersenne61 {
+        let mut acc = Mersenne61::ZERO;
+        for &c in coefficients.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc
+    }
+}
+
+/// Reduces a value `< 2^63` into `[0, p)`.
+fn reduce_partial(value: u64) -> u64 {
+    let mut v = (value & MODULUS) + (value >> 61);
+    if v >= MODULUS {
+        v -= MODULUS;
+    }
+    v
+}
+
+impl From<u64> for Mersenne61 {
+    fn from(value: u64) -> Self {
+        Mersenne61::new(value)
+    }
+}
+
+impl std::fmt::Display for Mersenne61 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_is_canonical() {
+        assert_eq!(Mersenne61::new(MODULUS).value(), 0);
+        assert_eq!(Mersenne61::new(MODULUS + 5).value(), 5);
+        assert_eq!(Mersenne61::new(u64::MAX).value(), u64::MAX % MODULUS);
+    }
+
+    #[test]
+    fn addition_wraps_correctly() {
+        let a = Mersenne61::new(MODULUS - 1);
+        let b = Mersenne61::new(3);
+        assert_eq!(a.add(b).value(), 2);
+        assert_eq!(Mersenne61::ZERO.add(b).value(), 3);
+    }
+
+    #[test]
+    fn multiplication_matches_u128_reference() {
+        let cases = [
+            (0u64, 12345u64),
+            (1, MODULUS - 1),
+            (MODULUS - 1, MODULUS - 1),
+            (0x1234_5678_9ABC_DEF0 % MODULUS, 0x0FED_CBA9_8765_4321 % MODULUS),
+        ];
+        for (a, b) in cases {
+            let expected = ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64;
+            assert_eq!(
+                Mersenne61::new(a).mul(Mersenne61::new(b)).value(),
+                expected,
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn polynomial_evaluation_matches_direct_computation() {
+        // p(x) = 3 + 2x + x^2 at x = 10 -> 123.
+        let coeffs = [
+            Mersenne61::new(3),
+            Mersenne61::new(2),
+            Mersenne61::new(1),
+        ];
+        assert_eq!(
+            Mersenne61::poly_eval(&coeffs, Mersenne61::new(10)).value(),
+            123
+        );
+        // The empty polynomial is identically zero.
+        assert_eq!(
+            Mersenne61::poly_eval(&[], Mersenne61::new(99)).value(),
+            0
+        );
+    }
+
+    #[test]
+    fn identities() {
+        let x = Mersenne61::new(987654321);
+        assert_eq!(x.mul(Mersenne61::ONE), x);
+        assert_eq!(x.add(Mersenne61::ZERO), x);
+        assert_eq!(x.mul(Mersenne61::ZERO), Mersenne61::ZERO);
+    }
+}

@@ -1,0 +1,37 @@
+//! # congest-hash — k-wise independent hash families
+//!
+//! Algorithm A2 of the paper (Proposition 2, Figure 1) has every node
+//! sample a hash function `h : V → {0, …, ⌊n^{ε/2}⌋ − 1}` from a **3-wise
+//! independent** family and ship it to its neighbours in `O(log n)` bits.
+//! Lemma 1 — the probability bound that makes A2 work — only needs 3-wise
+//! independence, and the paper points to the classical Wegman–Carter
+//! construction for the `O(k log |Y|)`-bit encoding.
+//!
+//! This crate implements that construction: degree-`(k−1)` polynomials over
+//! the Mersenne-prime field `F_p`, `p = 2^61 − 1`, reduced modulo the range
+//! size. A function is described by its `k` coefficients, so it serializes
+//! into `k · 61` bits — `O(k log n)` as required (the paper's encoding uses
+//! a field of size `poly(n)`; using a fixed 61-bit prime only makes the
+//! constant explicit).
+//!
+//! ```
+//! use congest_hash::KWiseFamily;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let family = KWiseFamily::new(3, 1_000, 16); // 3-wise, domain 0..1000, range 0..16
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let h = family.sample(&mut rng);
+//! let y = h.hash(123);
+//! assert!(y < 16);
+//! assert_eq!(h.hash(123), y); // deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod family;
+mod field;
+
+pub use family::{HashFunction, KWiseFamily};
+pub use field::Mersenne61;

@@ -1,0 +1,229 @@
+//! # congest-info — lower-bound experiment machinery
+//!
+//! The paper's lower bounds (Theorem 3 and Proposition 5) are
+//! information-theoretic: on the random input `G(n, 1/2)`, the node that
+//! outputs the most triangles must *learn* the existence of every edge in
+//! the cover `P(T_i)` of its output, so its transcript carries
+//! `Ω(|P(T_i)|)` bits, and with high probability `|P(T_i)| = Ω(n^{4/3})`
+//! (via Rivin's inequality, Lemma 4). Dividing by the `O(n log n)` bits a
+//! node can receive per round gives the `Ω(n^{1/3}/log n)` round bound —
+//! and `Ω(n/log n)` for local listing, where every node must learn
+//! `Ω(n^2)` bits.
+//!
+//! A lower bound cannot be "run", but its premises and the quantities it
+//! bounds can be measured. This crate provides:
+//!
+//! * [`rivin_edge_lower_bound`] — Lemma 4: a graph with `t` triangles has
+//!   at least `(√2/3)·t^{2/3}` edges;
+//! * [`edge_cover_size`] — `|P(R)|` for an output set `R`;
+//! * [`LowerBoundReport`] — given the per-node outputs and the per-node
+//!   received-bit counters of a listing run, computes the max-output node
+//!   `w(T)`, its cover size, the implied round lower bound and the actual
+//!   transcript length, so the experiment harness can verify that every
+//!   implementation respects the bound (and by how much).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use congest_graph::{Graph, NodeId, TriangleSet};
+use congest_sim::Metrics;
+
+/// Lemma 4 (Rivin): a graph containing `t` triangles has at least
+/// `(√2 / 3) · t^{2/3}` edges.
+///
+/// ```
+/// use congest_info::rivin_edge_lower_bound;
+/// assert_eq!(rivin_edge_lower_bound(0), 0.0);
+/// // K4 has 4 triangles and 6 edges; the bound gives ≈ 1.19.
+/// assert!(rivin_edge_lower_bound(4) <= 6.0);
+/// ```
+pub fn rivin_edge_lower_bound(triangles: usize) -> f64 {
+    (2.0f64).sqrt() / 3.0 * (triangles as f64).powf(2.0 / 3.0)
+}
+
+/// `|P(R)|`: the number of distinct edges covered by a set of triangles.
+pub fn edge_cover_size(output: &TriangleSet) -> usize {
+    output.edge_cover().len()
+}
+
+/// Checks Lemma 4 on a concrete graph: its edge count must be at least the
+/// Rivin bound for its triangle count.
+pub fn rivin_holds_for(graph: &Graph) -> bool {
+    let t = congest_graph::triangles::count_all(graph);
+    graph.edge_count() as f64 >= rivin_edge_lower_bound(t) - 1e-9
+}
+
+/// Measured and implied quantities of the Theorem 3 argument for one
+/// listing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerBoundReport {
+    /// The node `w(T)` that output the most triangles.
+    pub witness: NodeId,
+    /// Number of triangles output by the witness.
+    pub witness_triangles: usize,
+    /// `|P(T_w)|`: edges covered by the witness's output.
+    pub witness_cover: usize,
+    /// Rivin lower bound on the cover implied by the output size alone.
+    pub rivin_cover_bound: f64,
+    /// Bits actually received by the witness during the run.
+    pub witness_received_bits: u64,
+    /// Bits the witness can receive per round (its bandwidth budget times
+    /// its number of incident links).
+    pub witness_capacity_per_round: u64,
+    /// The round lower bound implied by the measured cover:
+    /// `witness_cover / witness_capacity_per_round` (in rounds).
+    pub implied_round_bound: f64,
+    /// Rounds the run actually took.
+    pub measured_rounds: u64,
+}
+
+impl LowerBoundReport {
+    /// Builds the report from the per-node outputs and metrics of a listing
+    /// run in the given model.
+    ///
+    /// `links_per_node` is the number of incident communication links of a
+    /// node: `n − 1` in the CONGEST clique, the node's degree in the plain
+    /// CONGEST model (pass the maximum degree for a conservative bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_node` is empty.
+    pub fn from_run(
+        per_node: &[TriangleSet],
+        metrics: &Metrics,
+        bandwidth_bits: usize,
+        links_per_node: usize,
+    ) -> Self {
+        assert!(!per_node.is_empty(), "a run must have at least one node");
+        let witness_index = per_node
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("non-empty runs have a witness");
+        let witness_output = &per_node[witness_index];
+        let witness_cover = edge_cover_size(witness_output);
+        let capacity = (bandwidth_bits * links_per_node.max(1)) as u64;
+        LowerBoundReport {
+            witness: NodeId::from_index(witness_index),
+            witness_triangles: witness_output.len(),
+            witness_cover,
+            rivin_cover_bound: rivin_edge_lower_bound(witness_output.len()),
+            witness_received_bits: metrics.received_bits[witness_index],
+            witness_capacity_per_round: capacity,
+            implied_round_bound: witness_cover as f64 / capacity.max(1) as f64,
+            measured_rounds: metrics.rounds,
+        }
+    }
+
+    /// Whether the measured run respects the implied round bound (it always
+    /// should — a violation would mean the algorithm output triangles whose
+    /// edges it never learned, i.e. a soundness bug or an accounting bug).
+    pub fn is_respected(&self) -> bool {
+        self.measured_rounds as f64 + 1e-9 >= self.implied_round_bound.floor()
+    }
+
+    /// The analytic `Ω(n^{1/3} / ln n)` bound of Theorem 3 evaluated at
+    /// `n` (with constant 1), for plotting alongside measurements.
+    pub fn theorem3_curve(n: usize) -> f64 {
+        let n = n.max(2) as f64;
+        n.powf(1.0 / 3.0) / n.ln()
+    }
+
+    /// The analytic `Ω(n / ln n)` bound of Proposition 5 (local listing)
+    /// evaluated at `n` (with constant 1).
+    pub fn proposition5_curve(n: usize) -> f64 {
+        let n = n.max(2) as f64;
+        n / n.ln()
+    }
+}
+
+/// The expected number of triangles of `G(n, 1/2)` — `C(n,3)/8` — used by
+/// the harness to report how close an instance is to the lower-bound
+/// distribution's expectation.
+pub fn expected_gnp_half_triangles(n: usize) -> f64 {
+    let n = n as f64;
+    n * (n - 1.0) * (n - 2.0) / 6.0 / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{Classic, Gnp};
+    use congest_graph::{triangles, Triangle};
+
+    #[test]
+    fn rivin_bound_holds_on_assorted_graphs() {
+        let graphs = vec![
+            Classic::Complete(10).generate(),
+            Classic::Cycle(12).generate(),
+            Classic::CompleteBipartite(6, 6).generate(),
+            Gnp::new(40, 0.3).seeded(1).generate(),
+            Gnp::new(40, 0.7).seeded(2).generate(),
+        ];
+        for g in graphs {
+            assert!(rivin_holds_for(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn rivin_bound_is_tight_up_to_constants_on_cliques() {
+        // K_n: t = C(n,3), m = C(n,2); the bound says m >= (sqrt2/3) t^{2/3},
+        // and indeed C(n,2) / t^{2/3} tends to a constant ~ 3/2^{2/3} ≈ 1.5
+        // times larger than sqrt(2)/3 ≈ 0.47.
+        for n in [10usize, 20, 40] {
+            let t = n * (n - 1) * (n - 2) / 6;
+            let m = n * (n - 1) / 2;
+            let bound = rivin_edge_lower_bound(t);
+            assert!(m as f64 >= bound);
+            assert!(m as f64 <= 4.0 * bound, "bound too loose at n={n}");
+        }
+    }
+
+    #[test]
+    fn edge_cover_counts_distinct_edges() {
+        let mut set = TriangleSet::new();
+        set.insert(Triangle::new(NodeId(0), NodeId(1), NodeId(2)));
+        set.insert(Triangle::new(NodeId(1), NodeId(2), NodeId(3)));
+        assert_eq!(edge_cover_size(&set), 5);
+        assert_eq!(edge_cover_size(&TriangleSet::new()), 0);
+    }
+
+    #[test]
+    fn lower_bound_report_identifies_the_witness() {
+        let g = Classic::Complete(6).generate();
+        let all = triangles::list_all(&g);
+        // Node 0 outputs everything, node 1 outputs one triangle, the rest
+        // output nothing.
+        let mut per_node = vec![TriangleSet::new(); 6];
+        per_node[0] = all.clone();
+        per_node[1].insert(*all.iter().next().unwrap());
+        let mut metrics = Metrics::new(6);
+        metrics.rounds = 10;
+        metrics.received_bits = vec![500, 20, 0, 0, 0, 0];
+
+        let report = LowerBoundReport::from_run(&per_node, &metrics, 10, 5);
+        assert_eq!(report.witness, NodeId(0));
+        assert_eq!(report.witness_triangles, all.len());
+        assert_eq!(report.witness_cover, g.edge_count());
+        assert_eq!(report.witness_received_bits, 500);
+        assert_eq!(report.witness_capacity_per_round, 50);
+        assert!(report.is_respected());
+        assert!(report.rivin_cover_bound <= report.witness_cover as f64);
+    }
+
+    #[test]
+    fn analytic_curves_are_increasing() {
+        assert!(LowerBoundReport::theorem3_curve(1000) > LowerBoundReport::theorem3_curve(100));
+        assert!(
+            LowerBoundReport::proposition5_curve(1000) > LowerBoundReport::proposition5_curve(100)
+        );
+        assert!(LowerBoundReport::proposition5_curve(500) > LowerBoundReport::theorem3_curve(500));
+    }
+
+    #[test]
+    fn expected_triangle_count_of_gnp_half() {
+        // n = 8: C(8,3)/8 = 56/8 = 7.
+        assert!((expected_gnp_half_triangles(8) - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulation configuration: communication model, bandwidth, limits.
+
+use congest_wire::bits_for_count;
+
+/// The communication topology available to the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// The standard CONGEST model: a node may only exchange messages with
+    /// its neighbours in the input graph.
+    Congest,
+    /// The CONGEST clique: any pair of nodes may exchange messages; the
+    /// input graph is data only.
+    CongestClique,
+}
+
+impl Model {
+    /// Human-readable name used by experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Congest => "CONGEST",
+            Model::CongestClique => "CONGEST-clique",
+        }
+    }
+}
+
+/// Per-edge per-round bandwidth budget.
+///
+/// The paper's model allows `O(log n)` bits per message. The classical
+/// convention — which the round bounds implicitly assume — is that a single
+/// message carries `O(1)` vertex identifiers plus `O(1)` flag bits, which is
+/// what [`Bandwidth::LogFactor`] expresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bandwidth {
+    /// `factor * ceil(log2 n)` bits per message (at least 8 bits, so tiny
+    /// graphs still fit a header).
+    LogFactor(u32),
+    /// A fixed number of bits per message.
+    Bits(usize),
+}
+
+impl Bandwidth {
+    /// The concrete per-message budget, in bits, for a network of `n`
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the budget would be zero bits.
+    pub fn bits_per_round(&self, n: usize) -> usize {
+        assert!(n > 0, "a network must have at least one node");
+        match self {
+            Bandwidth::LogFactor(factor) => {
+                let bits = (*factor as usize) * bits_for_count(n as u64);
+                bits.max(8)
+            }
+            Bandwidth::Bits(bits) => {
+                assert!(*bits > 0, "bandwidth must be positive");
+                *bits
+            }
+        }
+    }
+}
+
+impl Default for Bandwidth {
+    /// Two identifiers' worth of bits per message, the usual CONGEST
+    /// convention (an edge, or an id plus flags).
+    fn default() -> Self {
+        Bandwidth::LogFactor(2)
+    }
+}
+
+/// Full configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Communication topology.
+    pub model: Model,
+    /// Per-message bandwidth budget.
+    pub bandwidth: Bandwidth,
+    /// Hard cap on the number of rounds; the run reports
+    /// [`Termination::RoundLimit`](crate::Termination::RoundLimit) if it is
+    /// reached.
+    pub max_rounds: u64,
+    /// Master seed; node `i`'s RNG is derived from `(seed, i)` so runs are
+    /// reproducible and executor-independent.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Default cap on rounds — far above anything the algorithms need, it
+    /// only exists to turn accidental non-termination into a clean report.
+    pub const DEFAULT_MAX_ROUNDS: u64 = 10_000_000;
+
+    /// A CONGEST configuration with default bandwidth and the given seed.
+    pub fn congest(seed: u64) -> Self {
+        SimConfig {
+            model: Model::Congest,
+            bandwidth: Bandwidth::default(),
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+            seed,
+        }
+    }
+
+    /// A CONGEST-clique configuration with default bandwidth and the given
+    /// seed.
+    pub fn clique(seed: u64) -> Self {
+        SimConfig {
+            model: Model::CongestClique,
+            bandwidth: Bandwidth::default(),
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+            seed,
+        }
+    }
+
+    /// Overrides the bandwidth.
+    pub fn with_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Overrides the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_factor_bandwidth_scales_with_n() {
+        let b = Bandwidth::LogFactor(2);
+        assert_eq!(b.bits_per_round(1024), 20);
+        assert_eq!(b.bits_per_round(1025), 22);
+        // Tiny graphs are padded up to 8 bits.
+        assert_eq!(b.bits_per_round(2), 8);
+    }
+
+    #[test]
+    fn explicit_bandwidth_is_respected() {
+        assert_eq!(Bandwidth::Bits(48).bits_per_round(10_000), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_is_rejected() {
+        let _ = Bandwidth::Bits(0).bits_per_round(10);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SimConfig::congest(7)
+            .with_bandwidth(Bandwidth::Bits(32))
+            .with_max_rounds(100);
+        assert_eq!(c.model, Model::Congest);
+        assert_eq!(c.bandwidth, Bandwidth::Bits(32));
+        assert_eq!(c.max_rounds, 100);
+        assert_eq!(c.seed, 7);
+        let c = SimConfig::clique(9);
+        assert_eq!(c.model, Model::CongestClique);
+        assert_eq!(c.model.name(), "CONGEST-clique");
+    }
+}

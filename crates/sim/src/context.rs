@@ -1,0 +1,338 @@
+//! The per-round execution context handed to node programs.
+
+use std::collections::BTreeMap;
+
+use congest_graph::NodeId;
+use congest_wire::{BitReader, BitWriter, IdCodec, Payload, WireError};
+use rand::rngs::SmallRng;
+
+use crate::{Model, NodeInfo, SimError};
+
+/// A message delivered to a node at the start of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedMessage {
+    /// The sender.
+    pub from: NodeId,
+    /// The message contents.
+    pub payload: Payload,
+}
+
+/// Messages queued by a node during one round, keyed by destination.
+///
+/// Ordered map so iteration (and therefore metric accumulation and
+/// delivery) is deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct Outbox {
+    pub(crate) messages: BTreeMap<NodeId, Payload>,
+}
+
+/// Everything a node program can see and do during one round.
+///
+/// The context exposes only model-legal information: the node's static
+/// [`NodeInfo`], the messages received this round, a deterministic RNG, and
+/// a validated send operation.
+pub struct RoundContext<'a> {
+    pub(crate) info: &'a NodeInfo,
+    pub(crate) round: u64,
+    pub(crate) inbox: &'a mut Vec<ReceivedMessage>,
+    pub(crate) outbox: &'a mut Outbox,
+    pub(crate) rng: &'a mut SmallRng,
+}
+
+impl<'a> RoundContext<'a> {
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.info.id
+    }
+
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.info.n
+    }
+
+    /// The current round number (the first round is 0).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The communication model of the run.
+    pub fn model(&self) -> Model {
+        self.info.model
+    }
+
+    /// Per-message bandwidth budget in bits.
+    pub fn bandwidth_bits(&self) -> usize {
+        self.info.bandwidth_bits
+    }
+
+    /// Sorted neighbour list in the input graph.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.info.neighbors
+    }
+
+    /// Degree in the input graph.
+    pub fn degree(&self) -> usize {
+        self.info.neighbors.len()
+    }
+
+    /// Static node information.
+    pub fn info(&self) -> &NodeInfo {
+        self.info
+    }
+
+    /// Messages delivered to this node at the start of this round.
+    pub fn inbox(&self) -> &[ReceivedMessage] {
+        self.inbox
+    }
+
+    /// Takes ownership of the inbox, leaving it empty.
+    ///
+    /// Useful when the handler wants to iterate over the messages while also
+    /// sending, which a borrowed inbox would prevent.
+    pub fn take_inbox(&mut self) -> Vec<ReceivedMessage> {
+        std::mem::take(self.inbox)
+    }
+
+    /// This node's deterministic random generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// A codec for single identifiers and identifier lists over the domain
+    /// `0..n`, matching the `O(log n)`-bit accounting of the model.
+    pub fn id_codec(&self) -> IdPayloadCodec {
+        IdPayloadCodec {
+            codec: IdCodec::new(self.info.n as u64),
+        }
+    }
+
+    /// Queues a message of `payload` to `to`, to be delivered at the start
+    /// of the next round.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BandwidthExceeded`] if the payload is larger than the
+    ///   per-message budget.
+    /// * [`SimError::InvalidDestination`] if `to` is this node, is not a
+    ///   node of the network, or (in the CONGEST model) is not a neighbour.
+    /// * [`SimError::DuplicateMessage`] if a message to `to` was already
+    ///   queued this round.
+    pub fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), SimError> {
+        let from = self.info.id;
+        if to == from || to.index() >= self.info.n {
+            return Err(SimError::InvalidDestination { from, to });
+        }
+        if self.info.model == Model::Congest && !self.info.is_neighbor(to) {
+            return Err(SimError::InvalidDestination { from, to });
+        }
+        if payload.bit_len() > self.info.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from,
+                to,
+                bits: payload.bit_len(),
+                budget: self.info.bandwidth_bits,
+            });
+        }
+        if self.outbox.messages.contains_key(&to) {
+            return Err(SimError::DuplicateMessage { from, to });
+        }
+        self.outbox.messages.insert(to, payload);
+        Ok(())
+    }
+
+    /// Whether a message to `to` has already been queued this round.
+    pub fn has_queued(&self, to: NodeId) -> bool {
+        self.outbox.messages.contains_key(&to)
+    }
+}
+
+/// Convenience codec building single-identifier and identifier-list
+/// payloads over the domain `0..n`.
+///
+/// Wraps [`IdCodec`] so that simple programs (and the baselines) do not
+/// need to hand-roll encodings for the most common message shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct IdPayloadCodec {
+    codec: IdCodec,
+}
+
+impl IdPayloadCodec {
+    /// Width of a single encoded identifier, in bits.
+    pub fn width(&self) -> usize {
+        self.codec.width()
+    }
+
+    /// The underlying [`IdCodec`].
+    pub fn codec(&self) -> IdCodec {
+        self.codec
+    }
+
+    /// Encodes one identifier as a standalone payload.
+    pub fn single(&self, id: u64) -> Payload {
+        let mut w = BitWriter::new();
+        self.codec.encode(&mut w, id);
+        w.finish()
+    }
+
+    /// Decodes a payload produced by [`IdPayloadCodec::single`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated or out of domain.
+    pub fn decode_single(&self, payload: &Payload) -> Result<u64, WireError> {
+        let mut r = BitReader::new(payload);
+        self.codec.decode(&mut r)
+    }
+
+    /// Encodes a length-prefixed identifier list as a standalone payload
+    /// (which may exceed a single message budget — pair with the chunked
+    /// transfer helpers for transmission).
+    pub fn list(&self, ids: &[u64]) -> Payload {
+        let mut w = BitWriter::new();
+        self.codec.encode_list(&mut w, ids);
+        w.finish()
+    }
+
+    /// Decodes a payload produced by [`IdPayloadCodec::list`], ignoring any
+    /// trailing padding bits (as produced by chunk reassembly).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated or malformed.
+    pub fn decode_list(&self, payload: &Payload) -> Result<Vec<u64>, WireError> {
+        let mut r = BitReader::new(payload);
+        self.codec.decode_list(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn info() -> NodeInfo {
+        NodeInfo {
+            id: NodeId(0),
+            n: 8,
+            neighbors: vec![NodeId(1), NodeId(2)],
+            model: Model::Congest,
+            bandwidth_bits: 16,
+        }
+    }
+
+    fn with_ctx<R>(info: &NodeInfo, f: impl FnOnce(&mut RoundContext<'_>) -> R) -> (R, Outbox) {
+        let mut inbox = Vec::new();
+        let mut outbox = Outbox::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = {
+            let mut ctx = RoundContext {
+                info,
+                round: 0,
+                inbox: &mut inbox,
+                outbox: &mut outbox,
+                rng: &mut rng,
+            };
+            f(&mut ctx)
+        };
+        (r, outbox)
+    }
+
+    #[test]
+    fn send_to_neighbor_succeeds() {
+        let info = info();
+        let (res, outbox) = with_ctx(&info, |ctx| {
+            let p = ctx.id_codec().single(5);
+            ctx.send(NodeId(1), p)
+        });
+        assert!(res.is_ok());
+        assert_eq!(outbox.messages.len(), 1);
+    }
+
+    #[test]
+    fn send_to_non_neighbor_fails_in_congest() {
+        let info = info();
+        let (res, _) = with_ctx(&info, |ctx| ctx.send(NodeId(3), Payload::new()));
+        assert_eq!(
+            res.unwrap_err(),
+            SimError::InvalidDestination {
+                from: NodeId(0),
+                to: NodeId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn send_to_non_neighbor_succeeds_in_clique() {
+        let mut i = info();
+        i.model = Model::CongestClique;
+        let (res, _) = with_ctx(&i, |ctx| ctx.send(NodeId(7), Payload::new()));
+        assert!(res.is_ok());
+    }
+
+    #[test]
+    fn send_to_self_or_out_of_range_fails() {
+        let info = info();
+        let (res, _) = with_ctx(&info, |ctx| ctx.send(NodeId(0), Payload::new()));
+        assert!(matches!(res, Err(SimError::InvalidDestination { .. })));
+        let (res, _) = with_ctx(&info, |ctx| ctx.send(NodeId(100), Payload::new()));
+        assert!(matches!(res, Err(SimError::InvalidDestination { .. })));
+    }
+
+    #[test]
+    fn bandwidth_is_enforced() {
+        let info = info();
+        let (res, _) = with_ctx(&info, |ctx| {
+            let mut w = BitWriter::new();
+            w.write_bits(0, 17); // 17 > 16-bit budget
+            ctx.send(NodeId(1), w.finish())
+        });
+        assert!(matches!(res, Err(SimError::BandwidthExceeded { bits: 17, .. })));
+    }
+
+    #[test]
+    fn duplicate_send_is_rejected() {
+        let info = info();
+        let (res, _) = with_ctx(&info, |ctx| {
+            ctx.send(NodeId(1), Payload::new()).unwrap();
+            assert!(ctx.has_queued(NodeId(1)));
+            ctx.send(NodeId(1), Payload::new())
+        });
+        assert!(matches!(res, Err(SimError::DuplicateMessage { .. })));
+    }
+
+    #[test]
+    fn id_payload_codec_round_trips() {
+        let info = info();
+        let ((), _) = with_ctx(&info, |ctx| {
+            let codec = ctx.id_codec();
+            assert_eq!(codec.width(), 3);
+            let p = codec.single(6);
+            assert_eq!(codec.decode_single(&p).unwrap(), 6);
+            let p = codec.list(&[1, 2, 7]);
+            assert_eq!(codec.decode_list(&p).unwrap(), vec![1, 2, 7]);
+        });
+    }
+
+    #[test]
+    fn take_inbox_empties_the_inbox() {
+        let info = info();
+        let mut inbox = vec![ReceivedMessage {
+            from: NodeId(1),
+            payload: Payload::new(),
+        }];
+        let mut outbox = Outbox::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx = RoundContext {
+            info: &info,
+            round: 3,
+            inbox: &mut inbox,
+            outbox: &mut outbox,
+            rng: &mut rng,
+        };
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.inbox().len(), 1);
+        let taken = ctx.take_inbox();
+        assert_eq!(taken.len(), 1);
+        assert!(ctx.inbox().is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! The sequential round engine.
+
+use congest_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::context::Outbox;
+use crate::rng::derive_node_seed;
+use crate::{Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage, RoundContext, SimConfig};
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Every node halted.
+    AllHalted,
+    /// The configured round cap was reached before every node halted.
+    RoundLimit,
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Traffic and round metrics.
+    pub metrics: Metrics,
+    /// Why the run ended.
+    pub termination: Termination,
+}
+
+impl<O> RunReport<O> {
+    /// The output of a specific node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of the simulated network.
+    pub fn output_of(&self, node: NodeId) -> &O {
+        &self.outputs[node.index()]
+    }
+
+    /// Whether every node halted before the round cap.
+    pub fn completed(&self) -> bool {
+        self.termination == Termination::AllHalted
+    }
+}
+
+/// Builds the per-node [`NodeInfo`] records for a graph and configuration.
+pub(crate) fn build_infos(graph: &Graph, config: &SimConfig) -> Vec<NodeInfo> {
+    let n = graph.node_count();
+    let bandwidth_bits = config.bandwidth.bits_per_round(n.max(1));
+    graph
+        .nodes()
+        .map(|id| NodeInfo {
+            id,
+            n,
+            neighbors: graph.neighbors(id).to_vec(),
+            model: config.model,
+            bandwidth_bits,
+        })
+        .collect()
+}
+
+/// The sequential, deterministic round engine.
+///
+/// Construction takes a factory that builds one [`NodeProgram`] per node
+/// from its [`NodeInfo`]; the engine then drives all programs round by
+/// round until every one of them halts (or the round cap is reached).
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulation<P: NodeProgram> {
+    infos: Vec<NodeInfo>,
+    programs: Vec<P>,
+    config: SimConfig,
+}
+
+impl<P: NodeProgram> Simulation<P> {
+    /// Creates a simulation of `graph` under `config`, instantiating each
+    /// node's program with `factory`.
+    pub fn new<F>(graph: &Graph, config: SimConfig, mut factory: F) -> Self
+    where
+        F: FnMut(&NodeInfo) -> P,
+    {
+        let infos = build_infos(graph, &config);
+        let programs = infos.iter().map(&mut factory).collect();
+        Simulation {
+            infos,
+            programs,
+            config,
+        }
+    }
+
+    /// Number of nodes in the simulated network.
+    pub fn node_count(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Runs the simulation to completion and collects outputs and metrics.
+    pub fn run(mut self) -> RunReport<P::Output> {
+        let n = self.infos.len();
+        let mut metrics = Metrics::new(n);
+        let mut halted = vec![false; n];
+        let mut rngs: Vec<SmallRng> = (0..n)
+            .map(|i| SmallRng::seed_from_u64(derive_node_seed(self.config.seed, i)))
+            .collect();
+        let mut inboxes: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
+        let mut termination = Termination::AllHalted;
+
+        let mut round: u64 = 0;
+        loop {
+            if halted.iter().all(|&h| h) {
+                break;
+            }
+            if round >= self.config.max_rounds {
+                termination = Termination::RoundLimit;
+                break;
+            }
+
+            let mut next_inboxes: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
+            for i in 0..n {
+                if halted[i] {
+                    // A halted node neither computes nor communicates; any
+                    // messages still addressed to it are dropped below.
+                    inboxes[i].clear();
+                    continue;
+                }
+                let mut outbox = Outbox::default();
+                let status = {
+                    let mut ctx = RoundContext {
+                        info: &self.infos[i],
+                        round,
+                        inbox: &mut inboxes[i],
+                        outbox: &mut outbox,
+                        rng: &mut rngs[i],
+                    };
+                    self.programs[i].on_round(&mut ctx)
+                };
+                inboxes[i].clear();
+                if status == NodeStatus::Halted {
+                    halted[i] = true;
+                }
+                for (to, payload) in outbox.messages {
+                    metrics.record_delivery(i, to.index(), payload.bit_len());
+                    next_inboxes[to.index()].push(ReceivedMessage {
+                        from: NodeId::from_index(i),
+                        payload,
+                    });
+                }
+            }
+            inboxes = next_inboxes;
+            round += 1;
+        }
+
+        metrics.rounds = round;
+        RunReport {
+            outputs: self.programs.iter_mut().map(NodeProgram::finish).collect(),
+            metrics,
+            termination,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bandwidth, Model};
+    use congest_graph::generators::Classic;
+    use rand::Rng;
+
+    /// A program that does nothing and halts immediately.
+    struct Idle;
+    impl NodeProgram for Idle {
+        type Output = ();
+        fn on_round(&mut self, _ctx: &mut RoundContext<'_>) -> NodeStatus {
+            NodeStatus::Halted
+        }
+        fn finish(&mut self) {}
+    }
+
+    /// Floods this node's id one hop and collects what it hears.
+    struct Flood {
+        heard: Vec<NodeId>,
+    }
+    impl NodeProgram for Flood {
+        type Output = Vec<NodeId>;
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+            if ctx.round() == 0 {
+                let codec = ctx.id_codec();
+                for v in ctx.neighbors().to_vec() {
+                    ctx.send(v, codec.single(ctx.id().as_u64())).unwrap();
+                }
+                NodeStatus::Active
+            } else {
+                let codec = ctx.id_codec();
+                for m in ctx.take_inbox() {
+                    let id = codec.decode_single(&m.payload).unwrap();
+                    assert_eq!(id, m.from.as_u64(), "sender id must match payload");
+                    self.heard.push(m.from);
+                }
+                NodeStatus::Halted
+            }
+        }
+        fn finish(&mut self) -> Vec<NodeId> {
+            std::mem::take(&mut self.heard)
+        }
+    }
+
+    /// Never halts; used to exercise the round cap.
+    struct Forever;
+    impl NodeProgram for Forever {
+        type Output = u64;
+        fn on_round(&mut self, _ctx: &mut RoundContext<'_>) -> NodeStatus {
+            NodeStatus::Active
+        }
+        fn finish(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn idle_network_takes_one_round() {
+        let g = Classic::Path(4).generate();
+        let report = Simulation::new(&g, SimConfig::congest(0), |_| Idle).run();
+        assert_eq!(report.metrics.rounds, 1);
+        assert_eq!(report.metrics.messages, 0);
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn one_hop_flood_reaches_all_neighbors() {
+        let g = Classic::Cycle(5).generate();
+        let report = Simulation::new(&g, SimConfig::congest(3), |_| Flood { heard: vec![] }).run();
+        assert_eq!(report.metrics.rounds, 2);
+        assert_eq!(report.metrics.messages, 10);
+        for (i, heard) in report.outputs.iter().enumerate() {
+            assert_eq!(heard.len(), 2, "node {i} should hear both neighbours");
+        }
+        assert!(report.completed());
+        // Every delivery was 3 bits (ids over n=5), so totals follow.
+        assert_eq!(report.metrics.total_bits, 10 * 3);
+        assert_eq!(report.metrics.max_received_bits(), 6);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = Classic::Path(3).generate();
+        let config = SimConfig::congest(0).with_max_rounds(17);
+        let report = Simulation::new(&g, config, |_| Forever).run();
+        assert_eq!(report.metrics.rounds, 17);
+        assert_eq!(report.termination, Termination::RoundLimit);
+        assert!(!report.completed());
+    }
+
+    #[test]
+    fn per_node_rng_is_deterministic_across_runs() {
+        struct Sampler(u64);
+        impl NodeProgram for Sampler {
+            type Output = u64;
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+                self.0 = ctx.rng().gen();
+                NodeStatus::Halted
+            }
+            fn finish(&mut self) -> u64 {
+                self.0
+            }
+        }
+        let g = Classic::Complete(4).generate();
+        let run =
+            |seed| Simulation::new(&g, SimConfig::congest(seed), |_| Sampler(0)).run().outputs;
+        let a = run(5);
+        let b = run(5);
+        let c = run(6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Different nodes draw different values under the same master seed.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn output_of_indexes_by_node() {
+        let g = Classic::Path(3).generate();
+        let report = Simulation::new(&g, SimConfig::congest(1), |_| Flood { heard: vec![] }).run();
+        assert_eq!(report.output_of(NodeId(0)).len(), 1);
+        assert_eq!(report.output_of(NodeId(1)).len(), 2);
+    }
+
+    #[test]
+    fn clique_model_allows_non_neighbor_traffic() {
+        struct CliqueState(usize);
+        impl NodeProgram for CliqueState {
+            type Output = usize;
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+                if ctx.round() == 0 {
+                    if ctx.id() == NodeId(0) {
+                        let p = ctx.id_codec().single(0);
+                        ctx.send(NodeId(2), p).unwrap();
+                    }
+                    NodeStatus::Active
+                } else {
+                    self.0 = ctx.inbox().len();
+                    NodeStatus::Halted
+                }
+            }
+            fn finish(&mut self) -> usize {
+                self.0
+            }
+        }
+        // Path 0-1-2: nodes 0 and 2 are not adjacent.
+        let g = Classic::Path(3).generate();
+        let config = SimConfig {
+            model: Model::CongestClique,
+            bandwidth: Bandwidth::default(),
+            max_rounds: 100,
+            seed: 0,
+        };
+        let report = Simulation::new(&g, config, |_| CliqueState(0)).run();
+        assert_eq!(*report.output_of(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn messages_to_halted_nodes_are_dropped_but_counted() {
+        // Node 0 halts immediately; node 1 sends to it afterwards.
+        struct Mixed {
+            received: usize,
+        }
+        impl NodeProgram for Mixed {
+            type Output = usize;
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+                match (ctx.id().0, ctx.round()) {
+                    (0, _) => NodeStatus::Halted,
+                    (1, 0) => {
+                        let p = ctx.id_codec().single(1);
+                        ctx.send(NodeId(0), p).unwrap();
+                        NodeStatus::Active
+                    }
+                    _ => {
+                        self.received = ctx.inbox().len();
+                        NodeStatus::Halted
+                    }
+                }
+            }
+            fn finish(&mut self) -> usize {
+                self.received
+            }
+        }
+        let g = Classic::Path(2).generate();
+        let report = Simulation::new(&g, SimConfig::congest(0), |_| Mixed { received: 0 }).run();
+        // The message was counted in the metrics even though node 0 never
+        // processed it.
+        assert_eq!(report.metrics.messages, 1);
+        assert_eq!(*report.output_of(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn empty_graph_runs_and_reports() {
+        let g = congest_graph::GraphBuilder::new(0).build();
+        let report = Simulation::new(&g, SimConfig::congest(0), |_| Idle).run();
+        assert_eq!(report.metrics.rounds, 0);
+        assert!(report.completed());
+        assert!(report.outputs.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Errors reported by the simulator to node programs.
+
+use std::error::Error;
+use std::fmt;
+
+use congest_graph::NodeId;
+
+/// Errors returned when a node program attempts an operation the model does
+/// not allow.
+///
+/// These are programming errors in the algorithm implementation (violating
+/// the bandwidth budget, messaging a non-neighbour in the CONGEST model);
+/// the algorithms in `congest-triangles` treat them as bugs and propagate
+/// them with `expect`, while the simulator's own tests assert they are
+/// raised when appropriate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The payload exceeds the per-round per-edge bandwidth budget.
+    BandwidthExceeded {
+        /// Sender node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Payload size in bits.
+        bits: usize,
+        /// Budget in bits.
+        budget: usize,
+    },
+    /// The destination is not reachable in this model (not a neighbour in
+    /// CONGEST, or not a node at all).
+    InvalidDestination {
+        /// Sender node.
+        from: NodeId,
+        /// Attempted destination.
+        to: NodeId,
+    },
+    /// A second message to the same destination was attempted in the same
+    /// round.
+    DuplicateMessage {
+        /// Sender node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget,
+            } => write!(
+                f,
+                "message from {from} to {to} is {bits} bits, exceeding the {budget}-bit budget"
+            ),
+            SimError::InvalidDestination { from, to } => {
+                write!(f, "node {from} cannot send to {to} in this model")
+            }
+            SimError::DuplicateMessage { from, to } => {
+                write!(f, "node {from} already sent a message to {to} this round")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BandwidthExceeded {
+            from: NodeId(1),
+            to: NodeId(2),
+            bits: 99,
+            budget: 16,
+        };
+        assert!(e.to_string().contains("99 bits"));
+        let e = SimError::InvalidDestination {
+            from: NodeId(1),
+            to: NodeId(5),
+        };
+        assert!(e.to_string().contains("cannot send"));
+        let e = SimError::DuplicateMessage {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        assert!(e.to_string().contains("already sent"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! # congest-sim — synchronous CONGEST / CONGEST-clique simulator
+//!
+//! The paper's model (Section 2): computation proceeds in synchronous
+//! rounds; in each round every node may send **one message of `O(log n)`
+//! bits** over each incident communication link, messages are delivered at
+//! the start of the next round, nodes are reliable, and each node initially
+//! knows only `n`, its own identifier and its incident edges. In the
+//! **CONGEST clique** variant the communication topology is the complete
+//! graph and the input graph is data only.
+//!
+//! This crate makes that model executable:
+//!
+//! * [`NodeProgram`] — the per-node state machine interface; a program sees
+//!   only its own [`NodeInfo`] (id, `n`, neighbour list), its inbox and its
+//!   per-node deterministic RNG.
+//! * [`Simulation`] — the sequential round engine; it validates every send
+//!   against the bandwidth budget and topology, delivers messages with
+//!   one-round latency and collects [`Metrics`] (rounds, messages, bits per
+//!   node — the quantities the paper's bounds are about).
+//! * [`ThreadedSimulation`] — an executor that runs one OS thread per node
+//!   with barrier-synchronized rounds; it produces bit-identical results to
+//!   the sequential engine and exists to demonstrate that programs only
+//!   rely on message passing.
+//! * [`transfer`] — chunked multi-round transfers ([`ChunkedSender`],
+//!   [`ChunkAssembler`], [`MultiSender`]): the paper's "send the set `S` to
+//!   the neighbour" steps, which take `⌈|S| log n / B⌉` rounds.
+//!
+//! ```
+//! use congest_graph::generators::Classic;
+//! use congest_sim::{Model, NodeProgram, NodeStatus, RoundContext, SimConfig, Simulation};
+//! use congest_wire::Payload;
+//!
+//! /// Every node sends its id to every neighbour, then records what it heard.
+//! struct Hello { heard: Vec<u32> }
+//!
+//! impl NodeProgram for Hello {
+//!     type Output = Vec<u32>;
+//!     fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+//!         match ctx.round() {
+//!             0 => {
+//!                 for &v in ctx.neighbors().to_vec().iter() {
+//!                     let payload = ctx.id_codec().single(ctx.id().as_u64());
+//!                     ctx.send(v, payload).expect("one id fits in the budget");
+//!                 }
+//!                 NodeStatus::Active
+//!             }
+//!             _ => {
+//!                 for m in ctx.inbox().to_vec() {
+//!                     self.heard.push(m.from.0);
+//!                 }
+//!                 NodeStatus::Halted
+//!             }
+//!         }
+//!     }
+//!     fn finish(&mut self) -> Vec<u32> { std::mem::take(&mut self.heard) }
+//! }
+//!
+//! let graph = Classic::Cycle(6).generate();
+//! let sim = Simulation::new(&graph, SimConfig::congest(1), |_info| Hello { heard: vec![] });
+//! let report = sim.run();
+//! assert_eq!(report.metrics.rounds, 2);
+//! assert!(report.outputs.iter().all(|h| h.len() == 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod context;
+mod engine;
+mod error;
+mod metrics;
+mod program;
+mod rng;
+mod threaded;
+pub mod transfer;
+
+pub use config::{Bandwidth, Model, SimConfig};
+pub use context::{IdPayloadCodec, ReceivedMessage, RoundContext};
+pub use engine::{RunReport, Simulation, Termination};
+pub use error::SimError;
+pub use metrics::Metrics;
+pub use program::{NodeInfo, NodeProgram, NodeStatus};
+pub use rng::derive_node_seed;
+pub use threaded::ThreadedSimulation;
+pub use transfer::{ChunkAssembler, ChunkedSender, MultiSender};

@@ -1,0 +1,323 @@
+//! Thread-per-node executor.
+//!
+//! Each node program runs on its own OS thread and communicates with the
+//! coordinator over channels; rounds are synchronized by the coordinator
+//! (deliver inboxes → wait for all outboxes), which is exactly the
+//! synchronous round structure of the model. The executor exists to
+//! demonstrate that node programs rely only on message passing — it
+//! produces **bit-identical** outputs and metrics to the sequential
+//! [`Simulation`](crate::Simulation), which the test suite checks.
+//!
+//! For experiment sweeps the sequential engine is faster (no thread or
+//! channel overhead) and is what the harness uses.
+
+use congest_graph::{Graph, NodeId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::context::Outbox;
+use crate::engine::build_infos;
+use crate::rng::derive_node_seed;
+use crate::{
+    Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage, RoundContext, RunReport,
+    SimConfig, Termination,
+};
+
+/// Instruction sent from the coordinator to a worker thread.
+enum ToWorker {
+    /// Execute one round with the given inbox.
+    Round {
+        round: u64,
+        inbox: Vec<ReceivedMessage>,
+    },
+    /// The run is over; send back the node's output and exit.
+    Finish,
+}
+
+/// Response sent from a worker thread to the coordinator.
+enum FromWorker<O> {
+    RoundDone {
+        node: usize,
+        status: NodeStatus,
+        messages: Vec<(NodeId, congest_wire::Payload)>,
+    },
+    Finished {
+        node: usize,
+        output: O,
+    },
+}
+
+/// Thread-per-node executor with the same interface as
+/// [`Simulation`](crate::Simulation).
+pub struct ThreadedSimulation<P: NodeProgram> {
+    infos: Vec<NodeInfo>,
+    programs: Vec<P>,
+    config: SimConfig,
+}
+
+impl<P: NodeProgram + 'static> ThreadedSimulation<P>
+where
+    P::Output: 'static,
+{
+    /// Creates a threaded simulation of `graph` under `config`.
+    pub fn new<F>(graph: &Graph, config: SimConfig, mut factory: F) -> Self
+    where
+        F: FnMut(&NodeInfo) -> P,
+    {
+        let infos = build_infos(graph, &config);
+        let programs = infos.iter().map(&mut factory).collect();
+        ThreadedSimulation {
+            infos,
+            programs,
+            config,
+        }
+    }
+
+    /// Runs the simulation, spawning one thread per node.
+    pub fn run(self) -> RunReport<P::Output> {
+        let n = self.infos.len();
+        if n == 0 {
+            return RunReport {
+                outputs: Vec::new(),
+                metrics: Metrics::new(0),
+                termination: Termination::AllHalted,
+            };
+        }
+
+        let seed = self.config.seed;
+        let (to_coord, from_workers): (Sender<FromWorker<P::Output>>, Receiver<_>) = unbounded();
+
+        std::thread::scope(|scope| {
+            // Spawn one worker per node.
+            let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
+            for (i, (info, mut program)) in self
+                .infos
+                .into_iter()
+                .zip(self.programs.into_iter())
+                .enumerate()
+            {
+                let (tx, rx): (Sender<ToWorker>, Receiver<ToWorker>) = unbounded();
+                to_workers.push(tx);
+                let to_coord = to_coord.clone();
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(derive_node_seed(seed, i));
+                    loop {
+                        match rx.recv() {
+                            Ok(ToWorker::Round { round, mut inbox }) => {
+                                let mut outbox = Outbox::default();
+                                let status = {
+                                    let mut ctx = RoundContext {
+                                        info: &info,
+                                        round,
+                                        inbox: &mut inbox,
+                                        outbox: &mut outbox,
+                                        rng: &mut rng,
+                                    };
+                                    program.on_round(&mut ctx)
+                                };
+                                let messages = outbox.messages.into_iter().collect();
+                                to_coord
+                                    .send(FromWorker::RoundDone {
+                                        node: i,
+                                        status,
+                                        messages,
+                                    })
+                                    .expect("coordinator outlives workers");
+                            }
+                            Ok(ToWorker::Finish) => {
+                                to_coord
+                                    .send(FromWorker::Finished {
+                                        node: i,
+                                        output: program.finish(),
+                                    })
+                                    .expect("coordinator outlives workers");
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            drop(to_coord);
+
+            // Coordinator: synchronous round loop.
+            let mut metrics = Metrics::new(n);
+            let mut halted = vec![false; n];
+            let mut inboxes: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
+            let mut termination = Termination::AllHalted;
+            let mut round: u64 = 0;
+
+            loop {
+                if halted.iter().all(|&h| h) {
+                    break;
+                }
+                if round >= self.config.max_rounds {
+                    termination = Termination::RoundLimit;
+                    break;
+                }
+                let mut active = 0usize;
+                let mut next_inboxes: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
+                for i in 0..n {
+                    if halted[i] {
+                        inboxes[i].clear();
+                        continue;
+                    }
+                    active += 1;
+                    let inbox = std::mem::take(&mut inboxes[i]);
+                    to_workers[i]
+                        .send(ToWorker::Round { round, inbox })
+                        .expect("worker threads outlive the round loop");
+                }
+                // Collect one response per active node. Deliveries are
+                // buffered and applied in node order afterwards so that the
+                // metrics are identical to the sequential engine regardless
+                // of thread scheduling.
+                let mut responses: Vec<Option<(NodeStatus, Vec<(NodeId, congest_wire::Payload)>)>> =
+                    vec![None; n];
+                for _ in 0..active {
+                    match from_workers.recv().expect("workers respond every round") {
+                        FromWorker::RoundDone {
+                            node,
+                            status,
+                            messages,
+                        } => responses[node] = Some((status, messages)),
+                        FromWorker::Finished { .. } => {
+                            unreachable!("workers only finish after the round loop")
+                        }
+                    }
+                }
+                for (i, response) in responses.into_iter().enumerate() {
+                    let Some((status, messages)) = response else {
+                        continue;
+                    };
+                    if status == NodeStatus::Halted {
+                        halted[i] = true;
+                    }
+                    for (to, payload) in messages {
+                        metrics.record_delivery(i, to.index(), payload.bit_len());
+                        next_inboxes[to.index()].push(ReceivedMessage {
+                            from: NodeId::from_index(i),
+                            payload,
+                        });
+                    }
+                }
+                inboxes = next_inboxes;
+                round += 1;
+            }
+            metrics.rounds = round;
+
+            // Collect outputs.
+            for tx in &to_workers {
+                tx.send(ToWorker::Finish).expect("workers are still running");
+            }
+            let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                match from_workers.recv().expect("every worker reports its output") {
+                    FromWorker::Finished { node, output } => outputs[node] = Some(output),
+                    FromWorker::RoundDone { .. } => {
+                        unreachable!("no rounds are in flight during shutdown")
+                    }
+                }
+            }
+            RunReport {
+                outputs: outputs
+                    .into_iter()
+                    .map(|o| o.expect("every node produced an output"))
+                    .collect(),
+                metrics,
+                termination,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeStatus, RoundContext, SimConfig, Simulation};
+    use congest_graph::generators::{Classic, Gnp};
+    use rand::Rng;
+
+    /// Gossip program: every node floods a random token one hop and records
+    /// the sum of what it hears; exercises randomness, messaging and
+    /// multi-round behaviour.
+    struct Gossip {
+        token: u64,
+        sum: u64,
+    }
+
+    impl Gossip {
+        fn new() -> Self {
+            Gossip { token: 0, sum: 0 }
+        }
+    }
+
+    impl NodeProgram for Gossip {
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+            match ctx.round() {
+                0 => {
+                    self.token = ctx.rng().gen_range(0..1000);
+                    let codec = ctx.id_codec();
+                    // Encode the token modulo n so it fits the id codec.
+                    let value = self.token % ctx.n() as u64;
+                    for v in ctx.neighbors().to_vec() {
+                        ctx.send(v, codec.single(value)).unwrap();
+                    }
+                    NodeStatus::Active
+                }
+                _ => {
+                    let codec = ctx.id_codec();
+                    for m in ctx.take_inbox() {
+                        self.sum += codec.decode_single(&m.payload).unwrap();
+                    }
+                    NodeStatus::Halted
+                }
+            }
+        }
+        fn finish(&mut self) -> u64 {
+            self.sum
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_exactly() {
+        let g = Gnp::new(24, 0.3).seeded(5).generate();
+        let config = SimConfig::congest(99);
+        let seq = Simulation::new(&g, config, |_| Gossip::new()).run();
+        let thr = ThreadedSimulation::new(&g, config, |_| Gossip::new()).run();
+        assert_eq!(seq.outputs, thr.outputs);
+        assert_eq!(seq.metrics, thr.metrics);
+        assert_eq!(seq.termination, thr.termination);
+    }
+
+    #[test]
+    fn threaded_handles_empty_and_tiny_graphs() {
+        let g = congest_graph::GraphBuilder::new(0).build();
+        let report = ThreadedSimulation::new(&g, SimConfig::congest(0), |_| Gossip::new()).run();
+        assert!(report.outputs.is_empty());
+
+        let g = Classic::Path(2).generate();
+        let report = ThreadedSimulation::new(&g, SimConfig::congest(0), |_| Gossip::new()).run();
+        assert_eq!(report.outputs.len(), 2);
+        assert_eq!(report.metrics.rounds, 2);
+    }
+
+    #[test]
+    fn threaded_respects_round_limit() {
+        struct Forever;
+        impl NodeProgram for Forever {
+            type Output = ();
+            fn on_round(&mut self, _ctx: &mut RoundContext<'_>) -> NodeStatus {
+                NodeStatus::Active
+            }
+            fn finish(&mut self) {}
+        }
+        let g = Classic::Path(3).generate();
+        let config = SimConfig::congest(0).with_max_rounds(5);
+        let report = ThreadedSimulation::new(&g, config, |_| Forever).run();
+        assert_eq!(report.metrics.rounds, 5);
+        assert_eq!(report.termination, Termination::RoundLimit);
+    }
+}

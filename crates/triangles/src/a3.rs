@@ -1,0 +1,164 @@
+//! Algorithm A3 (Proposition 3): finding triangles that are **not**
+//! ε-heavy.
+//!
+//! Each node joins the random set `X` independently with probability
+//! `1/(9 n^ε)` (Lemma 2), then the network runs Algorithm A(X, r) with
+//! `r = sqrt(54 n^{1+ε} ln n)` (Lemma 3) and stops once the round count
+//! exceeds `c (n^{1−ε} + n^{(1+ε)/2} ln n)`. For every triangle that is not
+//! ε-heavy, with constant probability its three edges survive in `Δ(X)`,
+//! `X` is small, and Statement (1) holds, in which case A(X, r) lists it
+//! within the budget.
+//!
+//! Round complexity: `O(n^{1−ε} + n^{(1+ε)/2} log n)`.
+
+use congest_graph::TriangleSet;
+use congest_sim::{NodeInfo, NodeProgram, NodeStatus, RoundContext};
+
+use crate::axr::{iterations_for, AXrConfig, AXrProgram, XMembership};
+use crate::params::{a3_round_cutoff, goodness_radius, ConstantsProfile};
+
+/// Node program implementing Algorithm A3 (a parameterization of
+/// [`AXrProgram`]).
+#[derive(Debug)]
+pub struct A3Program {
+    inner: AXrProgram,
+}
+
+impl A3Program {
+    /// Creates the program for one node with the paper's parameter choices
+    /// for the given ε and constants profile.
+    pub fn new(info: &NodeInfo, epsilon: f64, profile: ConstantsProfile) -> Self {
+        A3Program {
+            inner: AXrProgram::new(info, Self::config(info.n, epsilon, profile)),
+        }
+    }
+
+    /// The A(X, r) configuration Algorithm A3 uses on a network of `n`
+    /// nodes.
+    pub fn config(n: usize, epsilon: f64, profile: ConstantsProfile) -> AXrConfig {
+        let n = n.max(2);
+        let nf = n as f64;
+        let probability = (1.0 / (9.0 * nf.powf(epsilon))).clamp(0.0, 1.0);
+        // |X| concentrates around n^{1-ε}/9; cap the shipped N(k) ∩ X lists
+        // at four times that expectation (plus slack) so the phase length is
+        // globally known. Exceeding the cap is astronomically unlikely and
+        // only affects completeness, never soundness.
+        let x_cap = ((4.0 / 9.0) * nf.powf(1.0 - epsilon)).ceil() as usize + 4;
+        AXrConfig {
+            membership: XMembership::Sample { probability },
+            r: goodness_radius(n, epsilon, profile.r_factor()),
+            x_cap,
+            iterations: iterations_for(n),
+            round_cutoff: Some(a3_round_cutoff(n, epsilon, profile.cutoff_factor())),
+        }
+    }
+
+    /// The number of rounds the schedule would take without the cut-off.
+    pub fn planned_rounds(&self) -> u64 {
+        self.inner.planned_rounds()
+    }
+}
+
+impl NodeProgram for A3Program {
+    type Output = TriangleSet;
+
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+        self.inner.on_round(ctx)
+    }
+
+    fn finish(&mut self) -> TriangleSet {
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_congest;
+    use congest_graph::generators::{Gnp, PlantedLight, TriangleFreeBipartite};
+    use congest_graph::heavy;
+    use congest_sim::SimConfig;
+
+    fn run_a3(
+        graph: &congest_graph::Graph,
+        epsilon: f64,
+        profile: ConstantsProfile,
+        seed: u64,
+    ) -> crate::AlgorithmRun {
+        run_congest(graph, SimConfig::congest(seed), |info| {
+            A3Program::new(info, epsilon, profile)
+        })
+    }
+
+    #[test]
+    fn output_is_always_sound_and_terminates() {
+        for seed in 0..3 {
+            let g = Gnp::new(30, 0.3).seeded(seed).generate();
+            let run = run_a3(&g, 0.3, ConstantsProfile::Paper, seed);
+            assert!(run.completed);
+            assert!(run.is_sound(&g));
+        }
+    }
+
+    #[test]
+    fn cutoff_bounds_the_round_count() {
+        let g = Gnp::new(40, 0.4).seeded(7).generate();
+        let epsilon = 0.3;
+        let run = run_a3(&g, epsilon, ConstantsProfile::Scaled, 1);
+        let cutoff = a3_round_cutoff(40, epsilon, ConstantsProfile::Scaled.cutoff_factor());
+        assert!(
+            run.rounds() <= cutoff,
+            "A3 ran {} rounds, past its cut-off {}",
+            run.rounds(),
+            cutoff
+        );
+    }
+
+    #[test]
+    fn finds_light_triangles_with_good_probability() {
+        // Planted disjoint triangles on a sparse background: every triangle
+        // edge has small support, so they are all light for epsilon = 0.4
+        // (threshold 60^0.4 ≈ 5.1 > their support).
+        let gen = PlantedLight::new(60, 8);
+        let g = gen.generate();
+        let epsilon = 0.4;
+        let (heavy_set, light_set) = heavy::partition_by_heaviness(&g, epsilon);
+        assert!(heavy_set.is_empty());
+        assert_eq!(light_set.len(), 8);
+
+        let trials = 6u64;
+        let mut hits = 0usize;
+        for seed in 0..trials {
+            let run = run_a3(&g, epsilon, ConstantsProfile::Paper, seed);
+            assert!(run.is_sound(&g));
+            hits += light_set.iter().filter(|t| run.triangles.contains(t)).count();
+        }
+        // Proposition 3 promises each light triangle is found with constant
+        // probability per pass; require a healthy hit count across passes.
+        assert!(
+            hits as u64 >= trials * 8 / 3,
+            "only {hits} light-triangle hits across {trials} passes"
+        );
+    }
+
+    #[test]
+    fn triangle_free_graph_yields_nothing() {
+        let g = TriangleFreeBipartite::new(20, 20, 0.3).seeded(4).generate();
+        let run = run_a3(&g, 0.3, ConstantsProfile::Paper, 9);
+        assert!(run.triangles.is_empty());
+    }
+
+    #[test]
+    fn config_matches_formulas() {
+        let c = A3Program::config(100, 0.5, ConstantsProfile::Paper);
+        match c.membership {
+            XMembership::Sample { probability } => {
+                assert!((probability - 1.0 / 90.0).abs() < 1e-12);
+            }
+            XMembership::Given(_) => panic!("A3 must sample X"),
+        }
+        assert!((c.r - goodness_radius(100, 0.5, 1.0)).abs() < 1e-9);
+        assert_eq!(c.iterations, iterations_for(100));
+        assert!(c.round_cutoff.is_some());
+    }
+}

@@ -1,0 +1,175 @@
+//! The naive 2-hop baseline: local triangle listing in `Θ(d_max)` rounds.
+//!
+//! Every node streams its full neighbour list to every neighbour; once a
+//! node has received the complete list of each neighbour it lists all
+//! triangles containing itself. Termination is data-dependent (a node halts
+//! when it has finished sending and every neighbour's list has decoded
+//! completely), so no global knowledge of `d_max` is needed.
+//!
+//! This is simultaneously the Table 1 baseline for the standard CONGEST
+//! model and the *local listing* algorithm of Proposition 5 (every node
+//! outputs exactly the triangles containing itself), whose transcript size
+//! the lower-bound experiment measures.
+
+use std::collections::BTreeMap;
+
+use congest_graph::{NodeId, Triangle, TriangleSet};
+use congest_sim::transfer::{MultiAssembler, MultiSender};
+use congest_sim::{NodeInfo, NodeProgram, NodeStatus, RoundContext};
+use congest_wire::{BitWriter, IdCodec};
+
+use crate::common::{ids_to_nodes, nodes_to_ids, try_decode_id_list};
+
+/// Node program implementing the naive 2-hop local listing baseline.
+#[derive(Debug)]
+pub struct NaiveLocalListing {
+    codec: IdCodec,
+    neighborhood: Vec<NodeId>,
+    sender: MultiSender,
+    assembler: MultiAssembler,
+    /// Completed neighbour lists, keyed by neighbour.
+    neighbor_lists: BTreeMap<NodeId, Vec<NodeId>>,
+    started: bool,
+    found: TriangleSet,
+}
+
+impl NaiveLocalListing {
+    /// Creates the program for one node.
+    pub fn new(info: &NodeInfo) -> Self {
+        NaiveLocalListing {
+            codec: IdCodec::new(info.n.max(1) as u64),
+            neighborhood: info.neighbors.clone(),
+            sender: MultiSender::new(),
+            assembler: MultiAssembler::new(),
+            neighbor_lists: BTreeMap::new(),
+            started: false,
+            found: TriangleSet::new(),
+        }
+    }
+
+    /// Attempts to decode the (possibly still incomplete) lists received so
+    /// far; returns whether every neighbour's list is now complete.
+    fn harvest_complete_lists(&mut self) -> bool {
+        // Snapshot the assembled payloads without consuming the assembler:
+        // re-assemble from a clone each round. The graphs involved are
+        // simulator-scale, so the extra decoding work is negligible.
+        let assembler = self.assembler.clone();
+        for (from, payload) in assembler.finish() {
+            if self.neighbor_lists.contains_key(&from) {
+                continue;
+            }
+            if let Some(ids) = try_decode_id_list(self.codec, &payload) {
+                self.neighbor_lists.insert(from, ids_to_nodes(&ids));
+            }
+        }
+        self.neighbor_lists.len() == self.neighborhood.len()
+    }
+
+    fn list_local_triangles(&mut self, me: NodeId) {
+        for (i, &u) in self.neighborhood.iter().enumerate() {
+            let Some(list_u) = self.neighbor_lists.get(&u) else {
+                continue;
+            };
+            for &w in &self.neighborhood[i + 1..] {
+                if list_u.contains(&w) {
+                    self.found.insert(Triangle::new(me, u, w));
+                }
+            }
+        }
+    }
+}
+
+impl NodeProgram for NaiveLocalListing {
+    type Output = TriangleSet;
+
+    fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+        if !self.started {
+            self.started = true;
+            let mut w = BitWriter::new();
+            self.codec
+                .encode_list(&mut w, &nodes_to_ids(&self.neighborhood));
+            let payload = w.finish();
+            for &v in ctx.neighbors().to_vec().iter() {
+                self.sender.queue(v, payload.clone());
+            }
+        }
+        for m in ctx.take_inbox() {
+            self.assembler.push(m.from, &m.payload);
+        }
+        self.sender
+            .pump(ctx)
+            .expect("neighbourhood chunks fit the bandwidth budget");
+
+        let all_received = self.harvest_complete_lists();
+        if all_received && self.sender.is_done() {
+            self.list_local_triangles(ctx.id());
+            NodeStatus::Halted
+        } else {
+            NodeStatus::Active
+        }
+    }
+
+    fn finish(&mut self) -> TriangleSet {
+        std::mem::take(&mut self.found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_congest;
+    use congest_graph::generators::{Classic, Gnp, TriangleFreeBipartite};
+    use congest_graph::triangles as reference;
+    use congest_sim::SimConfig;
+
+    fn run_naive(graph: &congest_graph::Graph, seed: u64) -> crate::AlgorithmRun {
+        run_congest(graph, SimConfig::congest(seed), NaiveLocalListing::new)
+    }
+
+    #[test]
+    fn lists_exactly_the_triangles_of_the_graph() {
+        for seed in 0..4 {
+            let g = Gnp::new(30, 0.3).seeded(seed).generate();
+            let run = run_naive(&g, seed);
+            assert_eq!(run.triangles, reference::list_all(&g), "seed {seed}");
+            assert!(run.completed);
+        }
+    }
+
+    #[test]
+    fn every_node_outputs_exactly_its_own_triangles() {
+        // The local-listing property required by Proposition 5.
+        let g = Gnp::new(25, 0.4).seeded(7).generate();
+        let run = run_naive(&g, 7);
+        for v in g.nodes() {
+            let expected = reference::list_containing(&g, v);
+            assert_eq!(run.per_node[v.index()], expected, "node {v}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_lists_nothing() {
+        let g = TriangleFreeBipartite::new(12, 12, 0.5).seeded(3).generate();
+        let run = run_naive(&g, 0);
+        assert!(run.triangles.is_empty());
+    }
+
+    #[test]
+    fn round_count_scales_with_max_degree() {
+        // A star has d_max = n-1, so the hub must receive n-1 full lists
+        // while the leaves only exchange tiny ones; rounds track d_max.
+        let sparse = Classic::Cycle(40).generate();
+        let dense = Classic::Complete(40).generate();
+        let sparse_run = run_naive(&sparse, 1);
+        let dense_run = run_naive(&dense, 1);
+        assert!(dense_run.rounds() > 4 * sparse_run.rounds());
+    }
+
+    #[test]
+    fn isolated_nodes_terminate_immediately() {
+        let g = congest_graph::GraphBuilder::new(5).build();
+        let run = run_naive(&g, 2);
+        assert!(run.triangles.is_empty());
+        assert_eq!(run.rounds(), 1);
+    }
+}

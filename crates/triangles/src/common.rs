@@ -1,0 +1,201 @@
+//! Helpers shared by the algorithm implementations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use congest_graph::{Edge, Graph, NodeId, Triangle, TriangleSet};
+use congest_sim::{Metrics, NodeInfo, NodeProgram, RunReport, SimConfig, Simulation};
+use congest_wire::{BitReader, IdCodec, Payload};
+
+/// The outcome of running one distributed triangle algorithm on a graph.
+///
+/// Wraps the simulator's [`RunReport`] with the union of the per-node
+/// triangle outputs (the set `T` of the paper).
+#[derive(Debug, Clone)]
+pub struct AlgorithmRun {
+    /// Union of the triangles output by all nodes.
+    pub triangles: TriangleSet,
+    /// Per-node outputs (`T_i`), indexed by node id.
+    pub per_node: Vec<TriangleSet>,
+    /// Traffic and round metrics of the run.
+    pub metrics: Metrics,
+    /// Whether every node halted before the simulator's round cap.
+    pub completed: bool,
+}
+
+impl AlgorithmRun {
+    /// Builds the aggregate from a raw simulator report.
+    pub fn from_report(report: RunReport<TriangleSet>) -> Self {
+        let mut triangles = TriangleSet::new();
+        for t in &report.outputs {
+            triangles.union_with(t);
+        }
+        AlgorithmRun {
+            triangles,
+            completed: report.completed(),
+            per_node: report.outputs,
+            metrics: report.metrics,
+        }
+    }
+
+    /// Number of rounds the run took.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// Whether every output triple is a triangle of `graph` (the one-sided
+    /// error property); used by tests and the experiment harness.
+    pub fn is_sound(&self, graph: &Graph) -> bool {
+        self.triangles.iter().all(|&t| graph.is_triangle(t))
+    }
+}
+
+/// Runs a triangle-outputting node program on `graph` and aggregates the
+/// result.
+pub fn run_congest<P, F>(graph: &Graph, config: SimConfig, factory: F) -> AlgorithmRun
+where
+    P: NodeProgram<Output = TriangleSet>,
+    F: FnMut(&NodeInfo) -> P,
+{
+    AlgorithmRun::from_report(Simulation::new(graph, config, factory).run())
+}
+
+/// Lists every triangle of the small graph described by an explicit edge
+/// set.
+///
+/// This is the local computation performed by the receivers of Algorithm A2
+/// (step 3 of Figure 1): after collecting the edge set `F_i`, node `i`
+/// outputs all triples whose three pairs are in `F_i`.
+pub fn triangles_in_edge_set(edges: &BTreeSet<Edge>) -> TriangleSet {
+    // Adjacency restricted to the received edges.
+    let mut adjacency: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for e in edges {
+        adjacency.entry(e.lo()).or_default().insert(e.hi());
+        adjacency.entry(e.hi()).or_default().insert(e.lo());
+    }
+    let mut out = TriangleSet::new();
+    for e in edges {
+        let (a, b) = e.endpoints();
+        let na = &adjacency[&a];
+        let nb = &adjacency[&b];
+        for &c in na.intersection(nb) {
+            // a < b always; report each triangle once via its smallest pair.
+            if c > b {
+                out.insert(Triangle::new(a, b, c));
+            }
+        }
+    }
+    out
+}
+
+/// Attempts to decode a length-prefixed identifier list from a payload that
+/// may still be incomplete (mid-transfer). Returns `None` until enough bits
+/// have arrived; malformed payloads also yield `None` (the caller treats
+/// them as "not yet complete" and the surrounding phase deadline bounds the
+/// wait).
+pub fn try_decode_id_list(codec: IdCodec, payload: &Payload) -> Option<Vec<u64>> {
+    let mut reader = BitReader::new(payload);
+    codec.decode_list(&mut reader).ok()
+}
+
+/// Converts a slice of `u64` identifiers (as decoded from the wire) into
+/// node ids.
+pub fn ids_to_nodes(ids: &[u64]) -> Vec<NodeId> {
+    ids.iter().map(|&id| NodeId(id as u32)).collect()
+}
+
+/// Converts a slice of node ids into wire identifiers.
+pub fn nodes_to_ids(nodes: &[NodeId]) -> Vec<u64> {
+    nodes.iter().map(|v| v.as_u64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{Classic, Gnp};
+    use congest_graph::triangles as reference;
+    use congest_sim::{NodeStatus, RoundContext};
+    use congest_wire::BitWriter;
+
+    #[test]
+    fn triangles_in_edge_set_matches_reference() {
+        for seed in 0..4 {
+            let g = Gnp::new(20, 0.35).seeded(seed).generate();
+            let edges: BTreeSet<Edge> = g.edges().collect();
+            assert_eq!(triangles_in_edge_set(&edges), reference::list_all(&g));
+        }
+    }
+
+    #[test]
+    fn triangles_in_partial_edge_set() {
+        // Take only the edges incident to node 0 of K5 plus the edge {1,2}:
+        // the only triangles fully inside that set are {0,1,2} ... and any
+        // {0,x,y} with {x,y} present, i.e. exactly {0,1,2}.
+        let g = Classic::Complete(5).generate();
+        let mut edges: BTreeSet<Edge> = g
+            .edges()
+            .filter(|e| e.contains(NodeId(0)))
+            .collect();
+        edges.insert(Edge::new(NodeId(1), NodeId(2)));
+        let ts = triangles_in_edge_set(&edges);
+        assert_eq!(ts.len(), 1);
+        assert!(ts.contains(&Triangle::new(NodeId(0), NodeId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn empty_edge_set_has_no_triangles() {
+        assert!(triangles_in_edge_set(&BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn try_decode_handles_partial_and_complete_payloads() {
+        let codec = IdCodec::new(50);
+        let mut w = BitWriter::new();
+        codec.encode_list(&mut w, &[3, 7, 11]);
+        let full = w.finish();
+        assert_eq!(try_decode_id_list(codec, &full).unwrap(), vec![3, 7, 11]);
+
+        // Truncate to the first byte: not decodable yet.
+        let partial = Payload::from_parts(full.as_bytes()[..1].to_vec(), 8);
+        assert!(try_decode_id_list(codec, &partial).is_none());
+
+        // The empty payload is also "not yet complete".
+        assert!(try_decode_id_list(codec, &Payload::new()).is_none());
+    }
+
+    #[test]
+    fn id_node_conversions_round_trip() {
+        let nodes = vec![NodeId(0), NodeId(7), NodeId(42)];
+        assert_eq!(ids_to_nodes(&nodes_to_ids(&nodes)), nodes);
+    }
+
+    #[test]
+    fn run_congest_aggregates_outputs() {
+        /// Every node "outputs" the triangles it can see among its own
+        /// neighbours (a purely local, zero-communication listing).
+        struct LocalOnly {
+            found: TriangleSet,
+        }
+        impl NodeProgram for LocalOnly {
+            type Output = TriangleSet;
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+                // No communication: a node only knows its incident edges, so
+                // it cannot verify any triangle; output nothing. This still
+                // exercises aggregation and soundness checking.
+                let _ = ctx;
+                NodeStatus::Halted
+            }
+            fn finish(&mut self) -> TriangleSet {
+                std::mem::take(&mut self.found)
+            }
+        }
+        let g = Classic::Complete(5).generate();
+        let run = run_congest(&g, SimConfig::congest(0), |_| LocalOnly {
+            found: TriangleSet::new(),
+        });
+        assert!(run.triangles.is_empty());
+        assert!(run.completed);
+        assert!(run.is_sound(&g));
+        assert_eq!(run.per_node.len(), 5);
+        assert_eq!(run.rounds(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # congest-triangles — the paper's algorithms
+//!
+//! Distributed triangle finding and listing in the CONGEST model, as
+//! described in *"Triangle Finding and Listing in CONGEST Networks"*
+//! (Izumi & Le Gall, PODC 2017), implemented as node programs for the
+//! [`congest-sim`](congest_sim) simulator:
+//!
+//! * [`A1Program`] — Proposition 1: finds some ε-heavy triangle by
+//!   neighbourhood sampling, `O(n^{1−ε})` rounds.
+//! * [`A2Program`] — Proposition 2 (Figure 1): lists every ε-heavy triangle
+//!   with constant probability using 3-wise independent hash functions,
+//!   `O(n^{1−ε/2})` rounds.
+//! * [`AXrProgram`] — Algorithm A(X,r) (Figure 2): lists every triangle
+//!   whose three edges lie in `Δ(X)`, `O(|X| + r log n)` rounds.
+//! * [`A3Program`] — Proposition 3: samples `X`, runs A(X,r) with
+//!   `r = sqrt(54 n^{1+ε} ln n)` and a hard round cut-off, and thereby finds
+//!   every non-heavy triangle with constant probability.
+//! * [`find_triangles`] — the Theorem 1 driver (repeat A1 ; A3),
+//!   `O(n^{2/3} (log n)^{2/3})` rounds.
+//! * [`list_triangles`] — the Theorem 2 driver (repeat A2 ; A3 for
+//!   `⌈c log n⌉` iterations), `O(n^{3/4} log n)` rounds.
+//! * [`baselines`] — the comparison algorithms of Table 1 that are
+//!   executable: naive 2-hop local listing (`Θ(d_max)` rounds in CONGEST)
+//!   and a Dolev-et-al.-style deterministic listing for the CONGEST clique
+//!   (`O(n^{1/3})`-ish rounds via balanced relaying).
+//!
+//! Every algorithm is **one-sided error**: any triple output by any node is
+//! a real triangle of the input graph (this is a structural property of the
+//! implementations and is enforced by tests); randomness only affects which
+//! triangles are found.
+//!
+//! ```
+//! use congest_graph::generators::PlantedLight;
+//! use congest_triangles::{find_triangles, FindingConfig};
+//!
+//! # fn main() {
+//! let graph = PlantedLight::new(48, 4).with_background(0.05).seeded(3).generate();
+//! let config = FindingConfig::scaled(&graph);
+//! let report = find_triangles(&graph, &config, 0xFEED);
+//! for t in report.triangles() {
+//!     assert!(graph.is_triangle(*t));
+//! }
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod a1;
+mod a2;
+mod a3;
+mod axr;
+pub mod baselines;
+mod common;
+mod finding;
+mod listing;
+mod params;
+
+pub use a1::A1Program;
+pub use a2::A2Program;
+pub use a3::A3Program;
+pub use axr::{AXrConfig, AXrProgram, XMembership};
+pub use common::{run_congest, triangles_in_edge_set, AlgorithmRun};
+pub use finding::{find_triangles, FindingConfig, FindingReport};
+pub use listing::{list_triangles, ListingConfig, ListingReport};
+pub use params::{ConstantsProfile, EpsilonChoice, PhasePlan};

@@ -1,0 +1,327 @@
+//! Parameter selection: the threshold exponent ε, the r-goodness radius,
+//! repetition counts, and phase planning.
+
+/// How aggressively the drivers apply the paper's constants.
+///
+/// The paper's analysis uses comfortable constants (sample caps of
+/// `4 n^{1−ε}`, `r = sqrt(54 n^{1+ε} log n)`, `⌈c log n⌉` repetitions, …).
+/// They are correct but make exact runs slow at the small `n` a simulator
+/// can sweep, so every driver accepts a profile:
+///
+/// * [`ConstantsProfile::Paper`] — the constants exactly as written; used by
+///   correctness tests on small graphs and available for full-fidelity runs.
+/// * [`ConstantsProfile::Scaled`] — the same formulas with smaller leading
+///   constants and repetition counts; used by the experiment sweeps, which
+///   report success rates so that any completeness loss is visible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstantsProfile {
+    /// Constants exactly as in the paper.
+    Paper,
+    /// Reduced leading constants for laptop-scale sweeps.
+    Scaled,
+}
+
+impl ConstantsProfile {
+    /// Multiplier applied to the `4 n^{1−ε}` sample cap of Algorithm A1 and
+    /// the `8 + 4n/⌊n^{ε/2}⌋` edge-set cap of Algorithm A2.
+    pub fn cap_factor(self) -> f64 {
+        match self {
+            ConstantsProfile::Paper => 1.0,
+            ConstantsProfile::Scaled => 1.0,
+        }
+    }
+
+    /// Multiplier applied to `r = sqrt(54 n^{1+ε} ln n)` in Algorithm A3.
+    pub fn r_factor(self) -> f64 {
+        match self {
+            ConstantsProfile::Paper => 1.0,
+            ConstantsProfile::Scaled => 0.5,
+        }
+    }
+
+    /// Number of repetitions of (A1 ; A3) used by the Theorem 1 driver.
+    pub fn finding_repetitions(self, _n: usize) -> usize {
+        match self {
+            ConstantsProfile::Paper => 8,
+            ConstantsProfile::Scaled => 2,
+        }
+    }
+
+    /// Number of repetitions of (A2 ; A3) used by the Theorem 2 driver
+    /// (the paper's `⌈c log n⌉`).
+    pub fn listing_repetitions(self, n: usize) -> usize {
+        let ln = (n.max(2) as f64).ln();
+        match self {
+            ConstantsProfile::Paper => (3.0 * ln).ceil() as usize,
+            ConstantsProfile::Scaled => ln.ceil() as usize,
+        }
+    }
+
+    /// Multiplier for the hard round cut-off of Algorithm A3
+    /// (`c · (n^{1−ε} + n^{(1+ε)/2} log n)`).
+    pub fn cutoff_factor(self) -> f64 {
+        match self {
+            ConstantsProfile::Paper => 16.0,
+            ConstantsProfile::Scaled => 8.0,
+        }
+    }
+}
+
+/// Selection of the heaviness exponent ε.
+///
+/// Propositions 1–3 are parameterized by ε; the two theorems pick specific
+/// values balancing the heavy and light sub-algorithms:
+///
+/// * Theorem 1 (finding): `n^ε = n^{1/3} / (log n)^{2/3}`.
+/// * Theorem 2 (listing): `n^ε = n^{1/2} / (log n)^{2}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonChoice {
+    epsilon: f64,
+}
+
+impl EpsilonChoice {
+    /// An explicit exponent, clamped to `[0, 1]`.
+    pub fn fixed(epsilon: f64) -> Self {
+        EpsilonChoice {
+            epsilon: epsilon.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The Theorem 1 choice: `n^ε = n^{1/3} / (ln n)^{2/3}`.
+    pub fn finding(n: usize) -> Self {
+        let n = n.max(3) as f64;
+        let ln = n.ln().max(1.0);
+        let target = n.powf(1.0 / 3.0) / ln.powf(2.0 / 3.0);
+        Self::from_threshold(n, target)
+    }
+
+    /// The Theorem 2 choice: `n^ε = n^{1/2} / (ln n)^{2}`.
+    pub fn listing(n: usize) -> Self {
+        let n = n.max(3) as f64;
+        let ln = n.ln().max(1.0);
+        let target = n.powf(0.5) / ln.powf(2.0);
+        Self::from_threshold(n, target)
+    }
+
+    fn from_threshold(n: f64, threshold: f64) -> Self {
+        let threshold = threshold.max(1.0);
+        let epsilon = threshold.ln() / n.ln();
+        EpsilonChoice {
+            epsilon: epsilon.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The exponent ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The heaviness threshold `n^ε` for a network of `n` nodes.
+    pub fn threshold(&self, n: usize) -> f64 {
+        (n.max(1) as f64).powf(self.epsilon)
+    }
+}
+
+/// The r-goodness radius of Algorithm A3:
+/// `r = factor · sqrt(54 n^{1+ε} ln n)`.
+pub fn goodness_radius(n: usize, epsilon: f64, factor: f64) -> f64 {
+    let n = n.max(2) as f64;
+    factor * (54.0 * n.powf(1.0 + epsilon) * n.ln()).sqrt()
+}
+
+/// The A3 round cut-off `factor · (n^{1−ε} + n^{(1+ε)/2} ln n)`.
+pub fn a3_round_cutoff(n: usize, epsilon: f64, factor: f64) -> u64 {
+    let n = n.max(2) as f64;
+    let value = factor * (n.powf(1.0 - epsilon) + n.powf((1.0 + epsilon) / 2.0) * n.ln());
+    value.ceil() as u64
+}
+
+/// A static schedule of named phases, each with a fixed length in rounds.
+///
+/// The paper's algorithms are analysed as sequences of communication phases
+/// whose lengths depend only on globally known quantities (`n`, ε, `r`, the
+/// bandwidth), so every node can compute the same plan locally and stay in
+/// lock-step without any control traffic. `PhasePlan` is that plan plus the
+/// `round → (phase, offset)` arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhasePlan {
+    /// Phase lengths, in rounds; every length is at least 1.
+    lengths: Vec<u64>,
+    /// Prefix sums: `starts[i]` is the first round of phase `i`.
+    starts: Vec<u64>,
+}
+
+/// Position of a round inside a [`PhasePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasePosition {
+    /// Index of the phase the round belongs to.
+    pub phase: usize,
+    /// Offset of the round within the phase (0 = first round of the phase).
+    pub offset: u64,
+    /// Whether this is the first round of the phase.
+    pub is_first: bool,
+    /// Whether this is the last round of the phase.
+    pub is_last: bool,
+}
+
+impl PhasePlan {
+    /// Builds a plan from phase lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length is zero.
+    pub fn new(lengths: Vec<u64>) -> Self {
+        assert!(
+            lengths.iter().all(|&l| l > 0),
+            "every phase must last at least one round"
+        );
+        let mut starts = Vec::with_capacity(lengths.len());
+        let mut acc = 0u64;
+        for &l in &lengths {
+            starts.push(acc);
+            acc += l;
+        }
+        PhasePlan { lengths, starts }
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Total number of rounds covered by the plan.
+    pub fn total_rounds(&self) -> u64 {
+        self.lengths.iter().sum()
+    }
+
+    /// First round of phase `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is out of range.
+    pub fn start_of(&self, phase: usize) -> u64 {
+        self.starts[phase]
+    }
+
+    /// Length of phase `phase`, in rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is out of range.
+    pub fn length_of(&self, phase: usize) -> u64 {
+        self.lengths[phase]
+    }
+
+    /// Locates `round` within the plan; `None` if the round is past the end
+    /// of the plan.
+    pub fn position(&self, round: u64) -> Option<PhasePosition> {
+        if round >= self.total_rounds() {
+            return None;
+        }
+        // The number of phases is small (a handful plus O(log n) loop
+        // iterations), so a linear scan is fine.
+        let phase = self
+            .starts
+            .iter()
+            .rposition(|&s| s <= round)
+            .expect("round 0 is always inside the first phase");
+        let offset = round - self.starts[phase];
+        Some(PhasePosition {
+            phase,
+            offset,
+            is_first: offset == 0,
+            is_last: offset + 1 == self.lengths[phase],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_choices_are_in_range() {
+        for n in [10usize, 50, 100, 500, 1000, 10_000] {
+            let f = EpsilonChoice::finding(n);
+            let l = EpsilonChoice::listing(n);
+            assert!((0.0..=1.0).contains(&f.epsilon()), "finding epsilon for {n}");
+            assert!((0.0..=1.0).contains(&l.epsilon()), "listing epsilon for {n}");
+            // The thresholds n^eps are at least 1 by construction.
+            assert!(f.threshold(n) >= 1.0);
+            assert!(l.threshold(n) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fixed_epsilon_is_clamped() {
+        assert_eq!(EpsilonChoice::fixed(1.5).epsilon(), 1.0);
+        assert_eq!(EpsilonChoice::fixed(-0.2).epsilon(), 0.0);
+        let e = EpsilonChoice::fixed(0.5);
+        assert!((e.threshold(100) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finding_epsilon_matches_formula_for_large_n() {
+        let n = 100_000usize;
+        let e = EpsilonChoice::finding(n);
+        let expected = ((n as f64).powf(1.0 / 3.0) / (n as f64).ln().powf(2.0 / 3.0)).ln()
+            / (n as f64).ln();
+        assert!((e.epsilon() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodness_radius_and_cutoff_formulas() {
+        let r = goodness_radius(100, 0.5, 1.0);
+        let expected = (54.0f64 * 100f64.powf(1.5) * 100f64.ln()).sqrt();
+        assert!((r - expected).abs() < 1e-9);
+        assert!(goodness_radius(100, 0.5, 0.5) < r);
+
+        let c = a3_round_cutoff(100, 0.5, 2.0);
+        assert!(c > 0);
+        assert!(a3_round_cutoff(100, 0.5, 4.0) > c);
+    }
+
+    #[test]
+    fn profiles_scale_in_the_expected_direction() {
+        assert!(
+            ConstantsProfile::Scaled.listing_repetitions(1000)
+                <= ConstantsProfile::Paper.listing_repetitions(1000)
+        );
+        assert!(
+            ConstantsProfile::Scaled.finding_repetitions(1000)
+                <= ConstantsProfile::Paper.finding_repetitions(1000)
+        );
+        assert!(ConstantsProfile::Scaled.r_factor() <= ConstantsProfile::Paper.r_factor());
+        assert!(
+            ConstantsProfile::Scaled.cutoff_factor() <= ConstantsProfile::Paper.cutoff_factor()
+        );
+    }
+
+    #[test]
+    fn phase_plan_arithmetic() {
+        let plan = PhasePlan::new(vec![1, 3, 2]);
+        assert_eq!(plan.phase_count(), 3);
+        assert_eq!(plan.total_rounds(), 6);
+        assert_eq!(plan.start_of(0), 0);
+        assert_eq!(plan.start_of(1), 1);
+        assert_eq!(plan.start_of(2), 4);
+        assert_eq!(plan.length_of(1), 3);
+
+        let p = plan.position(0).unwrap();
+        assert_eq!((p.phase, p.offset, p.is_first, p.is_last), (0, 0, true, true));
+        let p = plan.position(2).unwrap();
+        assert_eq!((p.phase, p.offset, p.is_first, p.is_last), (1, 1, false, false));
+        let p = plan.position(3).unwrap();
+        assert!(p.is_last);
+        let p = plan.position(5).unwrap();
+        assert_eq!((p.phase, p.offset), (2, 1));
+        assert!(plan.position(6).is_none());
+        assert!(plan.position(100).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_length_phase_is_rejected() {
+        let _ = PhasePlan::new(vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Bit-level writer and reader.
+
+use crate::{Payload, WireError};
+
+/// Append-only bit buffer, most-significant bit first.
+///
+/// Values are written with an explicit width; the writer packs them densely
+/// so that the resulting [`Payload`] length is exactly the sum of the widths
+/// written — this is what the simulator charges against the bandwidth
+/// budget.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Appends the `width` low-order bits of `value`, most significant
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits;
+    /// encoding a too-wide value is a programming error on the sender side,
+    /// not a runtime condition to recover from.
+    pub fn write_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "bit width {width} exceeds 64");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1 == 1;
+            self.push_bit(bit);
+        }
+    }
+
+    /// Appends a single boolean as one bit.
+    pub fn write_bool(&mut self, value: bool) {
+        self.push_bit(value);
+    }
+
+    /// Appends all significant bits of another payload.
+    pub fn write_payload(&mut self, payload: &Payload) {
+        for i in 0..payload.bit_len() {
+            self.push_bit(payload.bit(i));
+        }
+    }
+
+    /// Finalizes the writer into an immutable payload.
+    pub fn finish(self) -> Payload {
+        Payload::from_parts(self.bytes, self.bit_len)
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        let byte_index = self.bit_len / 8;
+        if byte_index == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            let shift = 7 - (self.bit_len % 8);
+            self.bytes[byte_index] |= 1 << shift;
+        }
+        self.bit_len += 1;
+    }
+}
+
+/// Sequential reader over a [`Payload`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    payload: &'a Payload,
+    cursor: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit of `payload`.
+    pub fn new(payload: &'a Payload) -> Self {
+        Self { payload, cursor: 0 }
+    }
+
+    /// Number of bits that have not been consumed yet.
+    pub fn remaining(&self) -> usize {
+        self.payload.bit_len() - self.cursor
+    }
+
+    /// Whether every bit of the payload has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads `width` bits as an unsigned integer (most significant first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::OutOfBits`] if fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: usize) -> Result<u64, WireError> {
+        assert!(width <= 64, "bit width {width} exceeds 64");
+        if self.remaining() < width {
+            return Err(WireError::OutOfBits {
+                requested: width,
+                available: self.remaining(),
+            });
+        }
+        let mut value = 0u64;
+        for _ in 0..width {
+            value <<= 1;
+            if self.payload.bit(self.cursor) {
+                value |= 1;
+            }
+            self.cursor += 1;
+        }
+        Ok(value)
+    }
+
+    /// Reads a single bit as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::OutOfBits`] if the payload is exhausted.
+    pub fn read_bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bool(true);
+        w.write_bits(1023, 10);
+        w.write_bits(0, 5);
+        w.write_bits(u64::MAX, 64);
+        let p = w.finish();
+        assert_eq!(p.bit_len(), 3 + 1 + 10 + 5 + 64);
+
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert!(r.read_bool().unwrap());
+        assert_eq!(r.read_bits(10).unwrap(), 1023);
+        assert_eq!(r.read_bits(5).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn zero_width_write_and_read() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        let p = w.finish();
+        assert_eq!(p.bit_len(), 0);
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bits_is_reported() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        let err = r.read_bits(4).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::OutOfBits {
+                requested: 4,
+                available: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn writing_too_wide_value_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(8, 3);
+    }
+
+    #[test]
+    fn write_payload_concatenates() {
+        let mut inner = BitWriter::new();
+        inner.write_bits(0b1011, 4);
+        let inner = inner.finish();
+
+        let mut outer = BitWriter::new();
+        outer.write_bits(0b0, 1);
+        outer.write_payload(&inner);
+        let p = outer.finish();
+        assert_eq!(p.bit_len(), 5);
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_bits(5).unwrap(), 0b01011);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(3, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write_bool(false);
+        assert_eq!(w.bit_len(), 3);
+    }
+}

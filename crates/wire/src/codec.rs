@@ -1,0 +1,338 @@
+//! Codec helpers shared by the algorithm message formats.
+
+use crate::{BitReader, BitWriter, Payload, WireError};
+
+/// Number of bits needed to represent any value in `0..bound` (at least 1).
+///
+/// This is the width used for vertex identifiers when the network has
+/// `bound = n` nodes: `ceil(log2 n)` bits, the canonical "`O(log n)` bits"
+/// of the CONGEST model.
+///
+/// ```
+/// use congest_wire::bits_for_count;
+/// assert_eq!(bits_for_count(1), 1);
+/// assert_eq!(bits_for_count(2), 1);
+/// assert_eq!(bits_for_count(3), 2);
+/// assert_eq!(bits_for_count(1024), 10);
+/// assert_eq!(bits_for_count(1025), 11);
+/// ```
+pub fn bits_for_count(bound: u64) -> usize {
+    if bound <= 2 {
+        1
+    } else {
+        (64 - (bound - 1).leading_zeros()) as usize
+    }
+}
+
+/// Number of bits needed to represent the specific value `value`
+/// (at least 1).
+///
+/// ```
+/// use congest_wire::bits_for_value;
+/// assert_eq!(bits_for_value(0), 1);
+/// assert_eq!(bits_for_value(1), 1);
+/// assert_eq!(bits_for_value(2), 2);
+/// assert_eq!(bits_for_value(255), 8);
+/// ```
+pub fn bits_for_value(value: u64) -> usize {
+    if value <= 1 {
+        1
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Types that can be encoded onto / decoded from the wire.
+///
+/// The trait is deliberately minimal: message formats in the algorithm
+/// crates are small enums with hand-written codecs, because the exact bit
+/// cost of every field is part of the round-complexity argument being
+/// reproduced.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `writer`.
+    fn encode(&self, writer: &mut BitWriter);
+
+    /// Decodes a value previously produced by [`Wire::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated or malformed.
+    fn decode(reader: &mut BitReader<'_>) -> Result<Self, WireError>;
+
+    /// Exact number of bits [`Wire::encode`] will produce for `self`.
+    fn bit_len(&self) -> usize {
+        let mut writer = BitWriter::new();
+        self.encode(&mut writer);
+        writer.bit_len()
+    }
+
+    /// Convenience helper encoding `self` into a standalone [`Payload`].
+    fn to_payload(&self) -> Payload {
+        let mut writer = BitWriter::new();
+        self.encode(&mut writer);
+        writer.finish()
+    }
+
+    /// Convenience helper decoding a value from a standalone [`Payload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated or malformed.
+    fn from_payload(payload: &Payload) -> Result<Self, WireError> {
+        let mut reader = BitReader::new(payload);
+        Self::decode(&mut reader)
+    }
+}
+
+/// Fixed-width codec for identifiers drawn from a known domain `0..n`.
+///
+/// All vertex identifiers exchanged by the algorithms go through an
+/// `IdCodec` so that each one costs exactly `ceil(log2 n)` bits, matching
+/// the paper's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdCodec {
+    domain: u64,
+    width: usize,
+}
+
+impl IdCodec {
+    /// Codec for identifiers in `0..domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u64) -> Self {
+        assert!(domain > 0, "identifier domain must be non-empty");
+        Self {
+            domain,
+            width: bits_for_count(domain),
+        }
+    }
+
+    /// Width in bits of one encoded identifier.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Exclusive upper bound of the identifier domain.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Encodes one identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= domain`; sending an out-of-domain identifier is a
+    /// programming error.
+    pub fn encode(&self, writer: &mut BitWriter, id: u64) {
+        assert!(
+            id < self.domain,
+            "identifier {id} outside domain 0..{}",
+            self.domain
+        );
+        writer.write_bits(id, self.width);
+    }
+
+    /// Decodes one identifier, validating it against the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::OutOfDomain`] if the decoded value is `>= domain`
+    /// and [`WireError::OutOfBits`] if the payload is truncated.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u64, WireError> {
+        let value = reader.read_bits(self.width)?;
+        if value >= self.domain {
+            return Err(WireError::OutOfDomain {
+                value,
+                bound: self.domain,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Encodes a length-prefixed list of identifiers.
+    ///
+    /// The length prefix is `ceil(log2 (domain+1))` bits wide so that any
+    /// subset of the domain can be described.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() > domain` or any identifier is out of domain.
+    pub fn encode_list(&self, writer: &mut BitWriter, ids: &[u64]) {
+        assert!(
+            ids.len() as u64 <= self.domain,
+            "list of {} identifiers cannot be a subset of a domain of size {}",
+            ids.len(),
+            self.domain
+        );
+        let len_width = bits_for_count(self.domain + 1);
+        writer.write_bits(ids.len() as u64, len_width);
+        for &id in ids {
+            self.encode(writer, id);
+        }
+    }
+
+    /// Decodes a list produced by [`IdCodec::encode_list`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated, an identifier is
+    /// out of domain, or the length prefix is implausible.
+    pub fn decode_list(&self, reader: &mut BitReader<'_>) -> Result<Vec<u64>, WireError> {
+        let len_width = bits_for_count(self.domain + 1);
+        let len = reader.read_bits(len_width)?;
+        if len > self.domain {
+            return Err(WireError::LengthOverflow {
+                announced: len,
+                plausible: self.domain,
+            });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.decode(reader)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of bits [`IdCodec::encode_list`] produces for a list of
+    /// `len` identifiers.
+    pub fn list_bit_len(&self, len: usize) -> usize {
+        bits_for_count(self.domain + 1) + len * self.width
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, writer: &mut BitWriter) {
+        writer.write_bool(*self);
+    }
+
+    fn decode(reader: &mut BitReader<'_>) -> Result<Self, WireError> {
+        reader.read_bool()
+    }
+
+    fn bit_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, writer: &mut BitWriter) {
+        writer.write_bits(*self, 64);
+    }
+
+    fn decode(reader: &mut BitReader<'_>) -> Result<Self, WireError> {
+        reader.read_bits(64)
+    }
+
+    fn bit_len(&self) -> usize {
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_count_matches_log2() {
+        assert_eq!(bits_for_count(1), 1);
+        assert_eq!(bits_for_count(2), 1);
+        assert_eq!(bits_for_count(4), 2);
+        assert_eq!(bits_for_count(5), 3);
+        assert_eq!(bits_for_count(256), 8);
+        assert_eq!(bits_for_count(257), 9);
+        assert_eq!(bits_for_count(u64::MAX), 64);
+    }
+
+    #[test]
+    fn id_codec_round_trip() {
+        let codec = IdCodec::new(100);
+        assert_eq!(codec.width(), 7);
+        let mut w = BitWriter::new();
+        codec.encode(&mut w, 0);
+        codec.encode(&mut w, 99);
+        codec.encode(&mut w, 42);
+        let p = w.finish();
+        assert_eq!(p.bit_len(), 3 * 7);
+        let mut r = BitReader::new(&p);
+        assert_eq!(codec.decode(&mut r).unwrap(), 0);
+        assert_eq!(codec.decode(&mut r).unwrap(), 99);
+        assert_eq!(codec.decode(&mut r).unwrap(), 42);
+    }
+
+    #[test]
+    fn id_codec_rejects_out_of_domain_values() {
+        // Encode with a larger domain, decode with a smaller one to force an
+        // out-of-domain value on the wire.
+        let wide = IdCodec::new(128);
+        let narrow = IdCodec::new(100);
+        assert_eq!(wide.width(), narrow.width());
+        let mut w = BitWriter::new();
+        wide.encode(&mut w, 120);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        let err = narrow.decode(&mut r).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::OutOfDomain {
+                value: 120,
+                bound: 100
+            }
+        );
+    }
+
+    #[test]
+    fn list_round_trip_and_length() {
+        let codec = IdCodec::new(50);
+        let ids = vec![0, 7, 49, 13];
+        let mut w = BitWriter::new();
+        codec.encode_list(&mut w, &ids);
+        let p = w.finish();
+        assert_eq!(p.bit_len(), codec.list_bit_len(ids.len()));
+        let mut r = BitReader::new(&p);
+        assert_eq!(codec.decode_list(&mut r).unwrap(), ids);
+    }
+
+    #[test]
+    fn empty_list_round_trip() {
+        let codec = IdCodec::new(10);
+        let mut w = BitWriter::new();
+        codec.encode_list(&mut w, &[]);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert!(codec.decode_list(&mut r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_list_is_detected() {
+        let codec = IdCodec::new(10);
+        let mut w = BitWriter::new();
+        codec.encode_list(&mut w, &[1, 2, 3]);
+        let p = w.finish();
+        // Keep only the first byte worth of bits.
+        let truncated = Payload::from_parts(p.as_bytes()[..1].to_vec(), 8.min(p.bit_len()));
+        let mut r = BitReader::new(&truncated);
+        assert!(codec.decode_list(&mut r).is_err());
+    }
+
+    #[test]
+    fn wire_impl_for_primitives() {
+        let p = true.to_payload();
+        assert_eq!(p.bit_len(), 1);
+        assert!(bool::from_payload(&p).unwrap());
+
+        let v: u64 = 0xDEADBEEF;
+        let p = v.to_payload();
+        assert_eq!(p.bit_len(), 64);
+        assert_eq!(u64::from_payload(&p).unwrap(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn encode_out_of_domain_panics() {
+        let codec = IdCodec::new(4);
+        let mut w = BitWriter::new();
+        codec.encode(&mut w, 4);
+    }
+}

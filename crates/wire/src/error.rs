@@ -1,0 +1,101 @@
+//! Error type for encoding and decoding failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding a [`Payload`](crate::Payload) fails or an
+/// encoded value does not fit its declared width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran past the end of the payload.
+    ///
+    /// Carries the number of bits that were requested and the number of bits
+    /// that remained.
+    OutOfBits {
+        /// Bits requested by the read operation.
+        requested: usize,
+        /// Bits that were still available.
+        available: usize,
+    },
+    /// A value was too large for the fixed width it was encoded with.
+    ValueTooWide {
+        /// The value that was being encoded.
+        value: u64,
+        /// The width, in bits, it had to fit in.
+        width: usize,
+    },
+    /// A decoded value is outside the domain expected by the caller
+    /// (for example a vertex identifier `>= n`).
+    OutOfDomain {
+        /// The offending decoded value.
+        value: u64,
+        /// Exclusive upper bound of the expected domain.
+        bound: u64,
+    },
+    /// A length prefix announced more elements than the payload can hold,
+    /// which indicates a corrupted or adversarial message.
+    LengthOverflow {
+        /// The announced element count.
+        announced: u64,
+        /// The maximum plausible count.
+        plausible: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::OutOfBits {
+                requested,
+                available,
+            } => write!(
+                f,
+                "payload exhausted: requested {requested} bits but only {available} remain"
+            ),
+            WireError::ValueTooWide { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            WireError::OutOfDomain { value, bound } => {
+                write!(f, "decoded value {value} is outside the domain [0, {bound})")
+            }
+            WireError::LengthOverflow {
+                announced,
+                plausible,
+            } => write!(
+                f,
+                "length prefix announced {announced} elements but at most {plausible} are plausible"
+            ),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::OutOfBits {
+            requested: 8,
+            available: 3,
+        };
+        assert!(e.to_string().contains("requested 8 bits"));
+        let e = WireError::ValueTooWide { value: 9, width: 3 };
+        assert!(e.to_string().contains("does not fit"));
+        let e = WireError::OutOfDomain { value: 7, bound: 5 };
+        assert!(e.to_string().contains("outside the domain"));
+        let e = WireError::LengthOverflow {
+            announced: 10,
+            plausible: 2,
+        };
+        assert!(e.to_string().contains("length prefix"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<WireError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Owned bit strings exchanged between nodes.
+
+use std::fmt;
+
+/// An immutable bit string, the unit of data carried by a single CONGEST
+/// message (or by one fragment of a chunked transfer).
+///
+/// The payload knows its exact length in bits so that the simulator can
+/// enforce the per-round bandwidth budget precisely; the backing storage is
+/// byte-aligned for convenience but trailing padding bits are not counted.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl Payload {
+    /// Creates an empty payload (zero bits).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a payload from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len` exceeds the capacity of `bytes`.
+    pub fn from_parts(bytes: Vec<u8>, bit_len: usize) -> Self {
+        assert!(
+            bit_len <= bytes.len() * 8,
+            "bit length {} exceeds byte capacity {}",
+            bit_len,
+            bytes.len() * 8
+        );
+        Self { bytes, bit_len }
+    }
+
+    /// Number of significant bits in the payload.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Whether the payload carries no bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.bit_len == 0
+    }
+
+    /// Backing bytes (the last byte may contain padding bits).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Reads the bit at `index` (0 = first written bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.bit_len()`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.bit_len, "bit index {index} out of range");
+        let byte = self.bytes[index / 8];
+        let shift = 7 - (index % 8);
+        (byte >> shift) & 1 == 1
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bits:", self.bit_len)?;
+        let shown = self.bit_len.min(64);
+        write!(f, " ")?;
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        if shown < self.bit_len {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_payload() {
+        let p = Payload::new();
+        assert_eq!(p.bit_len(), 0);
+        assert!(p.is_empty());
+        assert!(p.as_bytes().is_empty());
+    }
+
+    #[test]
+    fn from_parts_and_bit_access() {
+        // 0b1010_0000 -> bits 1,0,1,0
+        let p = Payload::from_parts(vec![0b1010_0000], 4);
+        assert_eq!(p.bit_len(), 4);
+        assert!(p.bit(0));
+        assert!(!p.bit(1));
+        assert!(p.bit(2));
+        assert!(!p.bit(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let p = Payload::from_parts(vec![0xFF], 4);
+        let _ = p.bit(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds byte capacity")]
+    fn from_parts_validates_capacity() {
+        let _ = Payload::from_parts(vec![0xFF], 9);
+    }
+
+    #[test]
+    fn debug_shows_bits() {
+        let p = Payload::from_parts(vec![0b1100_0000], 2);
+        let s = format!("{p:?}");
+        assert!(s.contains("2 bits"));
+        assert!(s.contains("11"));
+    }
+}

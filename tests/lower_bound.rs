@@ -1,0 +1,72 @@
+//! Integration tests for the lower-bound machinery (Theorem 3 and
+//! Proposition 5) applied to real runs of the listing algorithms.
+
+use congest::graph::generators::Gnp;
+use congest::graph::triangles as reference;
+use congest::prelude::*;
+use congest::triangles::baselines::{DolevCliqueListing, NaiveLocalListing};
+use congest::triangles::run_congest;
+
+#[test]
+fn theorem3_chain_holds_on_gnp_half() {
+    let n = 64;
+    let graph = Gnp::new(n, 0.5).seeded(9).generate();
+    let run = run_congest(&graph, SimConfig::clique(1), DolevCliqueListing::new);
+    assert_eq!(run.triangles, reference::list_all(&graph));
+
+    let bandwidth = Bandwidth::default().bits_per_round(n);
+    let report = LowerBoundReport::from_run(&run.per_node, &run.metrics, bandwidth, n - 1);
+
+    // The witness node's output is large (some node holds a constant
+    // fraction of all triangles, which is ~n^3/48 per responsible node
+    // here), its cover respects Rivin's bound, and it received at least as
+    // many bits as the cover size (it had to learn those edges).
+    assert!(report.witness_triangles > 0);
+    assert!(report.witness_cover as f64 >= report.rivin_cover_bound - 1e-9);
+    assert!(
+        report.witness_received_bits >= report.witness_cover as u64,
+        "the witness must have received at least one bit per covered edge"
+    );
+    assert!(report.is_respected());
+    // And the measured run is comfortably above the analytic Theorem 3
+    // curve (which has constant 1).
+    assert!(report.measured_rounds as f64 >= LowerBoundReport::theorem3_curve(n));
+}
+
+#[test]
+fn proposition5_every_node_learns_quadratically_many_bits() {
+    let n = 48;
+    let graph = Gnp::new(n, 0.5).seeded(10).generate();
+    let run = run_congest(&graph, SimConfig::congest(2), NaiveLocalListing::new);
+
+    // Local listing: every node outputs exactly the triangles containing it.
+    for v in graph.nodes() {
+        assert_eq!(run.per_node[v.index()], reference::list_containing(&graph, v));
+    }
+    // Every node of G(n, 1/2) has ~n/2 neighbours, each shipping a ~n/2-id
+    // list: Omega(n^2 / 4) bits of transcript per node (up to the log n id
+    // width), which is the premise of Proposition 5.
+    let id_bits = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    let quadratic_floor = (n as u64 / 4) * (n as u64 / 4) * id_bits / 4;
+    for (i, &bits) in run.metrics.received_bits.iter().enumerate() {
+        assert!(
+            bits >= quadratic_floor,
+            "node {i} received only {bits} bits (< {quadratic_floor})"
+        );
+    }
+    // Rounds exceed the Omega(n / log n) curve.
+    assert!(run.rounds() as f64 >= LowerBoundReport::proposition5_curve(n));
+}
+
+#[test]
+fn rivin_bound_holds_for_every_listing_output() {
+    // For any subset R of triangles output by any node, P(R) must contain
+    // at least (sqrt2/3)|R|^{2/3} edges — checked on the per-node outputs of
+    // a real run.
+    let graph = Gnp::new(40, 0.5).seeded(11).generate();
+    let run = run_congest(&graph, SimConfig::clique(3), DolevCliqueListing::new);
+    for output in &run.per_node {
+        let cover = output.edge_cover().len() as f64;
+        assert!(cover >= rivin_edge_lower_bound(output.len()) - 1e-9);
+    }
+}

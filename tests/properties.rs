@@ -1,0 +1,81 @@
+//! Property-based integration tests: the invariants the paper's problem
+//! definition imposes on *any* execution, checked on randomly generated
+//! instances across the whole stack.
+
+use congest::graph::generators::Gnp;
+use congest::graph::triangles as reference;
+use congest::prelude::*;
+use congest::triangles::baselines::NaiveLocalListing;
+use congest::triangles::{run_congest, A1Program, A2Program, A3Program, AXrConfig, AXrProgram};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = congest::graph::Graph> {
+    (8usize..40, 0.05f64..0.6, any::<u64>())
+        .prop_map(|(n, p, seed)| Gnp::new(n, p).seeded(seed).generate())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One-sided error: no algorithm ever outputs a triple that is not a
+    /// triangle of the input graph, for any graph, seed and ε.
+    #[test]
+    fn single_passes_never_output_non_triangles(
+        graph in arbitrary_graph(),
+        epsilon in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let a1 = run_congest(&graph, SimConfig::congest(seed), |info| A1Program::new(info, epsilon, 1.0));
+        prop_assert!(a1.is_sound(&graph));
+        let a2 = run_congest(&graph, SimConfig::congest(seed ^ 1), |info| A2Program::new(info, epsilon, 1.0));
+        prop_assert!(a2.is_sound(&graph));
+        let a3 = run_congest(&graph, SimConfig::congest(seed ^ 2), |info| {
+            A3Program::new(info, epsilon, ConstantsProfile::Scaled)
+        });
+        prop_assert!(a3.is_sound(&graph));
+        prop_assert!(a1.completed && a2.completed && a3.completed);
+    }
+
+    /// Algorithm A(X, r) with an empty X and r = n lists exactly T(G)
+    /// (Proposition 4 with Δ(∅) = all pairs), for any input graph.
+    #[test]
+    fn axr_with_empty_x_lists_everything(graph in arbitrary_graph(), seed in any::<u64>()) {
+        let n = graph.node_count();
+        let run = run_congest(&graph, SimConfig::congest(seed), |info| {
+            AXrProgram::new(info, AXrConfig::given(false, n as f64, n.max(1), n))
+        });
+        prop_assert_eq!(run.triangles, reference::list_all(&graph));
+    }
+
+    /// The naive baseline is an exact local-listing algorithm on every
+    /// input: node i outputs precisely the triangles containing i.
+    #[test]
+    fn naive_baseline_is_exact_local_listing(graph in arbitrary_graph(), seed in any::<u64>()) {
+        let run = run_congest(&graph, SimConfig::congest(seed), NaiveLocalListing::new);
+        for v in graph.nodes() {
+            prop_assert_eq!(
+                run.per_node[v.index()].clone(),
+                reference::list_containing(&graph, v)
+            );
+        }
+    }
+
+    /// The Theorem 2 listing driver never lists a non-triangle and never
+    /// lists more triangles than the graph has.
+    #[test]
+    fn listing_driver_is_sound(graph in arbitrary_graph(), seed in any::<u64>()) {
+        let report = list_triangles(&graph, &ListingConfig::scaled(&graph).with_repetitions(1), seed);
+        let truth = reference::list_all(&graph);
+        for t in report.triangles() {
+            prop_assert!(truth.contains(t));
+        }
+        prop_assert!(report.listed.len() <= truth.len());
+    }
+
+    /// Rivin's bound (Lemma 4) holds for every generated graph.
+    #[test]
+    fn rivin_bound_on_random_graphs(graph in arbitrary_graph()) {
+        let t = reference::count_all(&graph);
+        prop_assert!(graph.edge_count() as f64 >= rivin_edge_lower_bound(t) - 1e-9);
+    }
+}
