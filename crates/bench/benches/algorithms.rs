@@ -11,8 +11,8 @@ use congest_graph::generators::Gnp;
 use congest_sim::SimConfig;
 use congest_triangles::baselines::{DolevCliqueListing, NaiveLocalListing};
 use congest_triangles::{
-    find_triangles, list_triangles, run_congest, A1Program, A2Program, A3Program,
-    ConstantsProfile, FindingConfig, ListingConfig,
+    find_triangles, list_triangles, run_congest, A1Program, A2Program, A3Program, ConstantsProfile,
+    FindingConfig, ListingConfig,
 };
 
 fn bench_single_passes(c: &mut Criterion) {

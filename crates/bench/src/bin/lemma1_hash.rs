@@ -46,8 +46,12 @@ fn main() {
         ]);
     }
 
-    println!("# E8 / Lemma 1 — 3-wise independent hash family statistics ({trials} trials per row)\n");
+    println!(
+        "# E8 / Lemma 1 — 3-wise independent hash family statistics ({trials} trials per row)\n"
+    );
     table.print();
-    println!("\nThe ratio column must stay >= 1 (up to sampling noise): the Lemma 1 event is at\n\
-              least as likely as the bound promises.");
+    println!(
+        "\nThe ratio column must stay >= 1 (up to sampling noise): the Lemma 1 event is at\n\
+              least as likely as the bound promises."
+    );
 }

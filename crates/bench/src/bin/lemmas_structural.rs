@@ -68,13 +68,22 @@ fn main() {
     lemma3.print();
 
     // Lemma 4 on assorted graphs.
-    let mut lemma4 = Table::new(["graph", "triangles t", "edges m", "Rivin bound", "m >= bound"]);
+    let mut lemma4 = Table::new([
+        "graph",
+        "triangles t",
+        "edges m",
+        "Rivin bound",
+        "m >= bound",
+    ]);
     let cases: Vec<(String, congest_graph::Graph)> = vec![
         ("K_16".into(), Classic::Complete(16).generate()),
         ("C_20".into(), Classic::Cycle(20).generate()),
         ("G(64, 0.5)".into(), Gnp::new(64, 0.5).seeded(3).generate()),
         ("G(64, 0.9)".into(), Gnp::new(64, 0.9).seeded(4).generate()),
-        ("planted-light(60, 10)".into(), PlantedLight::new(60, 10).generate()),
+        (
+            "planted-light(60, 10)".into(),
+            PlantedLight::new(60, 10).generate(),
+        ),
     ];
     for (name, graph) in cases {
         let t = triangles::count_all(&graph);

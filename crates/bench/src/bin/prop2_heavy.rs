@@ -25,7 +25,9 @@ fn main() {
         // Plant an edge with support n^epsilon (rounded up) so every
         // triangle through it is exactly at the heaviness threshold.
         let support = (n as f64).powf(epsilon).ceil() as usize + 1;
-        let gen = PlantedHeavy::new(n, support).with_background(0.02).seeded(5);
+        let gen = PlantedHeavy::new(n, support)
+            .with_background(0.02)
+            .seeded(5);
         let graph = gen.generate();
         let (heavy_set, _) = heavy::partition_by_heaviness(&graph, epsilon);
         let mut detected = 0usize;
@@ -35,7 +37,10 @@ fn main() {
                 A2Program::new(info, epsilon, 1.0)
             });
             assert!(run.is_sound(&graph));
-            detected += heavy_set.iter().filter(|tri| run.triangles.contains(tri)).count();
+            detected += heavy_set
+                .iter()
+                .filter(|tri| run.triangles.contains(tri))
+                .count();
             rounds = run.rounds();
         }
         let rate = if heavy_set.is_empty() {

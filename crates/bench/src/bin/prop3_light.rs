@@ -34,7 +34,10 @@ fn main() {
                 A3Program::new(info, epsilon, ConstantsProfile::Paper)
             });
             assert!(run.is_sound(&graph));
-            detected += light_set.iter().filter(|tri| run.triangles.contains(tri)).count();
+            detected += light_set
+                .iter()
+                .filter(|tri| run.triangles.contains(tri))
+                .count();
             rounds = run.rounds();
         }
         let rate = if light_set.is_empty() {

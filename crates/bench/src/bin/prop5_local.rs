@@ -27,7 +27,11 @@ fn main() {
 
     for &n in &sweep {
         let graph = Gnp::new(n, 0.5).seeded(500 + n as u64).generate();
-        let run = run_congest(&graph, SimConfig::congest(3 * n as u64), NaiveLocalListing::new);
+        let run = run_congest(
+            &graph,
+            SimConfig::congest(3 * n as u64),
+            NaiveLocalListing::new,
+        );
         // Every node must output exactly its own triangles (local listing).
         for v in graph.nodes() {
             debug_assert_eq!(

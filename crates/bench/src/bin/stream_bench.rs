@@ -1,0 +1,139 @@
+//! Streaming workload benchmark — load-tests the `congest-stream`
+//! incremental triangle engine the way a service is load-tested.
+//!
+//! The matrix crosses the four churn scenarios (uniform, hotspot,
+//! planted-burst, grow-then-shrink) with eager and deferred application,
+//! plus one large 10k-node uniform-churn run that quantifies the headline
+//! number: incremental maintenance vs. from-scratch recount speedup.
+//!
+//! Output: a plain-text table on stdout (diffable, like every other
+//! harness binary) and a machine-readable `BENCH_stream.json` in the
+//! current directory so later PRs have a perf trajectory to compare
+//! against.
+
+use std::fmt::Write as _;
+
+use congest_bench::{table::fmt_f64, Table};
+use congest_stream::{ApplyMode, BaseGraph, RunSummary, Scenario, WorkloadRunner};
+
+/// One row of the benchmark matrix.
+fn scenarios() -> Vec<Scenario> {
+    let n = 2_000;
+    let batches = 60;
+    let batch_size = 200;
+    let base = BaseGraph::Gnp { p: 0.002 };
+    vec![
+        Scenario::uniform_churn(n, batches, batch_size)
+            .with_base(base)
+            .seeded(0xBE11C0),
+        Scenario::hotspot_churn(n, batches, batch_size)
+            .with_base(base)
+            .seeded(0xBE11C1),
+        Scenario::planted_bursts(n, batches, batch_size)
+            .with_base(base)
+            .seeded(0xBE11C2),
+        Scenario::grow_then_shrink(n, batches, batch_size)
+            .with_base(base)
+            .seeded(0xBE11C3),
+    ]
+}
+
+/// The acceptance-criteria run: 10k nodes, uniform churn, measured for
+/// incremental-vs-recompute speedup.
+fn headline_scenario() -> Scenario {
+    Scenario::uniform_churn(10_000, 40, 250)
+        .with_base(BaseGraph::Gnp { p: 0.0008 })
+        .seeded(0x10_000)
+}
+
+fn run_one(scenario: Scenario, mode: ApplyMode, recompute_every: usize) -> RunSummary {
+    WorkloadRunner::new(scenario)
+        .with_mode(mode)
+        .flush_every(4)
+        .recompute_every(recompute_every)
+        .verified(true)
+        .run()
+}
+
+fn main() {
+    let mut table = Table::new([
+        "scenario",
+        "mode",
+        "n",
+        "deltas/s",
+        "p50 us",
+        "p99 us",
+        "speedup vs recompute",
+        "final triangles",
+        "oracle",
+    ]);
+    let mut summaries: Vec<RunSummary> = Vec::new();
+
+    for scenario in scenarios() {
+        for mode in [ApplyMode::Eager, ApplyMode::Deferred] {
+            let summary = run_one(scenario.clone(), mode, 8);
+            table.row([
+                summary.scenario.clone(),
+                summary.mode.clone(),
+                summary.n.to_string(),
+                format!("{:.0}", summary.deltas_per_sec),
+                fmt_f64(summary.latency.p50_us),
+                fmt_f64(summary.latency.p99_us),
+                summary
+                    .recompute
+                    .map(|r| format!("{:.1}x", r.speedup))
+                    .unwrap_or_else(|| "-".to_string()),
+                summary.final_triangles.to_string(),
+                if summary.oracle_ok { "ok" } else { "FAIL" }.to_string(),
+            ]);
+            summaries.push(summary);
+        }
+    }
+
+    // Headline run: every batch is compared against a recount.
+    let headline = run_one(headline_scenario(), ApplyMode::Eager, 1);
+    let headline_speedup = headline.recompute.map(|r| r.speedup).unwrap_or(f64::NAN);
+    table.row([
+        headline.scenario.clone(),
+        format!("{} (10k headline)", headline.mode),
+        headline.n.to_string(),
+        format!("{:.0}", headline.deltas_per_sec),
+        fmt_f64(headline.latency.p50_us),
+        fmt_f64(headline.latency.p99_us),
+        format!("{headline_speedup:.1}x"),
+        headline.final_triangles.to_string(),
+        if headline.oracle_ok { "ok" } else { "FAIL" }.to_string(),
+    ]);
+    summaries.push(headline.clone());
+
+    println!("# stream_bench — incremental triangle engine under churn\n");
+    table.print();
+    println!(
+        "\nheadline: 10k-node uniform churn, incremental vs recompute speedup = {headline_speedup:.1}x \
+         (acceptance floor: 10x)"
+    );
+
+    let any_oracle_failure = summaries.iter().any(|s| !s.oracle_ok);
+    if any_oracle_failure {
+        eprintln!("ERROR: at least one run diverged from the centralized oracle");
+    }
+
+    // Machine-readable trajectory for future PRs.
+    let mut json = String::from("{\"bench\":\"stream\",\"schema_version\":1,\"runs\":[");
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&s.to_json());
+    }
+    let _ = write!(
+        json,
+        "],\"headline_speedup_vs_recompute\":{headline_speedup:.3}}}"
+    );
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    println!("\nwrote BENCH_stream.json ({} runs)", summaries.len());
+
+    if any_oracle_failure || !headline_speedup.is_finite() || headline_speedup < 10.0 {
+        std::process::exit(1);
+    }
+}

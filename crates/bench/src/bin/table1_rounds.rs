@@ -66,7 +66,11 @@ fn main() {
     for (name, paper, pts) in [
         ("Theorem 1 finding (CONGEST)", "2/3 (+polylog)", &find_pts),
         ("Theorem 2 listing (CONGEST)", "3/4 (+log)", &list_pts),
-        ("naive local listing (CONGEST)", "1 (d_max ~ n/2)", &naive_pts),
+        (
+            "naive local listing (CONGEST)",
+            "1 (d_max ~ n/2)",
+            &naive_pts,
+        ),
         ("Dolev-style listing (clique)", "1/3 (+polylog)", &dolev_pts),
     ] {
         if let Some(fit) = fit_power_law(pts) {

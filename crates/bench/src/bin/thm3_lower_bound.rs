@@ -46,8 +46,10 @@ fn main() {
         );
         assert!(naive_report.is_respected());
 
-        for (name, report) in [("Dolev (clique)", &dolev_report), ("naive (CONGEST)", &naive_report)]
-        {
+        for (name, report) in [
+            ("Dolev (clique)", &dolev_report),
+            ("naive (CONGEST)", &naive_report),
+        ] {
             table.row([
                 n.to_string(),
                 fmt_f64(expected_gnp_half_triangles(n)),

@@ -52,7 +52,11 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
     }
     let exponent = sxy / sxx;
     let intercept = mean_y - exponent * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(PowerLawFit {
         exponent,
         constant: intercept.exp(),
@@ -66,7 +70,9 @@ mod tests {
 
     #[test]
     fn recovers_exact_power_laws() {
-        let points: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 3.0 * (i as f64).powf(0.75))).collect();
+        let points: Vec<(f64, f64)> = (1..20)
+            .map(|i| (i as f64, 3.0 * (i as f64).powf(0.75)))
+            .collect();
         let fit = fit_power_law(&points).unwrap();
         assert!((fit.exponent - 0.75).abs() < 1e-9);
         assert!((fit.constant - 3.0).abs() < 1e-6);

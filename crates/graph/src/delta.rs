@@ -59,24 +59,13 @@ pub fn v_set(
 
 /// Whether node `j` is r-good for `(U, X)` (Definition 1): it has at most
 /// `r` neighbours `k ∈ U` with `|S^X_U(j,k)| > r`.
-pub fn is_r_good(
-    g: &Graph,
-    x: &BTreeSet<NodeId>,
-    u: &BTreeSet<NodeId>,
-    r: f64,
-    j: NodeId,
-) -> bool {
+pub fn is_r_good(g: &Graph, x: &BTreeSet<NodeId>, u: &BTreeSet<NodeId>, r: f64, j: NodeId) -> bool {
     (v_set(g, x, u, r, j).len() as f64) <= r
 }
 
 /// The nodes of `U` that are **not** r-good for `(U, X)` — the quantity
 /// bounded by Lemma 3.
-pub fn bad_nodes(
-    g: &Graph,
-    x: &BTreeSet<NodeId>,
-    u: &BTreeSet<NodeId>,
-    r: f64,
-) -> Vec<NodeId> {
+pub fn bad_nodes(g: &Graph, x: &BTreeSet<NodeId>, u: &BTreeSet<NodeId>, r: f64) -> Vec<NodeId> {
     u.iter()
         .copied()
         .filter(|&j| !is_r_good(g, x, u, r, j))

@@ -36,7 +36,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} is outside the graph of {node_count} nodes")
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::ParseEdgeList { line, reason } => {
                 write!(f, "failed to parse edge list at line {line}: {reason}")

@@ -49,7 +49,10 @@ impl Gnp {
     ///
     /// Panics if `p` is not a probability in `[0, 1]`.
     pub fn new(n: usize, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "edge probability must be in [0, 1], got {p}"
+        );
         Gnp {
             n,
             p,
@@ -122,7 +125,10 @@ impl PlantedHeavy {
     ///
     /// Panics if `p` is not a probability in `[0, 1]`.
     pub fn with_background(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "background probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "background probability must be in [0, 1], got {p}"
+        );
         self.background_p = p;
         self
     }
@@ -202,7 +208,10 @@ impl PlantedLight {
     ///
     /// Panics if `p` is not a probability in `[0, 1]`.
     pub fn with_background(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "background probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "background probability must be in [0, 1], got {p}"
+        );
         self.background_p = p;
         self
     }
@@ -230,9 +239,12 @@ impl PlantedLight {
     pub fn generate(&self) -> Graph {
         let mut b = GraphBuilder::new(self.n);
         for t in self.planted() {
-            b.add_edge(t[0], t[1]).expect("planted endpoints are in range");
-            b.add_edge(t[1], t[2]).expect("planted endpoints are in range");
-            b.add_edge(t[0], t[2]).expect("planted endpoints are in range");
+            b.add_edge(t[0], t[1])
+                .expect("planted endpoints are in range");
+            b.add_edge(t[1], t[2])
+                .expect("planted endpoints are in range");
+            b.add_edge(t[0], t[2])
+                .expect("planted endpoints are in range");
         }
         if self.background_p > 0.0 {
             let mut rng = StdRng::seed_from_u64(self.seed);
@@ -269,7 +281,10 @@ impl TriangleFreeBipartite {
     ///
     /// Panics if `p` is not a probability in `[0, 1]`.
     pub fn new(left: usize, right: usize, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "edge probability must be in [0, 1], got {p}"
+        );
         TriangleFreeBipartite {
             left,
             right,
@@ -424,7 +439,9 @@ mod tests {
 
     #[test]
     fn bipartite_is_triangle_free() {
-        let g = TriangleFreeBipartite::new(20, 25, 0.4).seeded(11).generate();
+        let g = TriangleFreeBipartite::new(20, 25, 0.4)
+            .seeded(11)
+            .generate();
         assert_eq!(triangles::count_all(&g), 0);
         let g = Classic::CompleteBipartite(10, 10).generate();
         assert_eq!(triangles::count_all(&g), 0);

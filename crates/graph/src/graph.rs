@@ -55,7 +55,10 @@ impl Graph {
             neighbors.extend_from_slice(&list);
             offsets.push(neighbors.len());
         }
-        debug_assert!(directed % 2 == 0, "undirected adjacency must be symmetric");
+        debug_assert!(
+            directed.is_multiple_of(2),
+            "undirected adjacency must be symmetric"
+        );
         Graph {
             offsets,
             neighbors,

@@ -51,7 +51,9 @@ pub fn partition_by_heaviness(g: &Graph, epsilon: f64) -> (TriangleSet, Triangle
 
 /// All heavy edges of the graph, i.e. edges with `#(e) ≥ n^ε`.
 pub fn heavy_edges(g: &Graph, epsilon: f64) -> Vec<Edge> {
-    g.edges().filter(|&e| is_heavy_edge(g, e, epsilon)).collect()
+    g.edges()
+        .filter(|&e| is_heavy_edge(g, e, epsilon))
+        .collect()
 }
 
 #[cfg(test)]

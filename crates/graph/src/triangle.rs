@@ -173,6 +173,14 @@ impl TriangleSet {
         self.inner.insert(triangle)
     }
 
+    /// Removes a triangle; returns `true` if it was present.
+    ///
+    /// Used by the incremental engine of `congest-stream`, which retires
+    /// triangles as their edges are deleted.
+    pub fn remove(&mut self, triangle: &Triangle) -> bool {
+        self.inner.remove(triangle)
+    }
+
     /// Whether the set contains `triangle`.
     pub fn contains(&self, triangle: &Triangle) -> bool {
         self.inner.contains(triangle)
@@ -292,6 +300,16 @@ mod tests {
         assert!(edges.contains(&Edge::new(v(1), v(2))));
         assert!(edges.contains(&Edge::new(v(1), v(3))));
         assert!(edges.contains(&Edge::new(v(2), v(3))));
+    }
+
+    #[test]
+    fn triangle_set_remove() {
+        let mut s = TriangleSet::new();
+        let t = Triangle::new(v(1), v(2), v(3));
+        s.insert(t);
+        assert!(s.remove(&t));
+        assert!(!s.remove(&t));
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -86,10 +86,7 @@ impl KWiseFamily {
     ///
     /// Returns a [`WireError`] if the payload is truncated or a coefficient
     /// is not a canonical field element.
-    pub fn decode_function(
-        &self,
-        reader: &mut BitReader<'_>,
-    ) -> Result<HashFunction, WireError> {
+    pub fn decode_function(&self, reader: &mut BitReader<'_>) -> Result<HashFunction, WireError> {
         let mut coefficients = Vec::with_capacity(self.k);
         for _ in 0..self.k {
             let raw = reader.read_bits(COEFFICIENT_BITS)?;
@@ -142,7 +139,9 @@ impl HashFunction {
     /// Linear in the domain size; used by tests and the Lemma 1 experiment,
     /// not by the distributed algorithms themselves.
     pub fn preimage(&self, y: u64) -> Vec<u64> {
-        (0..self.family.domain).filter(|&x| self.hash(x) == y).collect()
+        (0..self.family.domain)
+            .filter(|&x| self.hash(x) == y)
+            .collect()
     }
 }
 

@@ -28,30 +28,38 @@ impl Mersenne61 {
         self.0
     }
 
-    /// Field addition.
-    pub fn add(self, other: Mersenne61) -> Mersenne61 {
+    /// Horner evaluation of a polynomial with the given coefficients
+    /// (constant term first) at point `x`.
+    pub fn poly_eval(coefficients: &[Mersenne61], x: Mersenne61) -> Mersenne61 {
+        let mut acc = Mersenne61::ZERO;
+        for &c in coefficients.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+}
+
+/// Field addition.
+impl std::ops::Add for Mersenne61 {
+    type Output = Mersenne61;
+
+    fn add(self, other: Mersenne61) -> Mersenne61 {
         let sum = self.0 + other.0; // < 2^62, no overflow
         Mersenne61(reduce_partial(sum))
     }
+}
 
-    /// Field multiplication.
-    pub fn mul(self, other: Mersenne61) -> Mersenne61 {
+/// Field multiplication.
+impl std::ops::Mul for Mersenne61 {
+    type Output = Mersenne61;
+
+    fn mul(self, other: Mersenne61) -> Mersenne61 {
         let product = u128::from(self.0) * u128::from(other.0);
         // Split into low 61 bits and the rest: x = hi * 2^61 + lo, and
         // 2^61 ≡ 1 (mod p), so x ≡ hi + lo.
         let lo = (product & u128::from(MODULUS)) as u64;
         let hi = (product >> 61) as u64;
         Mersenne61(reduce_partial(lo + hi))
-    }
-
-    /// Horner evaluation of a polynomial with the given coefficients
-    /// (constant term first) at point `x`.
-    pub fn poly_eval(coefficients: &[Mersenne61], x: Mersenne61) -> Mersenne61 {
-        let mut acc = Mersenne61::ZERO;
-        for &c in coefficients.iter().rev() {
-            acc = acc.mul(x).add(c);
-        }
-        acc
     }
 }
 
@@ -91,8 +99,8 @@ mod tests {
     fn addition_wraps_correctly() {
         let a = Mersenne61::new(MODULUS - 1);
         let b = Mersenne61::new(3);
-        assert_eq!(a.add(b).value(), 2);
-        assert_eq!(Mersenne61::ZERO.add(b).value(), 3);
+        assert_eq!((a + b).value(), 2);
+        assert_eq!((Mersenne61::ZERO + b).value(), 3);
     }
 
     #[test]
@@ -101,12 +109,15 @@ mod tests {
             (0u64, 12345u64),
             (1, MODULUS - 1),
             (MODULUS - 1, MODULUS - 1),
-            (0x1234_5678_9ABC_DEF0 % MODULUS, 0x0FED_CBA9_8765_4321 % MODULUS),
+            (
+                0x1234_5678_9ABC_DEF0 % MODULUS,
+                0x0FED_CBA9_8765_4321 % MODULUS,
+            ),
         ];
         for (a, b) in cases {
             let expected = ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64;
             assert_eq!(
-                Mersenne61::new(a).mul(Mersenne61::new(b)).value(),
+                (Mersenne61::new(a) * Mersenne61::new(b)).value(),
                 expected,
                 "a={a} b={b}"
             );
@@ -116,27 +127,20 @@ mod tests {
     #[test]
     fn polynomial_evaluation_matches_direct_computation() {
         // p(x) = 3 + 2x + x^2 at x = 10 -> 123.
-        let coeffs = [
-            Mersenne61::new(3),
-            Mersenne61::new(2),
-            Mersenne61::new(1),
-        ];
+        let coeffs = [Mersenne61::new(3), Mersenne61::new(2), Mersenne61::new(1)];
         assert_eq!(
             Mersenne61::poly_eval(&coeffs, Mersenne61::new(10)).value(),
             123
         );
         // The empty polynomial is identically zero.
-        assert_eq!(
-            Mersenne61::poly_eval(&[], Mersenne61::new(99)).value(),
-            0
-        );
+        assert_eq!(Mersenne61::poly_eval(&[], Mersenne61::new(99)).value(), 0);
     }
 
     #[test]
     fn identities() {
         let x = Mersenne61::new(987654321);
-        assert_eq!(x.mul(Mersenne61::ONE), x);
-        assert_eq!(x.add(Mersenne61::ZERO), x);
-        assert_eq!(x.mul(Mersenne61::ZERO), Mersenne61::ZERO);
+        assert_eq!(x * Mersenne61::ONE, x);
+        assert_eq!(x + Mersenne61::ZERO, x);
+        assert_eq!(x * Mersenne61::ZERO, Mersenne61::ZERO);
     }
 }

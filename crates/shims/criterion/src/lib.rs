@@ -1,0 +1,207 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark framework.
+//!
+//! The build environment has no registry access, so this shim implements
+//! the subset the workspace's `benches/` use: [`Criterion`] with
+//! `bench_function` / `benchmark_group` / `bench_with_input`, [`Bencher`]
+//! with `iter`, [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical analysis
+//! it reports mean wall-clock time per iteration over a fixed number of
+//! timed samples — enough to eyeball regressions; the workspace's real
+//! perf trajectory is tracked by the JSON-emitting harness binaries.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point owning benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, first warming up once, then running `samples`
+    /// measured iterations.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += self.samples as u64;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<40} (no measurement — bencher.iter was never called)");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        println!(
+            "{label:<40} {:>12.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            self.iters
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = shim_smoke;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    );
+
+    #[test]
+    fn group_function_runs_all_targets() {
+        shim_smoke();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+        assert_eq!(BenchmarkId::new("f", 2).0, "f/2");
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no registry access, so this shim implements
+//! the subset of the proptest API used by the workspace's tests: the
+//! [`Strategy`] trait with range / tuple / `prop_map` / `prop::collection::vec`
+//! strategies, [`any`], the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]` header), and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: failures are reported by panicking on
+//! the offending case (no shrinking, no persisted regressions), and the
+//! case stream is deterministic per test binary. That trades minimized
+//! counterexamples for zero dependencies; the printed case seed is enough
+//! to reproduce a failure locally.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner state and configuration (subset of `proptest::test_runner`).
+pub mod test_runner {
+    use super::*;
+
+    /// Configuration for a [`proptest!`] block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked on.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 48 keeps `cargo test` quick
+            // while still exercising a meaningful spread of inputs.
+            ProptestConfig { cases: 48 }
+        }
+    }
+
+    /// Per-test driver handing deterministic randomness to strategies.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: StdRng,
+        case: u32,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed base seed.
+        pub fn new(_config: &ProptestConfig) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x5EED_CAFE_2017_0001),
+                case: 0,
+            }
+        }
+
+        /// Marks the start of case number `case` (used in failure output).
+        pub fn begin_case(&mut self, case: u32) {
+            self.case = case;
+        }
+
+        /// The current case number.
+        pub fn case(&self) -> u32 {
+            self.case
+        }
+
+        /// The random source strategies draw from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+use test_runner::TestRunner;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).new_value(runner)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_sint_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Types with a canonical "whole domain" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value over the type's full domain.
+    fn arbitrary_value(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(runner: &mut TestRunner) -> Self {
+                runner.rng().gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary_value(runner)
+    }
+}
+
+/// The strategy covering the entire domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Length specification for [`vec`]: a range (or exact count) of sizes.
+    ///
+    /// Mirroring real proptest, [`vec`] takes `impl Into<SizeRange>`, which
+    /// pins untyped integer literals like `0..64` to `usize`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = runner
+                .rng()
+                .gen_range(self.len.min..=self.len.max_inclusive);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+}
+
+/// The `prop::` namespace used inside [`proptest!`] bodies.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing
+/// case number. Unlike real proptest this panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!(
+                "[proptest shim, case {}] {}",
+                $crate::__current_case(),
+                format!($($fmt)*)
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+std::thread_local! {
+    static CURRENT_CASE: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Records the current case number (called by the [`proptest!`] expansion).
+#[doc(hidden)]
+pub fn __set_current_case(case: u32) {
+    CURRENT_CASE.with(|c| c.set(case));
+}
+
+/// The case number currently executing on this thread.
+#[doc(hidden)]
+pub fn __current_case() -> u32 {
+    CURRENT_CASE.with(|c| c.get())
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` on `config.cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(&config);
+                for case in 0..config.cases {
+                    runner.begin_case(case);
+                    $crate::__set_current_case(case);
+                    $(let $arg = $crate::Strategy::new_value(&$strat, &mut runner);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 8usize..40, p in 0.05f64..0.6, seed in any::<u64>()) {
+            prop_assert!((8..40).contains(&n));
+            prop_assert!((0.05..0.6).contains(&p));
+            let _ = seed;
+        }
+
+        #[test]
+        fn mapped_strategies_apply_the_map(doubled in (1u64..100).prop_map(|v| v * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!((2..200).contains(&doubled));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_and_elements(
+            values in prop::collection::vec((any::<u64>(), 1usize..=64), 0..64)
+        ) {
+            prop_assert!(values.len() < 64);
+            for (_, width) in &values {
+                prop_assert!((1..=64).contains(width));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest shim, case")]
+    fn failures_report_the_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(v in 0u64..10) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -286,7 +286,10 @@ mod tests {
             w.write_bits(0, 17); // 17 > 16-bit budget
             ctx.send(NodeId(1), w.finish())
         });
-        assert!(matches!(res, Err(SimError::BandwidthExceeded { bits: 17, .. })));
+        assert!(matches!(
+            res,
+            Err(SimError::BandwidthExceeded { bits: 17, .. })
+        ));
     }
 
     #[test]

@@ -264,8 +264,11 @@ mod tests {
             }
         }
         let g = Classic::Complete(4).generate();
-        let run =
-            |seed| Simulation::new(&g, SimConfig::congest(seed), |_| Sampler(0)).run().outputs;
+        let run = |seed| {
+            Simulation::new(&g, SimConfig::congest(seed), |_| Sampler(0))
+                .run()
+                .outputs
+        };
         let a = run(5);
         let b = run(5);
         let c = run(6);

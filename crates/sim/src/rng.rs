@@ -13,8 +13,8 @@
 /// assert_ne!(derive_node_seed(42, 3), derive_node_seed(43, 3));
 /// ```
 pub fn derive_node_seed(master_seed: u64, node_index: usize) -> u64 {
-    let mut z = master_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node_index as u64 + 1));
+    let mut z =
+        master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node_index as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

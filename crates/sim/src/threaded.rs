@@ -35,6 +35,10 @@ enum ToWorker {
     Finish,
 }
 
+/// A node's per-round response before delivery: its status and the
+/// messages it sent, addressed by destination.
+type RoundResponse = (NodeStatus, Vec<(NodeId, congest_wire::Payload)>);
+
 /// Response sent from a worker thread to the coordinator.
 enum FromWorker<O> {
     RoundDone {
@@ -91,12 +95,7 @@ where
         std::thread::scope(|scope| {
             // Spawn one worker per node.
             let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
-            for (i, (info, mut program)) in self
-                .infos
-                .into_iter()
-                .zip(self.programs.into_iter())
-                .enumerate()
-            {
+            for (i, (info, mut program)) in self.infos.into_iter().zip(self.programs).enumerate() {
                 let (tx, rx): (Sender<ToWorker>, Receiver<ToWorker>) = unbounded();
                 to_workers.push(tx);
                 let to_coord = to_coord.clone();
@@ -173,8 +172,7 @@ where
                 // buffered and applied in node order afterwards so that the
                 // metrics are identical to the sequential engine regardless
                 // of thread scheduling.
-                let mut responses: Vec<Option<(NodeStatus, Vec<(NodeId, congest_wire::Payload)>)>> =
-                    vec![None; n];
+                let mut responses: Vec<Option<RoundResponse>> = vec![None; n];
                 for _ in 0..active {
                     match from_workers.recv().expect("workers respond every round") {
                         FromWorker::RoundDone {
@@ -209,11 +207,15 @@ where
 
             // Collect outputs.
             for tx in &to_workers {
-                tx.send(ToWorker::Finish).expect("workers are still running");
+                tx.send(ToWorker::Finish)
+                    .expect("workers are still running");
             }
             let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
             for _ in 0..n {
-                match from_workers.recv().expect("every worker reports its output") {
+                match from_workers
+                    .recv()
+                    .expect("every worker reports its output")
+                {
                     FromWorker::Finished { node, output } => outputs[node] = Some(output),
                     FromWorker::RoundDone { .. } => {
                         unreachable!("no rounds are in flight during shutdown")

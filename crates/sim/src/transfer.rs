@@ -238,7 +238,7 @@ mod tests {
     #[test]
     fn slice_bits_extracts_exact_ranges() {
         let mut w = BitWriter::new();
-        w.write_bits(0b1011_0110_1, 9);
+        w.write_bits(0b1_0110_1101, 9);
         let p = w.finish();
         let s = slice_bits(&p, 0, 4);
         assert_eq!(s.bit_len(), 4);

@@ -1,0 +1,243 @@
+//! Edge deltas and delta batches.
+//!
+//! A [`DeltaBatch`] is an *ordered* sequence of edge insertions and
+//! removals — the unit of work the streaming engine applies atomically.
+//! Batches support [coalescing](DeltaBatch::coalesce): because a single
+//! edge's final presence depends only on the **last** operation touching
+//! it, any prefix of flapping (insert/remove/insert …) can be dropped
+//! without changing the post-batch graph. The deferred mode of
+//! [`TriangleIndex`](crate::TriangleIndex) exploits this to merge
+//! overlapping batches before paying for triangle updates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use congest_graph::{Edge, NodeId};
+
+/// The two kinds of edge mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeltaOp {
+    /// Make the edge present (no-op if it already is).
+    Insert,
+    /// Make the edge absent (no-op if it already is).
+    Remove,
+}
+
+impl DeltaOp {
+    /// Short lowercase name, used in logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaOp::Insert => "insert",
+            DeltaOp::Remove => "remove",
+        }
+    }
+}
+
+/// One edge mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeDelta {
+    /// The edge being mutated.
+    pub edge: Edge,
+    /// Whether the edge is inserted or removed.
+    pub op: DeltaOp,
+}
+
+impl EdgeDelta {
+    /// An insertion of the edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (simple graphs only).
+    pub fn insert(a: NodeId, b: NodeId) -> Self {
+        EdgeDelta {
+            edge: Edge::new(a, b),
+            op: DeltaOp::Insert,
+        }
+    }
+
+    /// A removal of the edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (simple graphs only).
+    pub fn remove(a: NodeId, b: NodeId) -> Self {
+        EdgeDelta {
+            edge: Edge::new(a, b),
+            op: DeltaOp::Remove,
+        }
+    }
+}
+
+impl fmt::Display for EdgeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = match self.op {
+            DeltaOp::Insert => '+',
+            DeltaOp::Remove => '-',
+        };
+        write!(f, "{sign}{}", self.edge)
+    }
+}
+
+/// An ordered batch of edge deltas, applied atomically by the engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    deltas: Vec<EdgeDelta>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of deltas in the batch (including duplicates).
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the batch holds no deltas.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Appends a delta, preserving order.
+    pub fn push(&mut self, delta: EdgeDelta) -> &mut Self {
+        self.deltas.push(delta);
+        self
+    }
+
+    /// Appends an insertion of `{a, b}`.
+    pub fn insert(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.push(EdgeDelta::insert(a, b))
+    }
+
+    /// Appends a removal of `{a, b}`.
+    pub fn remove(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.push(EdgeDelta::remove(a, b))
+    }
+
+    /// The deltas in application order.
+    pub fn deltas(&self) -> &[EdgeDelta] {
+        &self.deltas
+    }
+
+    /// Appends every delta of `other` after the deltas of `self`.
+    pub fn extend_from(&mut self, other: &DeltaBatch) -> &mut Self {
+        self.deltas.extend_from_slice(&other.deltas);
+        self
+    }
+
+    /// Collapses the batch to at most one delta per edge.
+    ///
+    /// The final presence of an edge after a sequence of idempotent
+    /// insert/remove operations depends only on the **last** operation, so
+    /// coalescing keeps exactly that one and discards the rest. The result
+    /// is sorted by edge, which also makes the engine's adjacency updates
+    /// cache-friendlier. Applying the coalesced batch yields the same
+    /// post-batch graph as applying the original (a property the tests
+    /// check exhaustively).
+    pub fn coalesce(&self) -> DeltaBatch {
+        let mut last: BTreeMap<Edge, DeltaOp> = BTreeMap::new();
+        for d in &self.deltas {
+            last.insert(d.edge, d.op);
+        }
+        DeltaBatch {
+            deltas: last
+                .into_iter()
+                .map(|(edge, op)| EdgeDelta { edge, op })
+                .collect(),
+        }
+    }
+
+    /// The coalesced merge of a sequence of batches: the single batch whose
+    /// application yields the same graph as applying each batch in turn.
+    pub fn merge<'a, I: IntoIterator<Item = &'a DeltaBatch>>(batches: I) -> DeltaBatch {
+        let mut all = DeltaBatch::new();
+        for b in batches {
+            all.extend_from(b);
+        }
+        all.coalesce()
+    }
+}
+
+impl FromIterator<EdgeDelta> for DeltaBatch {
+    fn from_iter<I: IntoIterator<Item = EdgeDelta>>(iter: I) -> Self {
+        DeltaBatch {
+            deltas: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DeltaBatch {
+    type Item = &'a EdgeDelta;
+    type IntoIter = std::slice::Iter<'a, EdgeDelta>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deltas.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn batch_preserves_order_and_duplicates() {
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).remove(v(1), v(0)).insert(v(0), v(1));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.deltas()[0], EdgeDelta::insert(v(0), v(1)));
+        assert_eq!(b.deltas()[1], EdgeDelta::remove(v(0), v(1)));
+    }
+
+    #[test]
+    fn coalesce_keeps_only_the_last_op_per_edge() {
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1))
+            .remove(v(0), v(1))
+            .insert(v(0), v(1))
+            .insert(v(2), v(3))
+            .remove(v(2), v(3))
+            .insert(v(4), v(5));
+        let c = b.coalesce();
+        assert_eq!(c.len(), 3);
+        assert_eq!(
+            c.deltas(),
+            &[
+                EdgeDelta::insert(v(0), v(1)),
+                EdgeDelta::remove(v(2), v(3)),
+                EdgeDelta::insert(v(4), v(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_spans_batches_in_order() {
+        let mut b1 = DeltaBatch::new();
+        b1.insert(v(0), v(1)).insert(v(2), v(3));
+        let mut b2 = DeltaBatch::new();
+        b2.remove(v(0), v(1));
+        let merged = DeltaBatch::merge([&b1, &b2]);
+        assert_eq!(
+            merged.deltas(),
+            &[EdgeDelta::remove(v(0), v(1)), EdgeDelta::insert(v(2), v(3)),]
+        );
+    }
+
+    #[test]
+    fn coalesce_of_empty_batch_is_empty() {
+        assert!(DeltaBatch::new().coalesce().is_empty());
+        assert!(DeltaBatch::merge([]).is_empty());
+    }
+
+    #[test]
+    fn display_shows_sign_and_edge() {
+        assert_eq!(EdgeDelta::insert(v(3), v(1)).to_string(), "+{1, 3}");
+        assert_eq!(EdgeDelta::remove(v(1), v(3)).to_string(), "-{1, 3}");
+        assert_eq!(DeltaOp::Insert.name(), "insert");
+        assert_eq!(DeltaOp::Remove.name(), "remove");
+    }
+}

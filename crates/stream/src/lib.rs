@@ -1,0 +1,59 @@
+//! # congest-stream — incremental triangle engine over batched edge deltas
+//!
+//! The paper's algorithms answer one-shot queries on a static graph; a
+//! service facing continuous traffic instead sees an *evolving* graph and
+//! must keep its triangle set current. This crate provides that layer:
+//!
+//! * [`TriangleIndex`] — maintains adjacency **and** the live
+//!   [`TriangleSet`](congest_graph::TriangleSet) under [`DeltaBatch`]es of
+//!   edge insertions/removals. Each delta only pays a common-neighbour
+//!   intersection on its two endpoints (walked from the lower-degree side),
+//!   so a batch costs `O(batch · d̄ log d_max)` instead of the
+//!   `O(m^{3/2})` of a from-scratch recount. [`ApplyMode::Eager`] applies
+//!   immediately; [`ApplyMode::Deferred`] coalesces overlapping batches
+//!   (only the last op per edge survives) before paying.
+//! * [`Scenario`] / [`WorkloadRunner`] — a load-test harness: deterministic
+//!   update streams (uniform churn, hotspot/power-law churn,
+//!   planted-triangle bursts, grow-then-shrink) over the existing
+//!   `congest-graph` generators, driven at an optional target batch rate,
+//!   summarized as throughput, latency percentiles and
+//!   incremental-vs-recompute speedup ([`RunSummary`], JSON-serializable).
+//!
+//! The centralized reference listing
+//! ([`congest_graph::triangles::list_all`]) is both the seed for
+//! [`TriangleIndex::from_graph`] and the correctness oracle: the engine's
+//! invariant, enforced by property tests, is that after **any** sequence of
+//! batches the live set equals a from-scratch recount.
+//!
+//! ```
+//! use congest_graph::generators::Gnp;
+//! use congest_stream::{ApplyMode, DeltaBatch, Scenario, TriangleIndex, WorkloadRunner};
+//!
+//! // Incremental maintenance…
+//! let base = Gnp::new(50, 0.1).seeded(2).generate();
+//! let mut index = TriangleIndex::from_graph(&base);
+//! let mut batch = DeltaBatch::new();
+//! batch.insert(congest_graph::NodeId(0), congest_graph::NodeId(1));
+//! index.apply(&batch).unwrap();
+//! assert!(index.matches_oracle());
+//!
+//! // …and load-testing it.
+//! let summary = WorkloadRunner::new(Scenario::uniform_churn(50, 5, 10))
+//!     .with_mode(ApplyMode::Deferred)
+//!     .verified(true)
+//!     .run();
+//! assert!(summary.oracle_ok);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod index;
+mod runner;
+mod workload;
+
+pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
+pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
+pub use runner::{LatencyStats, RecomputeStats, RunSummary, WorkloadRunner};
+pub use workload::{BaseGraph, Scenario, ScenarioKind};

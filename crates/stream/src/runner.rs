@@ -1,0 +1,522 @@
+//! The workload runner: drives a [`TriangleIndex`] through a [`Scenario`]
+//! and measures what a service operator would ask about — throughput,
+//! per-batch latency percentiles, and how much the incremental engine
+//! saves over recomputing the triangle set from scratch.
+
+use std::time::{Duration, Instant};
+
+use congest_graph::triangles as oracle;
+
+use crate::index::{ApplyMode, ApplyReport, TriangleIndex};
+use crate::workload::Scenario;
+
+/// Latency percentiles over the per-batch apply times, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst batch.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+impl LatencyStats {
+    /// Computes percentiles from raw per-batch durations.
+    pub fn from_durations(durations: &[Duration]) -> Self {
+        if durations.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pick = |q: f64| {
+            let idx = ((us.len() - 1) as f64 * q).round() as usize;
+            us[idx]
+        };
+        LatencyStats {
+            p50_us: pick(0.50),
+            p90_us: pick(0.90),
+            p99_us: pick(0.99),
+            max_us: *us.last().expect("non-empty"),
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        }
+    }
+}
+
+/// Timing comparison against the from-scratch recount baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecomputeStats {
+    /// Batches on which the baseline was timed.
+    pub samples: usize,
+    /// Mean seconds per sampled from-scratch recount.
+    pub mean_recompute_secs: f64,
+    /// Mean seconds per incremental batch apply.
+    pub mean_incremental_secs: f64,
+    /// `mean_recompute_secs / mean_incremental_secs` — how much cheaper
+    /// maintaining the triangle set is than recounting it per batch.
+    pub speedup: f64,
+}
+
+/// Everything one run of a scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Scenario name (`kind/base`).
+    pub scenario: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of batches driven.
+    pub batch_count: usize,
+    /// Nominal deltas per batch.
+    pub batch_size: usize,
+    /// Apply mode name (`eager` / `deferred`).
+    pub mode: String,
+    /// Edges in the base graph before the stream.
+    pub base_edges: usize,
+    /// Edges after the stream.
+    pub final_edges: usize,
+    /// Live triangles after the stream.
+    pub final_triangles: usize,
+    /// Totals of every apply/flush report.
+    pub totals: ApplyReport,
+    /// Wall-clock seconds for the whole run (including pacing sleeps).
+    pub elapsed_secs: f64,
+    /// Seconds spent inside the engine (excluding pacing sleeps).
+    pub busy_secs: f64,
+    /// Deltas per second of wall-clock with the recompute-baseline
+    /// sampling overhead excluded (pacing sleeps still count).
+    pub deltas_per_sec: f64,
+    /// Batches per second, on the same clock as
+    /// [`deltas_per_sec`](RunSummary::deltas_per_sec).
+    pub batches_per_sec: f64,
+    /// Target batch rate, if the run was paced.
+    pub target_batches_per_sec: Option<f64>,
+    /// Per-batch latency percentiles.
+    pub latency: LatencyStats,
+    /// Baseline comparison, when sampled.
+    pub recompute: Option<RecomputeStats>,
+    /// Whether the final state was checked against the oracle.
+    pub oracle_checked: bool,
+    /// Result of that check (`true` when unchecked runs trivially pass).
+    pub oracle_ok: bool,
+}
+
+impl RunSummary {
+    /// Serializes the summary as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_json_str(&mut out, "scenario", &self.scenario);
+        push_json_num(&mut out, "n", self.n as f64);
+        push_json_num(&mut out, "batch_count", self.batch_count as f64);
+        push_json_num(&mut out, "batch_size", self.batch_size as f64);
+        push_json_str(&mut out, "mode", &self.mode);
+        push_json_num(&mut out, "base_edges", self.base_edges as f64);
+        push_json_num(&mut out, "final_edges", self.final_edges as f64);
+        push_json_num(&mut out, "final_triangles", self.final_triangles as f64);
+        push_json_num(&mut out, "deltas_seen", self.totals.deltas_seen as f64);
+        push_json_num(
+            &mut out,
+            "inserts_applied",
+            self.totals.inserts_applied as f64,
+        );
+        push_json_num(
+            &mut out,
+            "removes_applied",
+            self.totals.removes_applied as f64,
+        );
+        push_json_num(&mut out, "noops", self.totals.noops as f64);
+        push_json_num(
+            &mut out,
+            "triangles_added",
+            self.totals.triangles_added as f64,
+        );
+        push_json_num(
+            &mut out,
+            "triangles_removed",
+            self.totals.triangles_removed as f64,
+        );
+        push_json_num(&mut out, "elapsed_secs", self.elapsed_secs);
+        push_json_num(&mut out, "busy_secs", self.busy_secs);
+        push_json_num(&mut out, "deltas_per_sec", self.deltas_per_sec);
+        push_json_num(&mut out, "batches_per_sec", self.batches_per_sec);
+        match self.target_batches_per_sec {
+            Some(rate) => push_json_num(&mut out, "target_batches_per_sec", rate),
+            None => push_json_raw(&mut out, "target_batches_per_sec", "null"),
+        }
+        push_json_num(&mut out, "latency_p50_us", self.latency.p50_us);
+        push_json_num(&mut out, "latency_p90_us", self.latency.p90_us);
+        push_json_num(&mut out, "latency_p99_us", self.latency.p99_us);
+        push_json_num(&mut out, "latency_max_us", self.latency.max_us);
+        push_json_num(&mut out, "latency_mean_us", self.latency.mean_us);
+        match &self.recompute {
+            Some(r) => {
+                push_json_num(&mut out, "recompute_samples", r.samples as f64);
+                push_json_num(&mut out, "recompute_mean_secs", r.mean_recompute_secs);
+                push_json_num(&mut out, "incremental_mean_secs", r.mean_incremental_secs);
+                push_json_num(&mut out, "speedup_vs_recompute", r.speedup);
+            }
+            None => {
+                push_json_raw(&mut out, "recompute_samples", "null");
+                push_json_raw(&mut out, "speedup_vs_recompute", "null");
+            }
+        }
+        push_json_bool(&mut out, "oracle_checked", self.oracle_checked);
+        push_json_bool(&mut out, "oracle_ok", self.oracle_ok);
+        // Trailing comma bookkeeping: every push_ appends ",", strip one.
+        out.pop();
+        out.push('}');
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!(
+        "\"{}\":\"{}\",",
+        escape_json(key),
+        escape_json(value)
+    ));
+}
+
+fn push_json_num(out: &mut String, key: &str, value: f64) {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        out.push_str(&format!("\"{}\":{},", escape_json(key), value as i64));
+    } else {
+        out.push_str(&format!("\"{}\":{:.6},", escape_json(key), value));
+    }
+}
+
+fn push_json_bool(out: &mut String, key: &str, value: bool) {
+    out.push_str(&format!("\"{}\":{},", escape_json(key), value));
+}
+
+fn push_json_raw(out: &mut String, key: &str, raw: &str) {
+    out.push_str(&format!("\"{}\":{},", escape_json(key), raw));
+}
+
+/// Escapes a string for embedding in JSON.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Drives a [`TriangleIndex`] through a [`Scenario`].
+///
+/// ```
+/// use congest_stream::{BaseGraph, Scenario, WorkloadRunner};
+///
+/// let scenario = Scenario::uniform_churn(120, 15, 40)
+///     .with_base(BaseGraph::Gnp { p: 0.05 })
+///     .seeded(11);
+/// let summary = WorkloadRunner::new(scenario).verified(true).run();
+/// assert!(summary.oracle_ok);
+/// assert!(summary.deltas_per_sec > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadRunner {
+    scenario: Scenario,
+    mode: ApplyMode,
+    /// In deferred mode, flush after this many batches (>= 1).
+    flush_every: usize,
+    /// Time a from-scratch recount every `k` batches; 0 disables.
+    recompute_every: usize,
+    /// Optional pacing target.
+    target_batches_per_sec: Option<f64>,
+    /// Check the final triangle set against the oracle.
+    verify: bool,
+}
+
+impl WorkloadRunner {
+    /// A runner with eager application, no pacing, recompute sampling
+    /// every 8 batches and no final oracle check.
+    pub fn new(scenario: Scenario) -> Self {
+        WorkloadRunner {
+            scenario,
+            mode: ApplyMode::Eager,
+            flush_every: 8,
+            recompute_every: 8,
+            target_batches_per_sec: None,
+            verify: false,
+        }
+    }
+
+    /// Sets the apply mode (builder style).
+    pub fn with_mode(mut self, mode: ApplyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the deferred-mode flush period (builder style, clamped to 1+).
+    pub fn flush_every(mut self, batches: usize) -> Self {
+        self.flush_every = batches.max(1);
+        self
+    }
+
+    /// Sets how often the recompute baseline is sampled; 0 disables
+    /// (builder style).
+    pub fn recompute_every(mut self, batches: usize) -> Self {
+        self.recompute_every = batches;
+        self
+    }
+
+    /// Paces the stream at a target batch rate (builder style).
+    pub fn paced(mut self, batches_per_sec: f64) -> Self {
+        assert!(
+            batches_per_sec > 0.0,
+            "target rate must be positive, got {batches_per_sec}"
+        );
+        self.target_batches_per_sec = Some(batches_per_sec);
+        self
+    }
+
+    /// Enables/disables the final oracle check (builder style).
+    pub fn verified(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// The scenario this runner drives.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the scenario once and summarizes it.
+    pub fn run(&self) -> RunSummary {
+        let base = self.scenario.base_graph();
+        let base_edges = base.edge_count();
+        let mut index = TriangleIndex::from_graph(&base).with_mode(self.mode);
+        let batches = self.scenario.batches();
+
+        let mut totals = ApplyReport::default();
+        let mut latencies: Vec<Duration> = Vec::with_capacity(batches.len());
+        let mut recompute_total = Duration::ZERO;
+        let mut sampling_total = Duration::ZERO;
+        let mut recompute_samples = 0usize;
+
+        let pacing_interval = self
+            .target_batches_per_sec
+            .map(|rate| Duration::from_secs_f64(1.0 / rate));
+        let run_start = Instant::now();
+        let mut next_slot = run_start;
+
+        for (i, batch) in batches.iter().enumerate() {
+            if let Some(interval) = pacing_interval {
+                let now = Instant::now();
+                if next_slot > now {
+                    std::thread::sleep(next_slot - now);
+                }
+                next_slot += interval;
+            }
+
+            let start = Instant::now();
+            let report = index
+                .apply(batch)
+                .expect("scenario batches only touch in-range nodes");
+            totals.absorb(&report);
+            let flush_due = self.mode == ApplyMode::Deferred
+                && ((i + 1) % self.flush_every == 0 || i + 1 == batches.len());
+            if flush_due {
+                totals.absorb(&index.flush());
+            }
+            latencies.push(start.elapsed());
+
+            if self.recompute_every > 0 && i % self.recompute_every == 0 {
+                // Time the from-scratch alternative on the same state the
+                // incremental engine maintains. The snapshot build is not
+                // charged to the baseline — only the recount itself — but
+                // the whole sampling block is excluded from the run's
+                // throughput clock below.
+                let sample_start = Instant::now();
+                let snapshot = index.snapshot();
+                let t = Instant::now();
+                let recount = oracle::list_all(&snapshot);
+                recompute_total += t.elapsed();
+                recompute_samples += 1;
+                // Keep the optimizer honest.
+                assert!(recount.len() <= snapshot.edge_count() * snapshot.node_count());
+                sampling_total += sample_start.elapsed();
+            }
+        }
+        let elapsed = run_start.elapsed();
+
+        let busy: Duration = latencies.iter().sum();
+        let (oracle_checked, oracle_ok) = if self.verify {
+            (true, index.matches_oracle())
+        } else {
+            (false, true)
+        };
+
+        let mean_incremental = if latencies.is_empty() {
+            0.0
+        } else {
+            busy.as_secs_f64() / latencies.len() as f64
+        };
+        let recompute = (recompute_samples > 0).then(|| {
+            let mean_recompute = recompute_total.as_secs_f64() / recompute_samples as f64;
+            RecomputeStats {
+                samples: recompute_samples,
+                mean_recompute_secs: mean_recompute,
+                mean_incremental_secs: mean_incremental,
+                speedup: if mean_incremental > 0.0 {
+                    mean_recompute / mean_incremental
+                } else {
+                    f64::INFINITY
+                },
+            }
+        });
+
+        let elapsed_secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        // Throughput excludes the recompute-baseline sampling (snapshot
+        // build + recount), which runs inside the loop purely as
+        // measurement overhead: with sampling on every batch the baseline
+        // can dominate wall time by exactly the speedup factor being
+        // measured.
+        let measured_secs = elapsed
+            .saturating_sub(sampling_total)
+            .as_secs_f64()
+            .max(f64::MIN_POSITIVE);
+        RunSummary {
+            scenario: self.scenario.name(),
+            n: self.scenario.node_count(),
+            batch_count: batches.len(),
+            batch_size: self.scenario.batch_size(),
+            mode: self.mode.name().to_string(),
+            base_edges,
+            final_edges: index.edge_count(),
+            final_triangles: index.triangle_count(),
+            totals,
+            elapsed_secs,
+            busy_secs: busy.as_secs_f64(),
+            deltas_per_sec: totals.deltas_seen as f64 / measured_secs,
+            batches_per_sec: batches.len() as f64 / measured_secs,
+            target_batches_per_sec: self.target_batches_per_sec,
+            latency: LatencyStats::from_durations(&latencies),
+            recompute,
+            oracle_checked,
+            oracle_ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::BaseGraph;
+
+    fn small_scenario() -> Scenario {
+        Scenario::uniform_churn(60, 12, 25)
+            .with_base(BaseGraph::Gnp { p: 0.08 })
+            .seeded(21)
+    }
+
+    #[test]
+    fn runner_totals_cover_every_delta() {
+        let summary = WorkloadRunner::new(small_scenario()).verified(true).run();
+        assert_eq!(summary.totals.deltas_seen, 12 * 25);
+        assert_eq!(
+            summary.totals.inserts_applied + summary.totals.removes_applied + summary.totals.noops,
+            12 * 25
+        );
+        assert!(summary.oracle_checked && summary.oracle_ok);
+        assert!(summary.busy_secs <= summary.elapsed_secs * 1.5);
+    }
+
+    #[test]
+    fn deferred_runner_flushes_everything_by_the_end() {
+        let summary = WorkloadRunner::new(small_scenario())
+            .with_mode(ApplyMode::Deferred)
+            .flush_every(5)
+            .verified(true)
+            .run();
+        assert!(summary.oracle_ok);
+        // Every delta was deferred once and counted as seen exactly once
+        // (flushes do not re-count), so eager and deferred throughput
+        // numbers are directly comparable.
+        assert_eq!(summary.totals.deltas_deferred, 12 * 25);
+        assert_eq!(summary.totals.deltas_seen, 12 * 25);
+        assert_eq!(
+            summary.totals.inserts_applied + summary.totals.removes_applied + summary.totals.noops,
+            12 * 25
+        );
+    }
+
+    #[test]
+    fn recompute_sampling_produces_a_speedup_estimate() {
+        let summary = WorkloadRunner::new(small_scenario())
+            .recompute_every(4)
+            .run();
+        let r = summary.recompute.expect("sampling was enabled");
+        assert_eq!(r.samples, 3);
+        assert!(r.speedup > 0.0);
+        let off = WorkloadRunner::new(small_scenario())
+            .recompute_every(0)
+            .run();
+        assert!(off.recompute.is_none());
+    }
+
+    #[test]
+    fn pacing_slows_the_run_down() {
+        let scenario = Scenario::uniform_churn(20, 5, 5).seeded(2);
+        let paced = WorkloadRunner::new(scenario.clone())
+            .recompute_every(0)
+            .paced(100.0)
+            .run();
+        // 5 batches at 100/s leave >= ~40ms of pacing.
+        assert!(paced.elapsed_secs >= 0.03, "got {}", paced.elapsed_secs);
+        assert_eq!(paced.target_batches_per_sec, Some(100.0));
+        assert!(paced.batches_per_sec <= 150.0);
+    }
+
+    #[test]
+    fn latency_stats_are_ordered() {
+        let summary = WorkloadRunner::new(small_scenario()).run();
+        let l = summary.latency;
+        assert!(l.p50_us <= l.p90_us);
+        assert!(l.p90_us <= l.p99_us);
+        assert!(l.p99_us <= l.max_us);
+        assert!(l.mean_us > 0.0);
+    }
+
+    #[test]
+    fn latency_stats_of_empty_input_are_zero() {
+        assert_eq!(LatencyStats::from_durations(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let summary = WorkloadRunner::new(small_scenario()).verified(true).run();
+        let json = summary.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"scenario\":\"uniform_churn/gnp\""));
+        assert!(json.contains("\"oracle_ok\":true"));
+        assert!(json.contains("\"latency_p99_us\":"));
+        // Balanced quotes and no trailing comma before the brace.
+        assert_eq!(json.matches('"').count() % 2, 0);
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    #[should_panic(expected = "target rate must be positive")]
+    fn pacing_rejects_nonpositive_rates() {
+        let _ = WorkloadRunner::new(small_scenario()).paced(0.0);
+    }
+}

@@ -57,8 +57,8 @@ impl A2Program {
         let nf = n as f64;
         let range = (nf.powf(epsilon / 2.0).floor() as u64).max(1);
         let family = KWiseFamily::new(3, n as u64, range);
-        let edge_set_cap = ((cap_factor * (8.0 + 4.0 * nf / range as f64)).floor() as usize)
-            .clamp(1, n);
+        let edge_set_cap =
+            ((cap_factor * (8.0 + 4.0 * nf / range as f64)).floor() as usize).clamp(1, n);
         let codec = IdCodec::new(n as u64);
         let hash_rounds = rounds_for_bits(family.encoded_bits(), info.bandwidth_bits).max(1);
         let edge_rounds =
@@ -248,7 +248,10 @@ mod tests {
             let run = run_a2(&g, 0.5, seed);
             assert!(run.is_sound(&g));
             // Count how many of the heavy triangles this pass listed.
-            per_triangle_hits += heavy_set.iter().filter(|t| run.triangles.contains(t)).count();
+            per_triangle_hits += heavy_set
+                .iter()
+                .filter(|t| run.triangles.contains(t))
+                .count();
         }
         // Proposition 2 promises each heavy triangle is listed with
         // probability Ω(1) per pass; across 10 passes and 25 triangles we

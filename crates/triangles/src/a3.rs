@@ -131,7 +131,10 @@ mod tests {
         for seed in 0..trials {
             let run = run_a3(&g, epsilon, ConstantsProfile::Paper, seed);
             assert!(run.is_sound(&g));
-            hits += light_set.iter().filter(|t| run.triangles.contains(t)).count();
+            hits += light_set
+                .iter()
+                .filter(|t| run.triangles.contains(t))
+                .count();
         }
         // Proposition 3 promises each light triangle is found with constant
         // probability per pass; require a healthy hit count across passes.

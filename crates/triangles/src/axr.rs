@@ -229,7 +229,8 @@ impl AXrProgram {
                 for (from, payload) in parts {
                     let mut r = BitReader::new(&payload);
                     if let Ok(ids) = self.codec.decode_list(&mut r) {
-                        self.x_sets.insert(from, ids_to_nodes(&ids).into_iter().collect());
+                        self.x_sets
+                            .insert(from, ids_to_nodes(&ids).into_iter().collect());
                     }
                 }
             }
@@ -349,8 +350,12 @@ impl AXrProgram {
             PhaseKind::VPhase => {
                 // Step 4.3 sender side: r-good nodes ship V^X_{U,r}.
                 if self.in_u && self.good_this_iteration && !self.v_list.is_empty() {
-                    let list: Vec<NodeId> =
-                        self.v_list.iter().copied().take(self.r_cap.max(1)).collect();
+                    let list: Vec<NodeId> = self
+                        .v_list
+                        .iter()
+                        .copied()
+                        .take(self.r_cap.max(1))
+                        .collect();
                     let mut w = BitWriter::new();
                     self.codec.encode_list(&mut w, &nodes_to_ids(&list));
                     let payload = w.finish();

@@ -131,10 +131,7 @@ mod tests {
         // the only triangles fully inside that set are {0,1,2} ... and any
         // {0,x,y} with {x,y} present, i.e. exactly {0,1,2}.
         let g = Classic::Complete(5).generate();
-        let mut edges: BTreeSet<Edge> = g
-            .edges()
-            .filter(|e| e.contains(NodeId(0)))
-            .collect();
+        let mut edges: BTreeSet<Edge> = g.edges().filter(|e| e.contains(NodeId(0))).collect();
         edges.insert(Edge::new(NodeId(1), NodeId(2)));
         let ts = triangles_in_edge_set(&edges);
         assert_eq!(ts.len(), 1);

@@ -226,7 +226,9 @@ mod tests {
         let g = Classic::Complete(12).generate();
         let eager = find_triangles(
             &g,
-            &FindingConfig::paper(&g).with_repetitions(6).with_stop_early(true),
+            &FindingConfig::paper(&g)
+                .with_repetitions(6)
+                .with_stop_early(true),
             2,
         );
         let full = find_triangles(&g, &FindingConfig::paper(&g).with_repetitions(6), 2);

@@ -151,7 +151,9 @@ impl ListingReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use congest_graph::generators::{Classic, Gnp, PlantedHeavy, PlantedLight, TriangleFreeBipartite};
+    use congest_graph::generators::{
+        Classic, Gnp, PlantedHeavy, PlantedLight, TriangleFreeBipartite,
+    };
     use congest_graph::triangles as reference;
 
     #[test]
@@ -178,11 +180,17 @@ mod tests {
 
     #[test]
     fn lists_planted_structures_exactly() {
-        let g = PlantedHeavy::new(40, 12).with_background(0.05).seeded(3).generate();
+        let g = PlantedHeavy::new(40, 12)
+            .with_background(0.05)
+            .seeded(3)
+            .generate();
         let report = list_triangles(&g, &ListingConfig::paper(&g), 21);
         assert_eq!(report.listed, reference::list_all(&g));
 
-        let g = PlantedLight::new(36, 8).with_background(0.03).seeded(6).generate();
+        let g = PlantedLight::new(36, 8)
+            .with_background(0.03)
+            .seeded(6)
+            .generate();
         let report = list_triangles(&g, &ListingConfig::paper(&g), 22);
         assert_eq!(report.listed, reference::list_all(&g));
     }
@@ -215,7 +223,11 @@ mod tests {
         let b = list_triangles(&g, &config, 13);
         assert_eq!(a.listed, b.listed);
         assert_eq!(a.total_rounds, b.total_rounds);
-        let sum: u64 = a.repetitions.iter().map(|r| r.a2_rounds + r.a3_rounds).sum();
+        let sum: u64 = a
+            .repetitions
+            .iter()
+            .map(|r| r.a2_rounds + r.a3_rounds)
+            .sum();
         assert_eq!(sum, a.total_rounds);
     }
 }

@@ -244,8 +244,14 @@ mod tests {
         for n in [10usize, 50, 100, 500, 1000, 10_000] {
             let f = EpsilonChoice::finding(n);
             let l = EpsilonChoice::listing(n);
-            assert!((0.0..=1.0).contains(&f.epsilon()), "finding epsilon for {n}");
-            assert!((0.0..=1.0).contains(&l.epsilon()), "listing epsilon for {n}");
+            assert!(
+                (0.0..=1.0).contains(&f.epsilon()),
+                "finding epsilon for {n}"
+            );
+            assert!(
+                (0.0..=1.0).contains(&l.epsilon()),
+                "listing epsilon for {n}"
+            );
             // The thresholds n^eps are at least 1 by construction.
             assert!(f.threshold(n) >= 1.0);
             assert!(l.threshold(n) >= 1.0);
@@ -264,8 +270,8 @@ mod tests {
     fn finding_epsilon_matches_formula_for_large_n() {
         let n = 100_000usize;
         let e = EpsilonChoice::finding(n);
-        let expected = ((n as f64).powf(1.0 / 3.0) / (n as f64).ln().powf(2.0 / 3.0)).ln()
-            / (n as f64).ln();
+        let expected =
+            ((n as f64).powf(1.0 / 3.0) / (n as f64).ln().powf(2.0 / 3.0)).ln() / (n as f64).ln();
         assert!((e.epsilon() - expected).abs() < 1e-9);
     }
 
@@ -308,9 +314,15 @@ mod tests {
         assert_eq!(plan.length_of(1), 3);
 
         let p = plan.position(0).unwrap();
-        assert_eq!((p.phase, p.offset, p.is_first, p.is_last), (0, 0, true, true));
+        assert_eq!(
+            (p.phase, p.offset, p.is_first, p.is_last),
+            (0, 0, true, true)
+        );
         let p = plan.position(2).unwrap();
-        assert_eq!((p.phase, p.offset, p.is_first, p.is_last), (1, 1, false, false));
+        assert_eq!(
+            (p.phase, p.offset, p.is_first, p.is_last),
+            (1, 1, false, false)
+        );
         let p = plan.position(3).unwrap();
         assert!(p.is_last);
         let p = plan.position(5).unwrap();

@@ -56,7 +56,10 @@ impl fmt::Display for WireError {
                 write!(f, "value {value} does not fit in {width} bits")
             }
             WireError::OutOfDomain { value, bound } => {
-                write!(f, "decoded value {value} is outside the domain [0, {bound})")
+                write!(
+                    f,
+                    "decoded value {value} is outside the domain [0, {bound})"
+                )
             }
             WireError::LengthOverflow {
                 announced,

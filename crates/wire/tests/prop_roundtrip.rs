@@ -60,9 +60,8 @@ proptest! {
         let payload = Payload::from_parts(bytes, bit_len);
         let codec = IdCodec::new(domain);
         let mut r = BitReader::new(&payload);
-        match codec.decode_list(&mut r) {
-            Ok(ids) => prop_assert!(ids.iter().all(|&id| id < domain)),
-            Err(_) => {}
+        if let Ok(ids) = codec.decode_list(&mut r) {
+            prop_assert!(ids.iter().all(|&id| id < domain));
         }
     }
 }

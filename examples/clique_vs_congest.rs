@@ -56,9 +56,12 @@ fn main() {
 
     // The threaded (thread-per-node) executor is observationally identical
     // to the sequential engine — node programs only interact via messages.
-    let threaded = ThreadedSimulation::new(&graph, SimConfig::clique(1), DolevCliqueListing::new)
-        .run();
+    let threaded =
+        ThreadedSimulation::new(&graph, SimConfig::clique(1), DolevCliqueListing::new).run();
     assert_eq!(threaded.metrics, dolev.metrics);
     println!("\nthread-per-node executor reproduced the sequential clique run bit-for-bit");
-    println!("({} rounds, {} messages).", threaded.metrics.rounds, threaded.metrics.messages);
+    println!(
+        "({} rounds, {} messages).",
+        threaded.metrics.rounds, threaded.metrics.messages
+    );
 }

@@ -21,7 +21,11 @@ fn main() {
         let graph = Gnp::new(n, 0.5).seeded(n as u64).generate();
         let triangles = reference::count_all(&graph);
         let run = run_congest(&graph, SimConfig::clique(7), DolevCliqueListing::new);
-        assert_eq!(run.triangles.len(), triangles, "the baseline lists everything");
+        assert_eq!(
+            run.triangles.len(),
+            triangles,
+            "the baseline lists everything"
+        );
 
         let bandwidth = Bandwidth::default().bits_per_round(n);
         let report = LowerBoundReport::from_run(&run.per_node, &run.metrics, bandwidth, n - 1);

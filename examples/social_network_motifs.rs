@@ -84,6 +84,9 @@ fn main() {
     // triangles; acquaintance edges only add to that.
     let min_count = counts.iter().copied().min().unwrap_or(0);
     println!("minimum per-member triangle count: {min_count} (clique floor is 21)");
-    assert!(report.listed == truth, "distributed listing must match the reference");
+    assert!(
+        report.listed == truth,
+        "distributed listing must match the reference"
+    );
     println!("distributed listing matches the centralized reference exactly");
 }

@@ -25,7 +25,9 @@ fn plant_rogue_edges(graph: &Graph, count: usize) -> Graph {
         for b in (a + 1)..graph.node_count() {
             let (va, vb) = (NodeId::from_index(a), NodeId::from_index(b));
             if !graph.has_edge(va, vb) && !graph.common_neighbors(va, vb).is_empty() {
-                builder.add_edge(va, vb).expect("rogue edge endpoints are valid");
+                builder
+                    .add_edge(va, vb)
+                    .expect("rogue edge endpoints are valid");
                 planted += 1;
                 if planted == count {
                     break 'outer;
@@ -51,14 +53,19 @@ fn certify(graph: &Graph, label: &str) -> bool {
 }
 
 fn main() {
-    let clean = TriangleFreeBipartite::new(40, 40, 0.15).seeded(31).generate();
+    let clean = TriangleFreeBipartite::new(40, 40, 0.15)
+        .seeded(31)
+        .generate();
     println!(
         "bipartite network: n = {}, m = {} (triangle-free by construction)",
         clean.node_count(),
         clean.edge_count()
     );
     let found_clean = certify(&clean, "clean bipartite network");
-    assert!(!found_clean, "a triangle-free graph must never produce a witness");
+    assert!(
+        !found_clean,
+        "a triangle-free graph must never produce a witness"
+    );
 
     let dirty = plant_rogue_edges(&clean, 3);
     println!(

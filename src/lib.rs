@@ -17,6 +17,8 @@
 //!   Theorem 1/2 drivers) plus baselines.
 //! * [`info`] — information-theoretic experiment machinery for the paper's
 //!   lower bounds (Theorem 3, Proposition 5).
+//! * [`stream`] — the incremental triangle engine over batched edge deltas
+//!   plus the workload/scenario load-test harness.
 //!
 //! ## Quick example
 //!
@@ -40,6 +42,7 @@ pub use congest_graph as graph;
 pub use congest_hash as hash;
 pub use congest_info as info;
 pub use congest_sim as sim;
+pub use congest_stream as stream;
 pub use congest_triangles as triangles;
 pub use congest_wire as wire;
 
@@ -52,6 +55,10 @@ pub mod prelude {
     pub use congest_hash::KWiseFamily;
     pub use congest_info::{rivin_edge_lower_bound, LowerBoundReport};
     pub use congest_sim::{Bandwidth, Model, RunReport, SimConfig, Simulation};
+    pub use congest_stream::{
+        ApplyMode, BaseGraph, DeltaBatch, EdgeDelta, RunSummary, Scenario, TriangleIndex,
+        WorkloadRunner,
+    };
     pub use congest_triangles::{
         find_triangles, list_triangles, ConstantsProfile, EpsilonChoice, FindingConfig,
         FindingReport, ListingConfig, ListingReport,

@@ -13,8 +13,20 @@ fn theorem1_finding_is_sound_and_detects_on_diverse_instances() {
     let instances: Vec<(&str, congest::graph::Graph)> = vec![
         ("gnp_dense", Gnp::new(48, 0.5).seeded(1).generate()),
         ("gnp_sparse", Gnp::new(48, 0.12).seeded(2).generate()),
-        ("planted_heavy", PlantedHeavy::new(60, 16).with_background(0.03).seeded(3).generate()),
-        ("planted_light", PlantedLight::new(48, 8).with_background(0.02).seeded(4).generate()),
+        (
+            "planted_heavy",
+            PlantedHeavy::new(60, 16)
+                .with_background(0.03)
+                .seeded(3)
+                .generate(),
+        ),
+        (
+            "planted_light",
+            PlantedLight::new(48, 8)
+                .with_background(0.02)
+                .seeded(4)
+                .generate(),
+        ),
         ("complete", Classic::Complete(20).generate()),
     ];
     for (name, graph) in instances {
@@ -24,9 +36,15 @@ fn theorem1_finding_is_sound_and_detects_on_diverse_instances() {
             assert!(graph.is_triangle(*t), "{name}: reported a non-triangle");
         }
         if has_triangle {
-            assert!(report.found_any(), "{name}: paper-profile finding missed all triangles");
+            assert!(
+                report.found_any(),
+                "{name}: paper-profile finding missed all triangles"
+            );
         } else {
-            assert!(!report.found_any(), "{name}: found a triangle in a triangle-free graph");
+            assert!(
+                !report.found_any(),
+                "{name}: found a triangle in a triangle-free graph"
+            );
         }
     }
 }
@@ -47,7 +65,11 @@ fn theorem2_listing_matches_reference_on_random_graphs() {
 #[test]
 fn theorem2_listing_handles_structured_instances() {
     let star_of_triangles = PlantedLight::new(45, 15).generate();
-    let report = list_triangles(&star_of_triangles, &ListingConfig::paper(&star_of_triangles), 9);
+    let report = list_triangles(
+        &star_of_triangles,
+        &ListingConfig::paper(&star_of_triangles),
+        9,
+    );
     assert_eq!(report.listed.len(), 15);
 
     let heavy = PlantedHeavy::new(64, 30).generate();
@@ -104,7 +126,10 @@ fn heavy_sampling_pass_beats_the_naive_baseline_on_dense_graphs() {
         A1Program::new(info, 0.5, 1.0)
     });
     assert!(a1.is_sound(&graph));
-    assert!(!a1.triangles.is_empty(), "A1 should find a triangle on G(128, 1/2)");
+    assert!(
+        !a1.triangles.is_empty(),
+        "A1 should find a triangle on G(128, 1/2)"
+    );
     assert!(
         a1.rounds() < naive.rounds(),
         "one A1 pass ({}) should cost less than the naive baseline ({})",

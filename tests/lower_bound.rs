@@ -41,7 +41,10 @@ fn proposition5_every_node_learns_quadratically_many_bits() {
 
     // Local listing: every node outputs exactly the triangles containing it.
     for v in graph.nodes() {
-        assert_eq!(run.per_node[v.index()], reference::list_containing(&graph, v));
+        assert_eq!(
+            run.per_node[v.index()],
+            reference::list_containing(&graph, v)
+        );
     }
     // Every node of G(n, 1/2) has ~n/2 neighbours, each shipping a ~n/2-id
     // list: Omega(n^2 / 4) bits of transcript per node (up to the log n id
