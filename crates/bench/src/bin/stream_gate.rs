@@ -1,0 +1,64 @@
+//! CI bench-regression gate for the streaming engine.
+//!
+//! Usage: `stream_gate <baseline.json> <current.json>`
+//!
+//! Compares the fresh `BENCH_stream.json` written by `stream_bench`
+//! against the committed baseline and exits non-zero when any gated
+//! metric (throughput or incremental-vs-recompute / parallel speedup)
+//! drops more than 20% below the baseline. Metrics missing from either
+//! side are reported but skipped, so schema growth and flag-restricted
+//! runs do not trip the gate. All gated metrics are timing-derived —
+//! absolute throughputs obviously, but the speedups too (the parallel
+//! speedup scales with core count, the recompute ratio with cache
+//! behaviour) — so the whole comparison only runs against a baseline
+//! recorded on matching hardware (same `hardware_threads` fingerprint);
+//! against foreign hardware the gate reports and passes, and regains
+//! teeth as soon as a baseline from like hardware is committed. The
+//! same-run floors (10x recompute speedup, S=1 within 10%, S=4 ≥ 1.5x
+//! on ≥4 threads) are enforced by `stream_bench` itself regardless.
+
+use congest_bench::gate::{check_metric, extract_number, DEFAULT_TOLERANCE, STREAM_GATE_METRICS};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (baseline_path, current_path) = match (args.next(), args.next()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!("usage: stream_gate <baseline.json> <current.json>");
+            std::process::exit(2);
+        }
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let current = std::fs::read_to_string(&current_path)
+        .unwrap_or_else(|e| panic!("read current {current_path}: {e}"));
+
+    println!("# stream_gate — {baseline_path} vs {current_path} (tolerance: 20% drop)\n");
+    let fingerprints = (
+        extract_number(&baseline, "hardware_threads"),
+        extract_number(&current, "hardware_threads"),
+    );
+    let same_hardware = matches!(fingerprints, (Some(b), Some(c)) if b == c);
+    if !same_hardware {
+        println!(
+            "baseline hardware_threads {:?} != current {:?}: timing metrics are not \
+             comparable like-for-like; reporting without gating.\n",
+            fingerprints.0, fingerprints.1
+        );
+    }
+    let mut failed = false;
+    for key in STREAM_GATE_METRICS {
+        let check = check_metric(&baseline, &current, key, DEFAULT_TOLERANCE);
+        if same_hardware {
+            println!("{check}");
+            failed |= check.regressed;
+        } else {
+            println!("{check} [not gated: foreign-hardware baseline]");
+        }
+    }
+    if failed {
+        eprintln!("\nERROR: streaming bench regressed more than 20% against the baseline");
+        std::process::exit(1);
+    }
+    println!("\ngate passed");
+}

@@ -1,0 +1,179 @@
+//! Bench-regression gating: compare a fresh `BENCH_stream.json` against
+//! the committed baseline and flag drops.
+//!
+//! The JSON the harness emits is flat and fully under our control, so
+//! instead of pulling in a JSON crate (no registry access) this module
+//! ships a tiny top-level-key number extractor plus the comparison
+//! policy: a metric regresses when it drops more than the allowed
+//! fraction below the baseline. Higher is better for every gated metric
+//! (throughputs and speedups).
+
+use std::fmt;
+
+/// Maximum tolerated drop below baseline before the gate fails (20%).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Extracts the numeric value of a top-level `"key":value` pair from a
+/// JSON object emitted by the harness. Returns `None` when the key is
+/// missing or its value is not a finite number (e.g. `null`).
+///
+/// This is *not* a general JSON parser: it assumes the key appears at
+/// most once and is never embedded inside a string value — both true for
+/// every file the harness writes.
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find([',', '}', ']'])
+        .expect("harness JSON closes every value");
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+}
+
+/// Outcome of comparing one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricCheck {
+    /// Top-level JSON key of the metric.
+    pub key: String,
+    /// Value in the committed baseline, if present.
+    pub baseline: Option<f64>,
+    /// Value in the fresh run, if present.
+    pub current: Option<f64>,
+    /// `current / baseline` when both are present and baseline is > 0.
+    pub ratio: Option<f64>,
+    /// Whether this metric fails the gate.
+    pub regressed: bool,
+}
+
+impl fmt::Display for MetricCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.3}"),
+            None => "-".to_string(),
+        };
+        write!(
+            f,
+            "{:<32} baseline {:>14} current {:>14} {}",
+            self.key,
+            show(self.baseline),
+            show(self.current),
+            match (self.ratio, self.regressed) {
+                (Some(r), true) => format!("ratio {r:.3} REGRESSED"),
+                (Some(r), false) => format!("ratio {r:.3} ok"),
+                (None, _) => "skipped (missing on one side)".to_string(),
+            }
+        )
+    }
+}
+
+/// Compares one higher-is-better metric between the two files.
+///
+/// A metric missing from either side is skipped, not failed: the baseline
+/// may predate a metric (schema growth) and a flag-restricted run may
+/// omit one (`--shards 2` leaves no S=1 ratio). Only a genuine drop of
+/// more than `tolerance` fails.
+pub fn check_metric(baseline: &str, current: &str, key: &str, tolerance: f64) -> MetricCheck {
+    let base = extract_number(baseline, key);
+    let cur = extract_number(current, key);
+    let ratio = match (base, cur) {
+        (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+        _ => None,
+    };
+    MetricCheck {
+        key: key.to_string(),
+        baseline: base,
+        current: cur,
+        ratio,
+        regressed: ratio.is_some_and(|r| r < 1.0 - tolerance),
+    }
+}
+
+/// The metrics `stream_gate` holds against the committed baseline, all
+/// higher-is-better and all timing-derived, so the gate only *enforces*
+/// them when baseline and current report the same `hardware_threads`
+/// fingerprint — a committed baseline from a laptop must not fail a CI
+/// runner (or vice versa) just because the hardware differs: absolute
+/// throughput obviously depends on the machine, the parallel speedup
+/// scales with core count, and even the recompute ratio moves with cache
+/// behaviour. (`sweep_single_deltas_per_sec` stays in the JSON as
+/// trajectory data but is not gated: it measures an 8-batch slice whose
+/// run-to-run noise approaches the tolerance, and `stream_bench` already
+/// enforces the S=1-within-10% floor on the same run.)
+pub const STREAM_GATE_METRICS: [&str; 3] = [
+    "headline_deltas_per_sec",
+    "headline_speedup_vs_recompute",
+    "sweep_best_parallel_speedup",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str =
+        r#"{"bench":"stream","a":12.5,"nested":[{"a":99}],"b":null,"c":3,"last":7}"#;
+
+    #[test]
+    fn extracts_top_level_numbers() {
+        assert_eq!(extract_number(SAMPLE, "a"), Some(12.5));
+        assert_eq!(extract_number(SAMPLE, "c"), Some(3.0));
+        assert_eq!(extract_number(SAMPLE, "last"), Some(7.0));
+    }
+
+    #[test]
+    fn null_and_missing_keys_are_none() {
+        assert_eq!(extract_number(SAMPLE, "b"), None);
+        assert_eq!(extract_number(SAMPLE, "zzz"), None);
+        assert_eq!(extract_number(SAMPLE, "bench"), None);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = r#"{"m":100.0}"#;
+        let cur = r#"{"m":85.0}"#;
+        let check = check_metric(base, cur, "m", DEFAULT_TOLERANCE);
+        assert!(!check.regressed);
+        assert_eq!(check.ratio, Some(0.85));
+        assert!(check.to_string().contains("ok"));
+    }
+
+    #[test]
+    fn a_drop_beyond_tolerance_fails() {
+        let base = r#"{"m":100.0}"#;
+        let cur = r#"{"m":79.9}"#;
+        let check = check_metric(base, cur, "m", DEFAULT_TOLERANCE);
+        assert!(check.regressed);
+        assert!(check.to_string().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let check = check_metric(r#"{"m":10}"#, r#"{"m":50}"#, "m", DEFAULT_TOLERANCE);
+        assert!(!check.regressed);
+        assert_eq!(check.ratio, Some(5.0));
+    }
+
+    #[test]
+    fn missing_side_is_skipped_not_failed() {
+        let with = r#"{"m":10}"#;
+        let without = r#"{"other":1}"#;
+        for (b, c) in [(with, without), (without, with)] {
+            let check = check_metric(b, c, "m", DEFAULT_TOLERANCE);
+            assert!(!check.regressed);
+            assert_eq!(check.ratio, None);
+            assert!(check.to_string().contains("skipped"));
+        }
+    }
+
+    #[test]
+    fn gated_metric_keys_exist_in_the_harness_schema() {
+        // Guard against typos drifting from what stream_bench emits.
+        for key in STREAM_GATE_METRICS {
+            assert!(!key.is_empty());
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+}

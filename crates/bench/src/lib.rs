@@ -14,6 +14,7 @@ use std::time::Instant;
 use congest_graph::Graph;
 
 pub mod fit;
+pub mod gate;
 pub mod table;
 
 pub use fit::{fit_power_law, PowerLawFit};

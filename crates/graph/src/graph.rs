@@ -141,47 +141,17 @@ impl Graph {
     }
 
     /// The set of common neighbours of `a` and `b`, i.e. the nodes `l` with
-    /// `{a,l} ∈ E` and `{b,l} ∈ E` (computed by a linear merge of the two
-    /// sorted adjacency lists).
+    /// `{a,l} ∈ E` and `{b,l} ∈ E` (via the shared
+    /// [`intersect_sorted`](crate::intersect_sorted) core).
     pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        let (mut i, mut j) = (0usize, 0usize);
-        let na = self.neighbors(a);
-        let nb = self.neighbors(b);
-        while i < na.len() && j < nb.len() {
-            match na[i].cmp(&nb[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(na[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        out
+        crate::intersect_sorted(self.neighbors(a), self.neighbors(b))
     }
 
     /// The edge support `#({a,b})` of the paper: the number of common
     /// neighbours of `a` and `b` (the number of triangles containing the
     /// edge, when `{a,b}` is an edge).
     pub fn edge_support(&self, a: NodeId, b: NodeId) -> usize {
-        let (mut i, mut j) = (0usize, 0usize);
-        let na = self.neighbors(a);
-        let nb = self.neighbors(b);
-        let mut count = 0usize;
-        while i < na.len() && j < nb.len() {
-            match na[i].cmp(&nb[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
+        crate::count_common(self.neighbors(a), self.neighbors(b))
     }
 
     /// Returns a mutable copy of the graph as a builder, to derive modified

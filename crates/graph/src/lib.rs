@@ -17,7 +17,11 @@
 //! * [`delta`] — the set `Δ(X)` of pairs with no common neighbour in `X`
 //!   and the `S`/`V`/r-good machinery of Algorithm A(X,r) (Section 3.2),
 //!   computed centrally for testing and analysis;
-//! * [`properties`] — structural helpers (connectivity, diameter, degrees).
+//! * [`properties`] — structural helpers (connectivity, diameter, degrees);
+//! * [`AdjacencyView`] — the read-only adjacency abstraction implemented by
+//!   [`Graph`] and by live structures (the `congest-stream` indexes), so
+//!   the oracle and the CONGEST drivers can run on an evolving graph with
+//!   no snapshot rebuild.
 //!
 //! ```
 //! use congest_graph::{generators::Gnp, Graph, NodeId};
@@ -43,9 +47,11 @@ mod node;
 pub mod properties;
 mod triangle;
 pub mod triangles;
+mod view;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use node::NodeId;
 pub use triangle::{Edge, Triangle, TriangleSet};
+pub use view::{count_common, for_each_common, intersect_sorted, AdjacencyView, NodeIdRange};

@@ -9,12 +9,17 @@
 //! (degree, id) towards the higher one and intersect out-neighbourhoods.
 //! Its running time is `O(m^{3/2})`, fast enough for every graph size the
 //! simulator can handle.
+//!
+//! Every routine is generic over [`AdjacencyView`], so the same oracle
+//! runs on a frozen [`Graph`] and directly on the live indexes of
+//! `congest-stream` — no snapshot rebuild. The historical `&Graph` entry
+//! points are kept as thin aliases.
 
-use crate::{Edge, Graph, NodeId, Triangle, TriangleSet};
+use crate::{AdjacencyView, Edge, Graph, NodeId, Triangle, TriangleSet};
 
 /// Rank used for the degree ordering: nodes are compared by
 /// `(degree, id)` so the orientation is acyclic and unique.
-fn rank(g: &Graph, v: NodeId) -> (usize, NodeId) {
+fn rank<V: AdjacencyView + ?Sized>(g: &V, v: NodeId) -> (usize, NodeId) {
     (g.degree(v), v)
 }
 
@@ -28,6 +33,12 @@ fn rank(g: &Graph, v: NodeId) -> (usize, NodeId) {
 /// assert_eq!(list_all(&k4).len(), 4);
 /// ```
 pub fn list_all(g: &Graph) -> TriangleSet {
+    list_all_on(g)
+}
+
+/// Lists all triangles of any [`AdjacencyView`] — the snapshot-free oracle
+/// used by the streaming engines' self-checks.
+pub fn list_all_on<V: AdjacencyView + ?Sized>(g: &V) -> TriangleSet {
     let mut out = TriangleSet::new();
     // Out-neighbours under the degree ordering, kept sorted by id.
     let mut forward: Vec<Vec<NodeId>> = vec![Vec::new(); g.node_count()];
@@ -69,8 +80,18 @@ pub fn count_all(g: &Graph) -> usize {
     list_all(g).len()
 }
 
+/// Counts the triangles of any [`AdjacencyView`].
+pub fn count_all_on<V: AdjacencyView + ?Sized>(g: &V) -> usize {
+    list_all_on(g).len()
+}
+
 /// Whether `g` contains at least one triangle.
 pub fn has_triangle(g: &Graph) -> bool {
+    has_triangle_on(g)
+}
+
+/// Whether any [`AdjacencyView`] contains at least one triangle.
+pub fn has_triangle_on<V: AdjacencyView + ?Sized>(g: &V) -> bool {
     // Early-exit variant of the listing loop.
     for v in g.nodes() {
         for &u in g.neighbors(v) {
@@ -158,6 +179,27 @@ mod tests {
         assert!(!has_triangle(&g));
         let g = Classic::Cycle(3).generate();
         assert!(has_triangle(&g));
+    }
+
+    #[test]
+    fn view_oracle_matches_graph_oracle() {
+        /// Plain sorted-`Vec` adjacency, as the streaming engines keep it.
+        struct Lists(Vec<Vec<NodeId>>);
+        impl AdjacencyView for Lists {
+            fn node_count(&self) -> usize {
+                self.0.len()
+            }
+            fn neighbors(&self, node: NodeId) -> &[NodeId] {
+                &self.0[node.index()]
+            }
+        }
+        for seed in 0..3 {
+            let g = Gnp::new(30, 0.25).seeded(seed).generate();
+            let lists = Lists(g.nodes().map(|u| g.neighbors(u).to_vec()).collect());
+            assert_eq!(list_all_on(&lists), list_all(&g), "seed {seed}");
+            assert_eq!(count_all_on(&lists), count_all(&g));
+            assert_eq!(has_triangle_on(&lists), has_triangle(&g));
+        }
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! The [`AdjacencyView`] abstraction: read-only adjacency access shared by
+//! the frozen CSR [`Graph`] and live structures such as the incremental
+//! triangle indexes of `congest-stream`.
+//!
+//! Everything downstream of the substrate — the centralized reference
+//! algorithms, the CONGEST simulator, the Theorem 1/2 drivers — only ever
+//! *reads* a graph: node count, sorted neighbour lists, derived adjacency
+//! queries. Abstracting that surface into a trait lets those consumers run
+//! directly on any structure that can answer the queries, with no `O(m)`
+//! snapshot rebuild in between. A mutable engine that keeps per-node sorted
+//! neighbour lists implements [`AdjacencyView`] for free.
+//!
+//! The contract every implementation must uphold:
+//!
+//! * nodes are `0..node_count()`;
+//! * [`neighbors`](AdjacencyView::neighbors) returns a **sorted,
+//!   duplicate-free** slice, symmetric across endpoints (`v ∈ N(u)` iff
+//!   `u ∈ N(v)`) and never containing the node itself (simple graphs).
+//!
+//! All provided methods are implemented against that contract and match the
+//! semantics of the corresponding inherent methods of [`Graph`].
+
+use crate::{NodeId, Triangle};
+
+/// Visits each element of `a ∩ b` in increasing order, for sorted,
+/// duplicate-free slices. This is *the* common-neighbour intersection
+/// core of the workspace — the trait defaults below, [`Graph`]'s
+/// inherent methods and the `congest-stream` engines all route through
+/// it. Oriented by length: the walk runs over the shorter list, and for
+/// badly skewed lengths (hub nodes under power-law churn) each element
+/// of the short list is binary-probed into the long one,
+/// `O(d_min log d_max)`; otherwise a linear merge of the two sorted
+/// lists is faster.
+///
+/// [`Graph`]: crate::Graph
+pub fn for_each_common<F: FnMut(NodeId)>(a: &[NodeId], b: &[NodeId], mut visit: F) {
+    let (mut small, mut large) = (a, b);
+    if small.len() > large.len() {
+        std::mem::swap(&mut small, &mut large);
+    }
+    // Probe threshold: merge is O(d_min + d_max), probing is
+    // O(d_min log d_max); probing wins once the skew beats log.
+    if large.len() / small.len().max(1) >= 16 {
+        for &w in small {
+            if large.binary_search(&w).is_ok() {
+                visit(w);
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    visit(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `a ∩ b` for sorted, duplicate-free slices (see [`for_each_common`]).
+pub fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for_each_common(a, b, |w| out.push(w));
+    out
+}
+
+/// `|a ∩ b|` for sorted, duplicate-free slices, counted without
+/// materializing the intersection (see [`for_each_common`]).
+pub fn count_common(a: &[NodeId], b: &[NodeId]) -> usize {
+    let mut count = 0usize;
+    for_each_common(a, b, |_| count += 1);
+    count
+}
+
+/// Read-only access to an undirected graph's sorted adjacency structure.
+///
+/// See the [module documentation](self) for the contract. [`Graph`]
+/// implements this by borrowing its CSR rows; live engines implement it by
+/// borrowing their mutable neighbour lists, which is what lets the static
+/// drivers and the centralized oracle run on an evolving graph without a
+/// snapshot.
+///
+/// [`Graph`]: crate::Graph
+pub trait AdjacencyView {
+    /// Number of nodes `n`; nodes are `0..n`.
+    fn node_count(&self) -> usize;
+
+    /// Sorted neighbour list of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn neighbors(&self, node: NodeId) -> &[NodeId];
+
+    /// Number of undirected edges `m`.
+    ///
+    /// The default recounts half the degree sum in `O(n)`;
+    /// implementations that track the count should override it.
+    fn edge_count(&self) -> usize {
+        let directed: usize = self.nodes().map(|v| self.degree(v)).sum();
+        directed / 2
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Iterator over all node identifiers `0..n`.
+    fn nodes(&self) -> NodeIdRange {
+        NodeIdRange {
+            range: 0..self.node_count(),
+        }
+    }
+
+    /// Maximum degree `d_max` over all nodes (0 for the empty graph).
+    fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `{a, b}` is an edge. Self-queries and out-of-range queries
+    /// return `false`.
+    fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || a.index() >= self.node_count() || b.index() >= self.node_count() {
+            return false;
+        }
+        // Search from the lower-degree endpoint.
+        let (from, to) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(from).binary_search(&to).is_ok()
+    }
+
+    /// Whether the triple `t` has its three pairs in the edge set.
+    fn is_triangle(&self, t: Triangle) -> bool {
+        t.edges().iter().all(|e| self.has_edge(e.lo(), e.hi()))
+    }
+
+    /// The edge support `#({a,b})` of the paper: the number of common
+    /// neighbours of `a` and `b`, counted without materializing them
+    /// (via [`count_common`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    fn edge_support(&self, a: NodeId, b: NodeId) -> usize {
+        count_common(self.neighbors(a), self.neighbors(b))
+    }
+
+    /// The sorted common neighbourhood `N(a) ∩ N(b)` (via
+    /// [`intersect_sorted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        intersect_sorted(self.neighbors(a), self.neighbors(b))
+    }
+}
+
+/// Iterator over the node identifiers `0..n` of a view (a concrete type so
+/// [`AdjacencyView`] stays object-safe and usable on older toolchains).
+#[derive(Debug, Clone)]
+pub struct NodeIdRange {
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for NodeIdRange {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.range.next().map(NodeId::from_index)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NodeIdRange {}
+
+impl AdjacencyView for crate::Graph {
+    fn node_count(&self) -> usize {
+        crate::Graph::node_count(self)
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        crate::Graph::neighbors(self, node)
+    }
+
+    fn edge_count(&self) -> usize {
+        crate::Graph::edge_count(self)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        crate::Graph::degree(self, node)
+    }
+
+    fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        crate::Graph::has_edge(self, a, b)
+    }
+}
+
+// A reference to a view is itself a view, so generic consumers can be fed
+// either owned or borrowed structures.
+impl<V: AdjacencyView + ?Sized> AdjacencyView for &V {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        (**self).neighbors(node)
+    }
+
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        (**self).degree(node)
+    }
+
+    fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        (**self).has_edge(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Gnp;
+    use crate::{Graph, GraphBuilder};
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A minimal non-`Graph` implementation, as the streaming engines keep
+    /// it: one sorted `Vec` per node.
+    struct VecAdjacency(Vec<Vec<NodeId>>);
+
+    impl AdjacencyView for VecAdjacency {
+        fn node_count(&self) -> usize {
+            self.0.len()
+        }
+
+        fn neighbors(&self, node: NodeId) -> &[NodeId] {
+            &self.0[node.index()]
+        }
+    }
+
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(v(0), v(1)).unwrap();
+        b.add_edge(v(1), v(2)).unwrap();
+        b.add_edge(v(0), v(2)).unwrap();
+        b.add_edge(v(2), v(3)).unwrap();
+        b.build()
+    }
+
+    fn as_vec_adjacency(g: &Graph) -> VecAdjacency {
+        VecAdjacency(g.nodes().map(|u| g.neighbors(u).to_vec()).collect())
+    }
+
+    #[test]
+    fn graph_view_agrees_with_inherent_methods() {
+        let g = Gnp::new(30, 0.2).seeded(5).generate();
+        let view: &dyn AdjacencyView = &g;
+        assert_eq!(view.node_count(), g.node_count());
+        assert_eq!(view.edge_count(), g.edge_count());
+        assert_eq!(view.max_degree(), g.max_degree());
+        for u in g.nodes() {
+            assert_eq!(view.neighbors(u), g.neighbors(u));
+            assert_eq!(view.degree(u), g.degree(u));
+            for w in g.nodes() {
+                assert_eq!(view.has_edge(u, w), g.has_edge(u, w));
+                if u != w {
+                    assert_eq!(view.common_neighbors(u, w), g.common_neighbors(u, w));
+                    assert_eq!(view.edge_support(u, w), g.edge_support(u, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_methods_work_for_a_non_graph_implementation() {
+        let g = sample_graph();
+        let view = as_vec_adjacency(&g);
+        assert_eq!(AdjacencyView::edge_count(&view), 4);
+        assert_eq!(view.max_degree(), 3);
+        assert!(view.has_edge(v(0), v(2)));
+        assert!(!view.has_edge(v(0), v(3)));
+        assert!(!view.has_edge(v(0), v(0)));
+        assert!(!view.has_edge(v(0), v(99)));
+        assert!(view.is_triangle(Triangle::new(v(0), v(1), v(2))));
+        assert!(!view.is_triangle(Triangle::new(v(1), v(2), v(3))));
+        assert_eq!(view.common_neighbors(v(0), v(1)), vec![v(2)]);
+        let nodes: Vec<NodeId> = view.nodes().collect();
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(nodes[4], v(4));
+        assert_eq!(view.nodes().len(), 5);
+    }
+
+    #[test]
+    fn references_are_views_too() {
+        fn count<V: AdjacencyView>(view: V) -> usize {
+            view.node_count()
+        }
+        let g = sample_graph();
+        // `&Graph` goes through the blanket `impl AdjacencyView for &V`.
+        let by_ref: &Graph = &g;
+        assert_eq!(count(by_ref), 5);
+        let dynamic: &dyn AdjacencyView = &g;
+        assert_eq!(count(dynamic), 5);
+    }
+}

@@ -1,6 +1,6 @@
 //! The sequential round engine.
 
-use congest_graph::{Graph, NodeId};
+use congest_graph::{AdjacencyView, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -45,7 +45,15 @@ impl<O> RunReport<O> {
 }
 
 /// Builds the per-node [`NodeInfo`] records for a graph and configuration.
-pub(crate) fn build_infos(graph: &Graph, config: &SimConfig) -> Vec<NodeInfo> {
+///
+/// Generic over [`AdjacencyView`] so a simulation can be instantiated from
+/// a frozen [`Graph`](congest_graph::Graph) or directly from a live
+/// adjacency structure (e.g. the `congest-stream` indexes) with no
+/// snapshot; the per-node neighbour lists are copied out here either way.
+pub(crate) fn build_infos<V: AdjacencyView + ?Sized>(
+    graph: &V,
+    config: &SimConfig,
+) -> Vec<NodeInfo> {
     let n = graph.node_count();
     let bandwidth_bits = config.bandwidth.bits_per_round(n.max(1));
     graph
@@ -76,8 +84,12 @@ pub struct Simulation<P: NodeProgram> {
 impl<P: NodeProgram> Simulation<P> {
     /// Creates a simulation of `graph` under `config`, instantiating each
     /// node's program with `factory`.
-    pub fn new<F>(graph: &Graph, config: SimConfig, mut factory: F) -> Self
+    ///
+    /// `graph` may be any [`AdjacencyView`] — a frozen
+    /// [`Graph`](congest_graph::Graph) or a live adjacency structure.
+    pub fn new<V, F>(graph: &V, config: SimConfig, mut factory: F) -> Self
     where
+        V: AdjacencyView + ?Sized,
         F: FnMut(&NodeInfo) -> P,
     {
         let infos = build_infos(graph, &config);

@@ -11,7 +11,7 @@
 //! For experiment sweeps the sequential engine is faster (no thread or
 //! channel overhead) and is what the harness uses.
 
-use congest_graph::{Graph, NodeId};
+use congest_graph::{AdjacencyView, NodeId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -65,8 +65,12 @@ where
     P::Output: 'static,
 {
     /// Creates a threaded simulation of `graph` under `config`.
-    pub fn new<F>(graph: &Graph, config: SimConfig, mut factory: F) -> Self
+    ///
+    /// `graph` may be any [`AdjacencyView`], like for
+    /// [`Simulation::new`](crate::Simulation::new).
+    pub fn new<V, F>(graph: &V, config: SimConfig, mut factory: F) -> Self
     where
+        V: AdjacencyView + ?Sized,
         F: FnMut(&NodeInfo) -> P,
     {
         let infos = build_infos(graph, &config);

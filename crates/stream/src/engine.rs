@@ -1,0 +1,153 @@
+//! The [`StreamEngine`] abstraction: what every incremental triangle
+//! engine offers the workload harness.
+//!
+//! Both engines — the single-threaded [`TriangleIndex`] and the
+//! multi-core [`ShardedTriangleIndex`] — maintain adjacency plus the live
+//! triangle set under [`DeltaBatch`]es; the
+//! [`WorkloadRunner`](crate::WorkloadRunner) drives either through the
+//! same scenario via this trait. The [`AdjacencyView`] supertrait is what
+//! makes the harness snapshot-free: oracle recounts and the static
+//! CONGEST drivers read the engine's live adjacency directly.
+
+use std::time::Duration;
+
+use congest_graph::AdjacencyView;
+
+use crate::delta::DeltaBatch;
+use crate::index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
+use crate::sharded::ShardedTriangleIndex;
+
+/// An incremental triangle engine over batched edge deltas.
+///
+/// Implementations keep the invariant that, once all buffered work is
+/// flushed, the live triangle set equals a from-scratch recount on the
+/// engine's own [`AdjacencyView`].
+pub trait StreamEngine: AdjacencyView {
+    /// The application mode in effect.
+    fn mode(&self) -> ApplyMode;
+
+    /// Applies (or, in deferred mode, buffers) a batch.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::NodeOutOfRange`] if any delta references a node
+    /// outside the graph; the batch is then applied not at all.
+    fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError>;
+
+    /// Coalesces and applies everything buffered by deferred mode.
+    fn flush(&mut self) -> ApplyReport;
+
+    /// Deltas buffered and not yet flushed.
+    fn pending_deltas(&self) -> usize;
+
+    /// Staleness of the oldest buffered delta (`None` while nothing is
+    /// pending).
+    fn pending_age(&self) -> Option<Duration>;
+
+    /// Number of live triangles (excluding pending deltas).
+    fn triangle_count(&self) -> usize;
+
+    /// Whether the live triangle set equals a from-scratch recount on the
+    /// engine's own adjacency view.
+    fn matches_oracle(&self) -> bool;
+
+    /// Number of shards the engine partitions work across (1 for the
+    /// single-threaded index).
+    fn shard_count(&self) -> usize;
+}
+
+impl StreamEngine for TriangleIndex {
+    fn mode(&self) -> ApplyMode {
+        TriangleIndex::mode(self)
+    }
+
+    fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
+        TriangleIndex::apply(self, batch)
+    }
+
+    fn flush(&mut self) -> ApplyReport {
+        TriangleIndex::flush(self)
+    }
+
+    fn pending_deltas(&self) -> usize {
+        TriangleIndex::pending_deltas(self)
+    }
+
+    fn pending_age(&self) -> Option<Duration> {
+        TriangleIndex::pending_age(self)
+    }
+
+    fn triangle_count(&self) -> usize {
+        TriangleIndex::triangle_count(self)
+    }
+
+    fn matches_oracle(&self) -> bool {
+        TriangleIndex::matches_oracle(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+}
+
+impl StreamEngine for ShardedTriangleIndex {
+    fn mode(&self) -> ApplyMode {
+        ShardedTriangleIndex::mode(self)
+    }
+
+    fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
+        ShardedTriangleIndex::apply(self, batch)
+    }
+
+    fn flush(&mut self) -> ApplyReport {
+        ShardedTriangleIndex::flush(self)
+    }
+
+    fn pending_deltas(&self) -> usize {
+        ShardedTriangleIndex::pending_deltas(self)
+    }
+
+    fn pending_age(&self) -> Option<Duration> {
+        ShardedTriangleIndex::pending_age(self)
+    }
+
+    fn triangle_count(&self) -> usize {
+        ShardedTriangleIndex::triangle_count(self)
+    }
+
+    fn matches_oracle(&self) -> bool {
+        ShardedTriangleIndex::matches_oracle(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        ShardedTriangleIndex::shard_count(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::NodeId;
+
+    fn drive<E: StreamEngine>(mut engine: E) -> (usize, bool) {
+        let mut batch = DeltaBatch::new();
+        batch
+            .insert(NodeId(0), NodeId(1))
+            .insert(NodeId(1), NodeId(2))
+            .insert(NodeId(0), NodeId(2));
+        engine.apply(&batch).unwrap();
+        engine.flush();
+        (engine.triangle_count(), engine.matches_oracle())
+    }
+
+    #[test]
+    fn both_engines_run_behind_the_trait() {
+        assert_eq!(drive(TriangleIndex::new(4)), (1, true));
+        assert_eq!(drive(ShardedTriangleIndex::new(4, 2)), (1, true));
+        assert_eq!(StreamEngine::shard_count(&TriangleIndex::new(4)), 1);
+        assert_eq!(
+            StreamEngine::shard_count(&ShardedTriangleIndex::new(4, 3)),
+            3
+        );
+    }
+}

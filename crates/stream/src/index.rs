@@ -20,10 +20,12 @@
 //!   that flap inside the window cost nothing.
 
 use std::fmt;
+use std::time::Duration;
 
-use congest_graph::{Graph, GraphBuilder, NodeId, Triangle, TriangleSet};
+use congest_graph::{AdjacencyView, Graph, GraphBuilder, NodeId, Triangle, TriangleSet};
 
-use crate::delta::{DeltaBatch, DeltaOp, EdgeDelta};
+use crate::delta::{DeltaBatch, DeltaOp, EdgeDelta, PendingBuffer};
+use crate::shard::{intersect_sorted, sorted_insert, sorted_remove};
 
 /// When the engine pays for triangle maintenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +74,20 @@ impl fmt::Display for StreamError {
 }
 
 impl std::error::Error for StreamError {}
+
+/// Rejects any delta referencing a node outside `0..node_count` — the
+/// shared whole-batch validation both engines run before touching state,
+/// so batches apply atomically or not at all.
+pub(crate) fn validate_batch(batch: &DeltaBatch, node_count: usize) -> Result<(), StreamError> {
+    for d in batch {
+        for node in [d.edge.lo(), d.edge.hi()] {
+            if node.index() >= node_count {
+                return Err(StreamError::NodeOutOfRange { node, node_count });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// What applying (or deferring) a batch did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,8 +150,8 @@ pub struct TriangleIndex {
     /// Number of present undirected edges.
     edge_count: usize,
     mode: ApplyMode,
-    /// Batches buffered by deferred mode, already concatenated.
-    pending: DeltaBatch,
+    /// Deferred-mode buffer (concatenated batches + staleness clock).
+    pending: PendingBuffer,
 }
 
 impl TriangleIndex {
@@ -146,7 +162,7 @@ impl TriangleIndex {
             triangles: TriangleSet::new(),
             edge_count: 0,
             mode: ApplyMode::Eager,
-            pending: DeltaBatch::new(),
+            pending: PendingBuffer::default(),
         }
     }
 
@@ -160,7 +176,7 @@ impl TriangleIndex {
             triangles: congest_graph::triangles::list_all(graph),
             edge_count: graph.edge_count(),
             mode: ApplyMode::Eager,
-            pending: DeltaBatch::new(),
+            pending: PendingBuffer::default(),
         }
     }
 
@@ -241,6 +257,13 @@ impl TriangleIndex {
         self.pending.len()
     }
 
+    /// How long the oldest buffered delta has been waiting (`None` while
+    /// nothing is pending). Deadline-based flush policies compare this
+    /// staleness against their budget.
+    pub fn pending_age(&self) -> Option<Duration> {
+        self.pending.age()
+    }
+
     /// Applies a batch according to the [`ApplyMode`].
     ///
     /// Eager mode applies the deltas in order, immediately. Deferred mode
@@ -256,7 +279,7 @@ impl TriangleIndex {
         match self.mode {
             ApplyMode::Eager => Ok(self.apply_validated(batch)),
             ApplyMode::Deferred => {
-                self.pending.extend_from(batch);
+                self.pending.buffer(batch);
                 Ok(ApplyReport {
                     deltas_seen: batch.len(),
                     deltas_deferred: batch.len(),
@@ -276,7 +299,7 @@ impl TriangleIndex {
         if self.pending.is_empty() {
             return ApplyReport::default();
         }
-        let buffered = std::mem::take(&mut self.pending);
+        let buffered = self.pending.take();
         let coalesced = buffered.coalesce();
         let mut report = self.apply_validated(&coalesced);
         report.deltas_seen = 0;
@@ -301,25 +324,17 @@ impl TriangleIndex {
     }
 
     /// Whether the live triangle set exactly equals a from-scratch recount
-    /// on the current snapshot — the engine's correctness invariant, used
-    /// by tests and the workload runner's self-check.
+    /// — the engine's correctness invariant, used by tests and the
+    /// workload runner's self-check.
+    ///
+    /// The recount runs directly on the index through its
+    /// [`AdjacencyView`] implementation; no `O(m)` snapshot is built.
     pub fn matches_oracle(&self) -> bool {
-        self.triangles == congest_graph::triangles::list_all(&self.snapshot())
+        self.triangles == congest_graph::triangles::list_all_on(self)
     }
 
     fn validate(&self, batch: &DeltaBatch) -> Result<(), StreamError> {
-        let n = self.node_count();
-        for d in batch {
-            for node in [d.edge.lo(), d.edge.hi()] {
-                if node.index() >= n {
-                    return Err(StreamError::NodeOutOfRange {
-                        node,
-                        node_count: n,
-                    });
-                }
-            }
-        }
-        Ok(())
+        validate_batch(batch, self.node_count())
     }
 
     /// Applies a pre-validated batch eagerly.
@@ -352,8 +367,8 @@ impl TriangleIndex {
                         report.triangles_added += 1;
                     }
                 }
-                Self::sorted_insert(&mut self.adjacency[u.index()], v);
-                Self::sorted_insert(&mut self.adjacency[v.index()], u);
+                sorted_insert(&mut self.adjacency[u.index()], v);
+                sorted_insert(&mut self.adjacency[v.index()], u);
                 self.edge_count += 1;
                 report.inserts_applied += 1;
             }
@@ -368,60 +383,43 @@ impl TriangleIndex {
                         report.triangles_removed += 1;
                     }
                 }
-                Self::sorted_remove(&mut self.adjacency[u.index()], v);
-                Self::sorted_remove(&mut self.adjacency[v.index()], u);
+                sorted_remove(&mut self.adjacency[u.index()], v);
+                sorted_remove(&mut self.adjacency[v.index()], u);
                 self.edge_count -= 1;
                 report.removes_applied += 1;
             }
         }
     }
 
-    /// `N(u) ∩ N(v)` on the current adjacency, oriented by degree: the
-    /// walk runs over the lower-degree endpoint. For badly skewed degrees
-    /// (hub nodes under hotspot churn) each element of the small list is
-    /// binary-probed into the large one, `O(d_min log d_max)`; otherwise a
-    /// linear merge of the two sorted lists is faster.
+    /// `N(u) ∩ N(v)` on the current adjacency, via the shared
+    /// degree-oriented intersection core
+    /// ([`shard::intersect_sorted`](crate::shard)).
     fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
-        let (mut small, mut large) = (&self.adjacency[u.index()], &self.adjacency[v.index()]);
-        if small.len() > large.len() {
-            std::mem::swap(&mut small, &mut large);
-        }
-        let mut out = Vec::new();
-        // Probe threshold: merge is O(d_min + d_max), probing is
-        // O(d_min log d_max); probing wins once the skew beats log.
-        if large.len() / small.len().max(1) >= 16 {
-            for &w in small {
-                if large.binary_search(&w).is_ok() {
-                    out.push(w);
-                }
-            }
-        } else {
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < small.len() && j < large.len() {
-                match small[i].cmp(&large[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        out.push(small[i]);
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-        }
-        out
+        intersect_sorted(&self.adjacency[u.index()], &self.adjacency[v.index()])
+    }
+}
+
+/// The index *is* an adjacency view (pending deltas excluded), so the
+/// oracle and the CONGEST drivers run on it directly — no snapshot.
+impl AdjacencyView for TriangleIndex {
+    fn node_count(&self) -> usize {
+        TriangleIndex::node_count(self)
     }
 
-    fn sorted_insert(list: &mut Vec<NodeId>, value: NodeId) {
-        if let Err(pos) = list.binary_search(&value) {
-            list.insert(pos, value);
-        }
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        TriangleIndex::neighbors(self, node)
     }
 
-    fn sorted_remove(list: &mut Vec<NodeId>, value: NodeId) {
-        if let Ok(pos) = list.binary_search(&value) {
-            list.remove(pos);
-        }
+    fn edge_count(&self) -> usize {
+        TriangleIndex::edge_count(self)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        TriangleIndex::degree(self, node)
+    }
+
+    fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        TriangleIndex::has_edge(self, a, b)
     }
 }
 
@@ -639,5 +637,34 @@ mod tests {
     fn mode_names() {
         assert_eq!(ApplyMode::Eager.name(), "eager");
         assert_eq!(ApplyMode::Deferred.name(), "deferred");
+    }
+
+    #[test]
+    fn pending_age_tracks_the_oldest_buffered_delta() {
+        let mut idx = TriangleIndex::new(3).with_mode(ApplyMode::Deferred);
+        assert!(idx.pending_age().is_none());
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1));
+        idx.apply(&b).unwrap();
+        let age = idx.pending_age().expect("one delta is pending");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(idx.pending_age().unwrap() > age, "age grows while pending");
+        idx.flush();
+        assert!(idx.pending_age().is_none());
+    }
+
+    #[test]
+    fn index_is_an_adjacency_view() {
+        use congest_graph::AdjacencyView;
+        let g = Gnp::new(30, 0.2).seeded(12).generate();
+        let idx = TriangleIndex::from_graph(&g);
+        let view: &dyn AdjacencyView = &idx;
+        assert_eq!(view.node_count(), g.node_count());
+        assert_eq!(view.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            assert_eq!(view.neighbors(u), g.neighbors(u));
+        }
+        // The snapshot-free oracle runs directly on the live index.
+        assert_eq!(oracle::list_all_on(&idx), oracle::list_all(&g));
     }
 }

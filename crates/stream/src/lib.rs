@@ -4,30 +4,53 @@
 //! service facing continuous traffic instead sees an *evolving* graph and
 //! must keep its triangle set current. This crate provides that layer:
 //!
-//! * [`TriangleIndex`] — maintains adjacency **and** the live
-//!   [`TriangleSet`](congest_graph::TriangleSet) under [`DeltaBatch`]es of
-//!   edge insertions/removals. Each delta only pays a common-neighbour
-//!   intersection on its two endpoints (walked from the lower-degree side),
-//!   so a batch costs `O(batch · d̄ log d_max)` instead of the
-//!   `O(m^{3/2})` of a from-scratch recount. [`ApplyMode::Eager`] applies
-//!   immediately; [`ApplyMode::Deferred`] coalesces overlapping batches
-//!   (only the last op per edge survives) before paying.
+//! * [`TriangleIndex`] — the single-threaded engine: maintains adjacency
+//!   **and** the live [`TriangleSet`](congest_graph::TriangleSet) under
+//!   [`DeltaBatch`]es of edge insertions/removals. Each delta only pays a
+//!   common-neighbour intersection on its two endpoints (walked from the
+//!   lower-degree side), so a batch costs `O(batch · d̄ log d_max)`
+//!   instead of the `O(m^{3/2})` of a from-scratch recount.
+//!   [`ApplyMode::Eager`] applies immediately; [`ApplyMode::Deferred`]
+//!   coalesces overlapping batches (only the last op per edge survives)
+//!   before paying.
+//! * [`ShardedTriangleIndex`] — the multi-core engine: adjacency is
+//!   partitioned across `S` shards by node hash (`id mod S`), each shard
+//!   owning the full neighbour lists of its nodes, and a batch applies in
+//!   two phases — shard-parallel collect/record on scoped threads, then a
+//!   merge that dedupes triangle deltas so each triangle is counted
+//!   exactly once (the type's documentation walks through the full
+//!   pipeline). **Picking `S`**: use the number of available cores for
+//!   sustained large-batch churn (the `stream_bench` sweep measures S ∈
+//!   {1, 2, 4, 8}); more shards than cores only adds spawn overhead, and
+//!   small batches (or `S = 1`) automatically take the strictly ordered
+//!   sequential path, so a sharded index never loses more than a few
+//!   percent where parallelism cannot pay.
+//! * [`StreamEngine`] — the trait both engines implement; the harness is
+//!   generic over it. Its [`AdjacencyView`](congest_graph::AdjacencyView)
+//!   supertrait is what makes the layer **snapshot-free**: the
+//!   centralized oracle and the paper's Theorem 1/2 drivers run directly
+//!   on a live index with no `O(m)` rebuild.
 //! * [`Scenario`] / [`WorkloadRunner`] — a load-test harness: deterministic
 //!   update streams (uniform churn, hotspot/power-law churn,
 //!   planted-triangle bursts, grow-then-shrink) over the existing
 //!   `congest-graph` generators, driven at an optional target batch rate,
-//!   summarized as throughput, latency percentiles and
+//!   flushed by batch count and/or a staleness deadline
+//!   ([`WorkloadRunner::flush_deadline`]), summarized as throughput,
+//!   latency percentiles, at-flush staleness percentiles and
 //!   incremental-vs-recompute speedup ([`RunSummary`], JSON-serializable).
 //!
 //! The centralized reference listing
-//! ([`congest_graph::triangles::list_all`]) is both the seed for
-//! [`TriangleIndex::from_graph`] and the correctness oracle: the engine's
-//! invariant, enforced by property tests, is that after **any** sequence of
-//! batches the live set equals a from-scratch recount.
+//! ([`congest_graph::triangles::list_all_on`]) is both the seed for
+//! [`from_graph`](TriangleIndex::from_graph) and the correctness oracle:
+//! the engines' invariant, enforced by property tests at every shard
+//! count, is that after **any** sequence of batches the live set equals a
+//! from-scratch recount.
 //!
 //! ```
 //! use congest_graph::generators::Gnp;
-//! use congest_stream::{ApplyMode, DeltaBatch, Scenario, TriangleIndex, WorkloadRunner};
+//! use congest_stream::{
+//!     ApplyMode, DeltaBatch, Scenario, ShardedTriangleIndex, TriangleIndex, WorkloadRunner,
+//! };
 //!
 //! // Incremental maintenance…
 //! let base = Gnp::new(50, 0.1).seeded(2).generate();
@@ -37,9 +60,15 @@
 //! index.apply(&batch).unwrap();
 //! assert!(index.matches_oracle());
 //!
+//! // …the same stream through the sharded engine…
+//! let mut sharded = ShardedTriangleIndex::from_graph(&base, 4);
+//! sharded.apply(&batch).unwrap();
+//! assert_eq!(sharded.triangles(), index.triangles());
+//!
 //! // …and load-testing it.
 //! let summary = WorkloadRunner::new(Scenario::uniform_churn(50, 5, 10))
 //!     .with_mode(ApplyMode::Deferred)
+//!     .with_shards(4)
 //!     .verified(true)
 //!     .run();
 //! assert!(summary.oracle_ok);
@@ -49,11 +78,16 @@
 #![warn(missing_docs)]
 
 mod delta;
+mod engine;
 mod index;
 mod runner;
+mod shard;
+mod sharded;
 mod workload;
 
 pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
+pub use engine::StreamEngine;
 pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
-pub use runner::{LatencyStats, RecomputeStats, RunSummary, WorkloadRunner};
+pub use runner::{LatencyStats, RecomputeStats, RunSummary, StalenessStats, WorkloadRunner};
+pub use sharded::ShardedTriangleIndex;
 pub use workload::{BaseGraph, Scenario, ScenarioKind};

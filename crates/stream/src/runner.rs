@@ -7,7 +7,9 @@ use std::time::{Duration, Instant};
 
 use congest_graph::triangles as oracle;
 
+use crate::engine::StreamEngine;
 use crate::index::{ApplyMode, ApplyReport, TriangleIndex};
+use crate::sharded::ShardedTriangleIndex;
 use crate::workload::Scenario;
 
 /// Latency percentiles over the per-batch apply times, in microseconds.
@@ -47,6 +49,42 @@ impl LatencyStats {
     }
 }
 
+/// Staleness of deferred work: how long the oldest buffered delta had
+/// been waiting each time the engine flushed, in microseconds. All zero
+/// for eager runs (nothing is ever buffered).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StalenessStats {
+    /// Number of flushes that found buffered work.
+    pub flushes: usize,
+    /// Median staleness at flush.
+    pub p50_us: f64,
+    /// 99th-percentile staleness at flush.
+    pub p99_us: f64,
+    /// Worst staleness at flush.
+    pub max_us: f64,
+}
+
+impl StalenessStats {
+    /// Computes percentiles from the raw at-flush staleness samples.
+    pub fn from_durations(durations: &[Duration]) -> Self {
+        if durations.is_empty() {
+            return StalenessStats::default();
+        }
+        let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).expect("staleness is finite"));
+        let pick = |q: f64| {
+            let idx = ((us.len() - 1) as f64 * q).round() as usize;
+            us[idx]
+        };
+        StalenessStats {
+            flushes: us.len(),
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            max_us: *us.last().expect("non-empty"),
+        }
+    }
+}
+
 /// Timing comparison against the from-scratch recount baseline.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RecomputeStats {
@@ -74,6 +112,11 @@ pub struct RunSummary {
     pub batch_size: usize,
     /// Apply mode name (`eager` / `deferred`).
     pub mode: String,
+    /// Shard count of the sharded engine, `None` for the single-threaded
+    /// [`TriangleIndex`].
+    pub shards: Option<usize>,
+    /// Deadline-based flush budget, if one was set (milliseconds).
+    pub flush_deadline_ms: Option<f64>,
     /// Edges in the base graph before the stream.
     pub base_edges: usize,
     /// Edges after the stream.
@@ -96,6 +139,8 @@ pub struct RunSummary {
     pub target_batches_per_sec: Option<f64>,
     /// Per-batch latency percentiles.
     pub latency: LatencyStats,
+    /// Staleness of buffered work at each flush (all zero in eager mode).
+    pub staleness: StalenessStats,
     /// Baseline comparison, when sampled.
     pub recompute: Option<RecomputeStats>,
     /// Whether the final state was checked against the oracle.
@@ -113,6 +158,14 @@ impl RunSummary {
         push_json_num(&mut out, "batch_count", self.batch_count as f64);
         push_json_num(&mut out, "batch_size", self.batch_size as f64);
         push_json_str(&mut out, "mode", &self.mode);
+        match self.shards {
+            Some(s) => push_json_num(&mut out, "shards", s as f64),
+            None => push_json_raw(&mut out, "shards", "null"),
+        }
+        match self.flush_deadline_ms {
+            Some(ms) => push_json_num(&mut out, "flush_deadline_ms", ms),
+            None => push_json_raw(&mut out, "flush_deadline_ms", "null"),
+        }
         push_json_num(&mut out, "base_edges", self.base_edges as f64);
         push_json_num(&mut out, "final_edges", self.final_edges as f64);
         push_json_num(&mut out, "final_triangles", self.final_triangles as f64);
@@ -151,6 +204,10 @@ impl RunSummary {
         push_json_num(&mut out, "latency_p99_us", self.latency.p99_us);
         push_json_num(&mut out, "latency_max_us", self.latency.max_us);
         push_json_num(&mut out, "latency_mean_us", self.latency.mean_us);
+        push_json_num(&mut out, "staleness_flushes", self.staleness.flushes as f64);
+        push_json_num(&mut out, "staleness_p50_us", self.staleness.p50_us);
+        push_json_num(&mut out, "staleness_p99_us", self.staleness.p99_us);
+        push_json_num(&mut out, "staleness_max_us", self.staleness.max_us);
         match &self.recompute {
             Some(r) => {
                 push_json_num(&mut out, "recompute_samples", r.samples as f64);
@@ -229,8 +286,14 @@ fn escape_json(s: &str) -> String {
 pub struct WorkloadRunner {
     scenario: Scenario,
     mode: ApplyMode,
+    /// `None` drives the single-threaded [`TriangleIndex`]; `Some(s)`
+    /// drives a [`ShardedTriangleIndex`] with `s` shards.
+    shards: Option<usize>,
     /// In deferred mode, flush after this many batches (>= 1).
     flush_every: usize,
+    /// In deferred mode, also flush whenever the oldest buffered delta is
+    /// older than this.
+    flush_deadline: Option<Duration>,
     /// Time a from-scratch recount every `k` batches; 0 disables.
     recompute_every: usize,
     /// Optional pacing target.
@@ -240,13 +303,16 @@ pub struct WorkloadRunner {
 }
 
 impl WorkloadRunner {
-    /// A runner with eager application, no pacing, recompute sampling
-    /// every 8 batches and no final oracle check.
+    /// A runner with eager application, the single-threaded engine, no
+    /// pacing, recompute sampling every 8 batches and no final oracle
+    /// check.
     pub fn new(scenario: Scenario) -> Self {
         WorkloadRunner {
             scenario,
             mode: ApplyMode::Eager,
+            shards: None,
             flush_every: 8,
+            flush_deadline: None,
             recompute_every: 8,
             target_batches_per_sec: None,
             verify: false,
@@ -259,9 +325,25 @@ impl WorkloadRunner {
         self
     }
 
+    /// Drives a [`ShardedTriangleIndex`] with `shards` shards instead of
+    /// the single-threaded [`TriangleIndex`] (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
     /// Sets the deferred-mode flush period (builder style, clamped to 1+).
     pub fn flush_every(mut self, batches: usize) -> Self {
         self.flush_every = batches.max(1);
+        self
+    }
+
+    /// Latency-bounded flushing (builder style): in deferred mode, also
+    /// flush as soon as the oldest buffered delta has waited longer than
+    /// `deadline`. Caps how stale a read of the triangle set can get
+    /// while still amortizing flush work over multiple batches.
+    pub fn flush_deadline(mut self, deadline: Duration) -> Self {
+        self.flush_deadline = Some(deadline);
         self
     }
 
@@ -296,12 +378,26 @@ impl WorkloadRunner {
     /// Runs the scenario once and summarizes it.
     pub fn run(&self) -> RunSummary {
         let base = self.scenario.base_graph();
+        match self.shards {
+            None => self.run_engine(TriangleIndex::from_graph(&base).with_mode(self.mode), &base),
+            Some(s) => self.run_engine(
+                ShardedTriangleIndex::from_graph(&base, s).with_mode(self.mode),
+                &base,
+            ),
+        }
+    }
+
+    /// Drives any [`StreamEngine`] through the scenario. The engine is an
+    /// [`AdjacencyView`](congest_graph::AdjacencyView), so the recompute
+    /// baseline and the oracle check read its live adjacency directly —
+    /// no snapshot rebuild anywhere on the measurement path.
+    fn run_engine<E: StreamEngine>(&self, mut index: E, base: &congest_graph::Graph) -> RunSummary {
         let base_edges = base.edge_count();
-        let mut index = TriangleIndex::from_graph(&base).with_mode(self.mode);
         let batches = self.scenario.batches();
 
         let mut totals = ApplyReport::default();
         let mut latencies: Vec<Duration> = Vec::with_capacity(batches.len());
+        let mut staleness: Vec<Duration> = Vec::new();
         let mut recompute_total = Duration::ZERO;
         let mut sampling_total = Duration::ZERO;
         let mut recompute_samples = 0usize;
@@ -327,26 +423,29 @@ impl WorkloadRunner {
                 .expect("scenario batches only touch in-range nodes");
             totals.absorb(&report);
             let flush_due = self.mode == ApplyMode::Deferred
-                && ((i + 1) % self.flush_every == 0 || i + 1 == batches.len());
+                && ((i + 1) % self.flush_every == 0
+                    || i + 1 == batches.len()
+                    || self.deadline_exceeded(&index));
             if flush_due {
+                if let Some(age) = index.pending_age() {
+                    staleness.push(age);
+                }
                 totals.absorb(&index.flush());
             }
             latencies.push(start.elapsed());
 
             if self.recompute_every > 0 && i % self.recompute_every == 0 {
                 // Time the from-scratch alternative on the same state the
-                // incremental engine maintains. The snapshot build is not
-                // charged to the baseline — only the recount itself — but
-                // the whole sampling block is excluded from the run's
-                // throughput clock below.
+                // incremental engine maintains, reading the engine's live
+                // adjacency directly. The whole sampling block is excluded
+                // from the run's throughput clock below.
                 let sample_start = Instant::now();
-                let snapshot = index.snapshot();
                 let t = Instant::now();
-                let recount = oracle::list_all(&snapshot);
+                let recount = oracle::list_all_on(&index);
                 recompute_total += t.elapsed();
                 recompute_samples += 1;
                 // Keep the optimizer honest.
-                assert!(recount.len() <= snapshot.edge_count() * snapshot.node_count());
+                assert!(recount.len() <= base.node_count().pow(3));
                 sampling_total += sample_start.elapsed();
             }
         }
@@ -394,6 +493,8 @@ impl WorkloadRunner {
             batch_count: batches.len(),
             batch_size: self.scenario.batch_size(),
             mode: self.mode.name().to_string(),
+            shards: self.shards,
+            flush_deadline_ms: self.flush_deadline.map(|d| d.as_secs_f64() * 1e3),
             base_edges,
             final_edges: index.edge_count(),
             final_triangles: index.triangle_count(),
@@ -404,9 +505,18 @@ impl WorkloadRunner {
             batches_per_sec: batches.len() as f64 / measured_secs,
             target_batches_per_sec: self.target_batches_per_sec,
             latency: LatencyStats::from_durations(&latencies),
+            staleness: StalenessStats::from_durations(&staleness),
             recompute,
             oracle_checked,
             oracle_ok,
+        }
+    }
+
+    /// Whether the deadline-based flush policy demands a flush now.
+    fn deadline_exceeded<E: StreamEngine>(&self, index: &E) -> bool {
+        match self.flush_deadline {
+            Some(deadline) => index.pending_age().is_some_and(|age| age >= deadline),
+            None => false,
         }
     }
 }
@@ -478,6 +588,81 @@ mod tests {
         assert!(paced.elapsed_secs >= 0.03, "got {}", paced.elapsed_secs);
         assert_eq!(paced.target_batches_per_sec, Some(100.0));
         assert!(paced.batches_per_sec <= 150.0);
+    }
+
+    #[test]
+    fn sharded_engine_produces_the_same_final_state() {
+        let scenario = small_scenario();
+        let single = WorkloadRunner::new(scenario.clone()).verified(true).run();
+        for shards in [1, 4] {
+            let sharded = WorkloadRunner::new(scenario.clone())
+                .with_shards(shards)
+                .verified(true)
+                .run();
+            assert!(sharded.oracle_ok, "shards={shards}");
+            assert_eq!(sharded.shards, Some(shards));
+            assert_eq!(sharded.final_edges, single.final_edges);
+            assert_eq!(sharded.final_triangles, single.final_triangles);
+            assert!(sharded.to_json().contains(&format!("\"shards\":{shards}")));
+        }
+        assert_eq!(single.shards, None);
+        assert!(single.to_json().contains("\"shards\":null"));
+    }
+
+    #[test]
+    fn deadline_flushing_bounds_staleness_and_reports_it() {
+        // Pace the run so buffered deltas age measurably, with a count
+        // threshold too large to ever fire: every flush but the final one
+        // must come from the deadline policy.
+        let scenario = Scenario::uniform_churn(40, 10, 10).seeded(3);
+        let deadline = Duration::from_millis(20);
+        let summary = WorkloadRunner::new(scenario)
+            .with_mode(ApplyMode::Deferred)
+            .flush_every(1_000_000)
+            .flush_deadline(deadline)
+            .recompute_every(0)
+            .paced(100.0)
+            .verified(true)
+            .run();
+        assert!(summary.oracle_ok);
+        assert_eq!(summary.flush_deadline_ms, Some(20.0));
+        // 10 batches at ~10ms spacing against a 20ms budget: the deadline
+        // fires several times, not just the end-of-run flush.
+        assert!(
+            summary.staleness.flushes >= 2,
+            "expected deadline-driven flushes, got {:?}",
+            summary.staleness
+        );
+        assert!(summary.staleness.p50_us > 0.0);
+        assert!(summary.staleness.p50_us <= summary.staleness.p99_us);
+        assert!(summary.staleness.p99_us <= summary.staleness.max_us);
+        let json = summary.to_json();
+        assert!(json.contains("\"flush_deadline_ms\":20"));
+        assert!(json.contains("\"staleness_p99_us\":"));
+    }
+
+    #[test]
+    fn eager_runs_report_zero_staleness() {
+        let summary = WorkloadRunner::new(small_scenario()).run();
+        assert_eq!(summary.staleness, StalenessStats::default());
+        assert_eq!(summary.flush_deadline_ms, None);
+        assert!(summary.to_json().contains("\"flush_deadline_ms\":null"));
+    }
+
+    #[test]
+    fn staleness_stats_of_empty_input_are_zero() {
+        assert_eq!(
+            StalenessStats::from_durations(&[]),
+            StalenessStats::default()
+        );
+        let stats = StalenessStats::from_durations(&[
+            Duration::from_micros(100),
+            Duration::from_micros(300),
+            Duration::from_micros(200),
+        ]);
+        assert_eq!(stats.flushes, 3);
+        assert_eq!(stats.p50_us, 200.0);
+        assert_eq!(stats.max_us, 300.0);
     }
 
     #[test]

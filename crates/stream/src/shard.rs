@@ -1,0 +1,248 @@
+//! Shard-level building blocks of the streaming engines.
+//!
+//! This module holds the pieces both engines share:
+//!
+//! * [`intersect_sorted`] — the degree-oriented common-neighbour
+//!   intersection core (re-exported from
+//!   [`congest_graph::intersect_sorted`], where the oracle and [`Graph`]
+//!   use the same implementation). It is *the* hot path of incremental
+//!   triangle maintenance; [`TriangleIndex`](crate::TriangleIndex) calls
+//!   it on its central adjacency and
+//!   [`ShardedTriangleIndex`](crate::ShardedTriangleIndex) calls it from
+//!   every worker thread, so eager and deferred modes behave identically
+//!   per shard and centrally.
+//!
+//! [`Graph`]: congest_graph::Graph
+//! * [`ShardSpec`] — the node→shard mapping. Nodes are partitioned by
+//!   id modulo the shard count (a hash partition on the already-random
+//!   node ids), which spreads hot hubs across shards under power-law
+//!   churn; each shard owns the full neighbour list of every node mapped
+//!   to it, so a cross-shard edge `{u, v}` is recorded twice — once in
+//!   `shard(u)`'s copy of `N(u)` and once in `shard(v)`'s copy of `N(v)` —
+//!   exactly like the two directions of an adjacency list.
+//! * [`Shard`] — one shard's slice of the adjacency: sorted neighbour
+//!   lists for its owned nodes, mutated only by its owning worker during
+//!   the parallel phase of a batch apply.
+
+use congest_graph::NodeId;
+
+pub(crate) use congest_graph::intersect_sorted;
+
+use crate::delta::DeltaOp;
+
+/// Inserts `value` into a sorted, duplicate-free list, keeping it sorted.
+pub(crate) fn sorted_insert(list: &mut Vec<NodeId>, value: NodeId) {
+    if let Err(pos) = list.binary_search(&value) {
+        list.insert(pos, value);
+    }
+}
+
+/// Removes `value` from a sorted list if present.
+pub(crate) fn sorted_remove(list: &mut Vec<NodeId>, value: NodeId) {
+    if let Ok(pos) = list.binary_search(&value) {
+        list.remove(pos);
+    }
+}
+
+/// The node→shard mapping of a [`ShardedTriangleIndex`].
+///
+/// Node `i` is owned by shard `i mod S` and stored at local slot
+/// `i div S`. The modulo partition doubles as a cheap hash partition:
+/// consecutive ids (the hubs of the hotspot workloads) land on different
+/// shards, balancing both storage and per-batch intersection work.
+///
+/// [`ShardedTriangleIndex`]: crate::ShardedTriangleIndex
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardSpec {
+    shard_count: usize,
+    node_count: usize,
+}
+
+impl ShardSpec {
+    /// A spec for `node_count` nodes over `shard_count` shards (clamped to
+    /// at least one shard).
+    pub(crate) fn new(node_count: usize, shard_count: usize) -> Self {
+        ShardSpec {
+            shard_count: shard_count.max(1),
+            node_count,
+        }
+    }
+
+    /// Number of shards `S`.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Number of nodes across all shards.
+    pub(crate) fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The shard owning `node`.
+    pub(crate) fn shard_of(&self, node: NodeId) -> usize {
+        node.index() % self.shard_count
+    }
+
+    /// The slot of `node` inside its owning shard.
+    pub(crate) fn local_index(&self, node: NodeId) -> usize {
+        node.index() / self.shard_count
+    }
+
+    /// Number of nodes owned by shard `s`.
+    pub(crate) fn nodes_in_shard(&self, s: usize) -> usize {
+        if s < self.node_count % self.shard_count {
+            self.node_count.div_ceil(self.shard_count)
+        } else {
+            self.node_count / self.shard_count
+        }
+    }
+}
+
+/// One adjacency mutation routed to an owning shard: apply `op` to
+/// `other` inside the neighbour list stored at `local` slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardOp {
+    pub(crate) local: usize,
+    pub(crate) other: NodeId,
+    pub(crate) op: DeltaOp,
+}
+
+/// One shard's slice of the partitioned adjacency: the sorted neighbour
+/// lists of its owned nodes. During the parallel phase of a batch apply
+/// exactly one worker holds `&mut` to each shard, so shards never contend;
+/// between phases the whole structure is read-shared.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    /// Sorted neighbour list per owned node, indexed by local slot.
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl Shard {
+    /// An empty shard with `slots` owned nodes.
+    pub(crate) fn new(slots: usize) -> Self {
+        Shard {
+            adjacency: vec![Vec::new(); slots],
+        }
+    }
+
+    /// The sorted neighbour list at `local` slot.
+    pub(crate) fn neighbors(&self, local: usize) -> &[NodeId] {
+        &self.adjacency[local]
+    }
+
+    /// Seeds the neighbour list at `local` (used when building an index
+    /// from a static graph; `neighbors` must already be sorted).
+    pub(crate) fn seed(&mut self, local: usize, neighbors: Vec<NodeId>) {
+        debug_assert!(neighbors.is_sorted());
+        self.adjacency[local] = neighbors;
+    }
+
+    /// Applies one routed mutation to this shard's lists.
+    pub(crate) fn apply_op(&mut self, op: ShardOp) {
+        match op.op {
+            DeltaOp::Insert => sorted_insert(&mut self.adjacency[op.local], op.other),
+            DeltaOp::Remove => sorted_remove(&mut self.adjacency[op.local], op.other),
+        }
+    }
+
+    /// Half-edge count: the sum of this shard's list lengths (summing over
+    /// all shards counts every undirected edge exactly twice).
+    pub(crate) fn half_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn ids(values: &[u32]) -> Vec<NodeId> {
+        values.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn intersection_merge_path() {
+        assert_eq!(
+            intersect_sorted(&ids(&[1, 3, 5, 7]), &ids(&[2, 3, 6, 7, 9])),
+            ids(&[3, 7])
+        );
+        assert_eq!(intersect_sorted(&[], &ids(&[1, 2])), ids(&[]));
+    }
+
+    #[test]
+    fn intersection_probe_path_on_skewed_lengths() {
+        let large: Vec<NodeId> = (0..200).map(NodeId).collect();
+        let small = ids(&[3, 77, 199, 205]);
+        assert_eq!(intersect_sorted(&small, &large), ids(&[3, 77, 199]));
+        // Symmetric in its arguments.
+        assert_eq!(intersect_sorted(&large, &small), ids(&[3, 77, 199]));
+    }
+
+    #[test]
+    fn sorted_insert_and_remove_keep_order() {
+        let mut list = ids(&[2, 5, 9]);
+        sorted_insert(&mut list, v(7));
+        sorted_insert(&mut list, v(7)); // duplicate is a no-op
+        assert_eq!(list, ids(&[2, 5, 7, 9]));
+        sorted_remove(&mut list, v(5));
+        sorted_remove(&mut list, v(5)); // absent is a no-op
+        assert_eq!(list, ids(&[2, 7, 9]));
+    }
+
+    #[test]
+    fn spec_partitions_every_node_exactly_once() {
+        for (n, s) in [(10, 3), (7, 1), (5, 8), (0, 4)] {
+            let spec = ShardSpec::new(n, s);
+            let mut seen = vec![0usize; n];
+            let mut per_shard = vec![0usize; spec.shard_count()];
+            for (i, count) in seen.iter_mut().enumerate() {
+                let node = NodeId::from_index(i);
+                let shard = spec.shard_of(node);
+                let local = spec.local_index(node);
+                assert!(local < spec.nodes_in_shard(shard), "n={n} s={s} i={i}");
+                *count += 1;
+                per_shard[shard] += 1;
+            }
+            assert!(seen.iter().all(|&c| c == 1));
+            for (shard, &count) in per_shard.iter().enumerate() {
+                assert_eq!(count, spec.nodes_in_shard(shard), "n={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_clamps_to_one_shard() {
+        let spec = ShardSpec::new(4, 0);
+        assert_eq!(spec.shard_count(), 1);
+        assert_eq!(spec.nodes_in_shard(0), 4);
+        assert_eq!(spec.node_count(), 4);
+    }
+
+    #[test]
+    fn shard_applies_routed_ops() {
+        let mut shard = Shard::new(2);
+        shard.seed(0, ids(&[4, 8]));
+        shard.apply_op(ShardOp {
+            local: 0,
+            other: v(6),
+            op: DeltaOp::Insert,
+        });
+        shard.apply_op(ShardOp {
+            local: 1,
+            other: v(3),
+            op: DeltaOp::Insert,
+        });
+        shard.apply_op(ShardOp {
+            local: 0,
+            other: v(8),
+            op: DeltaOp::Remove,
+        });
+        assert_eq!(shard.neighbors(0), ids(&[4, 6]));
+        assert_eq!(shard.neighbors(1), ids(&[3]));
+        assert_eq!(shard.half_edges(), 3);
+    }
+}

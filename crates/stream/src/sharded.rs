@@ -1,0 +1,831 @@
+//! The sharded, multi-core incremental triangle engine.
+//!
+//! [`ShardedTriangleIndex`] partitions the adjacency across `S`
+//! [`Shard`]s by node hash (`id mod S`, see
+//! [`ShardSpec`](crate::shard)); each shard owns the full sorted
+//! neighbour list of every node mapped to it, so a cross-shard edge is
+//! recorded twice — once per endpoint's owner — exactly like the two
+//! directions of an adjacency list. A batch then applies in **two
+//! phases**, mirroring the paper's bandwidth partitioning (Theorem 2
+//! splits intersection work across node classes the same way):
+//!
+//! 1. **Shard-parallel phase** — the batch is split by endpoint
+//!    ownership (every edge maps to exactly one worker) and `S` workers
+//!    run on the `crossbeam` shim's scoped threads:
+//!    * *collect* (read-only on the pre-batch adjacency): each worker
+//!      coalesces its slice (at most one op per edge survives),
+//!      classifies the survivors against the current edge set and gathers,
+//!      for every effective removal `{u, v}`, the candidate triangles
+//!      `{u, v, w}` with `w ∈ N(u) ∩ N(v)`;
+//!    * *record* (each worker holds `&mut` to exactly one shard): the
+//!      owning shards apply the routed neighbour-list mutations — a
+//!      cross-shard edge is recorded by both owners, with no
+//!      coordination because shards never write each other's lists;
+//!    * *collect again* (read-only on the post-batch adjacency): workers
+//!      gather, for every effective insertion, the candidate triangles it
+//!      closes.
+//! 2. **Merge phase** — candidate triangle deltas are deduplicated into
+//!    the global [`TriangleSet`]: a triangle whose death (or birth) was
+//!    observed by several of its edges is retired (or added) **exactly
+//!    once**, because set removal/insertion reports whether it actually
+//!    changed membership.
+//!
+//! Correctness does not depend on intra-batch ordering: after coalescing
+//! (at most one op per edge) the post-batch graph `G' = G − R + I` is a
+//! set equation, the retired triangles are exactly the triangles of `G`
+//! containing an edge of `R`, and the new triangles are exactly the
+//! triangles of `G'` containing an edge of `I`. Phase 1 computes
+//! candidate supersets of both on consistent (pre- and post-batch) views,
+//! and the merge phase's dedup makes the counts exact. The engine is
+//! therefore equivalent to applying, within each batch, all removals
+//! before all insertions; the final graph and triangle set are identical
+//! to [`TriangleIndex`](crate::TriangleIndex)'s strictly-ordered
+//! application, though per-batch `ApplyReport` tallies can differ on
+//! batches that flap an edge (the coalescer counts the dropped ops as
+//! no-ops instead of applying them).
+
+use std::fmt;
+use std::time::Duration;
+
+use congest_graph::{AdjacencyView, Edge, Graph, GraphBuilder, NodeId, Triangle, TriangleSet};
+
+use crate::delta::{DeltaBatch, DeltaOp, EdgeDelta, PendingBuffer};
+use crate::index::{validate_batch, ApplyMode, ApplyReport, StreamError};
+use crate::shard::{intersect_sorted, Shard, ShardOp, ShardSpec};
+
+/// Below this many coalesced deltas a batch is applied inline: thread
+/// spawns cost tens of microseconds and would dominate tiny batches.
+const DEFAULT_PARALLEL_THRESHOLD: usize = 128;
+
+/// What one worker learned about its slice of a batch during the
+/// read-only collect pass.
+struct WorkerPlan {
+    /// Adjacency mutations routed to each owning shard.
+    ops: Vec<Vec<ShardOp>>,
+    /// Effective insertions (the worker intersects their endpoints again
+    /// on the post-batch adjacency).
+    inserts: Vec<Edge>,
+    /// Candidate retired triangles, from effective removals.
+    removed: Vec<Triangle>,
+    inserts_applied: usize,
+    removes_applied: usize,
+    noops: usize,
+}
+
+/// Multi-core incremental triangle engine over batched edge deltas.
+///
+/// Same contract as [`TriangleIndex`](crate::TriangleIndex) — the live
+/// triangle set always equals a from-scratch recount — but batch applies
+/// fan out across `S` shards on scoped threads. See the
+/// [module documentation](self) for the two-phase apply.
+///
+/// ```
+/// use congest_graph::generators::Gnp;
+/// use congest_graph::triangles as oracle;
+/// use congest_stream::{DeltaBatch, ShardedTriangleIndex};
+///
+/// let graph = Gnp::new(64, 0.1).seeded(1).generate();
+/// let mut index = ShardedTriangleIndex::from_graph(&graph, 4);
+///
+/// let mut batch = DeltaBatch::new();
+/// batch.insert(congest_graph::NodeId(0), congest_graph::NodeId(1));
+/// index.apply(&batch).unwrap();
+///
+/// // The live set always equals a snapshot-free recount on the index.
+/// assert_eq!(index.triangles(), &oracle::list_all_on(&index));
+/// ```
+#[derive(Clone)]
+pub struct ShardedTriangleIndex {
+    spec: ShardSpec,
+    shards: Vec<Shard>,
+    /// The live triangle set (global: the merge phase is the only writer).
+    triangles: TriangleSet,
+    /// Number of present undirected edges.
+    edge_count: usize,
+    mode: ApplyMode,
+    /// Deferred-mode buffer (concatenated batches + staleness clock).
+    pending: PendingBuffer,
+    /// Batch size below which the apply takes the sequential path.
+    parallel_threshold: usize,
+}
+
+impl ShardedTriangleIndex {
+    /// An empty index on `node_count` nodes over `shard_count` shards
+    /// (clamped to at least 1), in [`ApplyMode::Eager`].
+    pub fn new(node_count: usize, shard_count: usize) -> Self {
+        let spec = ShardSpec::new(node_count, shard_count);
+        let shards = (0..spec.shard_count())
+            .map(|s| Shard::new(spec.nodes_in_shard(s)))
+            .collect();
+        ShardedTriangleIndex {
+            spec,
+            shards,
+            triangles: TriangleSet::new(),
+            edge_count: 0,
+            mode: ApplyMode::Eager,
+            pending: PendingBuffer::default(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// An index seeded with a static graph's edges and triangles (the
+    /// triangles are computed once with the centralized reference
+    /// listing).
+    pub fn from_graph(graph: &Graph, shard_count: usize) -> Self {
+        let mut index = Self::new(graph.node_count(), shard_count);
+        for node in graph.nodes() {
+            index.shards[index.spec.shard_of(node)]
+                .seed(index.spec.local_index(node), graph.neighbors(node).to_vec());
+        }
+        index.triangles = congest_graph::triangles::list_all(graph);
+        index.edge_count = graph.edge_count();
+        index
+    }
+
+    /// Sets the application mode (builder style).
+    ///
+    /// Switching away from deferred mode first flushes anything buffered,
+    /// so deltas are never reordered across the mode change.
+    pub fn with_mode(mut self, mode: ApplyMode) -> Self {
+        if mode != self.mode && !self.pending.is_empty() {
+            self.flush();
+        }
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the batch size below which applies run on the strictly
+    /// ordered sequential path instead of the two-phase pipeline (builder
+    /// style). A single-shard index always takes the sequential path —
+    /// with one shard there is no cross-shard coordination to amortize,
+    /// and the pipeline's partition/coalesce/route overhead is pure loss.
+    /// Setting the threshold to 0 forces the pipeline on every batch and
+    /// every shard count (the property tests do this so tiny batches
+    /// still cover the scoped-thread path).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// The application mode in effect.
+    pub fn mode(&self) -> ApplyMode {
+        self.mode
+    }
+
+    /// Number of shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.spec.shard_count()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.spec.node_count()
+    }
+
+    /// Number of present undirected edges (excluding pending deltas).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sorted neighbour list of `node`, read from its owning shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        assert!(
+            node.index() < self.spec.node_count(),
+            "node {node} out of range"
+        );
+        self.shards[self.spec.shard_of(node)].neighbors(self.spec.local_index(node))
+    }
+
+    /// Current degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Whether `{a, b}` is currently an edge (excluding pending deltas).
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || a.index() >= self.node_count() || b.index() >= self.node_count() {
+            return false;
+        }
+        let (from, to) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(from).binary_search(&to).is_ok()
+    }
+
+    /// The live triangle set.
+    ///
+    /// In deferred mode this reflects only flushed batches; call
+    /// [`flush`](ShardedTriangleIndex::flush) first for a consistent view.
+    pub fn triangles(&self) -> &TriangleSet {
+        &self.triangles
+    }
+
+    /// Number of live triangles (same staleness caveat as
+    /// [`triangles`](ShardedTriangleIndex::triangles)).
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Deltas buffered by deferred mode and not yet flushed.
+    pub fn pending_deltas(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// How long the oldest buffered delta has been waiting (`None` while
+    /// nothing is pending).
+    pub fn pending_age(&self) -> Option<Duration> {
+        self.pending.age()
+    }
+
+    /// Applies a batch according to the [`ApplyMode`] (same contract as
+    /// [`TriangleIndex::apply`](crate::TriangleIndex::apply)).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::NodeOutOfRange`] if any delta references a node
+    /// outside the graph; the batch is then applied not at all.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
+        self.validate(batch)?;
+        match self.mode {
+            ApplyMode::Eager => Ok(self.apply_validated(batch)),
+            ApplyMode::Deferred => {
+                self.pending.buffer(batch);
+                Ok(ApplyReport {
+                    deltas_seen: batch.len(),
+                    deltas_deferred: batch.len(),
+                    ..ApplyReport::default()
+                })
+            }
+        }
+    }
+
+    /// Coalesces and applies every buffered batch (no-op in eager mode or
+    /// with nothing pending); same accounting as
+    /// [`TriangleIndex::flush`](crate::TriangleIndex::flush).
+    pub fn flush(&mut self) -> ApplyReport {
+        if self.pending.is_empty() {
+            return ApplyReport::default();
+        }
+        let buffered = self.pending.take();
+        let coalesced = buffered.coalesce();
+        let mut report = self.apply_validated(&coalesced);
+        report.deltas_seen = 0;
+        report.noops += buffered.len() - coalesced.len();
+        report
+    }
+
+    /// Freezes the current graph (pending deltas excluded) into an
+    /// immutable [`Graph`]. Rarely needed now that the index itself is an
+    /// [`AdjacencyView`]; kept for callers that want an owned frozen copy.
+    pub fn snapshot(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.node_count());
+        for u in AdjacencyView::nodes(self) {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    b.add_edge(u, v).expect("index adjacency is always valid");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Whether the live triangle set exactly equals a snapshot-free
+    /// from-scratch recount on the index's own adjacency view.
+    pub fn matches_oracle(&self) -> bool {
+        self.triangles == congest_graph::triangles::list_all_on(self)
+    }
+
+    fn validate(&self, batch: &DeltaBatch) -> Result<(), StreamError> {
+        validate_batch(batch, self.node_count())
+    }
+
+    /// Applies a pre-validated batch: the strictly ordered sequential path
+    /// when the pipeline cannot pay for itself, the two-phase pipeline
+    /// otherwise. Both paths leave the identical final graph and triangle
+    /// set; on batches that flap an edge the per-batch tallies differ
+    /// (the pipeline's coalescer counts dropped ops as no-ops where the
+    /// ordered path applies them), which is why the paths are selected by
+    /// size, never by content.
+    fn apply_validated(&mut self, batch: &DeltaBatch) -> ApplyReport {
+        let sequential = self.parallel_threshold > 0
+            && (self.spec.shard_count() == 1 || batch.len() < self.parallel_threshold);
+        if sequential {
+            self.apply_ordered(batch)
+        } else {
+            self.apply_pipelined(batch)
+        }
+    }
+
+    /// The reference path: deltas applied one at a time, in order, exactly
+    /// like [`TriangleIndex`](crate::TriangleIndex) — the degenerate
+    /// single-shard configuration *is* the central algorithm, just stored
+    /// across shard slots.
+    fn apply_ordered(&mut self, batch: &DeltaBatch) -> ApplyReport {
+        let mut report = ApplyReport {
+            deltas_seen: batch.len(),
+            ..ApplyReport::default()
+        };
+        for delta in batch {
+            let (u, v) = delta.edge.endpoints();
+            let present = self.has_edge(u, v);
+            match delta.op {
+                DeltaOp::Insert => {
+                    if present {
+                        report.noops += 1;
+                        continue;
+                    }
+                    for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
+                        if self.triangles.insert(Triangle::new(u, v, w)) {
+                            report.triangles_added += 1;
+                        }
+                    }
+                    self.edge_count += 1;
+                    report.inserts_applied += 1;
+                }
+                DeltaOp::Remove => {
+                    if !present {
+                        report.noops += 1;
+                        continue;
+                    }
+                    for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
+                        if self.triangles.remove(&Triangle::new(u, v, w)) {
+                            report.triangles_removed += 1;
+                        }
+                    }
+                    self.edge_count -= 1;
+                    report.removes_applied += 1;
+                }
+            }
+            for (node, other) in [(u, v), (v, u)] {
+                let shard = self.spec.shard_of(node);
+                self.shards[shard].apply_op(ShardOp {
+                    local: self.spec.local_index(node),
+                    other,
+                    op: delta.op,
+                });
+            }
+        }
+        report
+    }
+
+    /// The two-phase pipeline (see the [module documentation](self)).
+    fn apply_pipelined(&mut self, batch: &DeltaBatch) -> ApplyReport {
+        let mut report = ApplyReport {
+            deltas_seen: batch.len(),
+            ..ApplyReport::default()
+        };
+        if batch.is_empty() {
+            return report;
+        }
+
+        let shard_count = self.spec.shard_count();
+        let inline = shard_count == 1;
+
+        // Split the raw deltas by the lower endpoint's owner: every edge
+        // maps to exactly one worker, so each worker can coalesce and
+        // classify its slice independently and per-delta tallies are
+        // counted exactly once.
+        let mut work: Vec<Vec<EdgeDelta>> = vec![Vec::new(); shard_count];
+        for d in batch {
+            work[self.spec.shard_of(d.edge.lo())].push(*d);
+        }
+
+        // Phase 1, collect (read-only on the pre-batch adjacency).
+        let plans: Vec<WorkerPlan> =
+            parallel_map(shard_count, inline, |k| self.collect_worker(&work[k]));
+
+        // Merge the removal candidates: `TriangleSet::remove` reports
+        // whether the triangle was still present, so one that lost several
+        // edges at once is retired exactly once.
+        for plan in &plans {
+            for t in &plan.removed {
+                if self.triangles.remove(t) {
+                    report.triangles_removed += 1;
+                }
+            }
+        }
+
+        // Phase 1, record: each owning shard applies its routed mutations;
+        // workers hold `&mut` to exactly one shard each.
+        let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); shard_count];
+        for plan in &plans {
+            for (dest, ops) in plan.ops.iter().enumerate() {
+                routed[dest].extend_from_slice(ops);
+            }
+        }
+        if inline {
+            for (shard, ops) in self.shards.iter_mut().zip(&routed) {
+                for &op in ops {
+                    shard.apply_op(op);
+                }
+            }
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for (shard, ops) in self.shards.iter_mut().zip(&routed) {
+                    scope.spawn(move || {
+                        for &op in ops {
+                            shard.apply_op(op);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 1, collect again (read-only on the post-batch adjacency):
+        // the triangles each effective insertion closes.
+        let any_inserts = plans.iter().any(|p| !p.inserts.is_empty());
+        let added: Vec<Vec<Triangle>> = if any_inserts {
+            parallel_map(shard_count, inline, |k| {
+                self.insert_candidates(&plans[k].inserts)
+            })
+        } else {
+            Vec::new()
+        };
+
+        // Phase 2, merge: dedupe the insert candidates the same way.
+        for candidates in &added {
+            for t in candidates {
+                if self.triangles.insert(*t) {
+                    report.triangles_added += 1;
+                }
+            }
+        }
+
+        for plan in &plans {
+            report.inserts_applied += plan.inserts_applied;
+            report.removes_applied += plan.removes_applied;
+            report.noops += plan.noops;
+        }
+        self.edge_count += report.inserts_applied;
+        self.edge_count -= report.removes_applied;
+        // Every undirected edge is recorded by both endpoint owners.
+        debug_assert_eq!(
+            self.shards.iter().map(Shard::half_edges).sum::<usize>(),
+            2 * self.edge_count,
+            "shard adjacency lost symmetry"
+        );
+        report
+    }
+
+    /// The read-only collect pass of one worker: coalesce the slice (at
+    /// most one op per edge survives — only the last op decides presence),
+    /// classify the survivors against the pre-batch edge set, gather
+    /// removal candidates, route adjacency mutations to their owning
+    /// shards.
+    fn collect_worker(&self, deltas: &[EdgeDelta]) -> WorkerPlan {
+        let shard_count = self.spec.shard_count();
+        let mut plan = WorkerPlan {
+            ops: vec![Vec::new(); shard_count],
+            inserts: Vec::new(),
+            removed: Vec::new(),
+            inserts_applied: 0,
+            removes_applied: 0,
+            noops: 0,
+        };
+        // Worker-local coalesce: sort by (edge, arrival order) and keep
+        // the last op of each equal-edge run. Doing this per worker keeps
+        // the whole coalescing cost inside the parallel phase.
+        let mut ordered: Vec<(EdgeDelta, usize)> =
+            deltas.iter().copied().zip(0..deltas.len()).collect();
+        ordered.sort_unstable_by_key(|&(d, i)| (d.edge, i));
+        let mut coalesced: Vec<EdgeDelta> = Vec::with_capacity(ordered.len());
+        for (delta, _) in ordered {
+            match coalesced.last_mut() {
+                Some(last) if last.edge == delta.edge => {
+                    // The earlier op on this edge is superseded: a no-op.
+                    *last = delta;
+                    plan.noops += 1;
+                }
+                _ => coalesced.push(delta),
+            }
+        }
+        for delta in &coalesced {
+            let (u, v) = delta.edge.endpoints();
+            let present = self.has_edge(u, v);
+            let effective = match delta.op {
+                DeltaOp::Insert => !present,
+                DeltaOp::Remove => present,
+            };
+            if !effective {
+                plan.noops += 1;
+                continue;
+            }
+            match delta.op {
+                DeltaOp::Insert => {
+                    plan.inserts.push(delta.edge);
+                    plan.inserts_applied += 1;
+                }
+                DeltaOp::Remove => {
+                    for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
+                        plan.removed.push(Triangle::new(u, v, w));
+                    }
+                    plan.removes_applied += 1;
+                }
+            }
+            for (node, other) in [(u, v), (v, u)] {
+                plan.ops[self.spec.shard_of(node)].push(ShardOp {
+                    local: self.spec.local_index(node),
+                    other,
+                    op: delta.op,
+                });
+            }
+        }
+        plan
+    }
+
+    /// The post-mutation collect pass of one worker: the candidate
+    /// triangles each effective insertion closes on the post-batch
+    /// adjacency.
+    fn insert_candidates(&self, inserts: &[Edge]) -> Vec<Triangle> {
+        let mut out = Vec::new();
+        for edge in inserts {
+            let (u, v) = edge.endpoints();
+            for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
+                out.push(Triangle::new(u, v, w));
+            }
+        }
+        out
+    }
+}
+
+/// Maps `f` over `0..workers`, on scoped threads unless `inline`.
+fn parallel_map<T, F>(workers: usize, inline: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if inline || workers <= 1 {
+        (0..workers).map(f).collect()
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = (0..workers).map(|k| scope.spawn(move || f(k))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// The sharded index *is* an adjacency view (pending deltas excluded):
+/// the oracle and the CONGEST drivers run on it directly — no snapshot.
+impl AdjacencyView for ShardedTriangleIndex {
+    fn node_count(&self) -> usize {
+        ShardedTriangleIndex::node_count(self)
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        ShardedTriangleIndex::neighbors(self, node)
+    }
+
+    fn edge_count(&self) -> usize {
+        ShardedTriangleIndex::edge_count(self)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        ShardedTriangleIndex::degree(self, node)
+    }
+
+    fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        ShardedTriangleIndex::has_edge(self, a, b)
+    }
+}
+
+impl fmt::Debug for ShardedTriangleIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardedTriangleIndex(n={}, m={}, shards={}, triangles={}, mode={})",
+            self.node_count(),
+            self.edge_count(),
+            self.shard_count(),
+            self.triangle_count(),
+            self.mode.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{Classic, Gnp};
+    use congest_graph::triangles as oracle;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Forces the scoped-thread path even on tiny batches.
+    fn parallel(index: ShardedTriangleIndex) -> ShardedTriangleIndex {
+        index.with_parallel_threshold(0)
+    }
+
+    #[test]
+    fn empty_index_counts_nothing() {
+        let idx = ShardedTriangleIndex::new(5, 3);
+        assert_eq!(idx.node_count(), 5);
+        assert_eq!(idx.shard_count(), 3);
+        assert_eq!(idx.edge_count(), 0);
+        assert_eq!(idx.triangle_count(), 0);
+        assert!(idx.matches_oracle());
+    }
+
+    #[test]
+    fn inserting_a_triangle_step_by_step() {
+        let mut idx = parallel(ShardedTriangleIndex::new(4, 2));
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).insert(v(1), v(2));
+        let r = idx.apply(&b).unwrap();
+        assert_eq!(r.inserts_applied, 2);
+        assert_eq!(r.triangles_added, 0);
+
+        let mut close = DeltaBatch::new();
+        close.insert(v(0), v(2));
+        let r = idx.apply(&close).unwrap();
+        assert_eq!(r.triangles_added, 1);
+        assert_eq!(idx.triangle_count(), 1);
+        assert!(idx.triangles().contains(&Triangle::new(v(0), v(1), v(2))));
+        assert!(idx.matches_oracle());
+    }
+
+    #[test]
+    fn one_batch_inserting_a_whole_triangle_counts_it_once() {
+        // All three edges of the triangle arrive in one batch; every edge
+        // is an insert candidate generator, the merge dedupes to one.
+        for shards in [1, 2, 3, 5] {
+            let mut idx = parallel(ShardedTriangleIndex::new(4, shards));
+            let mut b = DeltaBatch::new();
+            b.insert(v(0), v(1)).insert(v(1), v(2)).insert(v(0), v(2));
+            let r = idx.apply(&b).unwrap();
+            assert_eq!(r.triangles_added, 1, "shards={shards}");
+            assert_eq!(idx.triangle_count(), 1);
+            assert!(idx.matches_oracle());
+        }
+    }
+
+    #[test]
+    fn one_batch_removing_two_edges_of_a_triangle_counts_it_once() {
+        for shards in [1, 2, 4] {
+            let k4 = Classic::Complete(4).generate();
+            let mut idx = parallel(ShardedTriangleIndex::from_graph(&k4, shards));
+            assert_eq!(idx.triangle_count(), 4);
+            let mut b = DeltaBatch::new();
+            b.remove(v(0), v(1)).remove(v(1), v(2));
+            let r = idx.apply(&b).unwrap();
+            // {0,1,2} dies by two of its edges but is counted once;
+            // {0,1,3} and {1,2,3} die by one edge each.
+            assert_eq!(r.triangles_removed, 3, "shards={shards}");
+            assert_eq!(idx.triangle_count(), 1);
+            assert!(idx.matches_oracle());
+        }
+    }
+
+    #[test]
+    fn mixed_insert_and_remove_batch_matches_oracle() {
+        // Removing a wing edge while inserting the closing edge of the
+        // same would-be triangle: the insert must not report a triangle
+        // whose wing died in the same batch.
+        let mut base = DeltaBatch::new();
+        base.insert(v(0), v(1)).insert(v(1), v(2));
+        for shards in [1, 2, 3] {
+            let mut idx = parallel(ShardedTriangleIndex::new(4, shards));
+            idx.apply(&base).unwrap();
+            let mut b = DeltaBatch::new();
+            b.remove(v(1), v(2)).insert(v(0), v(2));
+            let r = idx.apply(&b).unwrap();
+            assert_eq!(r.triangles_added, 0, "shards={shards}");
+            assert_eq!(r.triangles_removed, 0);
+            assert_eq!(idx.triangle_count(), 0);
+            assert!(idx.matches_oracle());
+        }
+    }
+
+    #[test]
+    fn from_graph_seeds_every_shard() {
+        let g = Gnp::new(40, 0.2).seeded(9).generate();
+        for shards in [1, 2, 7] {
+            let idx = ShardedTriangleIndex::from_graph(&g, shards);
+            assert_eq!(idx.edge_count(), g.edge_count());
+            assert_eq!(idx.triangles(), &oracle::list_all(&g));
+            assert_eq!(&idx.snapshot(), &g);
+            for node in g.nodes() {
+                assert_eq!(idx.neighbors(node), g.neighbors(node));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let idx = ShardedTriangleIndex::new(4, 0);
+        assert_eq!(idx.shard_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_batch_is_rejected_atomically() {
+        let mut idx = ShardedTriangleIndex::new(3, 2);
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).insert(v(0), v(7));
+        let err = idx.apply(&b).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::NodeOutOfRange {
+                node: v(7),
+                node_count: 3
+            }
+        );
+        assert_eq!(idx.edge_count(), 0);
+    }
+
+    #[test]
+    fn deferred_mode_buffers_until_flush() {
+        let mut idx = parallel(ShardedTriangleIndex::new(3, 2)).with_mode(ApplyMode::Deferred);
+        assert_eq!(idx.mode(), ApplyMode::Deferred);
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).insert(v(1), v(2)).insert(v(0), v(2));
+        let r = idx.apply(&b).unwrap();
+        assert_eq!(r.deltas_deferred, 3);
+        assert_eq!(idx.triangle_count(), 0);
+        assert_eq!(idx.pending_deltas(), 3);
+        assert!(idx.pending_age().is_some());
+
+        let r = idx.flush();
+        assert_eq!(r.deltas_seen, 0);
+        assert_eq!(r.inserts_applied, 3);
+        assert_eq!(r.triangles_added, 1);
+        assert_eq!(idx.pending_deltas(), 0);
+        assert!(idx.pending_age().is_none());
+        assert!(idx.matches_oracle());
+    }
+
+    #[test]
+    fn deferred_flap_costs_nothing_at_flush() {
+        let mut idx = ShardedTriangleIndex::new(4, 2).with_mode(ApplyMode::Deferred);
+        let mut flap = DeltaBatch::new();
+        flap.insert(v(0), v(1)).remove(v(0), v(1));
+        idx.apply(&flap).unwrap();
+        let r = idx.flush();
+        assert_eq!(r.deltas_seen, 0);
+        assert_eq!(r.inserts_applied, 0);
+        assert_eq!(r.removes_applied, 0);
+        // The insert was coalesced away; the surviving remove is a no-op.
+        assert_eq!(r.noops, 2);
+        assert_eq!(idx.edge_count(), 0);
+    }
+
+    #[test]
+    fn switching_modes_flushes_pending_deltas_in_order() {
+        let mut ins = DeltaBatch::new();
+        ins.insert(v(0), v(1));
+        let mut idx = ShardedTriangleIndex::new(2, 2).with_mode(ApplyMode::Deferred);
+        idx.apply(&ins).unwrap();
+        let idx = idx.with_mode(ApplyMode::Eager);
+        assert_eq!(idx.pending_deltas(), 0);
+        assert!(idx.has_edge(v(0), v(1)));
+    }
+
+    #[test]
+    fn agrees_with_the_single_threaded_index_on_a_stream() {
+        use crate::index::TriangleIndex;
+        let g = Gnp::new(60, 0.12).seeded(11).generate();
+        let mut reference = TriangleIndex::from_graph(&g);
+        let mut sharded = parallel(ShardedTriangleIndex::from_graph(&g, 4));
+        for step in 0..20u32 {
+            let mut b = DeltaBatch::new();
+            for j in 0..10u32 {
+                let a = (step * 7 + j * 13) % 60;
+                let c = (step * 11 + j * 17 + 1) % 60;
+                if a != c {
+                    if (step + j) % 3 == 0 {
+                        b.remove(v(a), v(c));
+                    } else {
+                        b.insert(v(a), v(c));
+                    }
+                }
+            }
+            reference.apply(&b).unwrap();
+            sharded.apply(&b).unwrap();
+            assert_eq!(reference.triangles(), sharded.triangles(), "step {step}");
+            assert_eq!(reference.edge_count(), sharded.edge_count());
+        }
+        assert!(sharded.matches_oracle());
+    }
+
+    #[test]
+    fn debug_summarizes() {
+        let idx = ShardedTriangleIndex::new(6, 2);
+        let s = format!("{idx:?}");
+        assert!(s.contains("n=6"));
+        assert!(s.contains("shards=2"));
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use congest_graph::{Edge, Graph, NodeId, Triangle, TriangleSet};
+use congest_graph::{AdjacencyView, Edge, NodeId, Triangle, TriangleSet};
 use congest_sim::{Metrics, NodeInfo, NodeProgram, RunReport, SimConfig, Simulation};
 use congest_wire::{BitReader, IdCodec, Payload};
 
@@ -44,15 +44,20 @@ impl AlgorithmRun {
 
     /// Whether every output triple is a triangle of `graph` (the one-sided
     /// error property); used by tests and the experiment harness.
-    pub fn is_sound(&self, graph: &Graph) -> bool {
+    pub fn is_sound<V: AdjacencyView + ?Sized>(&self, graph: &V) -> bool {
         self.triangles.iter().all(|&t| graph.is_triangle(t))
     }
 }
 
 /// Runs a triangle-outputting node program on `graph` and aggregates the
 /// result.
-pub fn run_congest<P, F>(graph: &Graph, config: SimConfig, factory: F) -> AlgorithmRun
+///
+/// `graph` may be any [`AdjacencyView`] — a frozen
+/// [`Graph`](congest_graph::Graph) or a live adjacency structure such as
+/// the `congest-stream` indexes, with no snapshot in between.
+pub fn run_congest<V, P, F>(graph: &V, config: SimConfig, factory: F) -> AlgorithmRun
 where
+    V: AdjacencyView + ?Sized,
     P: NodeProgram<Output = TriangleSet>,
     F: FnMut(&NodeInfo) -> P,
 {

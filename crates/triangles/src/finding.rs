@@ -8,7 +8,7 @@
 //! runs as its own simulation; the reported round count is the sum, which
 //! is exactly the cost of running them back to back in one execution.
 
-use congest_graph::{Graph, Triangle, TriangleSet};
+use congest_graph::{AdjacencyView, Triangle, TriangleSet};
 use congest_sim::{Bandwidth, SimConfig};
 
 use crate::common::run_congest;
@@ -34,8 +34,9 @@ pub struct FindingConfig {
 }
 
 impl FindingConfig {
-    /// The paper-faithful configuration for `graph`.
-    pub fn paper(graph: &Graph) -> Self {
+    /// The paper-faithful configuration for `graph` (any
+    /// [`AdjacencyView`]).
+    pub fn paper<V: AdjacencyView + ?Sized>(graph: &V) -> Self {
         let n = graph.node_count();
         FindingConfig {
             epsilon: EpsilonChoice::finding(n),
@@ -48,7 +49,7 @@ impl FindingConfig {
 
     /// A lighter configuration for laptop-scale sweeps (fewer repetitions,
     /// scaled constants).
-    pub fn scaled(graph: &Graph) -> Self {
+    pub fn scaled<V: AdjacencyView + ?Sized>(graph: &V) -> Self {
         let n = graph.node_count();
         FindingConfig {
             epsilon: EpsilonChoice::finding(n),
@@ -114,11 +115,16 @@ impl FindingReport {
     }
 }
 
-/// Runs the Theorem 1 triangle-finding driver on `graph`.
+/// Runs the Theorem 1 triangle-finding driver on `graph` (any
+/// [`AdjacencyView`], so a live streaming index works directly).
 ///
 /// The `seed` determines all randomness (sampling in A1, the set `X` and
 /// hash-free machinery in A3); runs are fully reproducible.
-pub fn find_triangles(graph: &Graph, config: &FindingConfig, seed: u64) -> FindingReport {
+pub fn find_triangles<V: AdjacencyView + ?Sized>(
+    graph: &V,
+    config: &FindingConfig,
+    seed: u64,
+) -> FindingReport {
     let epsilon = config.epsilon.epsilon();
     let mut report = FindingReport {
         found: TriangleSet::new(),

@@ -6,7 +6,7 @@
 //! probability, so after `⌈c log n⌉` iterations all of them have been
 //! reported with probability `1 − 1/n` by a union bound.
 
-use congest_graph::{Graph, Triangle, TriangleSet};
+use congest_graph::{AdjacencyView, Triangle, TriangleSet};
 use congest_sim::{Bandwidth, SimConfig};
 
 use crate::common::run_congest;
@@ -28,8 +28,9 @@ pub struct ListingConfig {
 }
 
 impl ListingConfig {
-    /// The paper-faithful configuration for `graph`.
-    pub fn paper(graph: &Graph) -> Self {
+    /// The paper-faithful configuration for `graph` (any
+    /// [`AdjacencyView`]).
+    pub fn paper<V: AdjacencyView + ?Sized>(graph: &V) -> Self {
         let n = graph.node_count();
         ListingConfig {
             epsilon: EpsilonChoice::listing(n),
@@ -40,7 +41,7 @@ impl ListingConfig {
     }
 
     /// A lighter configuration for laptop-scale sweeps.
-    pub fn scaled(graph: &Graph) -> Self {
+    pub fn scaled<V: AdjacencyView + ?Sized>(graph: &V) -> Self {
         let n = graph.node_count();
         ListingConfig {
             epsilon: EpsilonChoice::listing(n),
@@ -98,13 +99,18 @@ impl ListingReport {
 
     /// Whether the report lists exactly the triangles of `graph`
     /// (completeness and soundness together).
-    pub fn is_complete_for(&self, graph: &Graph) -> bool {
-        self.listed == congest_graph::triangles::list_all(graph)
+    pub fn is_complete_for<V: AdjacencyView + ?Sized>(&self, graph: &V) -> bool {
+        self.listed == congest_graph::triangles::list_all_on(graph)
     }
 }
 
-/// Runs the Theorem 2 triangle-listing driver on `graph`.
-pub fn list_triangles(graph: &Graph, config: &ListingConfig, seed: u64) -> ListingReport {
+/// Runs the Theorem 2 triangle-listing driver on `graph` (any
+/// [`AdjacencyView`], so a live streaming index works directly).
+pub fn list_triangles<V: AdjacencyView + ?Sized>(
+    graph: &V,
+    config: &ListingConfig,
+    seed: u64,
+) -> ListingReport {
     let epsilon = config.epsilon.epsilon();
     let mut report = ListingReport {
         listed: TriangleSet::new(),

@@ -17,8 +17,11 @@
 //!   Theorem 1/2 drivers) plus baselines.
 //! * [`info`] — information-theoretic experiment machinery for the paper's
 //!   lower bounds (Theorem 3, Proposition 5).
-//! * [`stream`] — the incremental triangle engine over batched edge deltas
-//!   plus the workload/scenario load-test harness.
+//! * [`stream`] — the incremental triangle engines over batched edge
+//!   deltas (single-threaded and sharded multi-core) plus the
+//!   workload/scenario load-test harness; both engines are
+//!   [`AdjacencyView`](graph::AdjacencyView)s, so the static drivers and
+//!   the oracle run on them directly with no snapshot.
 //!
 //! ## Quick example
 //!
@@ -50,14 +53,14 @@ pub use congest_wire as wire;
 pub mod prelude {
     pub use congest_graph::{
         generators::{Gnp, PlantedHeavy, PlantedLight, TriangleFreeBipartite},
-        Graph, GraphBuilder, NodeId, Triangle, TriangleSet,
+        AdjacencyView, Graph, GraphBuilder, NodeId, Triangle, TriangleSet,
     };
     pub use congest_hash::KWiseFamily;
     pub use congest_info::{rivin_edge_lower_bound, LowerBoundReport};
     pub use congest_sim::{Bandwidth, Model, RunReport, SimConfig, Simulation};
     pub use congest_stream::{
-        ApplyMode, BaseGraph, DeltaBatch, EdgeDelta, RunSummary, Scenario, TriangleIndex,
-        WorkloadRunner,
+        ApplyMode, BaseGraph, DeltaBatch, EdgeDelta, RunSummary, Scenario, ShardedTriangleIndex,
+        StreamEngine, TriangleIndex, WorkloadRunner,
     };
     pub use congest_triangles::{
         find_triangles, list_triangles, ConstantsProfile, EpsilonChoice, FindingConfig,

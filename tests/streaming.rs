@@ -1,7 +1,8 @@
 //! End-to-end tests of the streaming layer through the facade crate: the
-//! prelude exposes the engine, the engine agrees with the centralized
-//! oracle across scenario families, and snapshots feed the paper's
-//! distributed algorithms unchanged.
+//! prelude exposes both engines, the engines agree with the centralized
+//! oracle across scenario families, and the paper's distributed
+//! algorithms run directly on the live indexes (no snapshot) through
+//! `AdjacencyView`.
 
 use congest::graph::triangles as reference;
 use congest::prelude::*;
@@ -56,7 +57,7 @@ fn every_scenario_family_stays_consistent_with_the_oracle() {
 }
 
 #[test]
-fn streaming_snapshots_feed_the_distributed_algorithms() {
+fn live_indexes_feed_the_distributed_algorithms_with_no_snapshot() {
     let scenario = Scenario::uniform_churn(48, 8, 20)
         .with_base(BaseGraph::Gnp { p: 0.1 })
         .seeded(5);
@@ -64,18 +65,50 @@ fn streaming_snapshots_feed_the_distributed_algorithms() {
     for batch in scenario.batches() {
         index.apply(&batch).unwrap();
     }
-    let snapshot = index.snapshot();
 
-    // The Theorem 1 finding driver runs on the evolved graph, and anything
-    // it reports is a triangle the index already knows about.
-    let report = find_triangles(&snapshot, &FindingConfig::scaled(&snapshot), 0xFEED);
+    // The Theorem 1 finding driver runs directly on the live index (it is
+    // an `AdjacencyView`), and anything it reports is a triangle the
+    // index already knows about.
+    let report = find_triangles(&index, &FindingConfig::scaled(&index), 0xFEED);
     for t in report.triangles() {
-        assert!(snapshot.is_triangle(*t));
+        assert!(index.is_triangle(*t));
         assert!(index.triangles().contains(t));
     }
 
-    // The snapshot is internally consistent with the reference listing.
-    assert_eq!(index.triangles(), &reference::list_all(&snapshot));
+    // The live adjacency is internally consistent with the snapshot-free
+    // reference listing, and identical to the frozen snapshot's.
+    assert_eq!(index.triangles(), &reference::list_all_on(&index));
+    assert_eq!(index.triangles(), &reference::list_all(&index.snapshot()));
+}
+
+#[test]
+fn sharded_engine_is_exposed_and_agrees_end_to_end() {
+    let scenario = Scenario::hotspot_churn(60, 8, 25)
+        .with_base(BaseGraph::Gnp { p: 0.08 })
+        .seeded(9);
+    let base = scenario.base_graph();
+    let mut single = TriangleIndex::from_graph(&base);
+    let mut sharded = ShardedTriangleIndex::from_graph(&base, 3);
+    for batch in scenario.batches() {
+        single.apply(&batch).unwrap();
+        sharded.apply(&batch).unwrap();
+    }
+    assert_eq!(single.triangles(), sharded.triangles());
+    assert!(sharded.matches_oracle());
+
+    // The workload runner drives it through the same scenario, and the
+    // distributed listing runs on it directly.
+    let summary = WorkloadRunner::new(scenario)
+        .with_shards(3)
+        .recompute_every(0)
+        .verified(true)
+        .run();
+    assert!(summary.oracle_ok);
+    assert_eq!(summary.shards, Some(3));
+    let listing = list_triangles(&sharded, &ListingConfig::scaled(&sharded), 3);
+    for t in listing.triangles() {
+        assert!(sharded.is_triangle(*t));
+    }
 }
 
 #[test]
