@@ -1,0 +1,371 @@
+//! Dynamic-vs-static round-cost benchmark — quantifies what the
+//! distributed dynamic triangle engine buys over re-running the paper's
+//! one-shot drivers after every update batch.
+//!
+//! Three sections:
+//!
+//! * the **matrix** drives the four churn scenarios (uniform, hotspot,
+//!   planted-burst, grow-then-shrink) through
+//!   [`DistributedTriangleEngine`] eagerly, plus a deferred/coalescing
+//!   variant, reporting per-batch round / message / bit costs;
+//! * the **headline** run maintains triangles under uniform churn on the
+//!   10k-node scenario and compares its mean per-batch round cost
+//!   against one re-run of each static driver (`find_triangles`,
+//!   Theorem 1; `list_triangles`, Theorem 2) executed *on the live
+//!   engine's own adjacency view* — the cost a per-batch re-run would
+//!   pay, measured conservatively with a single repetition (real drivers
+//!   repeat to amplify success probability, so the true re-run cost is a
+//!   multiple of what we charge the baseline);
+//! * a **bandwidth** sweep showing rounds shrink as the per-link budget
+//!   `B` grows (the broadcasts pack more edge deltas per message).
+//!
+//! The acceptance floor — the dynamic engine beats per-batch re-runs by
+//! ≥ 5x in rounds on the headline scenario — is enforced in-binary, like
+//! `stream_bench`'s floors. All gated quantities are *round counts*,
+//! which are fully deterministic per seed, so the `dynamic_gate`
+//! regression gate compares them across machines without a hardware
+//! fingerprint (only the `--quick` scenario shape must match).
+//!
+//! Flags: `--quick` shrinks every section for CI (the committed
+//! `BENCH_dynamic.json` baseline is a `--quick` run, which is what the
+//! workflow gates); the default full run is the 10k-node acceptance
+//! configuration.
+//!
+//! Output: a plain-text table on stdout and `BENCH_dynamic.json` in the
+//! current directory.
+
+use std::fmt::Write as _;
+
+use congest_bench::{table::fmt_f64, Table};
+use congest_sim::Bandwidth;
+use congest_stream::{ApplyMode, BaseGraph, CongestCost, DistributedTriangleEngine, Scenario};
+use congest_triangles::{find_triangles, list_triangles, FindingConfig, ListingConfig};
+
+/// What one scenario run through the dynamic engine produced.
+struct DynamicRun {
+    name: String,
+    mode: &'static str,
+    n: usize,
+    batches: usize,
+    deltas: usize,
+    total: CongestCost,
+    max_batch_rounds: u64,
+    final_triangles: usize,
+    oracle_ok: bool,
+}
+
+impl DynamicRun {
+    fn mean_rounds_per_batch(&self) -> f64 {
+        self.total.rounds as f64 / self.batches.max(1) as f64
+    }
+
+    fn mean_bits_per_batch(&self) -> f64 {
+        self.total.bits as f64 / self.batches.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"mode\":\"{}\",\"n\":{},\"batches\":{},\"deltas\":{},\
+             \"total_rounds\":{},\"total_messages\":{},\"total_bits\":{},\
+             \"mean_rounds_per_batch\":{:.4},\"max_batch_rounds\":{},\
+             \"mean_bits_per_batch\":{:.1},\"final_triangles\":{},\"oracle_ok\":{}}}",
+            self.name,
+            self.mode,
+            self.n,
+            self.batches,
+            self.deltas,
+            self.total.rounds,
+            self.total.messages,
+            self.total.bits,
+            self.mean_rounds_per_batch(),
+            self.max_batch_rounds,
+            self.mean_bits_per_batch(),
+            self.final_triangles,
+            self.oracle_ok,
+        )
+    }
+}
+
+/// Drives one scenario through the distributed engine and totals the
+/// network cost.
+fn run_dynamic(scenario: &Scenario, mode: ApplyMode, flush_every: usize) -> DynamicRun {
+    let base = scenario.base_graph();
+    let mut engine = DistributedTriangleEngine::from_graph(&base).with_mode(mode);
+    let batches = scenario.batches();
+    let mut max_batch_rounds = 0u64;
+    let mut deltas = 0usize;
+    for (i, batch) in batches.iter().enumerate() {
+        deltas += batch.len();
+        engine.apply(batch).expect("scenario batches are in range");
+        if mode == ApplyMode::Deferred && ((i + 1) % flush_every == 0 || i + 1 == batches.len()) {
+            engine.flush();
+        }
+        max_batch_rounds = max_batch_rounds.max(engine.last_batch_cost().rounds);
+    }
+    DynamicRun {
+        name: scenario.name(),
+        mode: mode.name(),
+        n: scenario.node_count(),
+        batches: batches.len(),
+        deltas,
+        total: engine.total_cost(),
+        max_batch_rounds,
+        final_triangles: engine.triangle_count(),
+        oracle_ok: engine.matches_oracle(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| match a.as_str() {
+        "--quick" => true,
+        other => panic!("unknown flag {other} (expected --quick)"),
+    });
+
+    // Matrix scale and the headline scenario. The full headline mirrors
+    // `stream_bench`'s 10k-node uniform-churn acceptance scenario.
+    let (matrix_n, matrix_batches, matrix_size) = if quick { (300, 6, 40) } else { (600, 12, 60) };
+    let headline = if quick {
+        Scenario::uniform_churn(2_000, 12, 100)
+            .with_base(BaseGraph::Gnp { p: 0.004 })
+            .seeded(0x00D1_2000)
+    } else {
+        Scenario::uniform_churn(10_000, 40, 250)
+            .with_base(BaseGraph::Gnp { p: 0.0008 })
+            .seeded(0x10_000)
+    };
+
+    let base = BaseGraph::Gnp {
+        p: 8.0 / matrix_n as f64,
+    };
+    let matrix = vec![
+        Scenario::uniform_churn(matrix_n, matrix_batches, matrix_size)
+            .with_base(base)
+            .seeded(0x000D_1AA0),
+        Scenario::hotspot_churn(matrix_n, matrix_batches, matrix_size)
+            .with_base(base)
+            .seeded(0x000D_1AA1),
+        Scenario::planted_bursts(matrix_n, matrix_batches, matrix_size)
+            .with_base(base)
+            .seeded(0x000D_1AA2),
+        Scenario::grow_then_shrink(matrix_n, matrix_batches, matrix_size)
+            .with_base(base)
+            .seeded(0x000D_1AA3),
+    ];
+
+    let mut table = Table::new([
+        "scenario",
+        "mode",
+        "n",
+        "batches",
+        "rounds/batch",
+        "max rounds",
+        "bits/batch",
+        "final triangles",
+        "oracle",
+    ]);
+    let mut runs: Vec<DynamicRun> = Vec::new();
+
+    for scenario in &matrix {
+        let eager = run_dynamic(scenario, ApplyMode::Eager, 1);
+        table.row([
+            eager.name.clone(),
+            eager.mode.to_string(),
+            eager.n.to_string(),
+            eager.batches.to_string(),
+            fmt_f64(eager.mean_rounds_per_batch()),
+            eager.max_batch_rounds.to_string(),
+            fmt_f64(eager.mean_bits_per_batch()),
+            eager.final_triangles.to_string(),
+            if eager.oracle_ok { "ok" } else { "FAIL" }.to_string(),
+        ]);
+        runs.push(eager);
+    }
+    // One deferred variant: whole windows coalesce into single epochs.
+    let deferred = run_dynamic(&matrix[0], ApplyMode::Deferred, 4);
+    table.row([
+        deferred.name.clone(),
+        "deferred/4".to_string(),
+        deferred.n.to_string(),
+        deferred.batches.to_string(),
+        fmt_f64(deferred.mean_rounds_per_batch()),
+        deferred.max_batch_rounds.to_string(),
+        fmt_f64(deferred.mean_bits_per_batch()),
+        deferred.final_triangles.to_string(),
+        if deferred.oracle_ok { "ok" } else { "FAIL" }.to_string(),
+    ]);
+
+    // Headline: the dynamic engine across the stream, then one
+    // conservative (single-repetition) re-run of each static driver on
+    // the live engine's own adjacency view.
+    let headline_base = headline.base_graph();
+    let mut engine = DistributedTriangleEngine::from_graph(&headline_base);
+    let mut max_batch_rounds = 0u64;
+    let mut headline_deltas = 0usize;
+    for batch in headline.batches() {
+        headline_deltas += batch.len();
+        engine.apply(&batch).expect("headline batches are in range");
+        max_batch_rounds = max_batch_rounds.max(engine.last_batch_cost().rounds);
+    }
+    let headline_run = DynamicRun {
+        name: headline.name(),
+        mode: "eager (headline)",
+        n: headline.node_count(),
+        batches: headline.batch_count(),
+        deltas: headline_deltas,
+        total: engine.total_cost(),
+        max_batch_rounds,
+        final_triangles: engine.triangle_count(),
+        oracle_ok: engine.matches_oracle(),
+    };
+    table.row([
+        headline_run.name.clone(),
+        headline_run.mode.to_string(),
+        headline_run.n.to_string(),
+        headline_run.batches.to_string(),
+        fmt_f64(headline_run.mean_rounds_per_batch()),
+        headline_run.max_batch_rounds.to_string(),
+        fmt_f64(headline_run.mean_bits_per_batch()),
+        headline_run.final_triangles.to_string(),
+        if headline_run.oracle_ok { "ok" } else { "FAIL" }.to_string(),
+    ]);
+
+    let seed = 0x00D1_BA5E;
+    let finding = find_triangles(
+        &engine,
+        &FindingConfig::scaled(&engine).with_repetitions(1),
+        seed,
+    );
+    let listing = list_triangles(
+        &engine,
+        &ListingConfig::scaled(&engine).with_repetitions(1),
+        seed,
+    );
+    let mean_rounds = headline_run.mean_rounds_per_batch();
+    let speedup_vs_finding = finding.total_rounds as f64 / mean_rounds;
+    let speedup_vs_listing = listing.total_rounds as f64 / mean_rounds;
+    let bits_ratio_vs_listing = listing.total_bits as f64 / headline_run.mean_bits_per_batch();
+
+    println!("# dynamic_bench — distributed dynamic engine vs static re-runs\n");
+    table.print();
+    println!(
+        "\nheadline ({}k nodes): dynamic {:.1} rounds/batch (max {}), \
+         re-run baselines: Thm1 finding {} rounds, Thm2 listing {} rounds",
+        headline_run.n / 1000,
+        mean_rounds,
+        headline_run.max_batch_rounds,
+        finding.total_rounds,
+        listing.total_rounds,
+    );
+    println!(
+        "round speedup vs per-batch re-runs: {speedup_vs_finding:.0}x (finding), \
+         {speedup_vs_listing:.0}x (listing); acceptance floor: 5x"
+    );
+    println!(
+        "message volume: dynamic {:.0} bits/batch vs {} bits per listing re-run \
+         ({bits_ratio_vs_listing:.0}x)",
+        headline_run.mean_bits_per_batch(),
+        listing.total_bits,
+    );
+
+    // Bandwidth sweep: the same mid-sized batch under growing budgets.
+    let sweep_scenario = Scenario::hotspot_churn(matrix_n, 4, 4 * matrix_size)
+        .with_base(base)
+        .seeded(0x000D_1AAB);
+    let sweep_base = sweep_scenario.base_graph();
+    let reference = {
+        let mut e = DistributedTriangleEngine::from_graph(&sweep_base);
+        for batch in sweep_scenario.batches() {
+            e.apply(&batch).expect("in range");
+        }
+        e.triangle_count()
+    };
+    let mut bw_json = String::from("[");
+    print!("bandwidth sweep (rounds/batch): ");
+    for (i, factor) in [2u32, 8, 32].into_iter().enumerate() {
+        let mut engine = DistributedTriangleEngine::from_graph_with_bandwidth(
+            &sweep_base,
+            Bandwidth::LogFactor(factor),
+        );
+        for batch in sweep_scenario.batches() {
+            engine.apply(&batch).expect("in range");
+        }
+        assert_eq!(
+            engine.triangle_count(),
+            reference,
+            "bandwidth must not change results"
+        );
+        let mean = engine.total_cost().rounds as f64 / engine.epochs().max(1) as f64;
+        print!("B={factor}·log n → {mean:.1}  ");
+        if i > 0 {
+            bw_json.push(',');
+        }
+        let _ = write!(
+            bw_json,
+            "{{\"log_factor\":{factor},\"mean_rounds_per_batch\":{mean:.4}}}"
+        );
+    }
+    bw_json.push(']');
+    println!();
+
+    let any_oracle_failure =
+        runs.iter().any(|r| !r.oracle_ok) || !deferred.oracle_ok || !headline_run.oracle_ok;
+    if any_oracle_failure {
+        eprintln!("ERROR: at least one run diverged from the centralized oracle");
+    }
+
+    // Machine-readable trajectory for the CI gate. Round counts are
+    // deterministic per seed, so the gate needs no hardware fingerprint
+    // — only the scenario shape (`quick`, `headline_n`) must match.
+    let mut json = String::from("{\"bench\":\"dynamic\",\"schema_version\":1,");
+    let _ = write!(
+        json,
+        "\"quick\":{},\"headline_n\":{},\"headline_batches\":{},",
+        if quick { 1 } else { 0 },
+        headline_run.n,
+        headline_run.batches,
+    );
+    json.push_str("\"runs\":[");
+    for (i, r) in runs.iter().chain([&deferred, &headline_run]).enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&r.to_json());
+    }
+    let _ = write!(
+        json,
+        "],\"bandwidth_sweep\":{bw_json},\
+         \"headline_mean_rounds_per_batch\":{mean_rounds:.4},\
+         \"headline_max_batch_rounds\":{},\
+         \"headline_mean_bits_per_batch\":{:.1},\
+         \"finding_rerun_rounds\":{},\
+         \"listing_rerun_rounds\":{},\
+         \"headline_round_speedup_vs_finding\":{speedup_vs_finding:.3},\
+         \"headline_round_speedup_vs_listing\":{speedup_vs_listing:.3},\
+         \"headline_bits_ratio_vs_listing\":{bits_ratio_vs_listing:.3}}}",
+        headline_run.max_batch_rounds,
+        headline_run.mean_bits_per_batch(),
+        finding.total_rounds,
+        listing.total_rounds,
+    );
+    std::fs::write("BENCH_dynamic.json", &json).expect("write BENCH_dynamic.json");
+    println!("\nwrote BENCH_dynamic.json ({} runs)", runs.len() + 2);
+
+    // Enforced floors.
+    let mut failed = any_oracle_failure;
+    let floor = 5.0;
+    for (name, speedup) in [
+        ("finding", speedup_vs_finding),
+        ("listing", speedup_vs_listing),
+    ] {
+        if !speedup.is_finite() || speedup < floor {
+            eprintln!(
+                "ERROR: dynamic round speedup vs {name} re-runs is {speedup:.1}x, \
+                 below the {floor}x floor"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

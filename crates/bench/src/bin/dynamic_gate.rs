@@ -1,0 +1,69 @@
+//! CI regression gate for the distributed dynamic engine.
+//!
+//! Usage: `dynamic_gate <baseline.json> <current.json>`
+//!
+//! Compares the fresh `BENCH_dynamic.json` written by `dynamic_bench`
+//! against the committed baseline and exits non-zero when any gated
+//! metric (the round-cost speedups of the dynamic engine over per-batch
+//! re-runs of the Theorem 1/2 drivers, and the bits ratio) drops more
+//! than 20% below the baseline. Unlike `stream_gate`, every gated
+//! quantity here is a deterministic round count, so no hardware
+//! fingerprint is needed — the gate only requires the scenario shape to
+//! match (same `quick` flag and `headline_n`); against a differently
+//! shaped baseline it reports and passes. The ≥5x acceptance floor is
+//! enforced by `dynamic_bench` itself regardless.
+
+use congest_bench::gate::{
+    check_metric, extract_number, DEFAULT_TOLERANCE, DYNAMIC_GATE_FINGERPRINT, DYNAMIC_GATE_METRICS,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (baseline_path, current_path) = match (args.next(), args.next()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!("usage: dynamic_gate <baseline.json> <current.json>");
+            std::process::exit(2);
+        }
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let current = std::fs::read_to_string(&current_path)
+        .unwrap_or_else(|e| panic!("read current {current_path}: {e}"));
+
+    println!("# dynamic_gate — {baseline_path} vs {current_path} (tolerance: 20% drop)\n");
+    let mut same_shape = true;
+    for key in DYNAMIC_GATE_FINGERPRINT {
+        let (b, c) = (
+            extract_number(&baseline, key),
+            extract_number(&current, key),
+        );
+        if !matches!((b, c), (Some(b), Some(c)) if b == c) {
+            println!(
+                "baseline {key} {b:?} != current {c:?}: round costs are not comparable \
+                 like-for-like; reporting without gating."
+            );
+            same_shape = false;
+        }
+    }
+    if !same_shape {
+        println!();
+    }
+    let mut failed = false;
+    for key in DYNAMIC_GATE_METRICS {
+        let check = check_metric(&baseline, &current, key, DEFAULT_TOLERANCE);
+        if same_shape {
+            println!("{check}");
+            failed |= check.regressed;
+        } else {
+            println!("{check} [not gated: differently shaped baseline]");
+        }
+    }
+    if failed {
+        eprintln!(
+            "\nERROR: dynamic round-cost metrics regressed more than 20% against the baseline"
+        );
+        std::process::exit(1);
+    }
+    println!("\ngate passed");
+}

@@ -9,9 +9,10 @@
 //! * the **headline** run quantifies incremental maintenance vs.
 //!   from-scratch recount on 10k nodes (acceptance floor: 10x);
 //! * the **shard sweep** drives a denser 10k-node uniform-churn stream
-//!   through [`ShardedTriangleIndex`] at S ∈ {1, 2, 4, 8} and reports the
-//!   parallel speedup over the single-threaded [`TriangleIndex`] on the
-//!   identical stream. The S=4 ≥ 1.5x floor is enforced when the machine
+//!   through [`ShardedTriangleIndex`](congest_stream::ShardedTriangleIndex)
+//!   at S ∈ {1, 2, 4, 8} and reports the parallel speedup over the
+//!   single-threaded [`TriangleIndex`](congest_stream::TriangleIndex) on
+//!   the identical stream. The S=4 ≥ 1.5x floor is enforced when the machine
 //!   actually has ≥ 4 hardware threads; the S=1 run must stay within 10%
 //!   of the single-threaded engine everywhere.
 //!

@@ -109,6 +109,23 @@ pub const STREAM_GATE_METRICS: [&str; 3] = [
     "sweep_best_parallel_speedup",
 ];
 
+/// The metrics `dynamic_gate` holds against the committed
+/// `BENCH_dynamic.json` baseline. All are **round-count-derived** and
+/// fully deterministic per seed, so — unlike the timing metrics above —
+/// they are comparable across machines with no hardware fingerprint;
+/// the gate only requires the scenario shape to match (same `quick`
+/// flag and `headline_n`). Higher is better for every one.
+pub const DYNAMIC_GATE_METRICS: [&str; 3] = [
+    "headline_round_speedup_vs_finding",
+    "headline_round_speedup_vs_listing",
+    "headline_bits_ratio_vs_listing",
+];
+
+/// The fingerprint keys that must match between a `BENCH_dynamic.json`
+/// baseline and a fresh run for the dynamic gate to have teeth: they
+/// pin the scenario shape, not the hardware.
+pub const DYNAMIC_GATE_FINGERPRINT: [&str; 2] = ["quick", "headline_n"];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -79,11 +79,11 @@ pub fn count_common(a: &[NodeId], b: &[NodeId]) -> usize {
 
 /// Read-only access to an undirected graph's sorted adjacency structure.
 ///
-/// See the [module documentation](self) for the contract. [`Graph`]
-/// implements this by borrowing its CSR rows; live engines implement it by
-/// borrowing their mutable neighbour lists, which is what lets the static
-/// drivers and the centralized oracle run on an evolving graph without a
-/// snapshot.
+/// The module-level documentation in `view.rs` spells out the contract.
+/// [`Graph`] implements this by borrowing its CSR rows; live engines
+/// implement it by borrowing their mutable neighbour lists, which is what
+/// lets the static drivers and the centralized oracle run on an evolving
+/// graph without a snapshot.
 ///
 /// [`Graph`]: crate::Graph
 pub trait AdjacencyView {

@@ -210,9 +210,9 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::*;
 
-    /// Length specification for [`vec`]: a range (or exact count) of sizes.
+    /// Length specification for [`vec()`]: a range (or exact count) of sizes.
     ///
-    /// Mirroring real proptest, [`vec`] takes `impl Into<SizeRange>`, which
+    /// Mirroring real proptest, [`vec()`] takes `impl Into<SizeRange>`, which
     /// pins untyped integer literals like `0..64` to `usize`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -249,7 +249,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -34,6 +34,7 @@ pub(crate) struct Outbox {
 pub struct RoundContext<'a> {
     pub(crate) info: &'a NodeInfo,
     pub(crate) round: u64,
+    pub(crate) epoch: u64,
     pub(crate) inbox: &'a mut Vec<ReceivedMessage>,
     pub(crate) outbox: &'a mut Outbox,
     pub(crate) rng: &'a mut SmallRng,
@@ -50,9 +51,16 @@ impl<'a> RoundContext<'a> {
         self.info.n
     }
 
-    /// The current round number (the first round is 0).
+    /// The current round number within the epoch (the first round is 0;
+    /// numbering restarts every epoch).
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The current epoch of a resumable simulation (0 for the first —
+    /// and, in one-shot usage, only — epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The communication model of the run.
@@ -228,6 +236,7 @@ mod tests {
             let mut ctx = RoundContext {
                 info,
                 round: 0,
+                epoch: 0,
                 inbox: &mut inbox,
                 outbox: &mut outbox,
                 rng: &mut rng,
@@ -328,11 +337,13 @@ mod tests {
         let mut ctx = RoundContext {
             info: &info,
             round: 3,
+            epoch: 1,
             inbox: &mut inbox,
             outbox: &mut outbox,
             rng: &mut rng,
         };
         assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.epoch(), 1);
         assert_eq!(ctx.inbox().len(), 1);
         let taken = ctx.take_inbox();
         assert_eq!(taken.len(), 1);

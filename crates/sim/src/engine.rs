@@ -1,6 +1,14 @@
 //! The sequential round engine.
+//!
+//! Since the epoch refactor the engine is **resumable**: node programs
+//! keep their state across [`Simulation::run_epoch`] calls, external
+//! input is fed in between epochs with [`Simulation::inject`], and the
+//! communication topology may be updated with
+//! [`Simulation::update_topology`] — the substrate of the dynamic
+//! (CONGEST-simulated) triangle engine in `congest-stream`.
 
 use congest_graph::{AdjacencyView, NodeId};
+use congest_wire::Payload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -44,6 +52,26 @@ impl<O> RunReport<O> {
     }
 }
 
+/// The result of one epoch of a resumable simulation: metrics for the
+/// rounds of that epoch only. Node programs stay alive (and keep their
+/// state) inside the simulation, so there are no outputs here — read
+/// them through [`Simulation::program`] / [`Simulation::program_mut`],
+/// or end the run with [`Simulation::run`].
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Traffic and round metrics of this epoch.
+    pub metrics: Metrics,
+    /// Why the epoch ended.
+    pub termination: Termination,
+}
+
+impl EpochReport {
+    /// Whether every node halted before the round cap.
+    pub fn completed(&self) -> bool {
+        self.termination == Termination::AllHalted
+    }
+}
+
 /// Builds the per-node [`NodeInfo`] records for a graph and configuration.
 ///
 /// Generic over [`AdjacencyView`] so a simulation can be instantiated from
@@ -74,11 +102,59 @@ pub(crate) fn build_infos<V: AdjacencyView + ?Sized>(
 /// from its [`NodeInfo`]; the engine then drives all programs round by
 /// round until every one of them halts (or the round cap is reached).
 ///
-/// See the [crate-level documentation](crate) for a complete example.
+/// The engine is **epoch-based and resumable**: [`Simulation::run`]
+/// drives a single epoch and consumes the simulation (the classic
+/// one-shot usage), while [`Simulation::run_epoch`] drives one epoch and
+/// keeps every node program alive, so a live network can be fed
+/// successive input batches with [`Simulation::inject`] between epochs
+/// instead of being rebuilt per run. Per-node round numbering restarts
+/// at 0 each epoch; [`RoundContext::epoch`] exposes the epoch index.
+///
+/// See the [crate-level documentation](crate) for a complete one-shot
+/// example; a resumable multi-epoch session looks like this:
+///
+/// ```
+/// use congest_graph::generators::Classic;
+/// use congest_sim::{NodeProgram, NodeStatus, RoundContext, SimConfig, Simulation};
+///
+/// /// Counts how many times this node has been woken up across epochs.
+/// struct Wakeups(u64);
+/// impl NodeProgram for Wakeups {
+///     type Output = u64;
+///     fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+///         self.0 += ctx.inbox().len() as u64 + 1;
+///         NodeStatus::Halted
+///     }
+///     fn finish(&mut self) -> u64 { self.0 }
+/// }
+///
+/// let g = Classic::Path(3).generate();
+/// let mut sim = Simulation::new(&g, SimConfig::congest(0), |_| Wakeups(0));
+///
+/// // Epoch 0: every node runs one round and halts — state survives.
+/// let first = sim.run_epoch();
+/// assert!(first.completed());
+/// assert_eq!(sim.epoch(), 1);
+///
+/// // Inject out-of-band client input, then resume the same programs.
+/// let payload = congest_wire::Payload::new();
+/// sim.inject(congest_graph::NodeId(1), payload);
+/// sim.run_epoch();
+/// assert_eq!(sim.program(congest_graph::NodeId(1)).0, 3); // 2 wakeups + 1 message
+/// assert_eq!(sim.program(congest_graph::NodeId(0)).0, 2);
+/// ```
 pub struct Simulation<P: NodeProgram> {
     infos: Vec<NodeInfo>,
     programs: Vec<P>,
     config: SimConfig,
+    /// Per-node deterministic RNGs; persistent so randomness continues
+    /// across epochs instead of repeating.
+    rngs: Vec<SmallRng>,
+    /// Messages awaiting delivery at round 0 of the next epoch
+    /// (injections land here between epochs).
+    inboxes: Vec<Vec<ReceivedMessage>>,
+    /// Number of completed epochs (the index of the next one).
+    epoch: u64,
 }
 
 impl<P: NodeProgram> Simulation<P> {
@@ -93,11 +169,17 @@ impl<P: NodeProgram> Simulation<P> {
         F: FnMut(&NodeInfo) -> P,
     {
         let infos = build_infos(graph, &config);
-        let programs = infos.iter().map(&mut factory).collect();
+        let programs: Vec<P> = infos.iter().map(&mut factory).collect();
+        let n = infos.len();
         Simulation {
             infos,
             programs,
             config,
+            rngs: (0..n)
+                .map(|i| SmallRng::seed_from_u64(derive_node_seed(config.seed, i)))
+                .collect(),
+            inboxes: vec![Vec::new(); n],
+            epoch: 0,
         }
     }
 
@@ -106,15 +188,73 @@ impl<P: NodeProgram> Simulation<P> {
         self.infos.len()
     }
 
-    /// Runs the simulation to completion and collects outputs and metrics.
-    pub fn run(mut self) -> RunReport<P::Output> {
+    /// Number of completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The program of `node`, for reading its live state between epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of the simulated network.
+    pub fn program(&self, node: NodeId) -> &P {
+        &self.programs[node.index()]
+    }
+
+    /// Mutable access to the program of `node` (e.g. to drain per-epoch
+    /// results a coordinator aggregates between epochs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of the simulated network.
+    pub fn program_mut(&mut self, node: NodeId) -> &mut P {
+        &mut self.programs[node.index()]
+    }
+
+    /// Queues an out-of-band message for delivery to `to` at round 0 of
+    /// the next epoch.
+    ///
+    /// This models client input arriving at a node from outside the
+    /// network (the delta feed of a dynamic-graph algorithm, a query, a
+    /// reconfiguration): it is *not* CONGEST traffic, so it bypasses the
+    /// bandwidth budget and is not counted in the [`Metrics`]. The
+    /// delivered [`ReceivedMessage::from`] is the receiving node itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a node of the simulated network.
+    pub fn inject(&mut self, to: NodeId, payload: Payload) {
+        self.inboxes[to.index()].push(ReceivedMessage { from: to, payload });
+    }
+
+    /// Replaces the neighbour list of `node` in the communication
+    /// topology, effective from the next epoch.
+    ///
+    /// Dynamic-graph algorithms use this between epochs to keep the
+    /// CONGEST topology in sync with the evolving input graph (a link
+    /// exists exactly while its edge does). `neighbors` must be sorted,
+    /// duplicate-free and must not contain `node` — the invariants of
+    /// [`AdjacencyView::neighbors`]. Callers are responsible for keeping
+    /// the topology symmetric across endpoints.
+    pub fn update_topology(&mut self, node: NodeId, neighbors: Vec<NodeId>) {
+        debug_assert!(neighbors.is_sorted(), "topology lists are sorted");
+        debug_assert!(!neighbors.contains(&node), "no self-loops");
+        self.infos[node.index()].neighbors = neighbors;
+    }
+
+    /// Drives every node program until all of them halt (or the round cap
+    /// is reached), keeping the programs — and everything they learned —
+    /// alive for the next epoch.
+    ///
+    /// Each epoch restarts per-node round numbering at 0 and wakes every
+    /// node (halting is per-epoch, not permanent). Messages still
+    /// undelivered when the epoch ends are dropped, exactly as messages
+    /// to halted nodes are within an epoch.
+    pub fn run_epoch(&mut self) -> EpochReport {
         let n = self.infos.len();
         let mut metrics = Metrics::new(n);
         let mut halted = vec![false; n];
-        let mut rngs: Vec<SmallRng> = (0..n)
-            .map(|i| SmallRng::seed_from_u64(derive_node_seed(self.config.seed, i)))
-            .collect();
-        let mut inboxes: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
         let mut termination = Termination::AllHalted;
 
         let mut round: u64 = 0;
@@ -128,11 +268,11 @@ impl<P: NodeProgram> Simulation<P> {
             }
 
             let mut next_inboxes: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
-            for i in 0..n {
-                if halted[i] {
+            for (i, halted) in halted.iter_mut().enumerate() {
+                if *halted {
                     // A halted node neither computes nor communicates; any
                     // messages still addressed to it are dropped below.
-                    inboxes[i].clear();
+                    self.inboxes[i].clear();
                     continue;
                 }
                 let mut outbox = Outbox::default();
@@ -140,15 +280,16 @@ impl<P: NodeProgram> Simulation<P> {
                     let mut ctx = RoundContext {
                         info: &self.infos[i],
                         round,
-                        inbox: &mut inboxes[i],
+                        epoch: self.epoch,
+                        inbox: &mut self.inboxes[i],
                         outbox: &mut outbox,
-                        rng: &mut rngs[i],
+                        rng: &mut self.rngs[i],
                     };
                     self.programs[i].on_round(&mut ctx)
                 };
-                inboxes[i].clear();
+                self.inboxes[i].clear();
                 if status == NodeStatus::Halted {
-                    halted[i] = true;
+                    *halted = true;
                 }
                 for (to, payload) in outbox.messages {
                     metrics.record_delivery(i, to.index(), payload.bit_len());
@@ -158,11 +299,30 @@ impl<P: NodeProgram> Simulation<P> {
                     });
                 }
             }
-            inboxes = next_inboxes;
+            self.inboxes = next_inboxes;
             round += 1;
         }
 
+        // Undelivered messages do not leak into the next epoch.
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        self.epoch += 1;
         metrics.rounds = round;
+        EpochReport {
+            metrics,
+            termination,
+        }
+    }
+
+    /// Runs a single epoch to completion and collects outputs and metrics
+    /// (the classic one-shot usage; see [`Simulation::run_epoch`] for the
+    /// resumable form).
+    pub fn run(mut self) -> RunReport<P::Output> {
+        let EpochReport {
+            metrics,
+            termination,
+        } = self.run_epoch();
         RunReport {
             outputs: self.programs.iter_mut().map(NodeProgram::finish).collect(),
             metrics,
@@ -372,5 +532,169 @@ mod tests {
         assert_eq!(report.metrics.rounds, 0);
         assert!(report.completed());
         assert!(report.outputs.is_empty());
+    }
+
+    /// Runs exactly two rounds per epoch: round 0 tallies and forwards
+    /// any injected input (recognizable by `from == self`) to the first
+    /// neighbour, round 1 tallies deliveries and halts. Exercises
+    /// injection, cross-epoch state and epoch-relative round numbering.
+    struct Accumulator {
+        heard: u64,
+        epochs_seen: Vec<u64>,
+    }
+    impl NodeProgram for Accumulator {
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+            if ctx.round() == 0 {
+                self.epochs_seen.push(ctx.epoch());
+                let codec = ctx.id_codec();
+                let first = ctx.neighbors().first().copied();
+                for m in ctx.take_inbox() {
+                    self.heard += 1;
+                    if m.from == ctx.id() {
+                        if let Some(nb) = first {
+                            if !ctx.has_queued(nb) {
+                                ctx.send(nb, codec.single(ctx.id().as_u64())).unwrap();
+                            }
+                        }
+                    }
+                }
+                NodeStatus::Active
+            } else {
+                self.heard += ctx.inbox().len() as u64;
+                NodeStatus::Halted
+            }
+        }
+        fn finish(&mut self) -> u64 {
+            self.heard
+        }
+    }
+
+    fn accumulator() -> Accumulator {
+        Accumulator {
+            heard: 0,
+            epochs_seen: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn epochs_preserve_program_state_and_renumber_rounds() {
+        let g = Classic::Path(2).generate();
+        let mut sim = Simulation::new(&g, SimConfig::congest(0), |_| accumulator());
+        assert_eq!(sim.epoch(), 0);
+
+        // Epoch 0: no input; the fixed two-round script runs and halts.
+        let ep = sim.run_epoch();
+        assert!(ep.completed());
+        assert_eq!(ep.metrics.rounds, 2);
+        assert_eq!(sim.epoch(), 1);
+        assert_eq!(sim.program(NodeId(0)).heard, 0);
+
+        // Inject into node 0; it forwards to node 1 within the epoch.
+        let payload = {
+            let codec = congest_wire::IdCodec::new(2);
+            let mut w = congest_wire::BitWriter::new();
+            codec.encode(&mut w, 0);
+            w.finish()
+        };
+        sim.inject(NodeId(0), payload);
+        let ep = sim.run_epoch();
+        assert!(ep.completed());
+        assert_eq!(ep.metrics.rounds, 2);
+        assert_eq!(ep.metrics.messages, 1);
+        assert_eq!(sim.program(NodeId(0)).heard, 1); // the injection
+        assert_eq!(sim.program(NodeId(1)).heard, 1); // the forward
+                                                     // Round numbering restarted: both nodes saw round 0 in each epoch,
+                                                     // with the epoch index advancing.
+        assert_eq!(sim.program(NodeId(0)).epochs_seen, vec![0, 1]);
+
+        // A third, inputless epoch adds nothing but still wakes everyone.
+        let ep = sim.run_epoch();
+        assert_eq!(ep.metrics.rounds, 2);
+        assert_eq!(sim.program(NodeId(0)).heard, 1);
+        assert_eq!(sim.program_mut(NodeId(0)).epochs_seen.len(), 3);
+    }
+
+    #[test]
+    fn run_equals_a_single_epoch() {
+        let g = Classic::Cycle(5).generate();
+        let one_shot =
+            Simulation::new(&g, SimConfig::congest(3), |_| Flood { heard: vec![] }).run();
+        let mut resumable = Simulation::new(&g, SimConfig::congest(3), |_| Flood { heard: vec![] });
+        let ep = resumable.run_epoch();
+        assert_eq!(ep.metrics, one_shot.metrics);
+        assert_eq!(ep.termination, one_shot.termination);
+        for node in g.nodes() {
+            assert_eq!(
+                resumable.program_mut(node).finish(),
+                one_shot.outputs[node.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn injected_messages_bypass_bandwidth_and_metrics() {
+        let g = Classic::Path(2).generate();
+        let mut sim = Simulation::new(&g, SimConfig::congest(0), |_| accumulator());
+        // Far larger than the 8-bit budget of n=2: injection is client
+        // input, not CONGEST traffic.
+        let mut w = congest_wire::BitWriter::new();
+        for _ in 0..10 {
+            w.write_bits(0x5A, 8);
+        }
+        sim.inject(NodeId(1), w.finish());
+        let ep = sim.run_epoch();
+        assert_eq!(sim.program(NodeId(1)).heard, 1);
+        // Only the (tiny) in-network forward was counted as traffic; the
+        // 80-bit injected delivery itself never touched the metrics.
+        assert_eq!(ep.metrics.messages, 1);
+        assert!(ep.metrics.total_bits < 80);
+    }
+
+    #[test]
+    fn update_topology_takes_effect_next_epoch() {
+        // Start on a path 0-1-2; node 0 cannot reach node 2 directly.
+        struct SendTo2;
+        impl NodeProgram for SendTo2 {
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+                if ctx.id() == NodeId(0) && ctx.round() == 0 {
+                    let p = ctx.id_codec().single(0);
+                    let _ = ctx.send(NodeId(2), p);
+                }
+                NodeStatus::Halted
+            }
+            fn finish(&mut self) {}
+        }
+        let g = Classic::Path(3).generate();
+        let mut sim = Simulation::new(&g, SimConfig::congest(0), |_| SendTo2);
+        let ep = sim.run_epoch();
+        assert_eq!(ep.metrics.messages, 0, "0-2 is not a link yet");
+
+        // Insert the edge {0, 2} into the topology; the send now succeeds.
+        sim.update_topology(NodeId(0), vec![NodeId(1), NodeId(2)]);
+        sim.update_topology(NodeId(2), vec![NodeId(0), NodeId(1)]);
+        let ep = sim.run_epoch();
+        assert_eq!(ep.metrics.messages, 1);
+    }
+
+    #[test]
+    fn per_node_rng_state_continues_across_epochs() {
+        struct Sampler(Vec<u64>);
+        impl NodeProgram for Sampler {
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+                self.0.push(ctx.rng().gen());
+                NodeStatus::Halted
+            }
+            fn finish(&mut self) {}
+        }
+        let g = Classic::Path(2).generate();
+        let mut sim = Simulation::new(&g, SimConfig::congest(9), |_| Sampler(Vec::new()));
+        sim.run_epoch();
+        sim.run_epoch();
+        let draws = &sim.program(NodeId(0)).0;
+        assert_eq!(draws.len(), 2);
+        assert_ne!(draws[0], draws[1], "rng must not reset between epochs");
     }
 }

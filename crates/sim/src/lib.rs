@@ -16,7 +16,13 @@
 //! * [`Simulation`] — the sequential round engine; it validates every send
 //!   against the bandwidth budget and topology, delivers messages with
 //!   one-round latency and collects [`Metrics`] (rounds, messages, bits per
-//!   node — the quantities the paper's bounds are about).
+//!   node — the quantities the paper's bounds are about). The engine is
+//!   **resumable**: node programs keep their state across
+//!   [`Simulation::run_epoch`] calls, out-of-band input is fed between
+//!   epochs with [`Simulation::inject`], and
+//!   [`Simulation::update_topology`] keeps the communication graph in sync
+//!   with an evolving input graph — the substrate for dynamic
+//!   (CONGEST-simulated) algorithms.
 //! * [`ThreadedSimulation`] — an executor that runs one OS thread per node
 //!   with barrier-synchronized rounds; it produces bit-identical results to
 //!   the sequential engine and exists to demonstrate that programs only
@@ -77,7 +83,7 @@ pub mod transfer;
 
 pub use config::{Bandwidth, Model, SimConfig};
 pub use context::{IdPayloadCodec, ReceivedMessage, RoundContext};
-pub use engine::{RunReport, Simulation, Termination};
+pub use engine::{EpochReport, RunReport, Simulation, Termination};
 pub use error::SimError;
 pub use metrics::Metrics;
 pub use program::{NodeInfo, NodeProgram, NodeStatus};

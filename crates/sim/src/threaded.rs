@@ -12,6 +12,7 @@
 //! channel overhead) and is what the harness uses.
 
 use congest_graph::{AdjacencyView, NodeId};
+use congest_wire::Payload;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -20,50 +21,45 @@ use crate::context::Outbox;
 use crate::engine::build_infos;
 use crate::rng::derive_node_seed;
 use crate::{
-    Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage, RoundContext, RunReport,
-    SimConfig, Termination,
+    EpochReport, Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage, RoundContext,
+    RunReport, SimConfig, Termination,
 };
 
-/// Instruction sent from the coordinator to a worker thread.
-enum ToWorker {
-    /// Execute one round with the given inbox.
-    Round {
-        round: u64,
-        inbox: Vec<ReceivedMessage>,
-    },
-    /// The run is over; send back the node's output and exit.
-    Finish,
+/// Instruction sent from the coordinator to a worker thread: execute one
+/// round with the given inbox. Workers exit when the channel closes at
+/// the end of the epoch.
+struct ToWorker {
+    round: u64,
+    inbox: Vec<ReceivedMessage>,
 }
 
 /// A node's per-round response before delivery: its status and the
 /// messages it sent, addressed by destination.
-type RoundResponse = (NodeStatus, Vec<(NodeId, congest_wire::Payload)>);
+type RoundResponse = (NodeStatus, Vec<(NodeId, Payload)>);
 
 /// Response sent from a worker thread to the coordinator.
-enum FromWorker<O> {
-    RoundDone {
-        node: usize,
-        status: NodeStatus,
-        messages: Vec<(NodeId, congest_wire::Payload)>,
-    },
-    Finished {
-        node: usize,
-        output: O,
-    },
+struct FromWorker {
+    node: usize,
+    status: NodeStatus,
+    messages: Vec<(NodeId, Payload)>,
 }
 
 /// Thread-per-node executor with the same interface as
-/// [`Simulation`](crate::Simulation).
+/// [`Simulation`](crate::Simulation), including the resumable epoch API
+/// ([`run_epoch`](ThreadedSimulation::run_epoch) /
+/// [`inject`](ThreadedSimulation::inject)). Worker threads live for one
+/// epoch and borrow the node programs, so program state survives between
+/// epochs exactly as in the sequential engine.
 pub struct ThreadedSimulation<P: NodeProgram> {
     infos: Vec<NodeInfo>,
     programs: Vec<P>,
     config: SimConfig,
+    rngs: Vec<SmallRng>,
+    inboxes: Vec<Vec<ReceivedMessage>>,
+    epoch: u64,
 }
 
-impl<P: NodeProgram + 'static> ThreadedSimulation<P>
-where
-    P::Output: 'static,
-{
+impl<P: NodeProgram> ThreadedSimulation<P> {
     /// Creates a threaded simulation of `graph` under `config`.
     ///
     /// `graph` may be any [`AdjacencyView`], like for
@@ -74,71 +70,113 @@ where
         F: FnMut(&NodeInfo) -> P,
     {
         let infos = build_infos(graph, &config);
-        let programs = infos.iter().map(&mut factory).collect();
+        let programs: Vec<P> = infos.iter().map(&mut factory).collect();
+        let n = infos.len();
         ThreadedSimulation {
             infos,
             programs,
             config,
+            rngs: (0..n)
+                .map(|i| SmallRng::seed_from_u64(derive_node_seed(config.seed, i)))
+                .collect(),
+            inboxes: vec![Vec::new(); n],
+            epoch: 0,
         }
     }
 
-    /// Runs the simulation, spawning one thread per node.
-    pub fn run(self) -> RunReport<P::Output> {
+    /// Number of completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The program of `node` (see [`Simulation::program`](crate::Simulation::program)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of the simulated network.
+    pub fn program(&self, node: NodeId) -> &P {
+        &self.programs[node.index()]
+    }
+
+    /// Mutable access to the program of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a node of the simulated network.
+    pub fn program_mut(&mut self, node: NodeId) -> &mut P {
+        &mut self.programs[node.index()]
+    }
+
+    /// Queues an out-of-band message for round 0 of the next epoch (see
+    /// [`Simulation::inject`](crate::Simulation::inject); not counted in
+    /// the metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a node of the simulated network.
+    pub fn inject(&mut self, to: NodeId, payload: Payload) {
+        self.inboxes[to.index()].push(ReceivedMessage { from: to, payload });
+    }
+
+    /// Replaces the neighbour list of `node` in the communication
+    /// topology, effective from the next epoch (see
+    /// [`Simulation::update_topology`](crate::Simulation::update_topology)).
+    pub fn update_topology(&mut self, node: NodeId, neighbors: Vec<NodeId>) {
+        debug_assert!(neighbors.is_sorted(), "topology lists are sorted");
+        debug_assert!(!neighbors.contains(&node), "no self-loops");
+        self.infos[node.index()].neighbors = neighbors;
+    }
+
+    /// Drives one epoch, spawning one thread per node; programs stay
+    /// alive for the next epoch. Produces bit-identical metrics to
+    /// [`Simulation::run_epoch`](crate::Simulation::run_epoch).
+    pub fn run_epoch(&mut self) -> EpochReport {
         let n = self.infos.len();
         if n == 0 {
-            return RunReport {
-                outputs: Vec::new(),
+            self.epoch += 1;
+            return EpochReport {
                 metrics: Metrics::new(0),
                 termination: Termination::AllHalted,
             };
         }
 
-        let seed = self.config.seed;
-        let (to_coord, from_workers): (Sender<FromWorker<P::Output>>, Receiver<_>) = unbounded();
+        let epoch = self.epoch;
+        let max_rounds = self.config.max_rounds;
+        let (to_coord, from_workers): (Sender<FromWorker>, Receiver<_>) = unbounded();
+        let infos = &self.infos;
+        let inboxes = &mut self.inboxes;
 
-        std::thread::scope(|scope| {
-            // Spawn one worker per node.
+        let (metrics, termination) = std::thread::scope(|scope| {
+            // Spawn one worker per node, borrowing its program and RNG for
+            // the duration of the epoch.
             let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
-            for (i, (info, mut program)) in self.infos.into_iter().zip(self.programs).enumerate() {
+            for (i, (program, rng)) in self.programs.iter_mut().zip(&mut self.rngs).enumerate() {
                 let (tx, rx): (Sender<ToWorker>, Receiver<ToWorker>) = unbounded();
                 to_workers.push(tx);
                 let to_coord = to_coord.clone();
+                let info = &infos[i];
                 scope.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(derive_node_seed(seed, i));
-                    loop {
-                        match rx.recv() {
-                            Ok(ToWorker::Round { round, mut inbox }) => {
-                                let mut outbox = Outbox::default();
-                                let status = {
-                                    let mut ctx = RoundContext {
-                                        info: &info,
-                                        round,
-                                        inbox: &mut inbox,
-                                        outbox: &mut outbox,
-                                        rng: &mut rng,
-                                    };
-                                    program.on_round(&mut ctx)
-                                };
-                                let messages = outbox.messages.into_iter().collect();
-                                to_coord
-                                    .send(FromWorker::RoundDone {
-                                        node: i,
-                                        status,
-                                        messages,
-                                    })
-                                    .expect("coordinator outlives workers");
-                            }
-                            Ok(ToWorker::Finish) => {
-                                to_coord
-                                    .send(FromWorker::Finished {
-                                        node: i,
-                                        output: program.finish(),
-                                    })
-                                    .expect("coordinator outlives workers");
-                                break;
-                            }
-                            Err(_) => break,
-                        }
+                    while let Ok(ToWorker { round, mut inbox }) = rx.recv() {
+                        let mut outbox = Outbox::default();
+                        let status = {
+                            let mut ctx = RoundContext {
+                                info,
+                                round,
+                                epoch,
+                                inbox: &mut inbox,
+                                outbox: &mut outbox,
+                                rng,
+                            };
+                            program.on_round(&mut ctx)
+                        };
+                        let messages = outbox.messages.into_iter().collect();
+                        to_coord
+                            .send(FromWorker {
+                                node: i,
+                                status,
+                                messages,
+                            })
+                            .expect("coordinator outlives workers");
                     }
                 });
             }
@@ -147,7 +185,6 @@ where
             // Coordinator: synchronous round loop.
             let mut metrics = Metrics::new(n);
             let mut halted = vec![false; n];
-            let mut inboxes: Vec<Vec<ReceivedMessage>> = vec![Vec::new(); n];
             let mut termination = Termination::AllHalted;
             let mut round: u64 = 0;
 
@@ -155,7 +192,7 @@ where
                 if halted.iter().all(|&h| h) {
                     break;
                 }
-                if round >= self.config.max_rounds {
+                if round >= max_rounds {
                     termination = Termination::RoundLimit;
                     break;
                 }
@@ -169,7 +206,7 @@ where
                     active += 1;
                     let inbox = std::mem::take(&mut inboxes[i]);
                     to_workers[i]
-                        .send(ToWorker::Round { round, inbox })
+                        .send(ToWorker { round, inbox })
                         .expect("worker threads outlive the round loop");
                 }
                 // Collect one response per active node. Deliveries are
@@ -178,16 +215,12 @@ where
                 // of thread scheduling.
                 let mut responses: Vec<Option<RoundResponse>> = vec![None; n];
                 for _ in 0..active {
-                    match from_workers.recv().expect("workers respond every round") {
-                        FromWorker::RoundDone {
-                            node,
-                            status,
-                            messages,
-                        } => responses[node] = Some((status, messages)),
-                        FromWorker::Finished { .. } => {
-                            unreachable!("workers only finish after the round loop")
-                        }
-                    }
+                    let FromWorker {
+                        node,
+                        status,
+                        messages,
+                    } = from_workers.recv().expect("workers respond every round");
+                    responses[node] = Some((status, messages));
                 }
                 for (i, response) in responses.into_iter().enumerate() {
                     let Some((status, messages)) = response else {
@@ -204,37 +237,39 @@ where
                         });
                     }
                 }
-                inboxes = next_inboxes;
+                *inboxes = next_inboxes;
                 round += 1;
             }
             metrics.rounds = round;
 
-            // Collect outputs.
-            for tx in &to_workers {
-                tx.send(ToWorker::Finish)
-                    .expect("workers are still running");
-            }
-            let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-            for _ in 0..n {
-                match from_workers
-                    .recv()
-                    .expect("every worker reports its output")
-                {
-                    FromWorker::Finished { node, output } => outputs[node] = Some(output),
-                    FromWorker::RoundDone { .. } => {
-                        unreachable!("no rounds are in flight during shutdown")
-                    }
-                }
-            }
-            RunReport {
-                outputs: outputs
-                    .into_iter()
-                    .map(|o| o.expect("every node produced an output"))
-                    .collect(),
-                metrics,
-                termination,
-            }
-        })
+            // Closing the channels ends the epoch; the scope joins the
+            // workers and releases their program borrows.
+            drop(to_workers);
+            (metrics, termination)
+        });
+
+        for inbox in self.inboxes.iter_mut() {
+            inbox.clear();
+        }
+        self.epoch += 1;
+        EpochReport {
+            metrics,
+            termination,
+        }
+    }
+
+    /// Runs a single epoch to completion and collects outputs and
+    /// metrics (one-shot usage, mirroring [`Simulation::run`](crate::Simulation::run)).
+    pub fn run(mut self) -> RunReport<P::Output> {
+        let EpochReport {
+            metrics,
+            termination,
+        } = self.run_epoch();
+        RunReport {
+            outputs: self.programs.iter_mut().map(NodeProgram::finish).collect(),
+            metrics,
+            termination,
+        }
     }
 }
 
@@ -308,6 +343,67 @@ mod tests {
         let report = ThreadedSimulation::new(&g, SimConfig::congest(0), |_| Gossip::new()).run();
         assert_eq!(report.outputs.len(), 2);
         assert_eq!(report.metrics.rounds, 2);
+    }
+
+    /// Tallies inbox sizes per epoch and forwards injected input
+    /// (`from == self`) to the first neighbour; two rounds per epoch.
+    struct Tally(Vec<u64>);
+    impl NodeProgram for Tally {
+        type Output = Vec<u64>;
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+            if ctx.round() == 0 {
+                self.0.push(0);
+                let codec = ctx.id_codec();
+                let first = ctx.neighbors().first().copied();
+                for m in ctx.take_inbox() {
+                    *self.0.last_mut().unwrap() += 1;
+                    if m.from == ctx.id() {
+                        if let Some(nb) = first {
+                            if !ctx.has_queued(nb) {
+                                ctx.send(nb, codec.single(ctx.id().as_u64())).unwrap();
+                            }
+                        }
+                    }
+                }
+                NodeStatus::Active
+            } else {
+                *self.0.last_mut().unwrap() += ctx.inbox().len() as u64;
+                NodeStatus::Halted
+            }
+        }
+        fn finish(&mut self) -> Vec<u64> {
+            std::mem::take(&mut self.0)
+        }
+    }
+
+    #[test]
+    fn threaded_epochs_match_sequential_epochs() {
+        let g = Gnp::new(12, 0.4).seeded(8).generate();
+        let config = SimConfig::congest(41);
+        let mut seq = Simulation::new(&g, config, |_| Tally(Vec::new()));
+        let mut thr = ThreadedSimulation::new(&g, config, |_| Tally(Vec::new()));
+        let payload = {
+            let mut w = congest_wire::BitWriter::new();
+            w.write_bits(3, 4);
+            w.finish()
+        };
+        for epoch in 0..3u32 {
+            let target = congest_graph::NodeId(epoch % 12);
+            seq.inject(target, payload.clone());
+            thr.inject(target, payload.clone());
+            let a = seq.run_epoch();
+            let b = thr.run_epoch();
+            assert_eq!(a.metrics, b.metrics, "epoch {epoch}");
+            assert_eq!(a.termination, b.termination);
+        }
+        assert_eq!(seq.epoch(), thr.epoch());
+        for node in g.nodes() {
+            assert_eq!(
+                seq.program_mut(node).finish(),
+                thr.program_mut(node).finish(),
+                "node {node} diverged across executors"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::time::Duration;
 use congest_graph::AdjacencyView;
 
 use crate::delta::DeltaBatch;
+use crate::distributed::DistributedTriangleEngine;
 use crate::index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
 use crate::sharded::ShardedTriangleIndex;
 
@@ -124,6 +125,42 @@ impl StreamEngine for ShardedTriangleIndex {
     }
 }
 
+impl StreamEngine for DistributedTriangleEngine {
+    fn mode(&self) -> ApplyMode {
+        DistributedTriangleEngine::mode(self)
+    }
+
+    fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
+        DistributedTriangleEngine::apply(self, batch)
+    }
+
+    fn flush(&mut self) -> ApplyReport {
+        DistributedTriangleEngine::flush(self)
+    }
+
+    fn pending_deltas(&self) -> usize {
+        DistributedTriangleEngine::pending_deltas(self)
+    }
+
+    fn pending_age(&self) -> Option<Duration> {
+        DistributedTriangleEngine::pending_age(self)
+    }
+
+    fn triangle_count(&self) -> usize {
+        DistributedTriangleEngine::triangle_count(self)
+    }
+
+    fn matches_oracle(&self) -> bool {
+        DistributedTriangleEngine::matches_oracle(self)
+    }
+
+    /// The distributed engine has no shared-memory shards; work is
+    /// partitioned across the `n` network nodes instead.
+    fn shard_count(&self) -> usize {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,13 +178,18 @@ mod tests {
     }
 
     #[test]
-    fn both_engines_run_behind_the_trait() {
+    fn all_engines_run_behind_the_trait() {
         assert_eq!(drive(TriangleIndex::new(4)), (1, true));
         assert_eq!(drive(ShardedTriangleIndex::new(4, 2)), (1, true));
+        assert_eq!(drive(DistributedTriangleEngine::new(4)), (1, true));
         assert_eq!(StreamEngine::shard_count(&TriangleIndex::new(4)), 1);
         assert_eq!(
             StreamEngine::shard_count(&ShardedTriangleIndex::new(4, 3)),
             3
+        );
+        assert_eq!(
+            StreamEngine::shard_count(&DistributedTriangleEngine::new(4)),
+            1
         );
     }
 }

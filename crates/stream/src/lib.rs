@@ -25,7 +25,18 @@
 //!   small batches (or `S = 1`) automatically take the strictly ordered
 //!   sequential path, so a sharded index never loses more than a few
 //!   percent where parallelism cannot pay.
-//! * [`StreamEngine`] — the trait both engines implement; the harness is
+//! * [`DistributedTriangleEngine`] — the **distributed dynamic** engine:
+//!   every graph node is a node of a simulated CONGEST network that owns
+//!   its adjacency slice, and each batch runs as one epoch of
+//!   `congest-sim`'s resumable engine — effective deltas are broadcast
+//!   to the affected neighbourhoods under the B-bit per-link budget,
+//!   third vertices detect triangle births/deaths locally, and a
+//!   coordinator merges the candidates with the same exactly-once dedup
+//!   core the sharded engine uses. It reports per-batch round/message
+//!   cost ([`CongestCost`]) — the paper's yardstick — which the
+//!   `dynamic_bench` harness compares against re-running the Theorem 1/2
+//!   drivers per batch (≥5x floor; thousands of x in practice).
+//! * [`StreamEngine`] — the trait all engines implement; the harness is
 //!   generic over it. Its [`AdjacencyView`](congest_graph::AdjacencyView)
 //!   supertrait is what makes the layer **snapshot-free**: the
 //!   centralized oracle and the paper's Theorem 1/2 drivers run directly
@@ -78,6 +89,7 @@
 #![warn(missing_docs)]
 
 mod delta;
+mod distributed;
 mod engine;
 mod index;
 mod runner;
@@ -86,6 +98,7 @@ mod sharded;
 mod workload;
 
 pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
+pub use distributed::{CongestCost, DistributedTriangleEngine};
 pub use engine::StreamEngine;
 pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
 pub use runner::{LatencyStats, RecomputeStats, RunSummary, StalenessStats, WorkloadRunner};

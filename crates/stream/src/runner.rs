@@ -110,11 +110,18 @@ pub struct RunSummary {
     pub batch_count: usize,
     /// Nominal deltas per batch.
     pub batch_size: usize,
-    /// Apply mode name (`eager` / `deferred`).
+    /// Apply mode name (`eager` / `deferred`) — the **effective** mode
+    /// reported by the engine after the run, not merely the requested
+    /// one, so baselines are self-describing.
     pub mode: String,
     /// Shard count of the sharded engine, `None` for the single-threaded
-    /// [`TriangleIndex`].
+    /// [`TriangleIndex`]. Like [`mode`](RunSummary::mode), this is the
+    /// effective count the engine reports (requested counts are clamped
+    /// to at least 1).
     pub shards: Option<usize>,
+    /// Count-based flush period of deferred runs (`None` for eager runs,
+    /// where nothing is ever buffered).
+    pub flush_every: Option<usize>,
     /// Deadline-based flush budget, if one was set (milliseconds).
     pub flush_deadline_ms: Option<f64>,
     /// Edges in the base graph before the stream.
@@ -161,6 +168,10 @@ impl RunSummary {
         match self.shards {
             Some(s) => push_json_num(&mut out, "shards", s as f64),
             None => push_json_raw(&mut out, "shards", "null"),
+        }
+        match self.flush_every {
+            Some(k) => push_json_num(&mut out, "flush_every", k as f64),
+            None => push_json_raw(&mut out, "flush_every", "null"),
         }
         match self.flush_deadline_ms {
             Some(ms) => push_json_num(&mut out, "flush_deadline_ms", ms),
@@ -487,13 +498,18 @@ impl WorkloadRunner {
             .saturating_sub(sampling_total)
             .as_secs_f64()
             .max(f64::MIN_POSITIVE);
+        // Engine-reported mode and shard count: what actually ran, so a
+        // committed baseline describes itself even if requested knobs
+        // were clamped or overridden.
+        let effective_mode = index.mode();
         RunSummary {
             scenario: self.scenario.name(),
             n: self.scenario.node_count(),
             batch_count: batches.len(),
             batch_size: self.scenario.batch_size(),
-            mode: self.mode.name().to_string(),
-            shards: self.shards,
+            mode: effective_mode.name().to_string(),
+            shards: self.shards.map(|_| index.shard_count()),
+            flush_every: (effective_mode == ApplyMode::Deferred).then_some(self.flush_every),
             flush_deadline_ms: self.flush_deadline.map(|d| d.as_secs_f64() * 1e3),
             base_edges,
             final_edges: index.edge_count(),
@@ -552,6 +568,10 @@ mod tests {
             .verified(true)
             .run();
         assert!(summary.oracle_ok);
+        // Deferred runs are self-describing: the flush policy is in the
+        // summary and its JSON.
+        assert_eq!(summary.flush_every, Some(5));
+        assert!(summary.to_json().contains("\"flush_every\":5"));
         // Every delta was deferred once and counted as seen exactly once
         // (flushes do not re-count), so eager and deferred throughput
         // numbers are directly comparable.
@@ -646,7 +666,37 @@ mod tests {
         let summary = WorkloadRunner::new(small_scenario()).run();
         assert_eq!(summary.staleness, StalenessStats::default());
         assert_eq!(summary.flush_deadline_ms, None);
-        assert!(summary.to_json().contains("\"flush_deadline_ms\":null"));
+        assert_eq!(summary.flush_every, None, "eager runs never flush");
+        let json = summary.to_json();
+        assert!(json.contains("\"flush_deadline_ms\":null"));
+        assert!(json.contains("\"flush_every\":null"));
+    }
+
+    #[test]
+    fn summaries_record_the_effective_engine_configuration() {
+        // Deferred sharded run with a deadline: every knob that shaped
+        // the run is recoverable from the JSON alone.
+        let summary = WorkloadRunner::new(small_scenario())
+            .with_mode(ApplyMode::Deferred)
+            .with_shards(4)
+            .flush_every(3)
+            .flush_deadline(Duration::from_millis(50))
+            .run();
+        assert_eq!(summary.mode, "deferred");
+        assert_eq!(summary.shards, Some(4));
+        assert_eq!(summary.flush_every, Some(3));
+        let json = summary.to_json();
+        for fragment in [
+            "\"mode\":\"deferred\"",
+            "\"shards\":4",
+            "\"flush_every\":3",
+            "\"flush_deadline_ms\":50",
+        ] {
+            assert!(json.contains(fragment), "missing {fragment} in {json}");
+        }
+        // `with_shards(0)` clamps to 1; the summary reports what ran.
+        let clamped = WorkloadRunner::new(small_scenario()).with_shards(0).run();
+        assert_eq!(clamped.shards, Some(1));
     }
 
     #[test]

@@ -24,11 +24,42 @@
 //!   lists for its owned nodes, mutated only by its owning worker during
 //!   the parallel phase of a batch apply.
 
-use congest_graph::NodeId;
+use congest_graph::{NodeId, Triangle, TriangleSet};
 
 pub(crate) use congest_graph::intersect_sorted;
 
 use crate::delta::DeltaOp;
+
+/// Merges candidate *retired* triangles into the live set with
+/// exactly-once dedup: [`TriangleSet::remove`] reports whether the
+/// triangle was still present, so one observed dying through several of
+/// its edges — or by several workers / network nodes — is counted a
+/// single time. Returns the number of triangles actually retired.
+///
+/// This is the merge core of both the sharded engine's phase-2 and the
+/// distributed engine's coordinator.
+pub(crate) fn merge_removed_candidates<'a>(
+    triangles: &mut TriangleSet,
+    candidates: impl IntoIterator<Item = &'a Triangle>,
+) -> usize {
+    candidates
+        .into_iter()
+        .filter(|t| triangles.remove(t))
+        .count()
+}
+
+/// Merges candidate *born* triangles into the live set with exactly-once
+/// dedup (the insertion dual of [`merge_removed_candidates`]). Returns
+/// the number of triangles actually added.
+pub(crate) fn merge_added_candidates<'a>(
+    triangles: &mut TriangleSet,
+    candidates: impl IntoIterator<Item = &'a Triangle>,
+) -> usize {
+    candidates
+        .into_iter()
+        .filter(|t| triangles.insert(**t))
+        .count()
+}
 
 /// Inserts `value` into a sorted, duplicate-free list, keeping it sorted.
 pub(crate) fn sorted_insert(list: &mut Vec<NodeId>, value: NodeId) {

@@ -51,7 +51,9 @@ use congest_graph::{AdjacencyView, Edge, Graph, GraphBuilder, NodeId, Triangle, 
 
 use crate::delta::{DeltaBatch, DeltaOp, EdgeDelta, PendingBuffer};
 use crate::index::{validate_batch, ApplyMode, ApplyReport, StreamError};
-use crate::shard::{intersect_sorted, Shard, ShardOp, ShardSpec};
+use crate::shard::{
+    intersect_sorted, merge_added_candidates, merge_removed_candidates, Shard, ShardOp, ShardSpec,
+};
 
 /// Below this many coalesced deltas a batch is applied inline: thread
 /// spawns cost tens of microseconds and would dominate tiny batches.
@@ -76,8 +78,8 @@ struct WorkerPlan {
 ///
 /// Same contract as [`TriangleIndex`](crate::TriangleIndex) — the live
 /// triangle set always equals a from-scratch recount — but batch applies
-/// fan out across `S` shards on scoped threads. See the
-/// [module documentation](self) for the two-phase apply.
+/// fan out across `S` shards on scoped threads. The module-level
+/// documentation in `sharded.rs` walks through the two-phase apply.
 ///
 /// ```
 /// use congest_graph::generators::Gnp;
@@ -272,15 +274,31 @@ impl ShardedTriangleIndex {
     /// Coalesces and applies every buffered batch (no-op in eager mode or
     /// with nothing pending); same accounting as
     /// [`TriangleIndex::flush`](crate::TriangleIndex::flush).
+    ///
+    /// Large flushes hand the **raw** buffered stream straight to the
+    /// two-phase pipeline: every worker already coalesces its own slice
+    /// (and counts the ops it drops as no-ops), so the coalescing cost of
+    /// a deferred flush is spread across the shard workers instead of
+    /// being paid as a sequential `O(b log b)` step up front. Small
+    /// flushes keep the central coalesce — they take the strictly ordered
+    /// sequential path, which applies deltas one at a time and would
+    /// otherwise pay per-delta for ops the coalescer discards for free.
     pub fn flush(&mut self) -> ApplyReport {
         if self.pending.is_empty() {
             return ApplyReport::default();
         }
         let buffered = self.pending.take();
-        let coalesced = buffered.coalesce();
-        let mut report = self.apply_validated(&coalesced);
+        let sequential = self.parallel_threshold > 0
+            && (self.spec.shard_count() == 1 || buffered.len() < self.parallel_threshold);
+        let mut report = if sequential {
+            let coalesced = buffered.coalesce();
+            let mut report = self.apply_ordered(&coalesced);
+            report.noops += buffered.len() - coalesced.len();
+            report
+        } else {
+            self.apply_pipelined(&buffered)
+        };
         report.deltas_seen = 0;
-        report.noops += buffered.len() - coalesced.len();
         report
     }
 
@@ -404,15 +422,11 @@ impl ShardedTriangleIndex {
         let plans: Vec<WorkerPlan> =
             parallel_map(shard_count, inline, |k| self.collect_worker(&work[k]));
 
-        // Merge the removal candidates: `TriangleSet::remove` reports
-        // whether the triangle was still present, so one that lost several
-        // edges at once is retired exactly once.
+        // Merge the removal candidates (shared dedup core): a triangle
+        // that lost several edges at once is retired exactly once.
         for plan in &plans {
-            for t in &plan.removed {
-                if self.triangles.remove(t) {
-                    report.triangles_removed += 1;
-                }
-            }
+            report.triangles_removed +=
+                merge_removed_candidates(&mut self.triangles, &plan.removed);
         }
 
         // Phase 1, record: each owning shard applies its routed mutations;
@@ -454,11 +468,7 @@ impl ShardedTriangleIndex {
 
         // Phase 2, merge: dedupe the insert candidates the same way.
         for candidates in &added {
-            for t in candidates {
-                if self.triangles.insert(*t) {
-                    report.triangles_added += 1;
-                }
-            }
+            report.triangles_added += merge_added_candidates(&mut self.triangles, candidates);
         }
 
         for plan in &plans {
@@ -781,6 +791,69 @@ mod tests {
         // The insert was coalesced away; the surviving remove is a no-op.
         assert_eq!(r.noops, 2);
         assert_eq!(idx.edge_count(), 0);
+    }
+
+    #[test]
+    fn large_deferred_flush_runs_the_pipeline_and_keeps_the_accounting() {
+        use crate::index::TriangleIndex;
+        // Threshold 0 forces the pipeline, so this flush exercises the
+        // worker-local coalesce of the raw buffered stream (no central
+        // pre-coalesce).
+        let g = Gnp::new(40, 0.15).seeded(3).generate();
+        let mut idx =
+            parallel(ShardedTriangleIndex::from_graph(&g, 3)).with_mode(ApplyMode::Deferred);
+        let mut reference = TriangleIndex::from_graph(&g).with_mode(ApplyMode::Deferred);
+
+        // A stream with heavy flapping: the same edges are hit repeatedly
+        // across buffered batches, so coalescing has real work to do.
+        let mut total = 0usize;
+        for step in 0..6u32 {
+            let mut b = DeltaBatch::new();
+            for j in 0..30u32 {
+                let a = (j * 3 + step) % 40;
+                let c = (j * 7 + 2 * step + 1) % 40;
+                if a == c {
+                    continue;
+                }
+                if (step + j) % 2 == 0 {
+                    b.insert(v(a), v(c));
+                } else {
+                    b.remove(v(a), v(c));
+                }
+            }
+            total += b.len();
+            idx.apply(&b).unwrap();
+            reference.apply(&b).unwrap();
+        }
+        let r = idx.flush();
+        reference.flush();
+        // Flush accounting: deltas were counted as seen when buffered, and
+        // every buffered delta lands in exactly one tally here.
+        assert_eq!(r.deltas_seen, 0);
+        assert_eq!(r.inserts_applied + r.removes_applied + r.noops, total);
+        // Same final state as the single-threaded engine's flush.
+        assert_eq!(idx.triangles(), reference.triangles());
+        assert_eq!(idx.edge_count(), reference.edge_count());
+        assert!(idx.matches_oracle());
+    }
+
+    #[test]
+    fn small_deferred_flush_keeps_the_ordered_path_accounting() {
+        // Default threshold: a 2-delta flush goes through the sequential
+        // path with a central coalesce, preserving the historical tallies
+        // (see `deferred_flap_costs_nothing_at_flush`).
+        let mut idx = ShardedTriangleIndex::new(4, 2).with_mode(ApplyMode::Deferred);
+        let mut flap = DeltaBatch::new();
+        flap.insert(v(0), v(1))
+            .remove(v(0), v(1))
+            .insert(v(2), v(3));
+        idx.apply(&flap).unwrap();
+        let r = idx.flush();
+        assert_eq!(r.deltas_seen, 0);
+        assert_eq!(r.inserts_applied, 1); // {2,3}
+        assert_eq!(r.removes_applied, 0);
+        assert_eq!(r.noops, 2); // the flap
+        assert!(idx.has_edge(v(2), v(3)));
     }
 
     #[test]

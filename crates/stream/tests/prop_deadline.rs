@@ -1,0 +1,90 @@
+//! Property tests for the deadline-triggered deferred flush path:
+//! whatever the deadline, a deadline-flushed run must end oracle-exact,
+//! and the at-flush staleness percentiles must be monotone in the
+//! deadline (a tighter budget can only make buffered work *less* stale).
+
+use std::time::Duration;
+
+use congest_stream::{ApplyMode, BaseGraph, RunSummary, Scenario, WorkloadRunner};
+use proptest::prelude::*;
+
+/// A short paced stream so buffered deltas age measurably between
+/// batches without making the suite slow: 10 batches at 200/s is ~50 ms
+/// of wall-clock per run.
+fn paced_scenario(seed: u64) -> Scenario {
+    Scenario::uniform_churn(40, 10, 12)
+        .with_base(BaseGraph::Gnp { p: 0.08 })
+        .seeded(seed)
+}
+
+fn run_with_deadline(seed: u64, shards: Option<usize>, deadline: Duration) -> RunSummary {
+    let mut runner = WorkloadRunner::new(paced_scenario(seed))
+        .with_mode(ApplyMode::Deferred)
+        // A count threshold too large to ever fire: every flush but the
+        // final end-of-run one comes from the deadline policy.
+        .flush_every(1_000_000)
+        .flush_deadline(deadline)
+        .recompute_every(0)
+        .paced(200.0)
+        .verified(true);
+    if let Some(s) = shards {
+        runner = runner.with_shards(s);
+    }
+    runner.run()
+}
+
+proptest! {
+    // Each case sleeps ~50 ms per run; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Deadline-triggered flushes leave the engine oracle-exact on both
+    /// engines, fire more than once, and report ordered percentiles.
+    #[test]
+    fn deadline_flushes_match_the_oracle(seed in any::<u64>()) {
+        for shards in [None, Some(3)] {
+            let summary = run_with_deadline(seed, shards, Duration::from_millis(12));
+            prop_assert!(summary.oracle_checked && summary.oracle_ok,
+                "shards={shards:?} diverged from the oracle");
+            prop_assert!(summary.staleness.flushes >= 2,
+                "expected deadline-driven flushes, got {:?}", summary.staleness);
+            prop_assert!(summary.staleness.p50_us > 0.0);
+            prop_assert!(summary.staleness.p50_us <= summary.staleness.p99_us);
+            prop_assert!(summary.staleness.p99_us <= summary.staleness.max_us);
+            // Every deferred delta was flushed and counted exactly once.
+            prop_assert_eq!(summary.totals.deltas_deferred, 10 * 12);
+            prop_assert_eq!(
+                summary.totals.inserts_applied
+                    + summary.totals.removes_applied
+                    + summary.totals.noops,
+                10 * 12
+            );
+        }
+    }
+
+    /// Staleness percentiles are monotone in the deadline: an engine
+    /// allowed to hold work four times longer reports at least as much
+    /// staleness at flush time. The deadlines are far enough apart (4 ms
+    /// vs 48 ms against ~5 ms batch spacing) that scheduler noise cannot
+    /// invert them.
+    #[test]
+    fn staleness_is_monotone_in_the_deadline(seed in any::<u64>()) {
+        let tight = run_with_deadline(seed, None, Duration::from_millis(4));
+        let loose = run_with_deadline(seed, None, Duration::from_millis(48));
+        prop_assert!(tight.oracle_ok && loose.oracle_ok);
+        prop_assert_eq!(tight.flush_deadline_ms, Some(4.0));
+        prop_assert_eq!(loose.flush_deadline_ms, Some(48.0));
+        // The loose run buffers longer before each flush…
+        prop_assert!(
+            tight.staleness.p50_us <= loose.staleness.p50_us,
+            "p50 not monotone: tight {:?} vs loose {:?}",
+            tight.staleness, loose.staleness
+        );
+        prop_assert!(
+            tight.staleness.p99_us <= loose.staleness.p99_us,
+            "p99 not monotone: tight {:?} vs loose {:?}",
+            tight.staleness, loose.staleness
+        );
+        // …and therefore flushes at most as often.
+        prop_assert!(tight.staleness.flushes >= loose.staleness.flushes);
+    }
+}

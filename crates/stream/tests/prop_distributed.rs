@@ -1,0 +1,174 @@
+//! Property tests for the distributed dynamic engine: across every
+//! workload generator family and both apply modes, the live triangle set
+//! of [`DistributedTriangleEngine`] — maintained by the simulated
+//! CONGEST network itself — exactly equals a from-scratch recount by the
+//! centralized oracle (`list_all_on`) *and* the single-threaded
+//! [`TriangleIndex`]'s state on the same stream.
+
+use congest_graph::generators::{Classic, Gnp, PlantedLight, TriangleFreeBipartite};
+use congest_graph::triangles as oracle;
+use congest_graph::{Graph, NodeId};
+use congest_stream::{ApplyMode, DeltaBatch, DistributedTriangleEngine, TriangleIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random batch stream over `n` nodes (same shape as the sharded
+/// engine's property tests: 60/40 insert bias, one delta in eight
+/// repeats the previous edge to exercise duplicates and coalescing).
+fn random_batches(n: usize, batch_count: usize, batch_size: usize, seed: u64) -> Vec<DeltaBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut last: Option<(NodeId, NodeId)> = None;
+    (0..batch_count)
+        .map(|_| {
+            let mut batch = DeltaBatch::new();
+            for _ in 0..batch_size {
+                let (u, v) = match last {
+                    Some(pair) if rng.gen_bool(0.125) => pair,
+                    _ => {
+                        let u = rng.gen_range(0..n);
+                        let mut v = rng.gen_range(0..n);
+                        while v == u {
+                            v = rng.gen_range(0..n);
+                        }
+                        (NodeId::from_index(u), NodeId::from_index(v))
+                    }
+                };
+                last = Some((u, v));
+                if rng.gen_bool(0.6) {
+                    batch.insert(u, v);
+                } else {
+                    batch.remove(u, v);
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+/// Drives the distributed engine (eager and deferred) through the
+/// stream, checking exact triangle-set equality with the single-threaded
+/// engine after every batch and with the centralized oracle at the end,
+/// plus the network-cost invariants (every epoch takes rounds; messages
+/// only flow while there are effective deltas).
+fn check_distributed_against_oracle(base: &Graph, batches: &[DeltaBatch]) {
+    let mut reference = TriangleIndex::from_graph(base);
+    let mut eager = DistributedTriangleEngine::from_graph(base);
+    let mut deferred = DistributedTriangleEngine::from_graph(base).with_mode(ApplyMode::Deferred);
+
+    for (i, batch) in batches.iter().enumerate() {
+        reference.apply(batch).expect("in-range batch");
+        let report = eager.apply(batch).expect("in-range batch");
+        assert_eq!(
+            eager.triangles(),
+            reference.triangles(),
+            "eager engine diverged from the single-threaded engine after batch {i}"
+        );
+        assert_eq!(eager.edge_count(), reference.edge_count(), "batch {i}");
+        assert_eq!(
+            report.inserts_applied + report.removes_applied + report.noops,
+            batch.len(),
+            "per-batch accounting must cover every delta"
+        );
+
+        deferred.apply(batch).expect("in-range batch");
+        if i % 3 == 2 {
+            deferred.flush();
+            assert_eq!(deferred.triangles(), reference.triangles());
+        }
+    }
+    let expected = oracle::list_all_on(&reference);
+    assert!(eager.matches_oracle(), "final state vs oracle");
+    assert_eq!(eager.triangles(), &expected, "vs recount");
+    deferred.flush();
+    assert_eq!(deferred.triangles(), &expected, "deferred vs recount");
+
+    // The deferred engine coalesces whole windows into single epochs, so
+    // it never runs more epochs than the eager engine.
+    assert!(deferred.epochs() <= eager.epochs());
+    if eager.epochs() > 0 {
+        assert!(eager.total_cost().rounds >= eager.epochs());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generator family 1: Erdős–Rényi G(n, p) bases under uniform churn.
+    #[test]
+    fn gnp_base_matches_oracle(
+        n in 8usize..40,
+        p in 0.05f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let base = Gnp::new(n, p).seeded(seed).generate();
+        let batches = random_batches(n, 6, 12, seed ^ 0xD15C);
+        check_distributed_against_oracle(&base, &batches);
+    }
+
+    /// Generator family 2: planted-light-triangle bases (sparse planted
+    /// structure the churn tears apart).
+    #[test]
+    fn planted_light_base_matches_oracle(
+        count in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = 3 * count + 10;
+        let base = PlantedLight::new(n, count)
+            .with_background(0.05)
+            .seeded(seed)
+            .generate();
+        let batches = random_batches(n, 6, 12, seed ^ 0xBEE5);
+        check_distributed_against_oracle(&base, &batches);
+    }
+
+    /// Generator family 3: triangle-free bipartite bases — every triangle
+    /// the distributed engine reports was created by the stream itself.
+    #[test]
+    fn bipartite_base_matches_oracle(
+        left in 4usize..16,
+        right in 4usize..16,
+        p in 0.1f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let base = TriangleFreeBipartite::new(left, right, p).seeded(seed).generate();
+        let batches = random_batches(left + right, 6, 12, seed ^ 0xF00D);
+        check_distributed_against_oracle(&base, &batches);
+    }
+
+    /// Generator family 4: dense deterministic bases (complete graphs),
+    /// where removals dominate, most triangles lose several edges per
+    /// batch, and almost every node observes every death — the dedup
+    /// path of the coordinator merge.
+    #[test]
+    fn complete_base_matches_oracle(
+        n in 4usize..14,
+        seed in any::<u64>(),
+    ) {
+        let base = Classic::Complete(n).generate();
+        let batches = random_batches(n, 5, 10, seed);
+        check_distributed_against_oracle(&base, &batches);
+    }
+
+    /// Narrow and wide bandwidth reach the same state: the per-link
+    /// budget only changes how many rounds the broadcasts take.
+    #[test]
+    fn bandwidth_changes_rounds_not_results(
+        n in 8usize..24,
+        seed in any::<u64>(),
+    ) {
+        use congest_sim::Bandwidth;
+        let batches = random_batches(n, 4, 14, seed ^ 0xBA4D);
+        let mut narrow = DistributedTriangleEngine::with_bandwidth(n, Bandwidth::default());
+        let mut wide =
+            DistributedTriangleEngine::with_bandwidth(n, Bandwidth::Bits(64 * 16));
+        for batch in &batches {
+            narrow.apply(batch).expect("in-range batch");
+            wide.apply(batch).expect("in-range batch");
+            prop_assert_eq!(narrow.triangles(), wide.triangles());
+        }
+        prop_assert!(narrow.matches_oracle());
+        prop_assert!(wide.matches_oracle());
+        prop_assert!(narrow.total_cost().rounds >= wide.total_cost().rounds);
+    }
+}

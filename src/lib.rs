@@ -18,10 +18,11 @@
 //! * [`info`] — information-theoretic experiment machinery for the paper's
 //!   lower bounds (Theorem 3, Proposition 5).
 //! * [`stream`] — the incremental triangle engines over batched edge
-//!   deltas (single-threaded and sharded multi-core) plus the
-//!   workload/scenario load-test harness; both engines are
-//!   [`AdjacencyView`](graph::AdjacencyView)s, so the static drivers and
-//!   the oracle run on them directly with no snapshot.
+//!   deltas (single-threaded, sharded multi-core, and the distributed
+//!   dynamic engine that runs every batch as an epoch of the simulated
+//!   CONGEST network) plus the workload/scenario load-test harness; all
+//!   engines are [`AdjacencyView`](graph::AdjacencyView)s, so the static
+//!   drivers and the oracle run on them directly with no snapshot.
 //!
 //! ## Quick example
 //!
@@ -57,10 +58,10 @@ pub mod prelude {
     };
     pub use congest_hash::KWiseFamily;
     pub use congest_info::{rivin_edge_lower_bound, LowerBoundReport};
-    pub use congest_sim::{Bandwidth, Model, RunReport, SimConfig, Simulation};
+    pub use congest_sim::{Bandwidth, EpochReport, Model, RunReport, SimConfig, Simulation};
     pub use congest_stream::{
-        ApplyMode, BaseGraph, DeltaBatch, EdgeDelta, RunSummary, Scenario, ShardedTriangleIndex,
-        StreamEngine, TriangleIndex, WorkloadRunner,
+        ApplyMode, BaseGraph, CongestCost, DeltaBatch, DistributedTriangleEngine, EdgeDelta,
+        RunSummary, Scenario, ShardedTriangleIndex, StreamEngine, TriangleIndex, WorkloadRunner,
     };
     pub use congest_triangles::{
         find_triangles, list_triangles, ConstantsProfile, EpsilonChoice, FindingConfig,

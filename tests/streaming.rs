@@ -112,6 +112,43 @@ fn sharded_engine_is_exposed_and_agrees_end_to_end() {
 }
 
 #[test]
+fn distributed_dynamic_engine_tracks_the_centralized_engines() {
+    // The same churn stream through all three engines: the distributed
+    // one — where the simulated CONGEST network itself maintains the
+    // triangles — must agree batch for batch, at a per-batch round cost
+    // that is orders of magnitude below re-running a static driver.
+    let scenario = Scenario::uniform_churn(120, 8, 25)
+        .with_base(BaseGraph::Gnp { p: 0.05 })
+        .seeded(17);
+    let base = scenario.base_graph();
+    let mut single = TriangleIndex::from_graph(&base);
+    let mut distributed = DistributedTriangleEngine::from_graph(&base);
+    for batch in scenario.batches() {
+        single.apply(&batch).unwrap();
+        distributed.apply(&batch).unwrap();
+        assert_eq!(single.triangles(), distributed.triangles());
+    }
+    assert!(distributed.matches_oracle());
+
+    // Network cost sanity: every batch fit in a handful of rounds…
+    let cost = distributed.total_cost();
+    assert!(cost.rounds >= distributed.epochs());
+    let mean_rounds_per_batch = cost.rounds as f64 / distributed.epochs() as f64;
+    assert!(
+        mean_rounds_per_batch < 64.0,
+        "expected a handful of rounds per batch, got {mean_rounds_per_batch}"
+    );
+
+    // …while one static listing re-run on the same live view costs far
+    // more rounds — the asymmetry `dynamic_bench` quantifies.
+    let listing = list_triangles(&distributed, &ListingConfig::scaled(&distributed), 3);
+    assert!(listing.total_rounds as f64 > 5.0 * mean_rounds_per_batch);
+    for t in listing.triangles() {
+        assert!(distributed.is_triangle(*t));
+    }
+}
+
+#[test]
 fn run_summary_json_round_trips_the_headline_numbers() {
     let summary = WorkloadRunner::new(
         Scenario::uniform_churn(60, 6, 15).with_base(BaseGraph::Gnp { p: 0.08 }),
