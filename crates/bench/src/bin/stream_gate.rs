@@ -4,20 +4,32 @@
 //!
 //! Compares the fresh `BENCH_stream.json` written by `stream_bench`
 //! against the committed baseline and exits non-zero when any gated
-//! metric (throughput or incremental-vs-recompute / parallel speedup)
-//! drops more than 20% below the baseline. Metrics missing from either
-//! side are reported but skipped, so schema growth and flag-restricted
-//! runs do not trip the gate. All gated metrics are timing-derived —
-//! absolute throughputs obviously, but the speedups too (the parallel
-//! speedup scales with core count, the recompute ratio with cache
-//! behaviour) — so the whole comparison only runs against a baseline
-//! recorded on matching hardware (same `hardware_threads` fingerprint);
-//! against foreign hardware the gate reports and passes, and regains
-//! teeth as soon as a baseline from like hardware is committed. The
-//! same-run floors (10x recompute speedup, S=1 within 10%, S=4 ≥ 1.5x
-//! on ≥4 threads) are enforced by `stream_bench` itself regardless.
+//! metric regresses: throughputs and speedups (including the pool's
+//! small-batch speedup over the per-batch-spawn pipeline) must not drop
+//! more than 20% below baseline, and the hotspot-churn pool p99 apply
+//! latency must not rise more than 50% above it. Metrics missing from
+//! either side are reported but skipped, so schema growth and
+//! flag-restricted runs do not trip the gate. All gated metrics are
+//! timing-derived — absolute throughputs obviously, but the speedups
+//! too (the parallel speedup scales with core count, the recompute
+//! ratio with cache behaviour) — so the whole comparison only runs
+//! against a baseline recorded on matching hardware *and* sweep shape
+//! (same `hardware_threads` and `quick` fingerprint); against a foreign
+//! baseline the gate reports and passes, and regains teeth as soon as a
+//! matching baseline is committed.
+//!
+//! Independent of any baseline, the gate also enforces the absolute
+//! ≥ 2x small-batch pool-vs-spawn floor whenever the *current* run comes
+//! from a machine with ≥ 4 hardware threads (skipped, like
+//! `stream_bench`'s shard floor, on 1-thread containers). The other
+//! same-run floors (10x recompute speedup, S=1 within 10%, S=4 ≥ 1.5x)
+//! are enforced by `stream_bench` itself regardless.
 
-use congest_bench::gate::{check_metric, extract_number, DEFAULT_TOLERANCE, STREAM_GATE_METRICS};
+use congest_bench::gate::{
+    check_metric_directed, extract_number, DEFAULT_TOLERANCE, LATENCY_TOLERANCE,
+    SMALLBATCH_FLOOR_MIN_THREADS, SMALLBATCH_SPEEDUP_FLOOR, STREAM_GATE_FINGERPRINT,
+    STREAM_GATE_METRICS, STREAM_GATE_METRICS_LOWER_IS_BETTER,
+};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -33,31 +45,75 @@ fn main() {
     let current = std::fs::read_to_string(&current_path)
         .unwrap_or_else(|e| panic!("read current {current_path}: {e}"));
 
-    println!("# stream_gate — {baseline_path} vs {current_path} (tolerance: 20% drop)\n");
-    let fingerprints = (
-        extract_number(&baseline, "hardware_threads"),
-        extract_number(&current, "hardware_threads"),
+    println!(
+        "# stream_gate — {baseline_path} vs {current_path} \
+         (tolerance: 20% drop, 50% latency rise)\n"
     );
-    let same_hardware = matches!(fingerprints, (Some(b), Some(c)) if b == c);
-    if !same_hardware {
-        println!(
-            "baseline hardware_threads {:?} != current {:?}: timing metrics are not \
-             comparable like-for-like; reporting without gating.\n",
-            fingerprints.0, fingerprints.1
+    let mut comparable = true;
+    for key in STREAM_GATE_FINGERPRINT {
+        let fingerprints = (
+            extract_number(&baseline, key),
+            extract_number(&current, key),
         );
+        if !matches!(fingerprints, (Some(b), Some(c)) if b == c) {
+            println!(
+                "baseline {key} {:?} != current {:?}: timing metrics are not comparable \
+                 like-for-like; reporting without gating.",
+                fingerprints.0, fingerprints.1
+            );
+            comparable = false;
+        }
+    }
+    if !comparable {
+        println!();
     }
     let mut failed = false;
-    for key in STREAM_GATE_METRICS {
-        let check = check_metric(&baseline, &current, key, DEFAULT_TOLERANCE);
-        if same_hardware {
+    let checks = STREAM_GATE_METRICS
+        .iter()
+        .map(|key| (*key, true, DEFAULT_TOLERANCE))
+        .chain(
+            STREAM_GATE_METRICS_LOWER_IS_BETTER
+                .iter()
+                .map(|key| (*key, false, LATENCY_TOLERANCE)),
+        );
+    for (key, higher_is_better, tolerance) in checks {
+        let check = check_metric_directed(&baseline, &current, key, tolerance, higher_is_better);
+        if comparable {
             println!("{check}");
             failed |= check.regressed;
         } else {
-            println!("{check} [not gated: foreign-hardware baseline]");
+            println!("{check} [not gated: foreign baseline fingerprint]");
         }
     }
+
+    // Absolute small-batch floor: needs no baseline at all, only enough
+    // hardware threads on the current machine for the pool to express
+    // parallelism.
+    let threads = extract_number(&current, "hardware_threads").unwrap_or(1.0);
+    if let Some(speedup) = extract_number(&current, "smallbatch_pool_speedup_vs_spawn") {
+        if threads >= SMALLBATCH_FLOOR_MIN_THREADS {
+            if speedup < SMALLBATCH_SPEEDUP_FLOOR {
+                eprintln!(
+                    "\nERROR: small-batch pool speedup {speedup:.2}x below the \
+                     {SMALLBATCH_SPEEDUP_FLOOR}x floor on a {threads:.0}-thread machine"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "\nsmall-batch floor: pool {speedup:.2}x vs spawn \
+                     (>= {SMALLBATCH_SPEEDUP_FLOOR}x required, {threads:.0} threads)"
+                );
+            }
+        } else {
+            println!(
+                "\nsmall-batch floor skipped: {threads:.0} hardware thread(s) cannot express \
+                 pool parallelism (needs >= {SMALLBATCH_FLOOR_MIN_THREADS:.0})"
+            );
+        }
+    }
+
     if failed {
-        eprintln!("\nERROR: streaming bench regressed more than 20% against the baseline");
+        eprintln!("\nERROR: streaming bench regressed against the baseline");
         std::process::exit(1);
     }
     println!("\ngate passed");

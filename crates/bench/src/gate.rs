@@ -13,6 +13,13 @@ use std::fmt;
 /// Maximum tolerated drop below baseline before the gate fails (20%).
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
 
+/// Tolerance for the latency metrics (50%): tail latency is far noisier
+/// run-to-run than throughput — a p99 is a single order statistic — so a
+/// tighter band would flake CI without catching real regressions. A
+/// genuine hotspot-serialization regression moves p99 by multiples, not
+/// tens of percent.
+pub const LATENCY_TOLERANCE: f64 = 0.50;
+
 /// Extracts the numeric value of a top-level `"key":value` pair from a
 /// JSON object emitted by the harness. Returns `None` when the key is
 /// missing or its value is not a finite number (e.g. `null`).
@@ -77,18 +84,38 @@ impl fmt::Display for MetricCheck {
 /// omit one (`--shards 2` leaves no S=1 ratio). Only a genuine drop of
 /// more than `tolerance` fails.
 pub fn check_metric(baseline: &str, current: &str, key: &str, tolerance: f64) -> MetricCheck {
+    check_metric_directed(baseline, current, key, tolerance, true)
+}
+
+/// [`check_metric`] with an explicit direction: with
+/// `higher_is_better = false` (latencies) the gate fails when the metric
+/// *rises* more than `tolerance` above the baseline instead.
+pub fn check_metric_directed(
+    baseline: &str,
+    current: &str,
+    key: &str,
+    tolerance: f64,
+    higher_is_better: bool,
+) -> MetricCheck {
     let base = extract_number(baseline, key);
     let cur = extract_number(current, key);
     let ratio = match (base, cur) {
         (Some(b), Some(c)) if b > 0.0 => Some(c / b),
         _ => None,
     };
+    let regressed = ratio.is_some_and(|r| {
+        if higher_is_better {
+            r < 1.0 - tolerance
+        } else {
+            r > 1.0 + tolerance
+        }
+    });
     MetricCheck {
         key: key.to_string(),
         baseline: base,
         current: cur,
         ratio,
-        regressed: ratio.is_some_and(|r| r < 1.0 - tolerance),
+        regressed,
     }
 }
 
@@ -103,11 +130,37 @@ pub fn check_metric(baseline: &str, current: &str, key: &str, tolerance: f64) ->
 /// trajectory data but is not gated: it measures an 8-batch slice whose
 /// run-to-run noise approaches the tolerance, and `stream_bench` already
 /// enforces the S=1-within-10% floor on the same run.)
-pub const STREAM_GATE_METRICS: [&str; 3] = [
+pub const STREAM_GATE_METRICS: [&str; 4] = [
     "headline_deltas_per_sec",
     "headline_speedup_vs_recompute",
     "sweep_best_parallel_speedup",
+    "smallbatch_pool_speedup_vs_spawn",
 ];
+
+/// Lower-is-better stream metrics, gated with [`LATENCY_TOLERANCE`]:
+/// the pool engine's p99 apply latency on the hotspot-churn sweep (the
+/// tail the work-stealing path exists to flatten) must not blow up
+/// against the committed baseline. Compared under the same
+/// hardware-and-shape fingerprint as the throughput metrics.
+pub const STREAM_GATE_METRICS_LOWER_IS_BETTER: [&str; 1] = ["hotspot_pool_p99_us"];
+
+/// The fingerprint keys that must match between a `BENCH_stream.json`
+/// baseline and a fresh run for the stream gate to have teeth:
+/// `hardware_threads` pins the machine (every gated metric is
+/// timing-derived) and `quick` pins the sweep shape (the small-batch and
+/// hotspot sweeps shrink under `--quick`, which CI uses).
+pub const STREAM_GATE_FINGERPRINT: [&str; 2] = ["hardware_threads", "quick"];
+
+/// Absolute floor for the pool-vs-spawn small-batch speedup, enforced by
+/// `stream_gate` (in addition to the baseline comparison) whenever the
+/// *current* run comes from a machine with at least
+/// [`SMALLBATCH_FLOOR_MIN_THREADS`] hardware threads.
+pub const SMALLBATCH_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Minimum hardware threads for [`SMALLBATCH_SPEEDUP_FLOOR`] to bind —
+/// on single-threaded containers the pool cannot express parallelism and
+/// the floor is reported but skipped, like `stream_bench`'s shard floor.
+pub const SMALLBATCH_FLOOR_MIN_THREADS: f64 = 4.0;
 
 /// The metrics `dynamic_gate` holds against the committed
 /// `BENCH_dynamic.json` baseline. All are **round-count-derived** and
@@ -188,9 +241,35 @@ mod tests {
     #[test]
     fn gated_metric_keys_exist_in_the_harness_schema() {
         // Guard against typos drifting from what stream_bench emits.
-        for key in STREAM_GATE_METRICS {
+        for key in STREAM_GATE_METRICS
+            .iter()
+            .chain(&STREAM_GATE_METRICS_LOWER_IS_BETTER)
+            .chain(&STREAM_GATE_FINGERPRINT)
+        {
             assert!(!key.is_empty());
-            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            assert!(key
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
+    }
+
+    #[test]
+    fn lower_is_better_metrics_fail_on_rises_not_drops() {
+        let base = r#"{"p99":100.0}"#;
+        // A 40% drop (latency improvement) passes.
+        let faster =
+            check_metric_directed(base, r#"{"p99":60.0}"#, "p99", LATENCY_TOLERANCE, false);
+        assert!(!faster.regressed);
+        // A 40% rise stays within the 50% latency tolerance.
+        let noisy =
+            check_metric_directed(base, r#"{"p99":140.0}"#, "p99", LATENCY_TOLERANCE, false);
+        assert!(!noisy.regressed);
+        // A 60% rise fails.
+        let slower =
+            check_metric_directed(base, r#"{"p99":160.0}"#, "p99", LATENCY_TOLERANCE, false);
+        assert!(slower.regressed);
+        // The default direction is unchanged higher-is-better behaviour.
+        let drop = check_metric_directed(base, r#"{"p99":60.0}"#, "p99", DEFAULT_TOLERANCE, true);
+        assert!(drop.regressed);
     }
 }

@@ -89,6 +89,11 @@ impl<P: NodeProgram> ThreadedSimulation<P> {
         self.epoch
     }
 
+    /// Number of simulated nodes.
+    pub fn node_count(&self) -> usize {
+        self.infos.len()
+    }
+
     /// The program of `node` (see [`Simulation::program`](crate::Simulation::program)).
     ///
     /// # Panics

@@ -69,7 +69,10 @@ use std::fmt;
 use std::time::Duration;
 
 use congest_graph::{AdjacencyView, Edge, Graph, NodeId, Triangle, TriangleSet};
-use congest_sim::{Bandwidth, NodeProgram, NodeStatus, RoundContext, SimConfig, Simulation};
+use congest_sim::{
+    Bandwidth, EpochReport, NodeProgram, NodeStatus, RoundContext, SimConfig, Simulation,
+    ThreadedSimulation,
+};
 use congest_wire::{BitReader, BitWriter, IdCodec, Payload};
 
 use crate::delta::{DeltaBatch, DeltaOp, PendingBuffer};
@@ -81,6 +84,110 @@ use crate::shard::{
 /// Width of the phase-length and list-length fields in the injected
 /// batch descriptor (out-of-band client input, not CONGEST traffic).
 const COUNT_BITS: usize = 32;
+
+/// Which epoch executor drives the simulated network inside a
+/// [`DistributedTriangleEngine`].
+///
+/// Both executors expose the same resumable epoch API and produce
+/// **bit-identical** metrics and node states (`congest-sim`'s test suite
+/// checks this), so the choice never affects results — only how the
+/// rounds are executed on the host machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimExecutor {
+    /// The sequential engine: one host thread steps every node. Fastest
+    /// for experiment sweeps (no thread or channel overhead) and the
+    /// default.
+    #[default]
+    Sequential,
+    /// [`ThreadedSimulation`]: one host thread per network node,
+    /// synchronized round-by-round by a coordinator. Demonstrates that
+    /// the dynamic protocol relies only on message passing, and lets a
+    /// workload exploit host parallelism when per-round node work is
+    /// heavy.
+    Threaded,
+}
+
+impl SimExecutor {
+    /// Short lowercase name, used in logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimExecutor::Sequential => "sequential",
+            SimExecutor::Threaded => "threaded",
+        }
+    }
+}
+
+/// The executor-polymorphic epoch engine: both variants keep node
+/// programs alive across [`run_epoch`](EpochEngine::run_epoch) calls.
+enum EpochEngine {
+    Sequential(Simulation<DynamicTriangleNode>),
+    Threaded(ThreadedSimulation<DynamicTriangleNode>),
+}
+
+impl EpochEngine {
+    fn new(graph: &Graph, config: SimConfig, executor: SimExecutor) -> Self {
+        let factory = |info: &congest_sim::NodeInfo| {
+            DynamicTriangleNode::new(info.id, info.neighbors.clone())
+        };
+        match executor {
+            SimExecutor::Sequential => {
+                EpochEngine::Sequential(Simulation::new(graph, config, factory))
+            }
+            SimExecutor::Threaded => {
+                EpochEngine::Threaded(ThreadedSimulation::new(graph, config, factory))
+            }
+        }
+    }
+
+    fn executor(&self) -> SimExecutor {
+        match self {
+            EpochEngine::Sequential(_) => SimExecutor::Sequential,
+            EpochEngine::Threaded(_) => SimExecutor::Threaded,
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            EpochEngine::Sequential(sim) => sim.node_count(),
+            EpochEngine::Threaded(sim) => sim.node_count(),
+        }
+    }
+
+    fn program(&self, node: NodeId) -> &DynamicTriangleNode {
+        match self {
+            EpochEngine::Sequential(sim) => sim.program(node),
+            EpochEngine::Threaded(sim) => sim.program(node),
+        }
+    }
+
+    fn program_mut(&mut self, node: NodeId) -> &mut DynamicTriangleNode {
+        match self {
+            EpochEngine::Sequential(sim) => sim.program_mut(node),
+            EpochEngine::Threaded(sim) => sim.program_mut(node),
+        }
+    }
+
+    fn inject(&mut self, to: NodeId, payload: Payload) {
+        match self {
+            EpochEngine::Sequential(sim) => sim.inject(to, payload),
+            EpochEngine::Threaded(sim) => sim.inject(to, payload),
+        }
+    }
+
+    fn update_topology(&mut self, node: NodeId, neighbors: Vec<NodeId>) {
+        match self {
+            EpochEngine::Sequential(sim) => sim.update_topology(node, neighbors),
+            EpochEngine::Threaded(sim) => sim.update_topology(node, neighbors),
+        }
+    }
+
+    fn run_epoch(&mut self) -> EpochReport {
+        match self {
+            EpochEngine::Sequential(sim) => sim.run_epoch(),
+            EpochEngine::Threaded(sim) => sim.run_epoch(),
+        }
+    }
+}
 
 /// CONGEST cost of one epoch (or a running total over all epochs): the
 /// quantities the paper's bounds are about.
@@ -357,7 +464,7 @@ impl NodeProgram for DynamicTriangleNode {
 /// assert!(engine.last_batch_cost().rounds >= 1);
 /// ```
 pub struct DistributedTriangleEngine {
-    sim: Simulation<DynamicTriangleNode>,
+    sim: EpochEngine,
     /// The global triangle set (the coordinator's merge is the only
     /// writer).
     triangles: TriangleSet,
@@ -378,9 +485,16 @@ pub struct DistributedTriangleEngine {
 
 impl DistributedTriangleEngine {
     /// An empty engine on `node_count` nodes, in [`ApplyMode::Eager`],
-    /// with the default CONGEST bandwidth.
+    /// with the default CONGEST bandwidth and the sequential executor.
     pub fn new(node_count: usize) -> Self {
         Self::with_bandwidth(node_count, Bandwidth::default())
+    }
+
+    /// An empty engine with an explicit epoch executor (see
+    /// [`SimExecutor`]; results are identical either way).
+    pub fn with_executor(node_count: usize, executor: SimExecutor) -> Self {
+        let empty = congest_graph::GraphBuilder::new(node_count).build();
+        Self::build(&empty, Bandwidth::default(), executor)
     }
 
     /// An empty engine with an explicit per-link bandwidth budget.
@@ -392,7 +506,7 @@ impl DistributedTriangleEngine {
     /// message under the CONGEST convention.
     pub fn with_bandwidth(node_count: usize, bandwidth: Bandwidth) -> Self {
         let empty = congest_graph::GraphBuilder::new(node_count).build();
-        Self::build(&empty, bandwidth)
+        Self::build(&empty, bandwidth, SimExecutor::Sequential)
     }
 
     /// An engine seeded with a static graph's edges and triangles (the
@@ -403,6 +517,18 @@ impl DistributedTriangleEngine {
     }
 
     /// [`from_graph`](DistributedTriangleEngine::from_graph) with an
+    /// explicit epoch executor: [`SimExecutor::Threaded`] runs every
+    /// batch epoch thread-per-node on `ThreadedSimulation`'s identical
+    /// epoch API (bit-identical results, property-tested against the
+    /// sequential engine and the oracle).
+    pub fn from_graph_with_executor(graph: &Graph, executor: SimExecutor) -> Self {
+        let mut engine = Self::build(graph, Bandwidth::default(), executor);
+        engine.triangles = congest_graph::triangles::list_all(graph);
+        engine.edge_count = graph.edge_count();
+        engine
+    }
+
+    /// [`from_graph`](DistributedTriangleEngine::from_graph) with an
     /// explicit per-link bandwidth budget.
     ///
     /// # Panics
@@ -410,13 +536,13 @@ impl DistributedTriangleEngine {
     /// Panics if the budget cannot carry a single edge (see
     /// [`with_bandwidth`](DistributedTriangleEngine::with_bandwidth)).
     pub fn from_graph_with_bandwidth(graph: &Graph, bandwidth: Bandwidth) -> Self {
-        let mut engine = Self::build(graph, bandwidth);
+        let mut engine = Self::build(graph, bandwidth, SimExecutor::Sequential);
         engine.triangles = congest_graph::triangles::list_all(graph);
         engine.edge_count = graph.edge_count();
         engine
     }
 
-    fn build(graph: &Graph, bandwidth: Bandwidth) -> Self {
+    fn build(graph: &Graph, bandwidth: Bandwidth, executor: SimExecutor) -> Self {
         let config = SimConfig::congest(0).with_bandwidth(bandwidth);
         let bandwidth_bits = bandwidth.bits_per_round(graph.node_count().max(1));
         // The protocol's smallest message is one edge (two ids); a budget
@@ -432,9 +558,7 @@ impl DistributedTriangleEngine {
                 graph.node_count(),
             );
         }
-        let sim = Simulation::new(graph, config, |info| {
-            DynamicTriangleNode::new(info.id, info.neighbors.clone())
-        });
+        let sim = EpochEngine::new(graph, config, executor);
         DistributedTriangleEngine {
             sim,
             triangles: TriangleSet::new(),
@@ -461,6 +585,11 @@ impl DistributedTriangleEngine {
     /// The application mode in effect.
     pub fn mode(&self) -> ApplyMode {
         self.mode
+    }
+
+    /// The epoch executor driving the simulated network.
+    pub fn executor(&self) -> SimExecutor {
+        self.sim.executor()
     }
 
     /// Number of nodes (network and graph — they are the same thing
@@ -756,11 +885,13 @@ impl fmt::Debug for DistributedTriangleEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "DistributedTriangleEngine(n={}, m={}, triangles={}, mode={}, epochs={}, rounds={})",
+            "DistributedTriangleEngine(n={}, m={}, triangles={}, mode={}, exec={}, epochs={}, \
+             rounds={})",
             self.node_count(),
             self.edge_count(),
             self.triangle_count(),
             self.mode.name(),
+            self.executor().name(),
             self.epochs,
             self.total.rounds,
         )
@@ -1010,6 +1141,49 @@ mod tests {
         let s = format!("{engine:?}");
         assert!(s.contains("n=6"));
         assert!(s.contains("epochs=0"));
+        assert!(s.contains("exec=sequential"));
+    }
+
+    #[test]
+    fn threaded_executor_reaches_the_same_state_with_identical_cost() {
+        let g = Gnp::new(18, 0.2).seeded(21).generate();
+        let mut seq =
+            DistributedTriangleEngine::from_graph_with_executor(&g, SimExecutor::Sequential);
+        let mut thr =
+            DistributedTriangleEngine::from_graph_with_executor(&g, SimExecutor::Threaded);
+        assert_eq!(seq.executor(), SimExecutor::Sequential);
+        assert_eq!(thr.executor(), SimExecutor::Threaded);
+        for step in 0..5u32 {
+            let mut b = DeltaBatch::new();
+            for j in 0..8u32 {
+                let a = (step * 5 + j * 7) % 18;
+                let c = (step * 3 + j * 11 + 1) % 18;
+                if a != c {
+                    if (step + j) % 3 == 0 {
+                        b.remove(v(a), v(c));
+                    } else {
+                        b.insert(v(a), v(c));
+                    }
+                }
+            }
+            let rs = seq.apply(&b).unwrap();
+            let rt = thr.apply(&b).unwrap();
+            assert_eq!(rs, rt, "step {step}: per-batch reports must match");
+            assert_eq!(seq.triangles(), thr.triangles(), "step {step}");
+            // The executors produce bit-identical network metrics.
+            assert_eq!(seq.last_batch_cost(), thr.last_batch_cost(), "step {step}");
+        }
+        assert_eq!(seq.total_cost(), thr.total_cost());
+        assert!(thr.matches_oracle());
+    }
+
+    #[test]
+    fn threaded_executor_default_is_sequential() {
+        assert_eq!(SimExecutor::default(), SimExecutor::Sequential);
+        assert_eq!(SimExecutor::Threaded.name(), "threaded");
+        let engine = DistributedTriangleEngine::with_executor(4, SimExecutor::Threaded);
+        assert_eq!(engine.executor(), SimExecutor::Threaded);
+        assert_eq!(engine.node_count(), 4);
     }
 
     #[test]

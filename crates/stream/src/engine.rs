@@ -16,6 +16,7 @@ use congest_graph::AdjacencyView;
 use crate::delta::DeltaBatch;
 use crate::distributed::DistributedTriangleEngine;
 use crate::index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
+use crate::pool::WorkerTelemetry;
 use crate::sharded::ShardedTriangleIndex;
 
 /// An incremental triangle engine over batched edge deltas.
@@ -55,6 +56,15 @@ pub trait StreamEngine: AdjacencyView {
     /// Number of shards the engine partitions work across (1 for the
     /// single-threaded index).
     fn shard_count(&self) -> usize;
+
+    /// Lifetime worker-pool telemetry — busy-share balance and steal
+    /// counts over every pool-applied batch — for engines backed by a
+    /// persistent worker pool. The default is `None`: engines without a
+    /// pool (or pool-backed engines whose batches all took the inline or
+    /// sequential path) have no worker balance to report.
+    fn worker_telemetry(&self) -> Option<WorkerTelemetry> {
+        None
+    }
 }
 
 impl StreamEngine for TriangleIndex {
@@ -122,6 +132,10 @@ impl StreamEngine for ShardedTriangleIndex {
 
     fn shard_count(&self) -> usize {
         ShardedTriangleIndex::shard_count(self)
+    }
+
+    fn worker_telemetry(&self) -> Option<WorkerTelemetry> {
+        ShardedTriangleIndex::worker_telemetry(self)
     }
 }
 

@@ -16,15 +16,17 @@
 //! * [`ShardedTriangleIndex`] — the multi-core engine: adjacency is
 //!   partitioned across `S` shards by node hash (`id mod S`), each shard
 //!   owning the full neighbour lists of its nodes, and a batch applies in
-//!   two phases — shard-parallel collect/record on scoped threads, then a
-//!   merge that dedupes triangle deltas so each triangle is counted
-//!   exactly once (the type's documentation walks through the full
-//!   pipeline). **Picking `S`**: use the number of available cores for
-//!   sustained large-batch churn (the `stream_bench` sweep measures S ∈
-//!   {1, 2, 4, 8}); more shards than cores only adds spawn overhead, and
-//!   small batches (or `S = 1`) automatically take the strictly ordered
-//!   sequential path, so a sharded index never loses more than a few
-//!   percent where parallelism cannot pay.
+//!   two phases — shard-parallel collect/record on a **persistent worker
+//!   pool** (spawned once per engine, fed over channels, with oversized
+//!   hub slices split into stealable task units so hot vertices don't
+//!   serialize their worker), then a merge that dedupes triangle deltas
+//!   so each triangle is counted exactly once (the type's documentation
+//!   walks through the full pipeline; per-run balance is observable via
+//!   [`WorkerTelemetry`]). **Picking `S`**: use the number of available
+//!   cores for sustained churn (the `stream_bench` sweep measures S ∈
+//!   {1, 2, 4, 8}); small batches (or `S = 1`) automatically take the
+//!   strictly ordered sequential path, so a sharded index never loses
+//!   more than a few percent where parallelism cannot pay.
 //! * [`DistributedTriangleEngine`] — the **distributed dynamic** engine:
 //!   every graph node is a node of a simulated CONGEST network that owns
 //!   its adjacency slice, and each batch runs as one epoch of
@@ -92,15 +94,17 @@ mod delta;
 mod distributed;
 mod engine;
 mod index;
+mod pool;
 mod runner;
 mod shard;
 mod sharded;
 mod workload;
 
 pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
-pub use distributed::{CongestCost, DistributedTriangleEngine};
+pub use distributed::{CongestCost, DistributedTriangleEngine, SimExecutor};
 pub use engine::StreamEngine;
 pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
+pub use pool::WorkerTelemetry;
 pub use runner::{LatencyStats, RecomputeStats, RunSummary, StalenessStats, WorkloadRunner};
 pub use sharded::ShardedTriangleIndex;
 pub use workload::{BaseGraph, Scenario, ScenarioKind};

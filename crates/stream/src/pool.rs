@@ -1,0 +1,887 @@
+//! The persistent shard worker pool behind
+//! [`ShardedTriangleIndex`](crate::ShardedTriangleIndex)'s two-phase
+//! pipeline.
+//!
+//! The first sharded engine spawned three sets of scoped threads per
+//! batch, so small-batch high-rate streams paid thread-spawn overhead
+//! that dominated the actual intersection work, and the `id mod S`
+//! partition let a single hot hub serialize its owning worker — exactly
+//! the heavy-vertex imbalance the paper's Theorem 1/2 load balancing is
+//! designed to avoid. [`ShardPool`] fixes both:
+//!
+//! * **Persistence** — `S` workers are spawned once (lazily, on the
+//!   first pipelined batch) and live as long as the engine, fed work
+//!   descriptors over the `crossbeam` shim's channels. A batch costs
+//!   channel sends, not thread spawns.
+//! * **Work stealing** — candidate collection (the expensive, read-only
+//!   part of a batch) is decomposed into stealable task units: when a
+//!   worker's slice of effective deltas carries more estimated
+//!   intersection work (sum of endpoint degrees) than the split
+//!   threshold, the worker *defers* the slice back to the engine, which
+//!   chunks every deferred slice onto a shared
+//!   [`Injector`](crossbeam::deque::Injector) queue **before**
+//!   dispatching a drain wave to all workers. Seeding the queue up
+//!   front makes the spreading deterministic — there is no race where
+//!   an idle worker checks an empty queue a microsecond before the hub
+//!   owner pushes its tasks — so a hot hub's intersections reliably
+//!   spread across the whole pool instead of serializing one worker.
+//!   (The insert phase needs no extra wave: its work lists are known to
+//!   the engine before dispatch, so oversized ones are pre-chunked onto
+//!   the queue and the rest ride along in the per-worker jobs.)
+//!
+//! Everything stays safe Rust with no locks on the read path by
+//! **round-tripping ownership** instead of sharing borrows:
+//!
+//! 1. *Collect* (read-only): the engine moves its [`ShardStore`] into an
+//!    `Arc`, clones it to every worker, and reclaims sole ownership with
+//!    [`Arc::try_unwrap`] once all responses are in — each worker drops
+//!    its clone *before* responding, so by the time the engine holds all
+//!    `S` responses the count is back to one.
+//! 2. *Record* (write): each [`Shard`] is moved to its owning worker
+//!    along with its routed mutations and moved back in the response;
+//!    shards never alias, so there is nothing to lock.
+//! 3. *Insert collect* (read-only): same `Arc` round trip on the
+//!    post-batch store.
+//!
+//! Every response also carries the worker's busy time and steal count,
+//! which the engine aggregates into [`WorkerTelemetry`] — the
+//! observability surface for hotspot flattening (see the bench docs).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use congest_graph::{Edge, Triangle};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::deque::{Injector, Steal};
+
+use crate::delta::{DeltaOp, EdgeDelta};
+use crate::shard::{intersect_sorted, Shard, ShardOp, ShardStore};
+
+/// Default estimated-intersection-work budget (sum of endpoint degrees
+/// over a slice) above which a worker's candidate collection is split
+/// into stealable injector tasks. Below it the slice is processed
+/// locally: chunking and queue traffic would cost more than they spread.
+pub(crate) const DEFAULT_SPLIT_THRESHOLD: usize = 2_048;
+
+/// What one worker learned about its slice of a batch during the
+/// read-only collect pass.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerPlan {
+    /// Adjacency mutations routed to each owning shard.
+    pub(crate) ops: Vec<Vec<ShardOp>>,
+    /// Effective insertions (their closing triangles are collected on
+    /// the post-batch adjacency in the third phase).
+    pub(crate) inserts: Vec<Edge>,
+    /// Candidate retired triangles from effective removals whose slice
+    /// stayed within the split threshold (collected by the owner).
+    pub(crate) removed: Vec<Triangle>,
+    /// Effective removals whose candidate collection was deferred to the
+    /// steal wave because the slice exceeded the split threshold.
+    pub(crate) deferred_removals: Vec<Edge>,
+    pub(crate) inserts_applied: usize,
+    pub(crate) removes_applied: usize,
+    pub(crate) noops: usize,
+}
+
+/// Aggregated pool telemetry over every pool-applied batch of an
+/// engine's lifetime: how evenly the batch work spread across workers
+/// and how often the stealing path actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerTelemetry {
+    /// Batches that ran on the persistent pool (inline and sequential
+    /// applies are not counted — they have no workers to balance).
+    pub pooled_batches: usize,
+    /// Mean over pooled batches of the busiest worker's busy time as a
+    /// share of the batch's apply wall time. A hot hub with no stealing
+    /// pushes this toward 1.0 while the mean share stays near `1/S`;
+    /// stealing pulls the two together.
+    pub busy_max_share_mean: f64,
+    /// Mean over pooled batches of the per-worker mean busy share of
+    /// the apply wall time (the pool's utilization).
+    pub busy_mean_share_mean: f64,
+    /// Total intersection task units executed by a worker that did not
+    /// own the slice they came from.
+    pub steals: u64,
+}
+
+/// One stealable unit of candidate-collection work: intersect the
+/// endpoint neighbourhoods of `edges` on the shared read-only store.
+struct IntersectTask {
+    /// Index of the worker whose slice the edges came from (a pop by
+    /// any other worker counts as a steal).
+    owner: usize,
+    edges: Vec<Edge>,
+}
+
+/// A work descriptor for one worker. All payloads are owned, which is
+/// what lets the workers be persistent (`'static`) without `unsafe`.
+enum Job {
+    /// Read-only collect pass over `deltas` (this worker's slice):
+    /// classify, then collect removal candidates locally when the slice
+    /// is within the split threshold, deferring them otherwise.
+    Collect {
+        store: Arc<ShardStore>,
+        deltas: Vec<EdgeDelta>,
+        split_threshold: usize,
+    },
+    /// Steal wave: pop tasks from the pre-seeded shared queue until it
+    /// is empty (the engine pushes every task before sending any of
+    /// these, so all workers see the full queue).
+    Drain {
+        store: Arc<ShardStore>,
+        injector: Arc<Injector<IntersectTask>>,
+    },
+    /// Apply the routed mutations to this worker's own shard.
+    Record { shard: Shard, ops: Vec<ShardOp> },
+    /// Read-only collect of the triangles `local` closes on the
+    /// post-batch adjacency, then drain the (pre-seeded) shared queue of
+    /// oversized insert slices.
+    InsertCollect {
+        store: Arc<ShardStore>,
+        local: Vec<Edge>,
+        injector: Arc<Injector<IntersectTask>>,
+    },
+}
+
+/// The phase-specific payload of a worker's response.
+enum Payload {
+    Plan(WorkerPlan),
+    Shard(Shard),
+    Candidates(Vec<Triangle>),
+    /// The job's processing panicked; the engine re-raises the panic on
+    /// its own thread (matching the scoped-thread pipeline, where a
+    /// worker panic propagated through `join`). Without this a dead
+    /// worker would leave the lock-step `recv` loop waiting forever.
+    Panicked(String),
+}
+
+/// One worker's response to one job, with its telemetry.
+struct Response {
+    worker: usize,
+    busy: Duration,
+    steals: u64,
+    payload: Payload,
+}
+
+/// The persistent worker pool: `S` long-lived threads, one job channel
+/// each, one shared response channel back. Created lazily by the engine
+/// on its first pipelined batch and reused for every batch and flush
+/// after that; dropped (and joined) with the engine.
+pub(crate) struct ShardPool {
+    jobs: Vec<Sender<Job>>,
+    results: Receiver<Response>,
+    handles: Vec<JoinHandle<()>>,
+    /// Set when a worker panic was re-raised on the engine thread: the
+    /// aborted batch's remaining responses are still queued in
+    /// `results`, so the pool must not be reused — the engine checks
+    /// this and respawns a fresh pool (dropping the stale channel) if a
+    /// caller caught the panic and keeps going.
+    poisoned: std::cell::Cell<bool>,
+}
+
+impl ShardPool {
+    /// Spawns `workers` persistent threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let (result_tx, results) = unbounded();
+        let mut jobs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (tx, rx) = unbounded();
+            let result_tx = result_tx.clone();
+            jobs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(worker, rx, result_tx)
+            }));
+        }
+        ShardPool {
+            jobs,
+            results,
+            handles,
+            poisoned: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Whether a worker panic was re-raised from this pool (see the
+    /// `poisoned` field).
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poisoned.get()
+    }
+
+    /// Number of persistent workers.
+    pub(crate) fn worker_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn send(&self, worker: usize, job: Job) {
+        self.jobs[worker]
+            .send(job)
+            .expect("pool workers outlive the engine");
+    }
+
+    fn recv(&self) -> Response {
+        let response = self
+            .results
+            .recv()
+            .expect("pool workers respond to every job");
+        if let Payload::Panicked(message) = &response.payload {
+            // The other workers' responses for this batch are still in
+            // flight; mark the pool unusable before re-raising so an
+            // engine whose caller catches the panic respawns instead of
+            // consuming stale payloads. (The engine's store is left as
+            // the empty placeholder in that case — the batch state is
+            // gone either way, but the failure mode is defined.)
+            self.poisoned.set(true);
+            panic!("shard pool worker {} panicked: {message}", response.worker);
+        }
+        response
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops; join so no
+        // thread outlives the engine that owns it.
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The engine-side driver of one pooled batch: issues the three phases'
+/// jobs and accumulates per-worker telemetry. Holding the phases here
+/// keeps the lock-step protocol (every phase sends `S` jobs and waits
+/// for `S` responses) in one place.
+pub(crate) struct BatchRun<'a> {
+    pool: &'a ShardPool,
+    split_threshold: usize,
+    started: Instant,
+    busy: Vec<Duration>,
+    steals: u64,
+}
+
+impl<'a> BatchRun<'a> {
+    /// Starts a batch on `pool`.
+    pub(crate) fn new(pool: &'a ShardPool, split_threshold: usize) -> Self {
+        let workers = pool.worker_count();
+        BatchRun {
+            pool,
+            split_threshold,
+            started: Instant::now(),
+            busy: vec![Duration::ZERO; workers],
+            steals: 0,
+        }
+    }
+
+    fn absorb(&mut self, response: &Response) {
+        self.busy[response.worker] += response.busy;
+        self.steals += response.steals;
+    }
+
+    /// Phase 1: hands the store and the per-worker raw slices to the
+    /// pool and returns one [`WorkerPlan`] per worker, reclaiming sole
+    /// ownership of the store.
+    pub(crate) fn collect(
+        &mut self,
+        store: ShardStore,
+        work: Vec<Vec<EdgeDelta>>,
+    ) -> (ShardStore, Vec<WorkerPlan>) {
+        let workers = self.pool.worker_count();
+        debug_assert_eq!(work.len(), workers);
+        let store = Arc::new(store);
+        for (worker, deltas) in work.into_iter().enumerate() {
+            self.pool.send(
+                worker,
+                Job::Collect {
+                    store: Arc::clone(&store),
+                    deltas,
+                    split_threshold: self.split_threshold,
+                },
+            );
+        }
+        let mut plans: Vec<Option<WorkerPlan>> = (0..workers).map(|_| None).collect();
+        for _ in 0..workers {
+            let response = self.pool.recv();
+            self.absorb(&response);
+            match response.payload {
+                Payload::Plan(plan) => plans[response.worker] = Some(plan),
+                _ => unreachable!("collect phase only receives plans"),
+            }
+        }
+        let store =
+            Arc::try_unwrap(store).expect("workers drop their store views before responding");
+        (
+            store,
+            plans
+                .into_iter()
+                .map(|p| p.expect("one plan per worker"))
+                .collect(),
+        )
+    }
+
+    /// Phase 1.5, the steal wave (run only when some worker deferred an
+    /// oversized slice): chunks every deferred slice into owner-tagged
+    /// tasks on a shared queue, *then* dispatches a drain job to every
+    /// worker — all tasks are visible before any worker starts, so the
+    /// spreading cannot be missed by unlucky timing. Returns the
+    /// reclaimed store and the candidates each worker collected.
+    pub(crate) fn steal_wave(
+        &mut self,
+        store: ShardStore,
+        deferred: Vec<(usize, Vec<Edge>)>,
+    ) -> (ShardStore, Vec<Vec<Triangle>>) {
+        let workers = self.pool.worker_count();
+        let injector = Arc::new(Injector::new());
+        for (owner, edges) in deferred {
+            push_chunks(&store, edges, self.split_threshold, owner, &injector);
+        }
+        let store = Arc::new(store);
+        for worker in 0..workers {
+            self.pool.send(
+                worker,
+                Job::Drain {
+                    store: Arc::clone(&store),
+                    injector: Arc::clone(&injector),
+                },
+            );
+        }
+        let mut all: Vec<Vec<Triangle>> = (0..workers).map(|_| Vec::new()).collect();
+        for _ in 0..workers {
+            let response = self.pool.recv();
+            self.absorb(&response);
+            match response.payload {
+                Payload::Candidates(candidates) => all[response.worker] = candidates,
+                _ => unreachable!("the steal wave only receives candidates"),
+            }
+        }
+        let store =
+            Arc::try_unwrap(store).expect("workers drop their store views before responding");
+        (store, all)
+    }
+
+    /// Phase 2 start: moves each shard to its owning worker along with
+    /// its routed mutations. Returns immediately so the caller can merge
+    /// removal candidates while the workers write; finish with
+    /// [`finish_record`](BatchRun::finish_record).
+    pub(crate) fn start_record(&mut self, shards: Vec<Shard>, routed: Vec<Vec<ShardOp>>) {
+        for (worker, (shard, ops)) in shards.into_iter().zip(routed).enumerate() {
+            self.pool.send(worker, Job::Record { shard, ops });
+        }
+    }
+
+    /// Phase 2 end: collects the mutated shards back in slot order.
+    pub(crate) fn finish_record(&mut self) -> Vec<Shard> {
+        let workers = self.pool.worker_count();
+        let mut slots: Vec<Option<Shard>> = (0..workers).map(|_| None).collect();
+        for _ in 0..workers {
+            let response = self.pool.recv();
+            self.absorb(&response);
+            match response.payload {
+                Payload::Shard(shard) => slots[response.worker] = Some(shard),
+                _ => unreachable!("record phase only receives shards"),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("one shard back per worker"))
+            .collect()
+    }
+
+    /// Phase 3: collects the triangles each worker's effective
+    /// insertions close on the post-batch store. The engine knows the
+    /// work lists (and the post-record degrees) before dispatching, so
+    /// oversized lists are pre-chunked onto the shared queue here and
+    /// every worker drains it after its local list — deterministic
+    /// spreading with no extra round trip.
+    pub(crate) fn insert_collect(
+        &mut self,
+        store: ShardStore,
+        inserts: Vec<Vec<Edge>>,
+    ) -> (ShardStore, Vec<Vec<Triangle>>) {
+        let workers = self.pool.worker_count();
+        debug_assert_eq!(inserts.len(), workers);
+        let injector = Arc::new(Injector::new());
+        let locals: Vec<Vec<Edge>> = inserts
+            .into_iter()
+            .enumerate()
+            .map(|(owner, edges)| {
+                if slice_cost(&store, &edges) <= self.split_threshold {
+                    edges
+                } else {
+                    push_chunks(&store, edges, self.split_threshold, owner, &injector);
+                    Vec::new()
+                }
+            })
+            .collect();
+        let store = Arc::new(store);
+        for (worker, local) in locals.into_iter().enumerate() {
+            self.pool.send(
+                worker,
+                Job::InsertCollect {
+                    store: Arc::clone(&store),
+                    local,
+                    injector: Arc::clone(&injector),
+                },
+            );
+        }
+        let mut all: Vec<Vec<Triangle>> = (0..workers).map(|_| Vec::new()).collect();
+        for _ in 0..workers {
+            let response = self.pool.recv();
+            self.absorb(&response);
+            match response.payload {
+                Payload::Candidates(candidates) => all[response.worker] = candidates,
+                _ => unreachable!("insert phase only receives candidates"),
+            }
+        }
+        let store =
+            Arc::try_unwrap(store).expect("workers drop their store views before responding");
+        (store, all)
+    }
+
+    /// Ends the batch: per-batch busy shares relative to the apply's
+    /// wall time, plus the steal count.
+    pub(crate) fn finish(self) -> BatchStats {
+        let wall = self.started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        let workers = self.busy.len().max(1) as f64;
+        let max = self
+            .busy
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max);
+        let total: f64 = self.busy.iter().map(|d| d.as_secs_f64()).sum();
+        BatchStats {
+            busy_max_share: (max / wall).min(1.0),
+            busy_mean_share: (total / (workers * wall)).min(1.0),
+            steals: self.steals,
+        }
+    }
+}
+
+/// One pooled batch's imbalance telemetry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchStats {
+    pub(crate) busy_max_share: f64,
+    pub(crate) busy_mean_share: f64,
+    pub(crate) steals: u64,
+}
+
+/// The persistent worker's loop: exits when the engine drops its job
+/// sender.
+fn worker_loop(worker: usize, jobs: Receiver<Job>, results: Sender<Response>) {
+    while let Ok(job) = jobs.recv() {
+        let started = Instant::now();
+        let mut steals = 0u64;
+        // A panicking job must still produce a response, or the engine's
+        // lock-step recv loop would wait forever on a dead worker; the
+        // engine re-raises the panic when it sees the payload.
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_job(job, worker, &mut steals)
+        }))
+        .unwrap_or_else(|panic| Payload::Panicked(panic_message(&panic)));
+        // The store view is dropped inside `process_job` *before* this
+        // send (by unwinding, in the panic case), so once the engine
+        // holds every response, `Arc::try_unwrap` succeeds.
+        if results
+            .send(Response {
+                worker,
+                busy: started.elapsed(),
+                steals,
+                payload,
+            })
+            .is_err()
+        {
+            // Engine dropped mid-batch (panic unwinding): just exit.
+            return;
+        }
+    }
+}
+
+/// Executes one job to its response payload. Runs under
+/// `catch_unwind` in the worker loop; dropping the job's store view
+/// before returning (or by unwinding) is what keeps the engine's
+/// `Arc::try_unwrap` reliable.
+fn process_job(job: Job, worker: usize, steals: &mut u64) -> Payload {
+    match job {
+        Job::Collect {
+            store,
+            deltas,
+            split_threshold,
+        } => {
+            let (mut plan, removals) = classify_slice(&store, &deltas);
+            if slice_cost(&store, &removals) <= split_threshold {
+                collect_candidates(&store, &removals, &mut plan.removed);
+            } else {
+                // Too hot to handle alone: the engine will chunk these
+                // onto the shared queue and run a drain wave.
+                plan.deferred_removals = removals;
+            }
+            drop(store);
+            Payload::Plan(plan)
+        }
+        Job::Drain { store, injector } => {
+            let mut candidates = Vec::new();
+            *steals += drain_injector(&store, &injector, worker, &mut candidates);
+            drop(store);
+            Payload::Candidates(candidates)
+        }
+        Job::Record { mut shard, ops } => {
+            for op in ops {
+                shard.apply_op(op);
+            }
+            Payload::Shard(shard)
+        }
+        Job::InsertCollect {
+            store,
+            local,
+            injector,
+        } => {
+            let mut candidates = Vec::new();
+            collect_candidates(&store, &local, &mut candidates);
+            *steals += drain_injector(&store, &injector, worker, &mut candidates);
+            drop(store);
+            Payload::Candidates(candidates)
+        }
+    }
+}
+
+/// Best-effort text of a caught worker panic, for the engine-side
+/// re-raise.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Pops injector tasks until the queue is empty, intersecting each
+/// task's edges into `out`. Returns how many tasks were *stolen* (popped
+/// by a worker that does not own them). The queue is always fully seeded
+/// before any drainer starts (the engine pushes every task before
+/// dispatching the jobs that drain it), so `Empty` genuinely means done;
+/// `Retry` — which the real crossbeam injector returns under contention,
+/// though the mutex-backed shim never does — just loops.
+fn drain_injector(
+    store: &ShardStore,
+    injector: &Injector<IntersectTask>,
+    worker: usize,
+    out: &mut Vec<Triangle>,
+) -> u64 {
+    let mut steals = 0;
+    loop {
+        match injector.steal() {
+            Steal::Success(task) => {
+                if task.owner != worker {
+                    steals += 1;
+                }
+                collect_candidates(store, &task.edges, out);
+            }
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    steals
+}
+
+/// The owner-only part of the collect pass: coalesce the slice (at most
+/// one op per edge survives — only the last op decides presence),
+/// classify the survivors against the pre-batch edge set, route
+/// adjacency mutations to their owning shards. Returns the plan (minus
+/// removal candidates) and the effective removal edges, whose candidate
+/// collection is the stealable part.
+pub(crate) fn classify_slice(store: &ShardStore, deltas: &[EdgeDelta]) -> (WorkerPlan, Vec<Edge>) {
+    let spec = store.spec();
+    let mut plan = WorkerPlan {
+        ops: vec![Vec::new(); spec.shard_count()],
+        ..WorkerPlan::default()
+    };
+    let mut removals: Vec<Edge> = Vec::new();
+    // Worker-local coalesce: sort by (edge, arrival order) and keep the
+    // last op of each equal-edge run. Doing this per worker keeps the
+    // whole coalescing cost inside the parallel phase.
+    let mut ordered: Vec<(EdgeDelta, usize)> =
+        deltas.iter().copied().zip(0..deltas.len()).collect();
+    ordered.sort_unstable_by_key(|&(d, i)| (d.edge, i));
+    let mut coalesced: Vec<EdgeDelta> = Vec::with_capacity(ordered.len());
+    for (delta, _) in ordered {
+        match coalesced.last_mut() {
+            Some(last) if last.edge == delta.edge => {
+                // The earlier op on this edge is superseded: a no-op.
+                *last = delta;
+                plan.noops += 1;
+            }
+            _ => coalesced.push(delta),
+        }
+    }
+    for delta in &coalesced {
+        let (u, v) = delta.edge.endpoints();
+        let present = store.has_edge(u, v);
+        let effective = match delta.op {
+            DeltaOp::Insert => !present,
+            DeltaOp::Remove => present,
+        };
+        if !effective {
+            plan.noops += 1;
+            continue;
+        }
+        match delta.op {
+            DeltaOp::Insert => {
+                plan.inserts.push(delta.edge);
+                plan.inserts_applied += 1;
+            }
+            DeltaOp::Remove => {
+                removals.push(delta.edge);
+                plan.removes_applied += 1;
+            }
+        }
+        for (node, other) in [(u, v), (v, u)] {
+            plan.ops[spec.shard_of(node)].push(ShardOp {
+                local: spec.local_index(node),
+                other,
+                op: delta.op,
+            });
+        }
+    }
+    (plan, removals)
+}
+
+/// The candidate triangles each edge's endpoints close on `store`,
+/// appended to `out`. Used for removal candidates on the pre-batch
+/// adjacency and insertion candidates on the post-batch one.
+pub(crate) fn collect_candidates(store: &ShardStore, edges: &[Edge], out: &mut Vec<Triangle>) {
+    for edge in edges {
+        let (u, v) = edge.endpoints();
+        for w in intersect_sorted(store.neighbors(u), store.neighbors(v)) {
+            out.push(Triangle::new(u, v, w));
+        }
+    }
+}
+
+/// Total estimated intersection work of a slice: the sum of endpoint
+/// degrees over its edges. This is the quantity the split threshold
+/// bounds — a slice over it is spread, one within it stays local.
+fn slice_cost(store: &ShardStore, edges: &[Edge]) -> usize {
+    edges.iter().map(|e| store.intersection_cost(*e)).sum()
+}
+
+/// Chunks a slice into owner-tagged tasks of roughly `threshold`
+/// estimated work each and pushes them onto the shared queue (a
+/// threshold of 0 makes every edge its own task — the property tests use
+/// this to force the steal path). Only the engine thread pushes, and
+/// always before dispatching the jobs that drain, so workers never race
+/// a producer.
+fn push_chunks(
+    store: &ShardStore,
+    edges: Vec<Edge>,
+    threshold: usize,
+    owner: usize,
+    injector: &Injector<IntersectTask>,
+) {
+    let budget = threshold.max(1);
+    let mut chunk: Vec<Edge> = Vec::new();
+    let mut cost = 0usize;
+    for edge in edges {
+        if !chunk.is_empty() && cost >= budget {
+            injector.push(IntersectTask {
+                owner,
+                edges: std::mem::take(&mut chunk),
+            });
+            cost = 0;
+        }
+        cost += store.intersection_cost(edge).max(1);
+        chunk.push(edge);
+    }
+    if !chunk.is_empty() {
+        injector.push(IntersectTask {
+            owner,
+            edges: chunk,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::NodeId;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A 6-node store on 2 shards with a triangle {0, 1, 2} and the
+    /// wing 0–3.
+    fn sample_store() -> ShardStore {
+        let mut store = ShardStore::new(6, 2);
+        store.seed(v(0), vec![v(1), v(2), v(3)]);
+        store.seed(v(1), vec![v(0), v(2)]);
+        store.seed(v(2), vec![v(0), v(1)]);
+        store.seed(v(3), vec![v(0)]);
+        store
+    }
+
+    #[test]
+    fn classify_coalesces_and_routes() {
+        let store = sample_store();
+        let deltas = vec![
+            EdgeDelta::insert(v(4), v(5)),
+            EdgeDelta::remove(v(4), v(5)), // supersedes the insert
+            EdgeDelta::remove(v(0), v(1)), // effective removal
+            EdgeDelta::insert(v(0), v(2)), // already present: no-op
+            EdgeDelta::insert(v(1), v(3)), // effective insert
+        ];
+        let (plan, removals) = classify_slice(&store, &deltas);
+        assert_eq!(plan.noops, 3); // coalesced flap insert + dead remove + present insert
+        assert_eq!(plan.inserts, vec![congest_graph::Edge::new(v(1), v(3))]);
+        assert_eq!(plan.inserts_applied, 1);
+        assert_eq!(plan.removes_applied, 1);
+        assert_eq!(removals, vec![congest_graph::Edge::new(v(0), v(1))]);
+        // Both endpoints of both effective deltas got routed ops.
+        assert_eq!(plan.ops.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn candidates_come_from_the_shared_intersection_core() {
+        let store = sample_store();
+        let mut out = Vec::new();
+        collect_candidates(&store, &[congest_graph::Edge::new(v(0), v(1))], &mut out);
+        assert_eq!(out, vec![Triangle::new(v(0), v(1), v(2))]);
+    }
+
+    #[test]
+    fn slice_cost_gates_the_split_and_chunks_respect_the_budget() {
+        let store = sample_store();
+        let edge = congest_graph::Edge::new(v(0), v(1)); // cost 3 + 2 = 5
+        assert_eq!(slice_cost(&store, &[edge]), 5);
+        assert_eq!(slice_cost(&store, &[]), 0);
+        // Threshold 0 forces a task per edge.
+        let injector = Injector::new();
+        push_chunks(&store, vec![edge, edge, edge], 0, 0, &injector);
+        assert_eq!(injector.len(), 3);
+        // Budget 5: two edges of cost 5 land in separate tasks.
+        let injector = Injector::new();
+        push_chunks(&store, vec![edge, edge], 5, 0, &injector);
+        assert_eq!(injector.len(), 2);
+        // A roomy budget keeps the slice in one task.
+        let injector = Injector::new();
+        push_chunks(&store, vec![edge, edge], 100, 0, &injector);
+        assert_eq!(injector.len(), 1);
+    }
+
+    #[test]
+    fn drained_tasks_count_steals_by_owner() {
+        let store = sample_store();
+        let injector = Injector::new();
+        injector.push(IntersectTask {
+            owner: 0,
+            edges: vec![congest_graph::Edge::new(v(0), v(1))],
+        });
+        injector.push(IntersectTask {
+            owner: 1,
+            edges: vec![congest_graph::Edge::new(v(0), v(2))],
+        });
+        let mut out = Vec::new();
+        let steals = drain_injector(&store, &injector, 0, &mut out);
+        assert_eq!(steals, 1); // only the owner-1 task counts
+        assert_eq!(out.len(), 2); // both edges close {0,1,2}
+        assert!(injector.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard pool worker 0 panicked")]
+    fn worker_panics_propagate_to_the_engine_thread() {
+        let pool = ShardPool::new(2);
+        let mut run = BatchRun::new(&pool, 0);
+        // An out-of-range local slot makes `Shard::apply_op` panic on
+        // worker 0; the engine must re-raise instead of hanging on the
+        // lock-step recv.
+        let shards = vec![Shard::new(1), Shard::new(1)];
+        let routed = vec![
+            vec![ShardOp {
+                local: 99,
+                other: v(1),
+                op: DeltaOp::Insert,
+            }],
+            Vec::new(),
+        ];
+        run.start_record(shards, routed);
+        let _ = run.finish_record();
+    }
+
+    #[test]
+    fn a_reraised_panic_poisons_the_pool() {
+        let pool = ShardPool::new(2);
+        assert!(!pool.poisoned());
+        let mut run = BatchRun::new(&pool, 0);
+        let shards = vec![Shard::new(1), Shard::new(1)];
+        let routed = vec![
+            vec![ShardOp {
+                local: 99,
+                other: v(1),
+                op: DeltaOp::Insert,
+            }],
+            Vec::new(),
+        ];
+        run.start_record(shards, routed);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.finish_record()));
+        assert!(caught.is_err());
+        // A caller that catches the re-raise must not reuse the pool:
+        // the engine checks this flag and respawns.
+        assert!(pool.poisoned());
+    }
+
+    #[test]
+    fn pool_round_trips_all_three_phases() {
+        let pool = ShardPool::new(2);
+        assert_eq!(pool.worker_count(), 2);
+        let store = sample_store();
+        let mut run = BatchRun::new(&pool, 0);
+
+        // Collect: worker 0 removes {0, 1}, worker 1 inserts {2, 3}.
+        // Split threshold 0 means worker 0 defers its removal to the
+        // steal wave instead of intersecting locally.
+        let work = vec![
+            vec![EdgeDelta::remove(v(0), v(1))],
+            vec![EdgeDelta::insert(v(2), v(3))],
+        ];
+        let (store, mut plans) = run.collect(store, work);
+        assert!(plans.iter().all(|p| p.removed.is_empty()));
+        assert_eq!(
+            plans[0].deferred_removals,
+            vec![congest_graph::Edge::new(v(0), v(1))]
+        );
+        assert_eq!(plans[1].inserts.len(), 1);
+
+        // Steal wave: the deferred hub removal is chunked up front and
+        // drained by whichever worker gets there first.
+        let deferred = vec![(0, std::mem::take(&mut plans[0].deferred_removals))];
+        let (mut store, waves) = run.steal_wave(store, deferred);
+        let dead: Vec<Triangle> = waves.into_iter().flatten().collect();
+        assert_eq!(dead, vec![Triangle::new(v(0), v(1), v(2))]); // {0,1,2} dies
+
+        // Record: route the ops and apply them on the workers.
+        let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); 2];
+        for plan in &plans {
+            for (dest, ops) in plan.ops.iter().enumerate() {
+                routed[dest].extend_from_slice(ops);
+            }
+        }
+        run.start_record(store.take_shards(), routed);
+        store.restore_shards(run.finish_record());
+        assert!(!store.has_edge(v(0), v(1)));
+        assert!(store.has_edge(v(2), v(3)));
+
+        // Insert collect: {2, 3} closes {0, 2, 3} on the new adjacency.
+        let inserts = vec![Vec::new(), plans[1].inserts.clone()];
+        let (store, candidates) = run.insert_collect(store, inserts);
+        let born: Vec<Triangle> = candidates.into_iter().flatten().collect();
+        assert_eq!(born, vec![Triangle::new(v(0), v(2), v(3))]);
+        assert_eq!(store.half_edges(), 2 * 4);
+
+        let stats = run.finish();
+        assert!(stats.busy_max_share >= stats.busy_mean_share);
+        assert!(stats.busy_max_share <= 1.0);
+    }
+}

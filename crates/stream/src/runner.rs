@@ -148,6 +148,19 @@ pub struct RunSummary {
     pub latency: LatencyStats,
     /// Staleness of buffered work at each flush (all zero in eager mode).
     pub staleness: StalenessStats,
+    /// Mean over pool-applied batches of the busiest worker's busy time
+    /// as a share of the batch's apply wall time (`None` when no batch
+    /// ran on a persistent worker pool). A hot hub with no stealing
+    /// pushes this toward 1.0 while
+    /// [`worker_busy_mean_share`](RunSummary::worker_busy_mean_share)
+    /// stays near `1/S`; work stealing pulls the two together.
+    pub worker_busy_max_share: Option<f64>,
+    /// Mean over pool-applied batches of the per-worker mean busy share
+    /// of the apply wall time — the pool's utilization.
+    pub worker_busy_mean_share: Option<f64>,
+    /// Total intersection task units executed by a worker that did not
+    /// own the slice they came from (the work-stealing path firing).
+    pub steal_count: Option<u64>,
     /// Baseline comparison, when sampled.
     pub recompute: Option<RecomputeStats>,
     /// Whether the final state was checked against the oracle.
@@ -219,6 +232,18 @@ impl RunSummary {
         push_json_num(&mut out, "staleness_p50_us", self.staleness.p50_us);
         push_json_num(&mut out, "staleness_p99_us", self.staleness.p99_us);
         push_json_num(&mut out, "staleness_max_us", self.staleness.max_us);
+        match self.worker_busy_max_share {
+            Some(v) => push_json_num(&mut out, "worker_busy_max_share", v),
+            None => push_json_raw(&mut out, "worker_busy_max_share", "null"),
+        }
+        match self.worker_busy_mean_share {
+            Some(v) => push_json_num(&mut out, "worker_busy_mean_share", v),
+            None => push_json_raw(&mut out, "worker_busy_mean_share", "null"),
+        }
+        match self.steal_count {
+            Some(v) => push_json_num(&mut out, "steal_count", v as f64),
+            None => push_json_raw(&mut out, "steal_count", "null"),
+        }
         match &self.recompute {
             Some(r) => {
                 push_json_num(&mut out, "recompute_samples", r.samples as f64);
@@ -311,6 +336,11 @@ pub struct WorkloadRunner {
     target_batches_per_sec: Option<f64>,
     /// Check the final triangle set against the oracle.
     verify: bool,
+    /// Override of the sharded engine's parallel threshold.
+    parallel_threshold: Option<usize>,
+    /// Benchmark control: drive the sharded engine in per-batch-spawn
+    /// mode instead of on its persistent pool.
+    spawn_per_batch: bool,
 }
 
 impl WorkloadRunner {
@@ -327,6 +357,8 @@ impl WorkloadRunner {
             recompute_every: 8,
             target_batches_per_sec: None,
             verify: false,
+            parallel_threshold: None,
+            spawn_per_batch: false,
         }
     }
 
@@ -340,6 +372,25 @@ impl WorkloadRunner {
     /// the single-threaded [`TriangleIndex`] (builder style).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Overrides the sharded engine's parallel threshold (builder style;
+    /// only meaningful together with
+    /// [`with_shards`](WorkloadRunner::with_shards)). 0 forces the
+    /// two-phase pipeline on every batch — the small-batch benchmark
+    /// sweeps use this so sub-threshold batches still exercise the pool.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = Some(threshold);
+        self
+    }
+
+    /// Benchmark control (builder style): drive the sharded engine with
+    /// scoped threads spawned per batch (the pre-pool pipeline) instead
+    /// of the persistent worker pool. `stream_bench` measures the pool's
+    /// small-batch throughput and hotspot tail latency against this.
+    pub fn spawn_per_batch(mut self) -> Self {
+        self.spawn_per_batch = true;
         self
     }
 
@@ -391,10 +442,16 @@ impl WorkloadRunner {
         let base = self.scenario.base_graph();
         match self.shards {
             None => self.run_engine(TriangleIndex::from_graph(&base).with_mode(self.mode), &base),
-            Some(s) => self.run_engine(
-                ShardedTriangleIndex::from_graph(&base, s).with_mode(self.mode),
-                &base,
-            ),
+            Some(s) => {
+                let mut engine = ShardedTriangleIndex::from_graph(&base, s).with_mode(self.mode);
+                if let Some(threshold) = self.parallel_threshold {
+                    engine = engine.with_parallel_threshold(threshold);
+                }
+                if self.spawn_per_batch {
+                    engine = engine.with_per_batch_spawn();
+                }
+                self.run_engine(engine, &base)
+            }
         }
     }
 
@@ -502,6 +559,7 @@ impl WorkloadRunner {
         // committed baseline describes itself even if requested knobs
         // were clamped or overridden.
         let effective_mode = index.mode();
+        let telemetry = index.worker_telemetry();
         RunSummary {
             scenario: self.scenario.name(),
             n: self.scenario.node_count(),
@@ -522,6 +580,9 @@ impl WorkloadRunner {
             target_batches_per_sec: self.target_batches_per_sec,
             latency: LatencyStats::from_durations(&latencies),
             staleness: StalenessStats::from_durations(&staleness),
+            worker_busy_max_share: telemetry.map(|t| t.busy_max_share_mean),
+            worker_busy_mean_share: telemetry.map(|t| t.busy_mean_share_mean),
+            steal_count: telemetry.map(|t| t.steals),
             recompute,
             oracle_checked,
             oracle_ok,
@@ -697,6 +758,42 @@ mod tests {
         // `with_shards(0)` clamps to 1; the summary reports what ran.
         let clamped = WorkloadRunner::new(small_scenario()).with_shards(0).run();
         assert_eq!(clamped.shards, Some(1));
+    }
+
+    #[test]
+    fn pool_runs_report_worker_telemetry_and_single_runs_do_not() {
+        // Threshold 0 forces every batch through the pool at S=4.
+        let pooled = WorkloadRunner::new(small_scenario())
+            .with_shards(4)
+            .with_parallel_threshold(0)
+            .recompute_every(0)
+            .run();
+        let max = pooled.worker_busy_max_share.expect("pool batches ran");
+        let mean = pooled.worker_busy_mean_share.expect("pool batches ran");
+        assert!(max > 0.0 && max <= 1.0, "max share {max}");
+        assert!(mean > 0.0 && mean <= max, "mean {mean} vs max {max}");
+        assert!(pooled.steal_count.is_some());
+        let json = pooled.to_json();
+        assert!(json.contains("\"worker_busy_max_share\":"));
+        assert!(json.contains("\"steal_count\":"));
+
+        // The single-threaded engine has no pool to observe.
+        let single = WorkloadRunner::new(small_scenario()).run();
+        assert_eq!(single.worker_busy_max_share, None);
+        assert_eq!(single.steal_count, None);
+        assert!(single.to_json().contains("\"worker_busy_max_share\":null"));
+        assert!(single.to_json().contains("\"steal_count\":null"));
+
+        // The per-batch-spawn benchmark control has no persistent
+        // workers either.
+        let spawn = WorkloadRunner::new(small_scenario())
+            .with_shards(4)
+            .with_parallel_threshold(0)
+            .spawn_per_batch()
+            .recompute_every(0)
+            .run();
+        assert_eq!(spawn.worker_busy_max_share, None);
+        assert_eq!(spawn.final_triangles, pooled.final_triangles);
     }
 
     #[test]

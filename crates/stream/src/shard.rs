@@ -22,9 +22,15 @@
 //!   exactly like the two directions of an adjacency list.
 //! * [`Shard`] — one shard's slice of the adjacency: sorted neighbour
 //!   lists for its owned nodes, mutated only by its owning worker during
-//!   the parallel phase of a batch apply.
+//!   the record phase of a batch apply.
+//! * [`ShardStore`] — the spec plus all `S` shards as one movable value.
+//!   The pool-backed engine hands the whole store to its persistent
+//!   workers by `Arc` for the read-only collect phases and moves the
+//!   individual shards out to their owning workers for the record phase,
+//!   reclaiming ownership afterwards — which is how the pipeline stays
+//!   free of `unsafe` and of locks on the read path.
 
-use congest_graph::{NodeId, Triangle, TriangleSet};
+use congest_graph::{Edge, NodeId, Triangle, TriangleSet};
 
 pub(crate) use congest_graph::intersect_sorted;
 
@@ -183,6 +189,124 @@ impl Shard {
     }
 }
 
+/// The complete partitioned adjacency: a [`ShardSpec`] plus its `S`
+/// [`Shard`]s, owned as one movable value (see the module docs for how
+/// the pool round-trips ownership).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardStore {
+    spec: ShardSpec,
+    shards: Vec<Shard>,
+}
+
+impl Default for ShardStore {
+    /// An empty zero-node store; the placeholder left behind while the
+    /// real store is lent to the worker pool.
+    fn default() -> Self {
+        ShardStore::new(0, 1)
+    }
+}
+
+impl ShardStore {
+    /// An empty store for `node_count` nodes over `shard_count` shards
+    /// (clamped to at least 1).
+    pub(crate) fn new(node_count: usize, shard_count: usize) -> Self {
+        let spec = ShardSpec::new(node_count, shard_count);
+        let shards = (0..spec.shard_count())
+            .map(|s| Shard::new(spec.nodes_in_shard(s)))
+            .collect();
+        ShardStore { spec, shards }
+    }
+
+    /// The node→shard mapping.
+    pub(crate) fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Number of shards `S`.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.spec.shard_count()
+    }
+
+    /// Number of nodes across all shards.
+    pub(crate) fn node_count(&self) -> usize {
+        self.spec.node_count()
+    }
+
+    /// Sorted neighbour list of `node`, read from its owning shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub(crate) fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        assert!(
+            node.index() < self.spec.node_count(),
+            "node {node} out of range"
+        );
+        self.shards[self.spec.shard_of(node)].neighbors(self.spec.local_index(node))
+    }
+
+    /// Current degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub(crate) fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Whether `{a, b}` is currently an edge (probing from the
+    /// lower-degree endpoint).
+    pub(crate) fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || a.index() >= self.node_count() || b.index() >= self.node_count() {
+            return false;
+        }
+        let (from, to) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(from).binary_search(&to).is_ok()
+    }
+
+    /// Estimated cost of intersecting the endpoint neighbourhoods of
+    /// `edge`: the sum of endpoint degrees, which bounds the merge walk.
+    /// The pool splits slices into stealable tasks on this estimate.
+    pub(crate) fn intersection_cost(&self, edge: Edge) -> usize {
+        self.degree(edge.lo()) + self.degree(edge.hi())
+    }
+
+    /// Seeds `node`'s sorted neighbour list (used when building from a
+    /// static graph).
+    pub(crate) fn seed(&mut self, node: NodeId, neighbors: Vec<NodeId>) {
+        let shard = self.spec.shard_of(node);
+        self.shards[shard].seed(self.spec.local_index(node), neighbors);
+    }
+
+    /// Applies one routed mutation to the shard that owns it.
+    pub(crate) fn apply_routed(&mut self, shard: usize, op: ShardOp) {
+        self.shards[shard].apply_op(op);
+    }
+
+    /// Moves the shards out (for the record phase, where each worker
+    /// owns exactly one); the store is unusable until
+    /// [`restore_shards`](ShardStore::restore_shards) puts them back.
+    pub(crate) fn take_shards(&mut self) -> Vec<Shard> {
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Puts the shards moved out by
+    /// [`take_shards`](ShardStore::take_shards) back in slot order.
+    pub(crate) fn restore_shards(&mut self, shards: Vec<Shard>) {
+        debug_assert_eq!(shards.len(), self.spec.shard_count());
+        self.shards = shards;
+    }
+
+    /// Sum of all shards' list lengths (twice the undirected edge count).
+    pub(crate) fn half_edges(&self) -> usize {
+        self.shards.iter().map(Shard::half_edges).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +375,36 @@ mod tests {
         assert_eq!(spec.shard_count(), 1);
         assert_eq!(spec.nodes_in_shard(0), 4);
         assert_eq!(spec.node_count(), 4);
+    }
+
+    #[test]
+    fn store_round_trips_shards_and_estimates_cost() {
+        let mut store = ShardStore::new(6, 2);
+        store.seed(v(0), ids(&[2, 4]));
+        store.seed(v(2), ids(&[0]));
+        store.seed(v(4), ids(&[0]));
+        assert_eq!(store.neighbors(v(0)), ids(&[2, 4]));
+        assert!(store.has_edge(v(0), v(4)));
+        assert!(!store.has_edge(v(0), v(1)));
+        assert!(!store.has_edge(v(0), v(0)));
+        assert_eq!(store.intersection_cost(Edge::new(v(0), v(2))), 3);
+        assert_eq!(store.half_edges(), 4);
+
+        // The record-phase ownership round trip preserves the adjacency.
+        let shards = store.take_shards();
+        assert_eq!(shards.len(), 2);
+        store.restore_shards(shards);
+        assert_eq!(store.neighbors(v(0)), ids(&[2, 4]));
+
+        store.apply_routed(
+            store.spec().shard_of(v(0)),
+            ShardOp {
+                local: store.spec().local_index(v(0)),
+                other: v(2),
+                op: DeltaOp::Remove,
+            },
+        );
+        assert_eq!(store.neighbors(v(0)), ids(&[4]));
     }
 
     #[test]

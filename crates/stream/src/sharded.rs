@@ -1,7 +1,7 @@
 //! The sharded, multi-core incremental triangle engine.
 //!
 //! [`ShardedTriangleIndex`] partitions the adjacency across `S`
-//! [`Shard`]s by node hash (`id mod S`, see
+//! [`Shard`](crate::shard)s by node hash (`id mod S`, see
 //! [`ShardSpec`](crate::shard)); each shard owns the full sorted
 //! neighbour list of every node mapped to it, so a cross-shard edge is
 //! recorded twice — once per endpoint's owner — exactly like the two
@@ -10,20 +10,29 @@
 //! splits intersection work across node classes the same way):
 //!
 //! 1. **Shard-parallel phase** — the batch is split by endpoint
-//!    ownership (every edge maps to exactly one worker) and `S` workers
-//!    run on the `crossbeam` shim's scoped threads:
+//!    ownership (every edge maps to exactly one worker) and runs on the
+//!    engine's persistent [`ShardPool`](crate::pool): `S` long-lived
+//!    workers, spawned once and fed work descriptors over channels, so
+//!    a batch costs channel sends instead of thread spawns:
 //!    * *collect* (read-only on the pre-batch adjacency): each worker
 //!      coalesces its slice (at most one op per edge survives),
-//!      classifies the survivors against the current edge set and gathers,
-//!      for every effective removal `{u, v}`, the candidate triangles
-//!      `{u, v, w}` with `w ∈ N(u) ∩ N(v)`;
-//!    * *record* (each worker holds `&mut` to exactly one shard): the
-//!      owning shards apply the routed neighbour-list mutations — a
-//!      cross-shard edge is recorded by both owners, with no
-//!      coordination because shards never write each other's lists;
-//!    * *collect again* (read-only on the post-batch adjacency): workers
-//!      gather, for every effective insertion, the candidate triangles it
-//!      closes.
+//!      classifies the survivors against the current edge set and
+//!      gathers, for every effective removal `{u, v}`, the candidate
+//!      triangles `{u, v, w}` with `w ∈ N(u) ∩ N(v)`. Slices whose
+//!      estimated intersection work (sum of endpoint degrees) exceeds
+//!      the split threshold are *deferred* instead of intersected: the
+//!      engine chunks every deferred slice onto a shared injector queue
+//!      and dispatches a drain wave in which all `S` workers **steal**
+//!      chunks until it empties — seeded before any drainer starts, so
+//!      a hot hub's candidate collection reliably spreads across the
+//!      pool instead of serializing its owner;
+//!    * *record* (each worker owns exactly one shard, moved to it for
+//!      the phase): the owning shards apply the routed neighbour-list
+//!      mutations — a cross-shard edge is recorded by both owners, with
+//!      no coordination because shards never write each other's lists;
+//!    * *collect again* (read-only on the post-batch adjacency): the
+//!      candidate triangles every effective insertion closes, stealable
+//!      exactly like the removal collection.
 //! 2. **Merge phase** — candidate triangle deltas are deduplicated into
 //!    the global [`TriangleSet`]: a triangle whose death (or birth) was
 //!    observed by several of its edges is retired (or added) **exactly
@@ -35,14 +44,15 @@
 //! set equation, the retired triangles are exactly the triangles of `G`
 //! containing an edge of `R`, and the new triangles are exactly the
 //! triangles of `G'` containing an edge of `I`. Phase 1 computes
-//! candidate supersets of both on consistent (pre- and post-batch) views,
-//! and the merge phase's dedup makes the counts exact. The engine is
-//! therefore equivalent to applying, within each batch, all removals
-//! before all insertions; the final graph and triangle set are identical
-//! to [`TriangleIndex`](crate::TriangleIndex)'s strictly-ordered
-//! application, though per-batch `ApplyReport` tallies can differ on
-//! batches that flap an edge (the coalescer counts the dropped ops as
-//! no-ops instead of applying them).
+//! candidate supersets of both on consistent (pre- and post-batch) views
+//! — and stealing only moves *which worker* intersects a given edge, not
+//! what is intersected — so the merge phase's dedup makes the counts
+//! exact. The engine is therefore equivalent to applying, within each
+//! batch, all removals before all insertions; the final graph and
+//! triangle set are identical to [`TriangleIndex`](crate::TriangleIndex)'s
+//! strictly-ordered application, though per-batch `ApplyReport` tallies
+//! can differ on batches that flap an edge (the coalescer counts the
+//! dropped ops as no-ops instead of applying them).
 
 use std::fmt;
 use std::time::Duration;
@@ -51,35 +61,54 @@ use congest_graph::{AdjacencyView, Edge, Graph, GraphBuilder, NodeId, Triangle, 
 
 use crate::delta::{DeltaBatch, DeltaOp, EdgeDelta, PendingBuffer};
 use crate::index::{validate_batch, ApplyMode, ApplyReport, StreamError};
+use crate::pool::{
+    classify_slice, collect_candidates, BatchRun, BatchStats, ShardPool, WorkerPlan,
+    WorkerTelemetry, DEFAULT_SPLIT_THRESHOLD,
+};
 use crate::shard::{
-    intersect_sorted, merge_added_candidates, merge_removed_candidates, Shard, ShardOp, ShardSpec,
+    intersect_sorted, merge_added_candidates, merge_removed_candidates, ShardOp, ShardStore,
 };
 
-/// Below this many coalesced deltas a batch is applied inline: thread
-/// spawns cost tens of microseconds and would dominate tiny batches.
+/// Below this many deltas a batch is applied inline: even with the
+/// persistent pool, channel handoff and partitioning cost more than a
+/// tiny batch's intersections.
 const DEFAULT_PARALLEL_THRESHOLD: usize = 128;
 
-/// What one worker learned about its slice of a batch during the
-/// read-only collect pass.
-struct WorkerPlan {
-    /// Adjacency mutations routed to each owning shard.
-    ops: Vec<Vec<ShardOp>>,
-    /// Effective insertions (the worker intersects their endpoints again
-    /// on the post-batch adjacency).
-    inserts: Vec<Edge>,
-    /// Candidate retired triangles, from effective removals.
-    removed: Vec<Triangle>,
-    inserts_applied: usize,
-    removes_applied: usize,
-    noops: usize,
+/// Aggregates per-batch pool stats into the engine's lifetime
+/// [`WorkerTelemetry`].
+#[derive(Debug, Clone, Copy, Default)]
+struct TelemetryAccum {
+    pooled_batches: usize,
+    max_share_sum: f64,
+    mean_share_sum: f64,
+    steals: u64,
+}
+
+impl TelemetryAccum {
+    fn record(&mut self, stats: BatchStats) {
+        self.pooled_batches += 1;
+        self.max_share_sum += stats.busy_max_share;
+        self.mean_share_sum += stats.busy_mean_share;
+        self.steals += stats.steals;
+    }
+
+    fn summary(&self) -> Option<WorkerTelemetry> {
+        (self.pooled_batches > 0).then(|| WorkerTelemetry {
+            pooled_batches: self.pooled_batches,
+            busy_max_share_mean: self.max_share_sum / self.pooled_batches as f64,
+            busy_mean_share_mean: self.mean_share_sum / self.pooled_batches as f64,
+            steals: self.steals,
+        })
+    }
 }
 
 /// Multi-core incremental triangle engine over batched edge deltas.
 ///
 /// Same contract as [`TriangleIndex`](crate::TriangleIndex) — the live
 /// triangle set always equals a from-scratch recount — but batch applies
-/// fan out across `S` shards on scoped threads. The module-level
-/// documentation in `sharded.rs` walks through the two-phase apply.
+/// fan out across `S` shards on a persistent worker pool with work
+/// stealing for hub-heavy slices. The module-level documentation in
+/// `sharded.rs` walks through the two-phase apply.
 ///
 /// ```
 /// use congest_graph::generators::Gnp;
@@ -96,10 +125,8 @@ struct WorkerPlan {
 /// // The live set always equals a snapshot-free recount on the index.
 /// assert_eq!(index.triangles(), &oracle::list_all_on(&index));
 /// ```
-#[derive(Clone)]
 pub struct ShardedTriangleIndex {
-    spec: ShardSpec,
-    shards: Vec<Shard>,
+    store: ShardStore,
     /// The live triangle set (global: the merge phase is the only writer).
     triangles: TriangleSet,
     /// Number of present undirected edges.
@@ -109,24 +136,53 @@ pub struct ShardedTriangleIndex {
     pending: PendingBuffer,
     /// Batch size below which the apply takes the sequential path.
     parallel_threshold: usize,
+    /// Estimated intersection work above which a worker's candidate
+    /// collection splits into stealable tasks.
+    split_threshold: usize,
+    /// Benchmark control: spawn scoped threads per batch (the pre-pool
+    /// pipeline) instead of using the persistent pool.
+    spawn_per_batch: bool,
+    /// The persistent worker pool, spawned lazily on the first pipelined
+    /// batch and reused for every batch and flush after that.
+    pool: Option<ShardPool>,
+    telemetry: TelemetryAccum,
+}
+
+impl Clone for ShardedTriangleIndex {
+    /// Clones the engine's *state*; the clone spawns its own worker pool
+    /// lazily (threads are not cloneable) and starts with the original's
+    /// accumulated telemetry.
+    fn clone(&self) -> Self {
+        ShardedTriangleIndex {
+            store: self.store.clone(),
+            triangles: self.triangles.clone(),
+            edge_count: self.edge_count,
+            mode: self.mode,
+            pending: self.pending.clone(),
+            parallel_threshold: self.parallel_threshold,
+            split_threshold: self.split_threshold,
+            spawn_per_batch: self.spawn_per_batch,
+            pool: None,
+            telemetry: self.telemetry,
+        }
+    }
 }
 
 impl ShardedTriangleIndex {
     /// An empty index on `node_count` nodes over `shard_count` shards
     /// (clamped to at least 1), in [`ApplyMode::Eager`].
     pub fn new(node_count: usize, shard_count: usize) -> Self {
-        let spec = ShardSpec::new(node_count, shard_count);
-        let shards = (0..spec.shard_count())
-            .map(|s| Shard::new(spec.nodes_in_shard(s)))
-            .collect();
         ShardedTriangleIndex {
-            spec,
-            shards,
+            store: ShardStore::new(node_count, shard_count),
             triangles: TriangleSet::new(),
             edge_count: 0,
             mode: ApplyMode::Eager,
             pending: PendingBuffer::default(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            split_threshold: DEFAULT_SPLIT_THRESHOLD,
+            spawn_per_batch: false,
+            pool: None,
+            telemetry: TelemetryAccum::default(),
         }
     }
 
@@ -136,8 +192,7 @@ impl ShardedTriangleIndex {
     pub fn from_graph(graph: &Graph, shard_count: usize) -> Self {
         let mut index = Self::new(graph.node_count(), shard_count);
         for node in graph.nodes() {
-            index.shards[index.spec.shard_of(node)]
-                .seed(index.spec.local_index(node), graph.neighbors(node).to_vec());
+            index.store.seed(node, graph.neighbors(node).to_vec());
         }
         index.triangles = congest_graph::triangles::list_all(graph);
         index.edge_count = graph.edge_count();
@@ -163,9 +218,32 @@ impl ShardedTriangleIndex {
     /// and the pipeline's partition/coalesce/route overhead is pure loss.
     /// Setting the threshold to 0 forces the pipeline on every batch and
     /// every shard count (the property tests do this so tiny batches
-    /// still cover the scoped-thread path).
+    /// still cover the pool-backed path).
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Sets the estimated-intersection-work budget (sum of endpoint
+    /// degrees over a worker's effective deltas) above which the worker's
+    /// candidate collection is split into stealable task units on the
+    /// pool's shared injector queue (builder style). Lower values spread
+    /// hub-heavy slices more aggressively at the cost of more queue
+    /// traffic; 0 makes every edge its own task (the property tests use
+    /// this to force the steal path on tiny batches).
+    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
+        self.split_threshold = threshold;
+        self
+    }
+
+    /// Benchmark control (builder style): run the pipeline on freshly
+    /// spawned scoped threads each batch — the pre-pool architecture,
+    /// with no stealing — instead of the persistent pool. `stream_bench`
+    /// uses this as the baseline the pool's small-batch speedup and
+    /// hotspot tail-latency improvements are measured against; it is not
+    /// meant for production configurations.
+    pub fn with_per_batch_spawn(mut self) -> Self {
+        self.spawn_per_batch = true;
         self
     }
 
@@ -176,12 +254,12 @@ impl ShardedTriangleIndex {
 
     /// Number of shards `S`.
     pub fn shard_count(&self) -> usize {
-        self.spec.shard_count()
+        self.store.shard_count()
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.spec.node_count()
+        self.store.node_count()
     }
 
     /// Number of present undirected edges (excluding pending deltas).
@@ -195,11 +273,7 @@ impl ShardedTriangleIndex {
     ///
     /// Panics if `node` is out of range.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        assert!(
-            node.index() < self.spec.node_count(),
-            "node {node} out of range"
-        );
-        self.shards[self.spec.shard_of(node)].neighbors(self.spec.local_index(node))
+        self.store.neighbors(node)
     }
 
     /// Current degree of `node`.
@@ -208,20 +282,12 @@ impl ShardedTriangleIndex {
     ///
     /// Panics if `node` is out of range.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.neighbors(node).len()
+        self.store.degree(node)
     }
 
     /// Whether `{a, b}` is currently an edge (excluding pending deltas).
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        if a == b || a.index() >= self.node_count() || b.index() >= self.node_count() {
-            return false;
-        }
-        let (from, to) = if self.degree(a) <= self.degree(b) {
-            (a, b)
-        } else {
-            (b, a)
-        };
-        self.neighbors(from).binary_search(&to).is_ok()
+        self.store.has_edge(a, b)
     }
 
     /// The live triangle set.
@@ -247,6 +313,14 @@ impl ShardedTriangleIndex {
     /// nothing is pending).
     pub fn pending_age(&self) -> Option<Duration> {
         self.pending.age()
+    }
+
+    /// Lifetime worker-pool telemetry: busy-share balance and steal
+    /// counts over every pool-applied batch (`None` while no batch has
+    /// run on the pool — inline, sequential and per-batch-spawn applies
+    /// have no persistent workers to observe).
+    pub fn worker_telemetry(&self) -> Option<WorkerTelemetry> {
+        self.telemetry.summary()
     }
 
     /// Applies a batch according to the [`ApplyMode`] (same contract as
@@ -276,20 +350,21 @@ impl ShardedTriangleIndex {
     /// [`TriangleIndex::flush`](crate::TriangleIndex::flush).
     ///
     /// Large flushes hand the **raw** buffered stream straight to the
-    /// two-phase pipeline: every worker already coalesces its own slice
-    /// (and counts the ops it drops as no-ops), so the coalescing cost of
-    /// a deferred flush is spread across the shard workers instead of
-    /// being paid as a sequential `O(b log b)` step up front. Small
-    /// flushes keep the central coalesce — they take the strictly ordered
-    /// sequential path, which applies deltas one at a time and would
-    /// otherwise pay per-delta for ops the coalescer discards for free.
+    /// two-phase pipeline (and so to the persistent pool): every worker
+    /// already coalesces its own slice (and counts the ops it drops as
+    /// no-ops), so the coalescing cost of a deferred flush is spread
+    /// across the shard workers instead of being paid as a sequential
+    /// `O(b log b)` step up front. Small flushes keep the central
+    /// coalesce — they take the strictly ordered sequential path, which
+    /// applies deltas one at a time and would otherwise pay per-delta for
+    /// ops the coalescer discards for free.
     pub fn flush(&mut self) -> ApplyReport {
         if self.pending.is_empty() {
             return ApplyReport::default();
         }
         let buffered = self.pending.take();
         let sequential = self.parallel_threshold > 0
-            && (self.spec.shard_count() == 1 || buffered.len() < self.parallel_threshold);
+            && (self.store.shard_count() == 1 || buffered.len() < self.parallel_threshold);
         let mut report = if sequential {
             let coalesced = buffered.coalesce();
             let mut report = self.apply_ordered(&coalesced);
@@ -336,7 +411,7 @@ impl ShardedTriangleIndex {
     /// size, never by content.
     fn apply_validated(&mut self, batch: &DeltaBatch) -> ApplyReport {
         let sequential = self.parallel_threshold > 0
-            && (self.spec.shard_count() == 1 || batch.len() < self.parallel_threshold);
+            && (self.store.shard_count() == 1 || batch.len() < self.parallel_threshold);
         if sequential {
             self.apply_ordered(batch)
         } else {
@@ -353,6 +428,7 @@ impl ShardedTriangleIndex {
             deltas_seen: batch.len(),
             ..ApplyReport::default()
         };
+        let spec = self.store.spec();
         for delta in batch {
             let (u, v) = delta.edge.endpoints();
             let present = self.has_edge(u, v);
@@ -385,18 +461,23 @@ impl ShardedTriangleIndex {
                 }
             }
             for (node, other) in [(u, v), (v, u)] {
-                let shard = self.spec.shard_of(node);
-                self.shards[shard].apply_op(ShardOp {
-                    local: self.spec.local_index(node),
-                    other,
-                    op: delta.op,
-                });
+                self.store.apply_routed(
+                    spec.shard_of(node),
+                    ShardOp {
+                        local: spec.local_index(node),
+                        other,
+                        op: delta.op,
+                    },
+                );
             }
         }
         report
     }
 
-    /// The two-phase pipeline (see the [module documentation](self)).
+    /// The two-phase pipeline (see the [module documentation](self)):
+    /// inline on one shard, on per-batch scoped threads under the
+    /// [`with_per_batch_spawn`](ShardedTriangleIndex::with_per_batch_spawn)
+    /// benchmark control, and on the persistent pool otherwise.
     fn apply_pipelined(&mut self, batch: &DeltaBatch) -> ApplyReport {
         let mut report = ApplyReport {
             deltas_seen: batch.len(),
@@ -406,8 +487,8 @@ impl ShardedTriangleIndex {
             return report;
         }
 
-        let shard_count = self.spec.shard_count();
-        let inline = shard_count == 1;
+        let spec = self.store.spec();
+        let shard_count = spec.shard_count();
 
         // Split the raw deltas by the lower endpoint's owner: every edge
         // maps to exactly one worker, so each worker can coalesce and
@@ -415,61 +496,16 @@ impl ShardedTriangleIndex {
         // counted exactly once.
         let mut work: Vec<Vec<EdgeDelta>> = vec![Vec::new(); shard_count];
         for d in batch {
-            work[self.spec.shard_of(d.edge.lo())].push(*d);
+            work[spec.shard_of(d.edge.lo())].push(*d);
         }
 
-        // Phase 1, collect (read-only on the pre-batch adjacency).
-        let plans: Vec<WorkerPlan> =
-            parallel_map(shard_count, inline, |k| self.collect_worker(&work[k]));
-
-        // Merge the removal candidates (shared dedup core): a triangle
-        // that lost several edges at once is retired exactly once.
-        for plan in &plans {
-            report.triangles_removed +=
-                merge_removed_candidates(&mut self.triangles, &plan.removed);
-        }
-
-        // Phase 1, record: each owning shard applies its routed mutations;
-        // workers hold `&mut` to exactly one shard each.
-        let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); shard_count];
-        for plan in &plans {
-            for (dest, ops) in plan.ops.iter().enumerate() {
-                routed[dest].extend_from_slice(ops);
-            }
-        }
-        if inline {
-            for (shard, ops) in self.shards.iter_mut().zip(&routed) {
-                for &op in ops {
-                    shard.apply_op(op);
-                }
-            }
+        let plans = if shard_count == 1 {
+            self.run_inline(&work, &mut report)
+        } else if self.spawn_per_batch {
+            self.run_spawn(&work, &mut report)
         } else {
-            crossbeam::thread::scope(|scope| {
-                for (shard, ops) in self.shards.iter_mut().zip(&routed) {
-                    scope.spawn(move || {
-                        for &op in ops {
-                            shard.apply_op(op);
-                        }
-                    });
-                }
-            });
-        }
-
-        // Phase 1, collect again (read-only on the post-batch adjacency):
-        // the triangles each effective insertion closes.
-        let any_inserts = plans.iter().any(|p| !p.inserts.is_empty());
-        let added: Vec<Vec<Triangle>> = if any_inserts {
-            parallel_map(shard_count, inline, |k| {
-                self.insert_candidates(&plans[k].inserts)
-            })
-        } else {
-            Vec::new()
+            self.run_pooled(work, &mut report)
         };
-
-        // Phase 2, merge: dedupe the insert candidates the same way.
-        for candidates in &added {
-            report.triangles_added += merge_added_candidates(&mut self.triangles, candidates);
-        }
 
         for plan in &plans {
             report.inserts_applied += plan.inserts_applied;
@@ -480,111 +516,190 @@ impl ShardedTriangleIndex {
         self.edge_count -= report.removes_applied;
         // Every undirected edge is recorded by both endpoint owners.
         debug_assert_eq!(
-            self.shards.iter().map(Shard::half_edges).sum::<usize>(),
+            self.store.half_edges(),
             2 * self.edge_count,
             "shard adjacency lost symmetry"
         );
         report
     }
 
-    /// The read-only collect pass of one worker: coalesce the slice (at
-    /// most one op per edge survives — only the last op decides presence),
-    /// classify the survivors against the pre-batch edge set, gather
-    /// removal candidates, route adjacency mutations to their owning
-    /// shards.
-    fn collect_worker(&self, deltas: &[EdgeDelta]) -> WorkerPlan {
-        let shard_count = self.spec.shard_count();
-        let mut plan = WorkerPlan {
-            ops: vec![Vec::new(); shard_count],
-            inserts: Vec::new(),
-            removed: Vec::new(),
-            inserts_applied: 0,
-            removes_applied: 0,
-            noops: 0,
-        };
-        // Worker-local coalesce: sort by (edge, arrival order) and keep
-        // the last op of each equal-edge run. Doing this per worker keeps
-        // the whole coalescing cost inside the parallel phase.
-        let mut ordered: Vec<(EdgeDelta, usize)> =
-            deltas.iter().copied().zip(0..deltas.len()).collect();
-        ordered.sort_unstable_by_key(|&(d, i)| (d.edge, i));
-        let mut coalesced: Vec<EdgeDelta> = Vec::with_capacity(ordered.len());
-        for (delta, _) in ordered {
-            match coalesced.last_mut() {
-                Some(last) if last.edge == delta.edge => {
-                    // The earlier op on this edge is superseded: a no-op.
-                    *last = delta;
-                    plan.noops += 1;
+    /// Single-shard pipeline: the same phases, inline — there is no
+    /// cross-shard coordination to amortize and nothing to steal.
+    fn run_inline(&mut self, work: &[Vec<EdgeDelta>], report: &mut ApplyReport) -> Vec<WorkerPlan> {
+        let mut plans = Vec::with_capacity(work.len());
+        for slice in work {
+            let (mut plan, removals) = classify_slice(&self.store, slice);
+            collect_candidates(&self.store, &removals, &mut plan.removed);
+            plans.push(plan);
+        }
+        for plan in &plans {
+            report.triangles_removed +=
+                merge_removed_candidates(&mut self.triangles, &plan.removed);
+        }
+        for plan in &plans {
+            for (dest, ops) in plan.ops.iter().enumerate() {
+                for &op in ops {
+                    self.store.apply_routed(dest, op);
                 }
-                _ => coalesced.push(delta),
             }
         }
-        for delta in &coalesced {
-            let (u, v) = delta.edge.endpoints();
-            let present = self.has_edge(u, v);
-            let effective = match delta.op {
-                DeltaOp::Insert => !present,
-                DeltaOp::Remove => present,
-            };
-            if !effective {
-                plan.noops += 1;
+        for plan in &plans {
+            if plan.inserts.is_empty() {
                 continue;
             }
-            match delta.op {
-                DeltaOp::Insert => {
-                    plan.inserts.push(delta.edge);
-                    plan.inserts_applied += 1;
-                }
-                DeltaOp::Remove => {
-                    for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
-                        plan.removed.push(Triangle::new(u, v, w));
-                    }
-                    plan.removes_applied += 1;
-                }
-            }
-            for (node, other) in [(u, v), (v, u)] {
-                plan.ops[self.spec.shard_of(node)].push(ShardOp {
-                    local: self.spec.local_index(node),
-                    other,
-                    op: delta.op,
-                });
-            }
+            let mut candidates = Vec::new();
+            collect_candidates(&self.store, &plan.inserts, &mut candidates);
+            report.triangles_added += merge_added_candidates(&mut self.triangles, &candidates);
         }
-        plan
+        plans
     }
 
-    /// The post-mutation collect pass of one worker: the candidate
-    /// triangles each effective insertion closes on the post-batch
-    /// adjacency.
-    fn insert_candidates(&self, inserts: &[Edge]) -> Vec<Triangle> {
-        let mut out = Vec::new();
-        for edge in inserts {
-            let (u, v) = edge.endpoints();
-            for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
-                out.push(Triangle::new(u, v, w));
-            }
-        }
-        out
-    }
-}
-
-/// Maps `f` over `0..workers`, on scoped threads unless `inline`.
-fn parallel_map<T, F>(workers: usize, inline: bool, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if inline || workers <= 1 {
-        (0..workers).map(f).collect()
-    } else {
-        crossbeam::thread::scope(|scope| {
-            let f = &f;
-            let handles: Vec<_> = (0..workers).map(|k| scope.spawn(move || f(k))).collect();
+    /// The pre-pool pipeline, kept as the benchmark baseline: three sets
+    /// of scoped threads per batch, no stealing.
+    fn run_spawn(&mut self, work: &[Vec<EdgeDelta>], report: &mut ApplyReport) -> Vec<WorkerPlan> {
+        let store = &self.store;
+        let plans: Vec<WorkerPlan> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .iter()
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let (mut plan, removals) = classify_slice(store, slice);
+                        collect_candidates(store, &removals, &mut plan.removed);
+                        plan
+                    })
+                })
+                .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
-        })
+        });
+
+        for plan in &plans {
+            report.triangles_removed +=
+                merge_removed_candidates(&mut self.triangles, &plan.removed);
+        }
+
+        let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); work.len()];
+        for plan in &plans {
+            for (dest, ops) in plan.ops.iter().enumerate() {
+                routed[dest].extend_from_slice(ops);
+            }
+        }
+        let mut shards = self.store.take_shards();
+        crossbeam::thread::scope(|scope| {
+            for (shard, ops) in shards.iter_mut().zip(&routed) {
+                scope.spawn(move || {
+                    for &op in ops {
+                        shard.apply_op(op);
+                    }
+                });
+            }
+        });
+        self.store.restore_shards(shards);
+
+        if plans.iter().any(|p| !p.inserts.is_empty()) {
+            let store = &self.store;
+            let added: Vec<Vec<Triangle>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = plans
+                    .iter()
+                    .map(|plan| {
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            collect_candidates(store, &plan.inserts, &mut out);
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for candidates in &added {
+                report.triangles_added += merge_added_candidates(&mut self.triangles, candidates);
+            }
+        }
+        plans
+    }
+
+    /// The pool-backed pipeline: ownership of the store round-trips
+    /// through the persistent workers (see [`crate::pool`]); removal
+    /// candidates are merged on this thread *while* the workers run the
+    /// record phase, and the batch's busy-share/steal telemetry is
+    /// accumulated at the end.
+    fn run_pooled(
+        &mut self,
+        work: Vec<Vec<EdgeDelta>>,
+        report: &mut ApplyReport,
+    ) -> Vec<WorkerPlan> {
+        let shard_count = work.len();
+        let needs_fresh_pool = match self.pool.as_ref() {
+            Some(pool) => pool.worker_count() != shard_count || pool.poisoned(),
+            None => true,
+        };
+        if needs_fresh_pool {
+            self.pool = Some(ShardPool::new(shard_count));
+        }
+        let pool = self.pool.as_ref().expect("pool was just ensured");
+        let mut run = BatchRun::new(pool, self.split_threshold);
+
+        // Phase 1: collect (read-only). Workers whose removal slice
+        // exceeds the split threshold defer it instead of intersecting.
+        let (store, mut plans) = run.collect(std::mem::take(&mut self.store), work);
+        self.store = store;
+
+        // Phase 1.5: the steal wave, only when something was deferred —
+        // every deferred slice is chunked onto the shared queue before
+        // any worker starts draining, so a hot hub's candidate
+        // collection reliably spreads across the whole pool. Must run
+        // before the record phase: removal candidates intersect the
+        // *pre-batch* adjacency.
+        let mut wave_removed: Vec<Triangle> = Vec::new();
+        if plans.iter().any(|p| !p.deferred_removals.is_empty()) {
+            let deferred: Vec<(usize, Vec<Edge>)> = plans
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, p)| !p.deferred_removals.is_empty())
+                .map(|(owner, p)| (owner, std::mem::take(&mut p.deferred_removals)))
+                .collect();
+            let (store, waves) = run.steal_wave(std::mem::take(&mut self.store), deferred);
+            self.store = store;
+            wave_removed = waves.into_iter().flatten().collect();
+        }
+
+        // Phase 2: move each shard to its owning worker; merge the
+        // removal candidates here while the workers write.
+        let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); shard_count];
+        for plan in &plans {
+            for (dest, ops) in plan.ops.iter().enumerate() {
+                routed[dest].extend_from_slice(ops);
+            }
+        }
+        run.start_record(self.store.take_shards(), routed);
+        for plan in &plans {
+            report.triangles_removed +=
+                merge_removed_candidates(&mut self.triangles, &plan.removed);
+        }
+        report.triangles_removed += merge_removed_candidates(&mut self.triangles, &wave_removed);
+        self.store.restore_shards(run.finish_record());
+
+        // Phase 3: the triangles each effective insertion closes on the
+        // post-batch adjacency.
+        if plans.iter().any(|p| !p.inserts.is_empty()) {
+            let inserts: Vec<Vec<Edge>> = plans
+                .iter_mut()
+                .map(|p| std::mem::take(&mut p.inserts))
+                .collect();
+            let (store, candidates) = run.insert_collect(std::mem::take(&mut self.store), inserts);
+            self.store = store;
+            for c in &candidates {
+                report.triangles_added += merge_added_candidates(&mut self.triangles, c);
+            }
+        }
+
+        self.telemetry.record(run.finish());
+        plans
     }
 }
 
@@ -616,12 +731,17 @@ impl fmt::Debug for ShardedTriangleIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ShardedTriangleIndex(n={}, m={}, shards={}, triangles={}, mode={})",
+            "ShardedTriangleIndex(n={}, m={}, shards={}, triangles={}, mode={}, exec={})",
             self.node_count(),
             self.edge_count(),
             self.shard_count(),
             self.triangle_count(),
-            self.mode.name()
+            self.mode.name(),
+            if self.spawn_per_batch {
+                "spawn"
+            } else {
+                "pool"
+            },
         )
     }
 }
@@ -636,7 +756,7 @@ mod tests {
         NodeId(i)
     }
 
-    /// Forces the scoped-thread path even on tiny batches.
+    /// Forces the pool-backed pipeline even on tiny batches.
     fn parallel(index: ShardedTriangleIndex) -> ShardedTriangleIndex {
         index.with_parallel_threshold(0)
     }
@@ -895,10 +1015,102 @@ mod tests {
     }
 
     #[test]
+    fn spawn_mode_and_pool_mode_reach_the_same_state() {
+        let g = Gnp::new(50, 0.15).seeded(17).generate();
+        let mut pool = parallel(ShardedTriangleIndex::from_graph(&g, 3));
+        let mut spawn = parallel(ShardedTriangleIndex::from_graph(&g, 3)).with_per_batch_spawn();
+        for step in 0..8u32 {
+            let mut b = DeltaBatch::new();
+            for j in 0..12u32 {
+                let a = (step * 5 + j * 11) % 50;
+                let c = (step * 13 + j * 7 + 1) % 50;
+                if a != c {
+                    if (step + j) % 4 == 0 {
+                        b.remove(v(a), v(c));
+                    } else {
+                        b.insert(v(a), v(c));
+                    }
+                }
+            }
+            let rp = pool.apply(&b).unwrap();
+            let rs = spawn.apply(&b).unwrap();
+            assert_eq!(rp, rs, "step {step}: per-batch tallies must match");
+            assert_eq!(pool.triangles(), spawn.triangles(), "step {step}");
+        }
+        assert!(pool.matches_oracle());
+        assert!(spawn.matches_oracle());
+        // Only the pool path produces worker telemetry.
+        assert!(pool.worker_telemetry().is_some());
+        assert!(spawn.worker_telemetry().is_none());
+    }
+
+    #[test]
+    fn forced_steal_path_matches_the_ordered_engine_on_a_hub() {
+        use crate::index::TriangleIndex;
+        // A single max-degree hub: every delta touches node 0, so the
+        // modulo partition puts the whole batch on worker 0 — with a zero
+        // split threshold every intersection becomes a stealable task.
+        let n = 40usize;
+        let mut reference = TriangleIndex::new(n);
+        let mut idx = parallel(ShardedTriangleIndex::new(n, 4)).with_split_threshold(0);
+        // Build the star plus a rim so removals have triangles to retire.
+        let mut star = DeltaBatch::new();
+        for i in 1..n as u32 {
+            star.insert(v(0), v(i));
+        }
+        for i in 1..(n as u32 - 1) {
+            star.insert(v(i), v(i + 1));
+        }
+        reference.apply(&star).unwrap();
+        idx.apply(&star).unwrap();
+        assert_eq!(idx.triangles(), reference.triangles());
+
+        // Tear half the hub down in one batch.
+        let mut tear = DeltaBatch::new();
+        for i in 1..(n as u32 / 2) {
+            tear.remove(v(0), v(i));
+        }
+        let rr = reference.apply(&tear).unwrap();
+        let rs = idx.apply(&tear).unwrap();
+        assert_eq!(rs.triangles_removed, rr.triangles_removed);
+        assert_eq!(idx.triangles(), reference.triangles());
+        assert!(idx.matches_oracle());
+        let telemetry = idx.worker_telemetry().expect("pool batches ran");
+        assert!(telemetry.pooled_batches >= 2);
+    }
+
+    #[test]
+    fn clones_share_state_but_not_the_pool() {
+        let mut idx = parallel(ShardedTriangleIndex::new(6, 3));
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).insert(v(1), v(2)).insert(v(0), v(2));
+        idx.apply(&b).unwrap();
+
+        // The clone starts with the same state and lazily spawns its own
+        // workers on the next pipelined batch.
+        let mut copy = idx.clone();
+        assert_eq!(copy.triangle_count(), 1);
+        let mut more = DeltaBatch::new();
+        more.insert(v(3), v(4))
+            .insert(v(4), v(5))
+            .insert(v(3), v(5));
+        copy.apply(&more).unwrap();
+        assert_eq!(copy.triangle_count(), 2);
+        assert_eq!(idx.triangle_count(), 1, "the original is unaffected");
+        assert!(copy.matches_oracle());
+    }
+
+    #[test]
     fn debug_summarizes() {
         let idx = ShardedTriangleIndex::new(6, 2);
         let s = format!("{idx:?}");
         assert!(s.contains("n=6"));
         assert!(s.contains("shards=2"));
+        assert!(s.contains("exec=pool"));
+        assert!(format!(
+            "{:?}",
+            ShardedTriangleIndex::new(2, 2).with_per_batch_spawn()
+        )
+        .contains("exec=spawn"));
     }
 }

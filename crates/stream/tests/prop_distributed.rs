@@ -8,7 +8,9 @@
 use congest_graph::generators::{Classic, Gnp, PlantedLight, TriangleFreeBipartite};
 use congest_graph::triangles as oracle;
 use congest_graph::{Graph, NodeId};
-use congest_stream::{ApplyMode, DeltaBatch, DistributedTriangleEngine, TriangleIndex};
+use congest_stream::{
+    ApplyMode, DeltaBatch, DistributedTriangleEngine, SimExecutor, TriangleIndex,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -148,6 +150,46 @@ proptest! {
         let base = Classic::Complete(n).generate();
         let batches = random_batches(n, 5, 10, seed);
         check_distributed_against_oracle(&base, &batches);
+    }
+
+    /// The thread-per-node executor knob is a pure execution choice:
+    /// driving the dynamic protocol on `ThreadedSimulation`'s epoch API
+    /// leaves the engine oracle-exact and in lockstep with the
+    /// sequential executor *and* the single-threaded engine — same
+    /// triangle sets, same per-batch reports, bit-identical network
+    /// cost — on every batch of a random stream.
+    #[test]
+    fn threaded_executor_is_oracle_exact_and_matches_sequential(
+        n in 6usize..20,
+        p in 0.05f64..0.35,
+        seed in any::<u64>(),
+    ) {
+        let base = Gnp::new(n, p).seeded(seed).generate();
+        let batches = random_batches(n, 4, 10, seed ^ 0x7A4EAD);
+        let mut reference = TriangleIndex::from_graph(&base);
+        let mut sequential =
+            DistributedTriangleEngine::from_graph_with_executor(&base, SimExecutor::Sequential);
+        let mut threaded =
+            DistributedTriangleEngine::from_graph_with_executor(&base, SimExecutor::Threaded);
+        prop_assert_eq!(threaded.executor(), SimExecutor::Threaded);
+        for (i, batch) in batches.iter().enumerate() {
+            reference.apply(batch).expect("in-range batch");
+            let rs = sequential.apply(batch).expect("in-range batch");
+            let rt = threaded.apply(batch).expect("in-range batch");
+            assert_eq!(rs, rt, "per-batch reports diverged at batch {i}");
+            assert_eq!(
+                threaded.triangles(),
+                reference.triangles(),
+                "threaded executor diverged from the single-threaded engine at batch {i}"
+            );
+            assert_eq!(
+                sequential.last_batch_cost(),
+                threaded.last_batch_cost(),
+                "executors must report bit-identical network cost (batch {i})"
+            );
+        }
+        prop_assert!(threaded.matches_oracle());
+        prop_assert_eq!(sequential.total_cost(), threaded.total_cost());
     }
 
     /// Narrow and wide bandwidth reach the same state: the per-link

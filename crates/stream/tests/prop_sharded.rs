@@ -6,8 +6,10 @@
 //! on the same stream.
 //!
 //! The parallel threshold is forced to 0 throughout, so even the tiny
-//! property-test batches run the scoped-thread two-phase pipeline — the
-//! code path the big benchmarks exercise.
+//! property-test batches run the pool-backed two-phase pipeline — the
+//! code path the big benchmarks exercise. The steal-path test
+//! additionally forces the split threshold to 0, so every intersection
+//! of a hub-heavy batch becomes a stealable injector task.
 
 use congest_graph::generators::{Classic, Gnp, PlantedLight, TriangleFreeBipartite};
 use congest_graph::triangles as oracle;
@@ -82,6 +84,42 @@ fn cross_shard_heavy_batches(n: usize, batch_count: usize, seed: u64) -> Vec<Del
                     let w = NodeId::from_index((u.index() + 1) % n);
                     if w != u && w != v {
                         batch.insert(v, w).insert(u, w);
+                    }
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+/// Batches hammering a single max-degree hub (node 0): star edges to and
+/// from the hub plus rim edges between consecutive spokes, so hub
+/// removals retire triangles and rim inserts close triangles *through*
+/// the hub. Under the `id mod S` partition every hub edge has `lo() = 0`
+/// and lands in worker 0's slice — the worst-case imbalance the stealing
+/// path exists for.
+fn hub_heavy_batches(n: usize, batch_count: usize, seed: u64) -> Vec<DeltaBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batch_count)
+        .map(|_| {
+            let mut batch = DeltaBatch::new();
+            for _ in 0..16 {
+                let spoke = NodeId::from_index(rng.gen_range(1..n));
+                if rng.gen_bool(0.6) {
+                    batch.insert(NodeId(0), spoke);
+                } else {
+                    batch.remove(NodeId(0), spoke);
+                }
+                // Rim edge between consecutive spokes: together with two
+                // hub edges it forms (or breaks) a hub triangle.
+                if rng.gen_bool(0.5) {
+                    let next = NodeId::from_index(1 + (spoke.index() % (n - 1)));
+                    if next != spoke {
+                        if rng.gen_bool(0.7) {
+                            batch.insert(spoke, next);
+                        } else {
+                            batch.remove(spoke, next);
+                        }
                     }
                 }
             }
@@ -206,6 +244,72 @@ proptest! {
         let base = Gnp::new(n, 0.15).seeded(seed).generate();
         let batches = cross_shard_heavy_batches(n, 7, seed ^ 0xC0DE);
         check_sharded_against_oracle(&base, &batches);
+    }
+
+    /// Steal-path correctness across all four generator families: a
+    /// single max-degree hub with the pipeline forced on
+    /// (`with_parallel_threshold(0)`) and a zero split threshold — every
+    /// intersection becomes a stealable injector task, so candidates are
+    /// routinely collected by workers that do not own the slice — must
+    /// leave exactly the oracle's triangle set at S ∈ {1, 3, 8}.
+    #[test]
+    fn hub_heavy_steal_path_matches_oracle_across_families(
+        family in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let base = match family {
+            0 => {
+                let n = 12 + (seed % 20) as usize;
+                Gnp::new(n, 0.15).seeded(seed).generate()
+            }
+            1 => {
+                let count = 2 + (seed % 5) as usize;
+                PlantedLight::new(3 * count + 10, count)
+                    .with_background(0.05)
+                    .seeded(seed)
+                    .generate()
+            }
+            2 => {
+                let side = 6 + (seed % 8) as usize;
+                TriangleFreeBipartite::new(side, side + 1, 0.3).seeded(seed).generate()
+            }
+            _ => Classic::Complete(6 + (seed % 7) as usize).generate(),
+        };
+        let n = congest_graph::AdjacencyView::node_count(&base);
+        let batches = hub_heavy_batches(n, 5, seed ^ 0x57EA1);
+
+        let mut reference = TriangleIndex::from_graph(&base);
+        let mut engines: Vec<ShardedTriangleIndex> = SHARD_COUNTS
+            .iter()
+            .map(|&s| {
+                ShardedTriangleIndex::from_graph(&base, s)
+                    .with_parallel_threshold(0)
+                    .with_split_threshold(0)
+            })
+            .collect();
+        for (i, batch) in batches.iter().enumerate() {
+            reference.apply(batch).expect("in-range batch");
+            for (engine, &s) in engines.iter_mut().zip(&SHARD_COUNTS) {
+                engine.apply(batch).expect("in-range batch");
+                assert_eq!(
+                    engine.triangles(),
+                    reference.triangles(),
+                    "family {family} S={s} diverged after batch {i}"
+                );
+            }
+        }
+        for (engine, &s) in engines.iter().zip(&SHARD_COUNTS) {
+            prop_assert!(engine.matches_oracle(), "family {family} S={s} vs oracle");
+        }
+        // At S > 1 the whole hub slice belongs to worker 0 and a zero
+        // split threshold makes every intersection a task: the steal
+        // telemetry must show the pool path actually ran.
+        for (engine, &s) in engines.iter().zip(&SHARD_COUNTS) {
+            if s > 1 {
+                let telemetry = engine.worker_telemetry().expect("pooled batches ran");
+                assert_eq!(telemetry.pooled_batches, batches.len(), "S={s}");
+            }
+        }
     }
 
     /// Coalescing equivalence holds shard by shard: applying each batch in

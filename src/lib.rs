@@ -61,7 +61,8 @@ pub mod prelude {
     pub use congest_sim::{Bandwidth, EpochReport, Model, RunReport, SimConfig, Simulation};
     pub use congest_stream::{
         ApplyMode, BaseGraph, CongestCost, DeltaBatch, DistributedTriangleEngine, EdgeDelta,
-        RunSummary, Scenario, ShardedTriangleIndex, StreamEngine, TriangleIndex, WorkloadRunner,
+        RunSummary, Scenario, ShardedTriangleIndex, SimExecutor, StreamEngine, TriangleIndex,
+        WorkerTelemetry, WorkloadRunner,
     };
     pub use congest_triangles::{
         find_triangles, list_triangles, ConstantsProfile, EpsilonChoice, FindingConfig,
