@@ -4,9 +4,12 @@
 //!
 //! Compares the fresh `BENCH_dynamic.json` written by `dynamic_bench`
 //! against the committed baseline and exits non-zero when any gated
-//! metric (the round-cost speedups of the dynamic engine over per-batch
-//! re-runs of the Theorem 1/2 drivers, and the bits ratio) drops more
-//! than 20% below the baseline. Unlike `stream_gate`, every gated
+//! metric regresses more than 20%: the higher-is-better round-cost
+//! speedups of the dynamic engine over per-batch re-runs of the
+//! Theorem 1/2 drivers (and the bits ratio), plus the lower-is-better
+//! round costs the helper-split/convergecast machinery exists to keep
+//! down — the hotspot-epoch rounds per batch and the headline's
+//! convergecast rounds per batch. Unlike `stream_gate`, every gated
 //! quantity here is a deterministic round count, so no hardware
 //! fingerprint is needed — the gate only requires the scenario shape to
 //! match (same `quick` flag and `headline_n`); against a differently
@@ -14,7 +17,8 @@
 //! enforced by `dynamic_bench` itself regardless.
 
 use congest_bench::gate::{
-    check_metric, extract_number, DEFAULT_TOLERANCE, DYNAMIC_GATE_FINGERPRINT, DYNAMIC_GATE_METRICS,
+    check_metric, check_metric_directed, extract_number, DEFAULT_TOLERANCE,
+    DYNAMIC_GATE_FINGERPRINT, DYNAMIC_GATE_METRICS, DYNAMIC_GATE_METRICS_LOWER_IS_BETTER,
 };
 
 fn main() {
@@ -54,6 +58,19 @@ fn main() {
         let check = check_metric(&baseline, &current, key, DEFAULT_TOLERANCE);
         if same_shape {
             println!("{check}");
+            failed |= check.regressed;
+        } else {
+            println!("{check} [not gated: differently shaped baseline]");
+        }
+    }
+    // Round costs the new protocol machinery exists to *lower*: the
+    // helper-split hotspot epoch and the per-batch convergecast rounds.
+    // Deterministic per seed, so the default tolerance applies — any
+    // >20% rise is a real scheduling regression.
+    for key in DYNAMIC_GATE_METRICS_LOWER_IS_BETTER {
+        let check = check_metric_directed(&baseline, &current, key, DEFAULT_TOLERANCE, false);
+        if same_shape {
+            println!("{check} [lower is better]");
             failed |= check.regressed;
         } else {
             println!("{check} [not gated: differently shaped baseline]");

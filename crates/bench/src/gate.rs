@@ -174,10 +174,27 @@ pub const DYNAMIC_GATE_METRICS: [&str; 3] = [
     "headline_bits_ratio_vs_listing",
 ];
 
+/// Lower-is-better dynamic metrics, gated with [`DEFAULT_TOLERANCE`]
+/// (round counts are deterministic per seed, so even a 20% rise is a
+/// real protocol regression, not noise): the helper-split hotspot
+/// epoch cost — the rounds per batch on a hub carrying ≥ 8x the
+/// per-phase budget, which the split scheduling exists to flatten —
+/// and the convergecast aggregation rounds charged per headline batch.
+pub const DYNAMIC_GATE_METRICS_LOWER_IS_BETTER: [&str; 2] = [
+    "hotspot_rounds_per_batch",
+    "headline_convergecast_rounds_per_batch",
+];
+
 /// The fingerprint keys that must match between a `BENCH_dynamic.json`
 /// baseline and a fresh run for the dynamic gate to have teeth: they
 /// pin the scenario shape, not the hardware.
 pub const DYNAMIC_GATE_FINGERPRINT: [&str; 2] = ["quick", "headline_n"];
+
+/// Absolute floor for the hotspot round improvement of the helper-split
+/// schedule over the unsplit protocol (`dynamic_bench` enforces it
+/// in-binary on a hub carrying ≥ 8x the per-phase budget; rounds are
+/// deterministic, so the floor binds on every machine).
+pub const HOTSPOT_SPLIT_IMPROVEMENT_FLOOR: f64 = 2.0;
 
 #[cfg(test)]
 mod tests {
@@ -245,6 +262,9 @@ mod tests {
             .iter()
             .chain(&STREAM_GATE_METRICS_LOWER_IS_BETTER)
             .chain(&STREAM_GATE_FINGERPRINT)
+            .chain(&DYNAMIC_GATE_METRICS)
+            .chain(&DYNAMIC_GATE_METRICS_LOWER_IS_BETTER)
+            .chain(&DYNAMIC_GATE_FINGERPRINT)
         {
             assert!(!key.is_empty());
             assert!(key

@@ -25,53 +25,105 @@
 //! the survivors against the current graph into effective removals `R`
 //! and insertions `I`, and injects each node's incident slice plus the
 //! two global phase lengths as out-of-band client input
-//! ([`Simulation::inject`]). One epoch then runs two broadcast phases:
+//! ([`Simulation::inject`]). A batch that coalesces or classifies to
+//! nothing runs **no epoch at all** — its documented floor cost is zero
+//! rounds, zero messages, zero bits. Otherwise one epoch runs two
+//! broadcast phases:
 //!
-//! 1. **Removal phase** (`R_rm` rounds): each endpoint of a removed edge
-//!    `{u, v}` streams the delta to its (pre-batch) neighbours, packing
-//!    as many edges per message as the bandwidth allows. A receiver `w`
-//!    that sees `{u, v}` with both endpoints still in its own list
-//!    records the candidate dead triangle `{u, v, w}` — a purely local
-//!    check, because `w` owns `N(w)`. At the phase boundary every node
-//!    applies its own adjacency mutations, switching the network to the
-//!    post-batch graph.
+//! 1. **Removal phase** (`R_rm` rounds): the assigned broadcasters of a
+//!    removed edge `{u, v}` stream the delta to their (pre-batch)
+//!    neighbours, packing as many edges per message as the bandwidth
+//!    allows. A receiver `w` that sees `{u, v}` with both endpoints
+//!    still in its own list records the candidate dead triangle
+//!    `{u, v, w}` — a purely local check, because `w` owns `N(w)`. At
+//!    the phase boundary every node applies its own adjacency
+//!    mutations, switching the network to the post-batch graph.
 //! 2. **Insertion phase** (`R_ins` rounds): the same broadcast for
 //!    inserted edges, now over the post-batch neighbourhoods, with
 //!    receivers recording candidate born triangles against their updated
 //!    lists.
 //!
+//! ## Helper-split hub broadcasts ([`HubSplit`])
+//!
+//! Every third vertex `w` of a triangle through `{u, v}` is adjacent to
+//! *both* endpoints, so a broadcast by **either one** reaches every
+//! detector — having both endpoints broadcast (the original protocol,
+//! kept as [`HubSplit::Off`]) is pure redundancy that the dedup merge
+//! absorbs. The phase length is the *longest* per-node queue,
+//! `⌈k/⌊B/2w⌋⌉` rounds for a hub with `k` incident deltas, so a single
+//! hot vertex used to stretch the whole network's epoch. Under
+//! [`HubSplit::Auto`] (the default) the coordinator therefore computes a
+//! per-phase budget — the *average* incident load, mirroring how the
+//! paper's algorithm A1 partitions heavy edges across the network — and,
+//! for every node over it, reassigns slices of the hub's delta list to
+//! **helper neighbours**: each offloaded delta's other endpoint, which
+//! is adjacent both to the hub and to every detector of that delta, and
+//! so can rebroadcast on the hub's behalf *in the same phase*. The
+//! descriptor carries a per-delta broadcast flag; phase lengths are
+//! computed from the post-split queues, so hotspot epochs scale with the
+//! average rather than the maximum incident load. Every delta keeps at
+//! least one broadcaster ([`HubSplit::Budget`] forces an explicit
+//! per-node budget, which the property tests drive to 1).
+//!
+//! ## Convergecast aggregation ([`Aggregation`])
+//!
 //! Candidates are supersets observed from several vantage points (a
 //! triangle dying through two removed edges is reported by up to four
-//! nodes); after the epoch the coordinator drains every node's candidate
-//! lists and merges them into the global [`TriangleSet`] through the
-//! same exactly-once dedup core the sharded engine's phase-2 uses
-//! (`shard::merge_removed_candidates` / `merge_added_candidates`), so
-//! the correctness argument is word-for-word the sharded one: retired
-//! triangles are exactly the triangles of `G` containing an edge of `R`,
-//! born triangles exactly the triangles of `G' = G − R + I` containing
-//! an edge of `I`.
+//! nodes). Under [`Aggregation::Free`] the coordinator simply drains
+//! every node's candidate lists after the epoch — a merge the network
+//! never pays for, which the subgraph-finding surveys flag as the
+//! hidden cost of distributed listing benchmarks. The default,
+//! [`Aggregation::Convergecast`], makes the merge itself
+//! CONGEST-accounted: the coordinator computes a BFS forest of the
+//! epoch topology (parents and child counts ride in the injected
+//! descriptor), and after the broadcast phases every node dedup-merges
+//! its own observations with its children's — through the same
+//! `shard.rs` merge core the sharded engine's phase-2 uses — and
+//! streams the merged set to its parent in `≤ B`-bit chunks over extra
+//! accounted rounds. Only the forest roots are read by the coordinator,
+//! so [`CongestCost`] (including its
+//! [`convergecast_rounds`](CongestCost::convergecast_rounds) split-out)
+//! reports the true rounds/messages/bits of aggregation. In both modes
+//! the final merge into the global [`TriangleSet`] goes through
+//! `shard::merge_removed_candidates` / `merge_added_candidates`, so the
+//! correctness argument is word-for-word the sharded one: retired
+//! triangles are exactly the triangles of `G` containing an edge of
+//! `R`, born triangles exactly the triangles of `G' = G − R + I`
+//! containing an edge of `I`.
 //!
 //! Because links appear and disappear with the edges they carry, the
 //! engine keeps the simulator's communication topology in sync with the
 //! evolving graph ([`Simulation::update_topology`]): during an epoch the
 //! topology is the **union** `G ∪ G'` (a removed link still carries its
-//! own tear-down notification; an inserted link exists as soon as its
-//! edge does), and after the epoch it settles to `G'`.
+//! own tear-down notification — and its leg of the convergecast — before
+//! going down; an inserted link exists as soon as its edge does), and
+//! after the epoch it settles to `G'`. The BFS forest spans that union,
+//! and all observers of any one triangle are pairwise connected within
+//! one component, so per-component aggregation loses nothing.
+//!
+//! Payloads are validated on receipt: ids are decoded against the
+//! domain `0..n`, edges and triangles must have distinct vertices, and
+//! streams must use every bit they announce. A violation — impossible
+//! for payloads this engine produces, but reachable through corrupt or
+//! hostile injected traffic — surfaces as [`StreamError::Protocol`]
+//! from [`DistributedTriangleEngine::apply`] instead of silently
+//! truncating ids into range.
 //!
 //! Per-batch tallies match the sharded pipeline path (the coalescer
 //! counts dropped ops as no-ops rather than applying them), and the
 //! final graph and triangle set are identical to the strictly ordered
 //! [`TriangleIndex`](crate::TriangleIndex) on any stream —
-//! property-tested across all four workload generator families.
+//! property-tested across all four workload generator families, in
+//! every scheduling/aggregation mode, on both executors.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::time::Duration;
 
 use congest_graph::{AdjacencyView, Edge, Graph, NodeId, Triangle, TriangleSet};
 use congest_sim::{
-    Bandwidth, EpochReport, NodeProgram, NodeStatus, RoundContext, SimConfig, Simulation,
-    ThreadedSimulation,
+    Bandwidth, EpochReport, NodeProgram, NodeStatus, ReceivedMessage, RoundContext, SimConfig,
+    Simulation, ThreadedSimulation,
 };
 use congest_wire::{BitReader, BitWriter, IdCodec, Payload};
 
@@ -82,8 +134,87 @@ use crate::shard::{
 };
 
 /// Width of the phase-length and list-length fields in the injected
-/// batch descriptor (out-of-band client input, not CONGEST traffic).
+/// batch descriptor (out-of-band client input, not CONGEST traffic) and
+/// of the candidate-count fields in convergecast streams.
 const COUNT_BITS: usize = 32;
+
+/// Copies the next `len` bits from `reader` to `writer` in ≤ 64-bit
+/// steps (the convergecast's chunking and reassembly both move
+/// arbitrary-length bit runs this way).
+///
+/// # Panics
+///
+/// Panics if `reader` holds fewer than `len` bits — callers always
+/// bound `len` by the source payload's length.
+fn copy_bits(reader: &mut BitReader<'_>, writer: &mut BitWriter, len: usize) {
+    let mut remaining = len;
+    while remaining > 0 {
+        let step = remaining.min(64);
+        writer.write_bits(reader.read_bits(step).expect("length-bounded read"), step);
+        remaining -= step;
+    }
+}
+
+/// How the coordinator schedules the per-phase delta broadcasts (the
+/// module-level documentation in `distributed.rs` walks through the
+/// full protocol).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum HubSplit {
+    /// The original protocol: both endpoints broadcast every incident
+    /// delta, so a hub with `k` incident deltas stretches the phase to
+    /// `⌈k/⌊B/2w⌋⌉` rounds. Kept as the benchmark control.
+    Off,
+    /// Helper-split scheduling with the per-phase budget derived from
+    /// the **average** incident load of the touched nodes: every node
+    /// over it sheds deltas to their other endpoints (its helper
+    /// neighbours) while every delta keeps at least one broadcaster.
+    /// The default.
+    #[default]
+    Auto,
+    /// Helper-split scheduling with an explicit per-node per-phase
+    /// budget of this many broadcast deltas (clamped to at least 1).
+    /// The property tests force 1 to split as aggressively as coverage
+    /// allows.
+    Budget(usize),
+}
+
+impl HubSplit {
+    /// Short lowercase name, used in logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            HubSplit::Off => "off",
+            HubSplit::Auto => "auto",
+            HubSplit::Budget(_) => "budget",
+        }
+    }
+}
+
+/// How per-node candidate sets reach the coordinator after the
+/// broadcast phases (the module-level documentation in
+/// `distributed.rs` walks through the convergecast).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Aggregation {
+    /// The coordinator reads every node's candidate lists directly —
+    /// a merge the simulated network never pays for. Kept as the
+    /// benchmark control so the aggregation cost can be measured.
+    Free,
+    /// Candidates are dedup-merged up a BFS forest of the epoch
+    /// topology in extra **accounted** rounds; the coordinator reads
+    /// only the forest roots, and [`CongestCost`] reports the true
+    /// cost of the merge. The default.
+    #[default]
+    Convergecast,
+}
+
+impl Aggregation {
+    /// Short lowercase name, used in logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregation::Free => "free",
+            Aggregation::Convergecast => "convergecast",
+        }
+    }
+}
 
 /// Which epoch executor drives the simulated network inside a
 /// [`DistributedTriangleEngine`].
@@ -193,19 +324,37 @@ impl EpochEngine {
 /// quantities the paper's bounds are about.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CongestCost {
-    /// Synchronous rounds executed.
+    /// Synchronous rounds executed (broadcast *and* aggregation).
     pub rounds: u64,
     /// Messages delivered.
     pub messages: u64,
     /// Payload bits delivered.
     pub bits: u64,
+    /// The share of [`rounds`](CongestCost::rounds) spent on the
+    /// convergecast aggregation of candidate sets — always 0 under
+    /// [`Aggregation::Free`], whose merge the network never executes.
+    pub convergecast_rounds: u64,
 }
 
 impl CongestCost {
-    fn absorb(&mut self, metrics: &congest_sim::Metrics) {
-        self.rounds += metrics.rounds;
-        self.messages += metrics.messages;
-        self.bits += metrics.total_bits;
+    /// The cost of one epoch whose simulator metrics are `metrics`, of
+    /// which everything after the `broadcast_rounds`-round prefix was
+    /// convergecast aggregation.
+    fn from_epoch(metrics: &congest_sim::Metrics, broadcast_rounds: u64) -> Self {
+        CongestCost {
+            rounds: metrics.rounds,
+            messages: metrics.messages,
+            bits: metrics.total_bits,
+            convergecast_rounds: metrics.rounds.saturating_sub(broadcast_rounds),
+        }
+    }
+
+    /// Adds `other` into this running total.
+    fn accumulate(&mut self, other: &CongestCost) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.convergecast_rounds += other.convergecast_rounds;
     }
 }
 
@@ -221,16 +370,48 @@ struct DynamicTriangleNode {
     /// Global phase lengths for the current epoch (from the descriptor).
     rm_rounds: u64,
     ins_rounds: u64,
-    /// Effective deltas incident to this node (from the descriptor).
+    /// Effective deltas incident to this node (from the descriptor);
+    /// applied locally at the phase boundary.
     my_removes: Vec<Edge>,
     my_inserts: Vec<Edge>,
+    /// The subset of the incident deltas this node was assigned to
+    /// broadcast (equal to the full lists under [`HubSplit::Off`]; a
+    /// hub's over-budget slices are reassigned to helper neighbours).
+    bcast_removes: Vec<Edge>,
+    bcast_inserts: Vec<Edge>,
     /// Per-neighbour broadcast queues, chunked to `edges_per_message`.
     rm_queues: Vec<(NodeId, Vec<Edge>)>,
     ins_queues: Vec<(NodeId, Vec<Edge>)>,
     /// Candidate triangle deltas observed this epoch; drained by the
-    /// coordinator's merge step.
+    /// coordinator's merge step ([`Aggregation::Free`]) or folded into
+    /// the convergecast aggregate at the start of the aggregation
+    /// phase.
     dead: Vec<Triangle>,
     born: Vec<Triangle>,
+    /// Whether this epoch runs the convergecast aggregation phase.
+    aggregate: bool,
+    /// This node's parent in the coordinator-computed BFS forest
+    /// (`None` for component roots).
+    parent: Option<NodeId>,
+    /// How many convergecast streams this node must absorb before it
+    /// may forward its own aggregate.
+    child_count: usize,
+    children_done: usize,
+    /// Per-child partial convergecast streams, reassembled chunk by
+    /// chunk.
+    child_streams: BTreeMap<NodeId, BitWriter>,
+    /// The dedup-merged candidate aggregates (own observations plus
+    /// every finished child stream) — the `shard.rs` merge core keeps
+    /// each triangle exactly once, which is also what bounds the bits
+    /// forwarded upward.
+    agg_dead: TriangleSet,
+    agg_born: TriangleSet,
+    /// The serialized aggregate, pre-chunked to the link budget, being
+    /// streamed to the parent (`None` until the node starts sending).
+    up_chunks: Option<VecDeque<Payload>>,
+    /// First protocol violation observed this epoch (corrupt payload);
+    /// surfaced by the coordinator as [`StreamError::Protocol`].
+    protocol_error: Option<String>,
 }
 
 impl DynamicTriangleNode {
@@ -242,10 +423,21 @@ impl DynamicTriangleNode {
             ins_rounds: 0,
             my_removes: Vec::new(),
             my_inserts: Vec::new(),
+            bcast_removes: Vec::new(),
+            bcast_inserts: Vec::new(),
             rm_queues: Vec::new(),
             ins_queues: Vec::new(),
             dead: Vec::new(),
             born: Vec::new(),
+            aggregate: false,
+            parent: None,
+            child_count: 0,
+            children_done: 0,
+            child_streams: BTreeMap::new(),
+            agg_dead: TriangleSet::new(),
+            agg_born: TriangleSet::new(),
+            up_chunks: None,
+            protocol_error: None,
         }
     }
 
@@ -255,6 +447,22 @@ impl DynamicTriangleNode {
             std::mem::take(&mut self.dead),
             std::mem::take(&mut self.born),
         )
+    }
+
+    /// Takes the convergecast aggregates (meaningful on forest roots
+    /// after an [`Aggregation::Convergecast`] epoch).
+    fn take_aggregates(&mut self) -> (TriangleSet, TriangleSet) {
+        (
+            std::mem::take(&mut self.agg_dead),
+            std::mem::take(&mut self.agg_born),
+        )
+    }
+
+    /// Latches the first protocol violation of the epoch.
+    fn record_protocol_error(&mut self, from: NodeId, detail: String) {
+        if self.protocol_error.is_none() {
+            self.protocol_error = Some(format!("from {from}: {detail}"));
+        }
     }
 
     /// Whether `other` is currently in this node's slice.
@@ -283,39 +491,105 @@ impl DynamicTriangleNode {
             .collect()
     }
 
-    /// Decodes the injected batch descriptor and prepares the epoch.
+    /// Decodes one node id, validating it against the network size `n`
+    /// (so a corrupt payload surfaces a protocol error instead of
+    /// silently truncating into the `u32` id space).
+    fn decode_node(codec: IdCodec, r: &mut BitReader<'_>, n: usize) -> Result<NodeId, String> {
+        let value = codec
+            .decode(r)
+            .map_err(|e| format!("undecodable node id: {e}"))?;
+        if value >= n as u64 || value > u64::from(u32::MAX) {
+            return Err(format!("node id {value} out of range for n = {n}"));
+        }
+        Ok(NodeId(value as u32))
+    }
+
+    /// Decodes one edge (two distinct, in-range ids).
+    fn decode_edge(codec: IdCodec, r: &mut BitReader<'_>, n: usize) -> Result<Edge, String> {
+        let a = Self::decode_node(codec, r, n)?;
+        let b = Self::decode_node(codec, r, n)?;
+        if a == b {
+            return Err(format!("degenerate edge {{{a}, {b}}}"));
+        }
+        Ok(Edge::new(a, b))
+    }
+
+    /// Decodes the injected batch descriptor and prepares the epoch;
+    /// resets all per-epoch state first so nothing leaks across epochs.
     fn load_descriptor(&mut self, ctx: &mut RoundContext<'_>) {
         self.rm_rounds = 0;
         self.ins_rounds = 0;
         self.my_removes.clear();
         self.my_inserts.clear();
+        self.bcast_removes.clear();
+        self.bcast_inserts.clear();
         self.rm_queues.clear();
         self.ins_queues.clear();
+        self.aggregate = false;
+        self.parent = None;
+        self.child_count = 0;
+        self.children_done = 0;
+        self.child_streams.clear();
+        self.agg_dead = TriangleSet::new();
+        self.agg_born = TriangleSet::new();
+        self.up_chunks = None;
+        self.protocol_error = None;
         let codec = ctx.id_codec().codec();
+        let n = ctx.n();
         for m in ctx.take_inbox() {
-            let mut r = BitReader::new(&m.payload);
-            let Ok(rm_rounds) = r.read_bits(COUNT_BITS) else {
-                continue;
-            };
-            let Ok(ins_rounds) = r.read_bits(COUNT_BITS) else {
-                continue;
-            };
-            self.rm_rounds = rm_rounds;
-            self.ins_rounds = ins_rounds;
-            for list in [&mut self.my_removes, &mut self.my_inserts] {
-                let Ok(count) = r.read_bits(COUNT_BITS) else {
-                    continue;
-                };
-                for _ in 0..count {
-                    let (Ok(a), Ok(b)) = (codec.decode(&mut r), codec.decode(&mut r)) else {
-                        break;
-                    };
-                    list.push(Edge::new(NodeId(a as u32), NodeId(b as u32)));
-                }
+            if let Err(detail) = self.parse_descriptor(codec, n, &m.payload) {
+                self.record_protocol_error(m.from, detail);
             }
         }
         // Removal broadcasts go over the pre-batch neighbourhood.
-        self.rm_queues = Self::build_queues(&self.adjacency, &self.my_removes);
+        self.rm_queues = Self::build_queues(&self.adjacency, &self.bcast_removes);
+    }
+
+    /// Parses one descriptor payload, committing nothing on failure (a
+    /// corrupt descriptor must not leave half-set phase lengths behind).
+    fn parse_descriptor(
+        &mut self,
+        codec: IdCodec,
+        n: usize,
+        payload: &Payload,
+    ) -> Result<(), String> {
+        fn err<E: fmt::Display>(what: &'static str) -> impl FnOnce(E) -> String {
+            move |e| format!("descriptor {what}: {e}")
+        }
+        let mut r = BitReader::new(payload);
+        let rm_rounds = r.read_bits(COUNT_BITS).map_err(err("rm_rounds"))?;
+        let ins_rounds = r.read_bits(COUNT_BITS).map_err(err("ins_rounds"))?;
+        let aggregate = r.read_bool().map_err(err("aggregation flag"))?;
+        let mut parent = None;
+        let mut child_count = 0usize;
+        if aggregate {
+            if r.read_bool().map_err(err("parent flag"))? {
+                parent = Some(Self::decode_node(codec, &mut r, n)?);
+            }
+            child_count = r.read_bits(COUNT_BITS).map_err(err("child count"))? as usize;
+        }
+        let mut lists: [(Vec<Edge>, Vec<Edge>); 2] = Default::default();
+        for (all, bcast) in &mut lists {
+            let count = r.read_bits(COUNT_BITS).map_err(err("list length"))?;
+            for _ in 0..count {
+                let e = Self::decode_edge(codec, &mut r, n)?;
+                all.push(e);
+                if r.read_bool().map_err(err("broadcast flag"))? {
+                    bcast.push(e);
+                }
+            }
+        }
+        let [(rm_all, rm_bcast), (ins_all, ins_bcast)] = lists;
+        self.rm_rounds = rm_rounds;
+        self.ins_rounds = ins_rounds;
+        self.aggregate = aggregate;
+        self.parent = parent;
+        self.child_count = child_count;
+        self.my_removes = rm_all;
+        self.bcast_removes = rm_bcast;
+        self.my_inserts = ins_all;
+        self.bcast_inserts = ins_bcast;
+        Ok(())
     }
 
     /// Applies this node's own effective deltas to its slice (the phase
@@ -332,7 +606,7 @@ impl DynamicTriangleNode {
                 sorted_insert(&mut self.adjacency, other);
             }
         }
-        self.ins_queues = Self::build_queues(&self.adjacency, &self.my_inserts);
+        self.ins_queues = Self::build_queues(&self.adjacency, &self.bcast_inserts);
     }
 
     /// Sends this round's chunk of every per-neighbour queue.
@@ -362,20 +636,136 @@ impl DynamicTriangleNode {
         }
     }
 
-    /// Decodes the edges packed into a broadcast message.
-    fn decode_edges(codec: IdCodec, payload: &Payload) -> Vec<Edge> {
+    /// Decodes the edges packed into a broadcast message, rejecting
+    /// payloads that are not an exact sequence of in-range edges.
+    fn decode_edges(codec: IdCodec, payload: &Payload, n: usize) -> Result<Vec<Edge>, String> {
         let mut out = Vec::new();
         let mut r = BitReader::new(payload);
         let pair = 2 * codec.width();
         let mut remaining = payload.bit_len();
         while remaining >= pair {
-            let (Ok(a), Ok(b)) = (codec.decode(&mut r), codec.decode(&mut r)) else {
-                break;
-            };
-            out.push(Edge::new(NodeId(a as u32), NodeId(b as u32)));
+            out.push(Self::decode_edge(codec, &mut r, n)?);
             remaining -= pair;
         }
-        out
+        if remaining != 0 {
+            return Err(format!(
+                "broadcast payload has {remaining} trailing bits (not a whole edge)"
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Serializes the merged candidate aggregate for the upward
+    /// convergecast leg. Empty aggregates serialize to the empty stream
+    /// (one 1-bit chunk), so quiet subtrees cost almost nothing.
+    fn serialize_aggregate(codec: IdCodec, dead: &TriangleSet, born: &TriangleSet) -> Payload {
+        if dead.is_empty() && born.is_empty() {
+            return Payload::new();
+        }
+        let mut w = BitWriter::new();
+        for set in [dead, born] {
+            w.write_bits(set.len() as u64, COUNT_BITS);
+            for t in set.iter() {
+                for v in t.nodes() {
+                    codec.encode(&mut w, v.as_u64());
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a reassembled convergecast stream back into candidate
+    /// lists, validating counts, ids and triangle well-formedness.
+    fn decode_aggregate(
+        codec: IdCodec,
+        n: usize,
+        stream: &Payload,
+    ) -> Result<(Vec<Triangle>, Vec<Triangle>), String> {
+        if stream.bit_len() == 0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let mut r = BitReader::new(stream);
+        let mut dead = Vec::new();
+        let mut born = Vec::new();
+        for list in [&mut dead, &mut born] {
+            let count = r
+                .read_bits(COUNT_BITS)
+                .map_err(|e| format!("aggregate count: {e}"))?;
+            for _ in 0..count {
+                let a = Self::decode_node(codec, &mut r, n)?;
+                let b = Self::decode_node(codec, &mut r, n)?;
+                let c = Self::decode_node(codec, &mut r, n)?;
+                if a == b || b == c || a == c {
+                    return Err(format!("degenerate triangle {{{a}, {b}, {c}}}"));
+                }
+                list.push(Triangle::new(a, b, c));
+            }
+        }
+        if !r.is_exhausted() {
+            return Err(format!(
+                "aggregate stream has {} trailing bits",
+                r.remaining()
+            ));
+        }
+        Ok((dead, born))
+    }
+
+    /// Splits a serialized aggregate into link-budget-sized chunk
+    /// messages, each `[more-flag | ≤ B−1 data bits]`. The empty stream
+    /// becomes a single flag-only chunk — the cheapest possible "my
+    /// subtree saw nothing".
+    fn chunk_stream(stream: &Payload, bandwidth_bits: usize) -> VecDeque<Payload> {
+        let per_chunk = bandwidth_bits.saturating_sub(1).max(1);
+        let total = stream.bit_len();
+        let mut reader = BitReader::new(stream);
+        let mut chunks = VecDeque::new();
+        let mut offset = 0;
+        loop {
+            let take = per_chunk.min(total - offset);
+            let mut w = BitWriter::new();
+            w.write_bool(offset + take < total);
+            copy_bits(&mut reader, &mut w, take);
+            chunks.push_back(w.finish());
+            offset += take;
+            if offset >= total {
+                return chunks;
+            }
+        }
+    }
+
+    /// Absorbs one convergecast chunk from a child; on the final chunk
+    /// the reassembled stream is decoded and dedup-merged into this
+    /// node's aggregates through the shared `shard.rs` merge core.
+    fn receive_chunk(&mut self, codec: IdCodec, n: usize, m: &ReceivedMessage) {
+        let mut r = BitReader::new(&m.payload);
+        let more = match r.read_bool() {
+            Ok(more) => more,
+            Err(e) => {
+                self.record_protocol_error(m.from, format!("empty convergecast chunk: {e}"));
+                // Count the stream as finished so the epoch still
+                // terminates; the error surfaces after it.
+                self.children_done += 1;
+                return;
+            }
+        };
+        let buf = self.child_streams.entry(m.from).or_default();
+        copy_bits(&mut r, buf, m.payload.bit_len() - 1);
+        if more {
+            return;
+        }
+        let stream = self
+            .child_streams
+            .remove(&m.from)
+            .expect("buffer was just written")
+            .finish();
+        match Self::decode_aggregate(codec, n, &stream) {
+            Ok((dead, born)) => {
+                merge_added_candidates(&mut self.agg_dead, &dead);
+                merge_added_candidates(&mut self.agg_born, &born);
+            }
+            Err(detail) => self.record_protocol_error(m.from, detail),
+        }
+        self.children_done += 1;
     }
 }
 
@@ -385,18 +775,33 @@ impl NodeProgram for DynamicTriangleNode {
     fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
         let r = ctx.round();
         let codec = ctx.id_codec().codec();
+        let n = ctx.n();
         let per_message = Self::edges_per_message(ctx.bandwidth_bits(), codec.width());
 
         if r == 0 {
             self.load_descriptor(ctx);
         } else {
+            let broadcast_end = self.rm_rounds + self.ins_rounds;
             // Deliveries from rounds `1..=rm_rounds` are removal
             // broadcasts, checked against the *pre-batch* slice (our own
             // mutations apply at the boundary below, after receiving);
-            // later deliveries are insertions, checked post-batch.
+            // deliveries up to `broadcast_end` are insertions, checked
+            // post-batch; anything later is a convergecast chunk from a
+            // child in the BFS forest.
             let removal_phase = r <= self.rm_rounds;
             for m in ctx.take_inbox() {
-                for e in Self::decode_edges(codec, &m.payload) {
+                if r > broadcast_end {
+                    self.receive_chunk(codec, n, &m);
+                    continue;
+                }
+                let edges = match Self::decode_edges(codec, &m.payload, n) {
+                    Ok(edges) => edges,
+                    Err(detail) => {
+                        self.record_protocol_error(m.from, detail);
+                        continue;
+                    }
+                };
+                for e in edges {
                     if e.contains(self.id) {
                         continue;
                     }
@@ -421,12 +826,46 @@ impl NodeProgram for DynamicTriangleNode {
 
         if r < self.rm_rounds {
             Self::send_wave(ctx, &self.rm_queues, r as usize, per_message);
-        } else if r < self.rm_rounds + self.ins_rounds {
+            return NodeStatus::Active;
+        }
+        if r < self.rm_rounds + self.ins_rounds {
             let wave = (r - self.rm_rounds) as usize;
             Self::send_wave(ctx, &self.ins_queues, wave, per_message);
+            return NodeStatus::Active;
         }
 
-        if r >= self.rm_rounds + self.ins_rounds {
+        // Broadcast phases are over. Under free aggregation the epoch
+        // ends here; under convergecast the node first folds its own
+        // observations into the aggregate, then — once every child
+        // stream has been absorbed — streams the merged sets to its
+        // parent, one in-budget chunk per round. Forest roots keep the
+        // result for the coordinator instead.
+        if !self.aggregate {
+            return NodeStatus::Halted;
+        }
+        if r == self.rm_rounds + self.ins_rounds {
+            let (dead, born) = self.drain_candidates();
+            merge_added_candidates(&mut self.agg_dead, &dead);
+            merge_added_candidates(&mut self.agg_born, &born);
+        }
+        if self.children_done < self.child_count {
+            return NodeStatus::Active;
+        }
+        let Some(parent) = self.parent else {
+            return NodeStatus::Halted;
+        };
+        if self.up_chunks.is_none() {
+            let stream = Self::serialize_aggregate(codec, &self.agg_dead, &self.agg_born);
+            self.up_chunks = Some(Self::chunk_stream(&stream, ctx.bandwidth_bits()));
+        }
+        let chunks = self.up_chunks.as_mut().expect("chunks were just built");
+        let chunk = chunks
+            .pop_front()
+            .expect("chunking never yields zero chunks");
+        let done = chunks.is_empty();
+        ctx.send(parent, chunk)
+            .expect("convergecast chunks fit the link budget");
+        if done {
             NodeStatus::Halted
         } else {
             NodeStatus::Active
@@ -475,12 +914,25 @@ pub struct DistributedTriangleEngine {
     pending: PendingBuffer,
     /// Per-link per-round budget, in bits.
     bandwidth_bits: usize,
+    /// Broadcast scheduling policy (helper-split hub broadcasts).
+    hub_split: HubSplit,
+    /// How candidate sets reach the coordinator after the broadcasts.
+    aggregation: Aggregation,
     /// Cost of the most recent epoch.
     last_batch: CongestCost,
     /// Running total over all epochs.
     total: CongestCost,
     /// Number of epochs (batches that actually ran the network).
     epochs: u64,
+}
+
+/// The coordinator-computed BFS forest of one epoch's union topology:
+/// convergecast parents, per-node child counts, and one root per
+/// connected component (whose aggregates the coordinator reads).
+struct BfsForest {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<usize>,
+    roots: Vec<NodeId>,
 }
 
 impl DistributedTriangleEngine {
@@ -566,6 +1018,8 @@ impl DistributedTriangleEngine {
             mode: ApplyMode::Eager,
             pending: PendingBuffer::default(),
             bandwidth_bits,
+            hub_split: HubSplit::default(),
+            aggregation: Aggregation::default(),
             last_batch: CongestCost::default(),
             total: CongestCost::default(),
             epochs: 0,
@@ -582,9 +1036,36 @@ impl DistributedTriangleEngine {
         self
     }
 
+    /// Sets the broadcast scheduling policy (builder style; see
+    /// [`HubSplit`]). Every policy produces the identical triangle sets
+    /// — only the epoch round/message schedule changes.
+    pub fn with_hub_split(mut self, hub_split: HubSplit) -> Self {
+        self.hub_split = hub_split;
+        self
+    }
+
+    /// Sets the candidate aggregation mode (builder style; see
+    /// [`Aggregation`]). Both modes produce the identical triangle sets
+    /// — [`Aggregation::Free`] merely stops charging the network for
+    /// the merge.
+    pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
     /// The application mode in effect.
     pub fn mode(&self) -> ApplyMode {
         self.mode
+    }
+
+    /// The broadcast scheduling policy in effect.
+    pub fn hub_split(&self) -> HubSplit {
+        self.hub_split
+    }
+
+    /// The candidate aggregation mode in effect.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
     }
 
     /// The epoch executor driving the simulated network.
@@ -679,12 +1160,16 @@ impl DistributedTriangleEngine {
     ///
     /// # Errors
     ///
-    /// [`StreamError::NodeOutOfRange`] if any delta references a node
-    /// outside the graph; the batch is then applied not at all.
+    /// * [`StreamError::NodeOutOfRange`] if any delta references a node
+    ///   outside the graph; the batch is then applied not at all.
+    /// * [`StreamError::Protocol`] if a network node received a payload
+    ///   it could not decode (corrupt injected traffic — the engine's
+    ///   own broadcasts never produce this); the engine should be
+    ///   considered unusable afterwards.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
         validate_batch(batch, self.node_count())?;
         match self.mode {
-            ApplyMode::Eager => Ok(self.process_batch(batch)),
+            ApplyMode::Eager => self.process_batch(batch),
             ApplyMode::Deferred => {
                 self.pending.buffer(batch);
                 Ok(ApplyReport {
@@ -699,12 +1184,21 @@ impl DistributedTriangleEngine {
     /// Coalesces and applies every buffered batch as a single epoch
     /// (no-op in eager mode or with nothing pending); same accounting as
     /// the centralized engines' `flush`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch surfaces a broadcast protocol error, which
+    /// cannot happen with payloads produced by this engine (the trait's
+    /// `flush` has no error channel; `apply` returns
+    /// [`StreamError::Protocol`] instead).
     pub fn flush(&mut self) -> ApplyReport {
         if self.pending.is_empty() {
             return ApplyReport::default();
         }
         let buffered = self.pending.take();
-        let mut report = self.process_batch(&buffered);
+        let mut report = self
+            .process_batch(&buffered)
+            .unwrap_or_else(|e| panic!("deferred flush hit a protocol error: {e}"));
         report.deltas_seen = 0;
         report
     }
@@ -715,9 +1209,114 @@ impl DistributedTriangleEngine {
         self.triangles == congest_graph::triangles::list_all_on(self)
     }
 
+    /// The per-node per-phase broadcast budget, in deltas: `None` under
+    /// [`HubSplit::Off`], the mean incident load of the phase's touched
+    /// nodes under [`HubSplit::Auto`], the explicit value (clamped to
+    /// ≥ 1) under [`HubSplit::Budget`].
+    fn phase_budget(&self, lists: &BTreeMap<NodeId, Vec<Edge>>) -> Option<usize> {
+        if lists.is_empty() {
+            return None;
+        }
+        match self.hub_split {
+            HubSplit::Off => None,
+            HubSplit::Auto => {
+                let entries: usize = lists.values().map(Vec::len).sum();
+                Some(entries.div_ceil(lists.len()).max(1))
+            }
+            HubSplit::Budget(budget) => Some(budget.max(1)),
+        }
+    }
+
+    /// Helper-split scheduling for one phase: every node over `budget`
+    /// sheds incident deltas — heaviest nodes first, so two adjacent
+    /// hubs cannot both drop their shared edge — as long as the delta
+    /// keeps its other broadcaster (every delta's third-vertex audience
+    /// is adjacent to *both* endpoints, so one broadcaster suffices; see
+    /// the module docs). Returns, per node, the deltas it must **not**
+    /// broadcast.
+    fn plan_broadcasts(
+        lists: &BTreeMap<NodeId, Vec<Edge>>,
+        budget: Option<usize>,
+    ) -> BTreeMap<NodeId, BTreeSet<Edge>> {
+        let mut dropped: BTreeMap<NodeId, BTreeSet<Edge>> = BTreeMap::new();
+        let Some(budget) = budget else {
+            return dropped;
+        };
+        // Each effective delta starts with both endpoints broadcasting.
+        let mut broadcasters: BTreeMap<Edge, usize> = BTreeMap::new();
+        for list in lists.values() {
+            for e in list {
+                *broadcasters.entry(*e).or_insert(0) += 1;
+            }
+        }
+        let mut order: Vec<NodeId> = lists.keys().copied().collect();
+        order.sort_by_key(|v| (std::cmp::Reverse(lists[v].len()), v.index()));
+        for node in order {
+            let mut load = lists[&node].len();
+            if load <= budget {
+                break; // sorted by decreasing load: nobody left is over
+            }
+            let mut edges = lists[&node].clone();
+            edges.sort_unstable();
+            for e in edges {
+                if load <= budget {
+                    break;
+                }
+                let count = broadcasters.get_mut(&e).expect("edge was counted");
+                if *count > 1 {
+                    *count -= 1;
+                    dropped.entry(node).or_default().insert(e);
+                    load -= 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Computes the BFS forest of the epoch's union topology `G ∪ G'`
+    /// for the convergecast: `union_lists` holds the already-updated
+    /// lists of insertion endpoints, every other node keeps its current
+    /// (pre-batch) list.
+    fn bfs_forest(&self, union_lists: &BTreeMap<NodeId, Vec<NodeId>>) -> BfsForest {
+        let n = self.node_count();
+        let mut forest = BfsForest {
+            parent: vec![None; n],
+            children: vec![0; n],
+            roots: Vec::new(),
+        };
+        let mut visited = vec![false; n];
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for i in 0..n {
+            if visited[i] {
+                continue;
+            }
+            let root = NodeId::from_index(i);
+            visited[i] = true;
+            forest.roots.push(root);
+            queue.push_back(root);
+            while let Some(u) = queue.pop_front() {
+                let neighbors = match union_lists.get(&u) {
+                    Some(list) => list.as_slice(),
+                    None => &self.sim.program(u).adjacency,
+                };
+                for &w in neighbors {
+                    if !visited[w.index()] {
+                        visited[w.index()] = true;
+                        forest.parent[w.index()] = Some(u);
+                        forest.children[u.index()] += 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        forest
+    }
+
     /// Runs one pre-validated batch as a network epoch (see the
-    /// [module documentation](self)).
-    fn process_batch(&mut self, raw: &DeltaBatch) -> ApplyReport {
+    /// [module documentation](self)). A batch that coalesces or
+    /// classifies to nothing runs no epoch — the documented floor cost
+    /// of zero rounds.
+    fn process_batch(&mut self, raw: &DeltaBatch) -> Result<ApplyReport, StreamError> {
         let raw_len = raw.len();
         let coalesced = raw.coalesce();
         let mut report = ApplyReport {
@@ -742,44 +1341,45 @@ impl DistributedTriangleEngine {
         report.inserts_applied = inserts.len();
         report.removes_applied = removes.len();
         if inserts.is_empty() && removes.is_empty() {
-            return report;
+            return Ok(report);
         }
 
-        // Per-node incident slices and the global phase lengths: a phase
-        // must cover the longest per-link broadcast queue, which is at
-        // most ceil(incident deltas / edges-per-message).
+        // Per-node incident slices, the helper-split broadcast plans,
+        // and the global phase lengths: a phase must cover the longest
+        // post-split per-node queue, at most
+        // ceil(assigned deltas / edges-per-message).
         let n = self.node_count();
         let codec = IdCodec::new(n as u64);
         let per_message =
             DynamicTriangleNode::edges_per_message(self.bandwidth_bits, codec.width());
-        let mut slices: BTreeMap<NodeId, (Vec<Edge>, Vec<Edge>)> = BTreeMap::new();
-        for e in &removes {
-            for node in [e.lo(), e.hi()] {
-                slices.entry(node).or_default().0.push(*e);
+        let mut rm_slices: BTreeMap<NodeId, Vec<Edge>> = BTreeMap::new();
+        let mut ins_slices: BTreeMap<NodeId, Vec<Edge>> = BTreeMap::new();
+        for (edges, slices) in [(&removes, &mut rm_slices), (&inserts, &mut ins_slices)] {
+            for e in edges.iter() {
+                for node in [e.lo(), e.hi()] {
+                    slices.entry(node).or_default().push(*e);
+                }
             }
         }
-        for e in &inserts {
-            for node in [e.lo(), e.hi()] {
-                slices.entry(node).or_default().1.push(*e);
-            }
-        }
+        let rm_dropped = Self::plan_broadcasts(&rm_slices, self.phase_budget(&rm_slices));
+        let ins_dropped = Self::plan_broadcasts(&ins_slices, self.phase_budget(&ins_slices));
         let waves = |count: usize| count.div_ceil(per_message) as u64;
-        let rm_rounds = slices
-            .values()
-            .map(|(r, _)| waves(r.len()))
-            .max()
-            .unwrap_or(0);
-        let ins_rounds = slices
-            .values()
-            .map(|(_, i)| waves(i.len()))
-            .max()
-            .unwrap_or(0);
+        let assigned = |slices: &BTreeMap<NodeId, Vec<Edge>>,
+                        dropped: &BTreeMap<NodeId, BTreeSet<Edge>>| {
+            slices
+                .iter()
+                .map(|(node, list)| waves(list.len() - dropped.get(node).map_or(0, BTreeSet::len)))
+                .max()
+                .unwrap_or(0)
+        };
+        let rm_rounds = assigned(&rm_slices, &rm_dropped);
+        let ins_rounds = assigned(&ins_slices, &ins_dropped);
 
         // Epoch topology: the union G ∪ G' — a removed link still
-        // carries its tear-down broadcast, an inserted link exists as
-        // soon as its edge does. Union lists are accumulated per node
-        // first so several inserts at one endpoint compose instead of
-        // overwriting each other.
+        // carries its tear-down broadcast (and its convergecast leg),
+        // an inserted link exists as soon as its edge does. Union lists
+        // are accumulated per node first so several inserts at one
+        // endpoint compose instead of overwriting each other.
         let mut union_lists: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for e in &inserts {
             for (node, other) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
@@ -789,24 +1389,43 @@ impl DistributedTriangleEngine {
                 sorted_insert(list, other);
             }
         }
+        // The convergecast forest spans the union topology; computed
+        // before the topology mutations below so it can read the
+        // pre-batch lists of untouched nodes.
+        let aggregate = self.aggregation == Aggregation::Convergecast;
+        let forest = aggregate.then(|| self.bfs_forest(&union_lists));
         for (node, list) in union_lists {
             self.sim.update_topology(node, list);
         }
 
         // Inject every node's batch descriptor (all nodes need the phase
-        // lengths to know when the epoch ends, even pure detectors).
-        let empty = (Vec::new(), Vec::new());
+        // lengths to know when the epoch ends, even pure detectors — and
+        // every node has a convergecast leg to play).
+        let empty = Vec::new();
         for i in 0..n {
             let node = NodeId::from_index(i);
-            let (rm, ins) = slices.get(&node).unwrap_or(&empty);
             let mut w = BitWriter::new();
             w.write_bits(rm_rounds, COUNT_BITS);
             w.write_bits(ins_rounds, COUNT_BITS);
-            for list in [rm, ins] {
+            w.write_bool(aggregate);
+            if let Some(forest) = &forest {
+                match forest.parent[i] {
+                    Some(parent) => {
+                        w.write_bool(true);
+                        codec.encode(&mut w, parent.as_u64());
+                    }
+                    None => w.write_bool(false),
+                }
+                w.write_bits(forest.children[i] as u64, COUNT_BITS);
+            }
+            for (slices, dropped) in [(&rm_slices, &rm_dropped), (&ins_slices, &ins_dropped)] {
+                let list = slices.get(&node).unwrap_or(&empty);
+                let shed = dropped.get(&node);
                 w.write_bits(list.len() as u64, COUNT_BITS);
                 for e in list {
                     codec.encode(&mut w, e.lo().as_u64());
                     codec.encode(&mut w, e.hi().as_u64());
+                    w.write_bool(!shed.is_some_and(|s| s.contains(e)));
                 }
             }
             self.sim.inject(node, w.finish());
@@ -814,29 +1433,58 @@ impl DistributedTriangleEngine {
 
         let epoch = self.sim.run_epoch();
         debug_assert!(epoch.completed(), "batch epochs always terminate");
-        self.last_batch = CongestCost::default();
-        self.last_batch.absorb(&epoch.metrics);
-        self.total.absorb(&epoch.metrics);
+        // The broadcast prefix is exactly rm + ins + 1 rounds (the +1 is
+        // the descriptor/boundary round); everything beyond it is the
+        // convergecast (free-aggregation epochs end right there).
+        self.last_batch = CongestCost::from_epoch(&epoch.metrics, rm_rounds + ins_rounds + 1);
+        self.total.accumulate(&self.last_batch);
         self.epochs += 1;
 
-        // Coordinator merge: drain every touched node's candidates into
-        // the global set through the shared exactly-once dedup core.
-        // (Candidates only ever appear on nodes adjacent to a delta
-        // endpoint, but draining is O(1) per untouched node — cheaper
-        // than computing the affected set.)
+        // A node that received an undecodable payload latched the
+        // violation; surface it instead of merging a corrupt epoch.
         for i in 0..n {
-            let (dead, born) = self
-                .sim
-                .program_mut(NodeId::from_index(i))
-                .drain_candidates();
-            report.triangles_removed += merge_removed_candidates(&mut self.triangles, &dead);
-            report.triangles_added += merge_added_candidates(&mut self.triangles, &born);
+            let node = NodeId::from_index(i);
+            if let Some(detail) = &self.sim.program(node).protocol_error {
+                return Err(StreamError::Protocol {
+                    node,
+                    detail: detail.clone(),
+                });
+            }
+        }
+
+        // Coordinator merge through the shared exactly-once dedup core.
+        match &forest {
+            // Free aggregation: drain every node's candidates directly
+            // (a merge the network never paid for — the bench control).
+            None => {
+                for i in 0..n {
+                    let (dead, born) = self
+                        .sim
+                        .program_mut(NodeId::from_index(i))
+                        .drain_candidates();
+                    report.triangles_removed +=
+                        merge_removed_candidates(&mut self.triangles, &dead);
+                    report.triangles_added += merge_added_candidates(&mut self.triangles, &born);
+                }
+            }
+            // Convergecast: the network already aggregated each
+            // component's candidates at its root over accounted rounds;
+            // the coordinator only reads the roots.
+            Some(forest) => {
+                for &root in &forest.roots {
+                    let (dead, born) = self.sim.program_mut(root).take_aggregates();
+                    report.triangles_removed +=
+                        merge_removed_candidates(&mut self.triangles, dead.iter());
+                    report.triangles_added +=
+                        merge_added_candidates(&mut self.triangles, born.iter());
+                }
+            }
         }
 
         // Settle the communication topology on G' (drop removed links),
         // once per distinct endpoint — a hub shedding many edges in one
         // batch gets a single O(degree) clone, not one per edge.
-        let removed_endpoints: std::collections::BTreeSet<NodeId> =
+        let removed_endpoints: BTreeSet<NodeId> =
             removes.iter().flat_map(|e| [e.lo(), e.hi()]).collect();
         for node in removed_endpoints {
             let list = self.sim.program(node).adjacency.clone();
@@ -852,7 +1500,7 @@ impl DistributedTriangleEngine {
             2 * self.edge_count,
             "node slices lost symmetry"
         );
-        report
+        Ok(report)
     }
 }
 
@@ -885,13 +1533,15 @@ impl fmt::Debug for DistributedTriangleEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "DistributedTriangleEngine(n={}, m={}, triangles={}, mode={}, exec={}, epochs={}, \
-             rounds={})",
+            "DistributedTriangleEngine(n={}, m={}, triangles={}, mode={}, exec={}, split={}, \
+             agg={}, epochs={}, rounds={})",
             self.node_count(),
             self.edge_count(),
             self.triangle_count(),
             self.mode.name(),
             self.executor().name(),
+            self.hub_split.name(),
+            self.aggregation.name(),
             self.epochs,
             self.total.rounds,
         )
@@ -1203,5 +1853,279 @@ mod tests {
         engine.apply(&b).unwrap();
         assert_eq!(engine.triangle_count(), 1);
         assert!(engine.matches_oracle());
+    }
+
+    /// A star around node 0 with a rim, so hub removals retire real
+    /// triangles: the canonical hotspot input.
+    fn hub_star(spokes: u32) -> (Graph, DeltaBatch) {
+        let mut b = congest_graph::GraphBuilder::new(spokes as usize + 1);
+        for i in 1..=spokes {
+            b.add_edge(v(0), v(i)).unwrap();
+        }
+        for i in 1..spokes {
+            b.add_edge(v(i), v(i + 1)).unwrap();
+        }
+        let mut tear = DeltaBatch::new();
+        for i in 1..=spokes {
+            tear.remove(v(0), v(i));
+        }
+        (b.build(), tear)
+    }
+
+    #[test]
+    fn hub_split_flattens_hotspot_epochs() {
+        // One hub with 24 incident removals, every helper with 1: the
+        // split schedule must cost a small fraction of the unsplit one
+        // while retiring the identical triangles. Free aggregation on
+        // both sides isolates the broadcast phases.
+        let (graph, tear) = hub_star(24);
+        let run = |split: HubSplit| {
+            let mut engine = DistributedTriangleEngine::from_graph(&graph)
+                .with_hub_split(split)
+                .with_aggregation(Aggregation::Free);
+            assert_eq!(engine.hub_split(), split);
+            let report = engine.apply(&tear).unwrap();
+            assert!(engine.matches_oracle());
+            (report, engine.last_batch_cost(), engine.triangles().clone())
+        };
+        let (unsplit_report, unsplit_cost, unsplit_set) = run(HubSplit::Off);
+        let (split_report, split_cost, split_set) = run(HubSplit::Auto);
+        assert_eq!(unsplit_report, split_report);
+        assert_eq!(unsplit_set, split_set);
+        // 24 hub deltas vs an average-load budget of 2: the unsplit
+        // phase is hub-bound, the split one near-flat.
+        assert!(
+            split_cost.rounds * 2 <= unsplit_cost.rounds,
+            "split {split_cost:?} should be at least 2x below unsplit {unsplit_cost:?}"
+        );
+        // Forcing the budget to 1 flattens as far as coverage allows.
+        let (forced_report, forced_cost, forced_set) = run(HubSplit::Budget(1));
+        assert_eq!(forced_report, split_report);
+        assert_eq!(forced_set, split_set);
+        assert!(forced_cost.rounds <= split_cost.rounds);
+    }
+
+    #[test]
+    fn convergecast_accounts_the_merge_and_changes_no_results() {
+        let g = Gnp::new(40, 0.15).seeded(7).generate();
+        let mut free =
+            DistributedTriangleEngine::from_graph(&g).with_aggregation(Aggregation::Free);
+        let mut conv = DistributedTriangleEngine::from_graph(&g);
+        assert_eq!(free.aggregation(), Aggregation::Free);
+        assert_eq!(conv.aggregation(), Aggregation::Convergecast);
+        for step in 0..6u32 {
+            let mut b = DeltaBatch::new();
+            for j in 0..9u32 {
+                let a = (step * 5 + j * 7) % 40;
+                let c = (step * 11 + j * 3 + 1) % 40;
+                if a != c {
+                    if (step + j) % 3 == 0 {
+                        b.remove(v(a), v(c));
+                    } else {
+                        b.insert(v(a), v(c));
+                    }
+                }
+            }
+            let rf = free.apply(&b).unwrap();
+            let rc = conv.apply(&b).unwrap();
+            assert_eq!(rf, rc, "step {step}: aggregation must not change reports");
+            assert_eq!(free.triangles(), conv.triangles(), "step {step}");
+            // The free merge is unaccounted; the convergecast pays real
+            // rounds and messages for the same information.
+            assert_eq!(free.last_batch_cost().convergecast_rounds, 0);
+            assert!(
+                conv.last_batch_cost().convergecast_rounds > 0,
+                "step {step}"
+            );
+            assert!(conv.last_batch_cost().rounds > free.last_batch_cost().rounds);
+            assert!(conv.last_batch_cost().messages > free.last_batch_cost().messages);
+        }
+        assert!(conv.matches_oracle());
+        assert!(conv.total_cost().convergecast_rounds > 0);
+        assert_eq!(free.total_cost().convergecast_rounds, 0);
+    }
+
+    #[test]
+    fn fully_cancelling_batches_cost_the_zero_round_floor_on_both_executors() {
+        for executor in [SimExecutor::Sequential, SimExecutor::Threaded] {
+            // A triangle {0,1,2} plus two spare nodes.
+            let mut b = congest_graph::GraphBuilder::new(5);
+            b.add_edge(v(0), v(1)).unwrap();
+            b.add_edge(v(1), v(2)).unwrap();
+            b.add_edge(v(0), v(2)).unwrap();
+            let base = b.build();
+            let mut engine = DistributedTriangleEngine::from_graph_with_executor(&base, executor);
+            // One real batch first, so the floor demonstrably does not
+            // reset earlier accounting.
+            let mut real = DeltaBatch::new();
+            real.insert(v(2), v(3));
+            engine.apply(&real).unwrap();
+            let epochs_before = engine.epochs();
+            let cost_before = engine.total_cost();
+            let last_before = engine.last_batch_cost();
+            assert!(cost_before.rounds > 0);
+
+            // insert+remove of an absent edge: the insert coalesces
+            // away and the surviving remove classifies as a no-op —
+            // zero effective deltas, zero-length broadcast phases.
+            let mut cancel_absent = DeltaBatch::new();
+            cancel_absent.insert(v(3), v(4)).remove(v(3), v(4));
+            // remove+insert of a present edge: the remove coalesces
+            // away and the surviving insert is already present.
+            let mut cancel_present = DeltaBatch::new();
+            cancel_present.remove(v(0), v(1)).insert(v(0), v(1));
+
+            for (name, batch) in [("absent", &cancel_absent), ("present", &cancel_present)] {
+                let r = engine.apply(batch).unwrap();
+                let ctx = format!("executor {}, {name} flap", executor.name());
+                assert_eq!(r.noops, 2, "{ctx}");
+                assert_eq!(r.inserts_applied + r.removes_applied, 0, "{ctx}");
+                assert_eq!(r.triangles_added + r.triangles_removed, 0, "{ctx}");
+                // The documented floor: no epoch runs at all.
+                assert_eq!(engine.epochs(), epochs_before, "{ctx}");
+                assert_eq!(engine.total_cost(), cost_before, "{ctx}");
+                assert_eq!(engine.last_batch_cost(), last_before, "{ctx}");
+            }
+            assert!(engine.matches_oracle());
+            assert_eq!(engine.triangle_count(), 1);
+        }
+    }
+
+    #[test]
+    fn corrupt_injected_payload_surfaces_a_protocol_error() {
+        // A truncated out-of-band payload lands in a node's round-0
+        // inbox next to the real descriptor: the node must latch a
+        // protocol error (instead of silently truncating ids) and the
+        // coordinator must surface it from apply.
+        let mut engine = DistributedTriangleEngine::new(8);
+        let mut w = BitWriter::new();
+        w.write_bits(3, 7); // far too short for a descriptor
+        engine.sim.inject(v(2), w.finish());
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1));
+        let err = engine.apply(&b).unwrap_err();
+        match err {
+            StreamError::Protocol { node, detail } => {
+                assert_eq!(node, v(2));
+                assert!(detail.contains("descriptor"), "detail: {detail}");
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_degenerate_and_truncated_payloads() {
+        let codec = IdCodec::new(8);
+        // Degenerate edge {3, 3}.
+        let mut w = BitWriter::new();
+        codec.encode(&mut w, 3);
+        codec.encode(&mut w, 3);
+        let err = DynamicTriangleNode::decode_edges(codec, &w.finish(), 8).unwrap_err();
+        assert!(err.contains("degenerate edge"), "err: {err}");
+        // Trailing bits that are not a whole edge.
+        let mut w = BitWriter::new();
+        codec.encode(&mut w, 1);
+        codec.encode(&mut w, 2);
+        w.write_bits(0, 3);
+        let err = DynamicTriangleNode::decode_edges(codec, &w.finish(), 8).unwrap_err();
+        assert!(err.contains("trailing"), "err: {err}");
+        // An id decoded against a wider domain than the network size.
+        let wide = IdCodec::new(16);
+        let mut w = BitWriter::new();
+        wide.encode(&mut w, 12);
+        wide.encode(&mut w, 1);
+        let err = DynamicTriangleNode::decode_edges(wide, &w.finish(), 8).unwrap_err();
+        assert!(err.contains("out of range"), "err: {err}");
+    }
+
+    #[test]
+    fn aggregate_streams_round_trip_through_chunking() {
+        let codec = IdCodec::new(64);
+        let mut dead = TriangleSet::new();
+        dead.insert(Triangle::new(v(0), v(1), v(2)));
+        dead.insert(Triangle::new(v(3), v(10), v(40)));
+        let mut born = TriangleSet::new();
+        born.insert(Triangle::new(v(5), v(6), v(63)));
+        let stream = DynamicTriangleNode::serialize_aggregate(codec, &dead, &born);
+        // Chunk to a tiny budget and reassemble, exactly as a parent
+        // node does.
+        for bandwidth in [13usize, 20, 4096] {
+            let chunks = DynamicTriangleNode::chunk_stream(&stream, bandwidth);
+            let mut rebuilt = BitWriter::new();
+            let mut finished = false;
+            for chunk in &chunks {
+                assert!(chunk.bit_len() <= bandwidth, "chunk over budget");
+                assert!(!finished, "no chunks after the final one");
+                let mut r = BitReader::new(chunk);
+                finished = !r.read_bool().unwrap();
+                copy_bits(&mut r, &mut rebuilt, chunk.bit_len() - 1);
+            }
+            assert!(finished);
+            let (d, b) = DynamicTriangleNode::decode_aggregate(codec, 64, &rebuilt.finish())
+                .expect("round trip");
+            assert_eq!(d, dead.iter().copied().collect::<Vec<_>>());
+            assert_eq!(b, born.iter().copied().collect::<Vec<_>>());
+        }
+        // The empty aggregate is a single flag-only chunk.
+        let empty = DynamicTriangleNode::serialize_aggregate(
+            codec,
+            &TriangleSet::new(),
+            &TriangleSet::new(),
+        );
+        assert_eq!(empty.bit_len(), 0);
+        let chunks = DynamicTriangleNode::chunk_stream(&empty, 16);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].bit_len(), 1);
+        let (d, b) = DynamicTriangleNode::decode_aggregate(codec, 64, &empty).unwrap();
+        assert!(d.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn split_and_convergecast_stay_in_lockstep_across_executors() {
+        let g = Gnp::new(16, 0.25).seeded(33).generate();
+        let build = |executor| {
+            DistributedTriangleEngine::from_graph_with_executor(&g, executor)
+                .with_hub_split(HubSplit::Budget(1))
+                .with_aggregation(Aggregation::Convergecast)
+        };
+        let mut seq = build(SimExecutor::Sequential);
+        let mut thr = build(SimExecutor::Threaded);
+        for step in 0..4u32 {
+            let mut b = DeltaBatch::new();
+            for j in 0..8u32 {
+                let a = (step * 3 + j * 5) % 16;
+                let c = (step * 7 + j * 11 + 1) % 16;
+                if a != c {
+                    if (step + j) % 3 == 0 {
+                        b.remove(v(a), v(c));
+                    } else {
+                        b.insert(v(a), v(c));
+                    }
+                }
+            }
+            let rs = seq.apply(&b).unwrap();
+            let rt = thr.apply(&b).unwrap();
+            assert_eq!(rs, rt, "step {step}");
+            assert_eq!(seq.triangles(), thr.triangles(), "step {step}");
+            assert_eq!(seq.last_batch_cost(), thr.last_batch_cost(), "step {step}");
+        }
+        assert!(seq.matches_oracle() && thr.matches_oracle());
+        assert_eq!(seq.total_cost(), thr.total_cost());
+        assert!(seq.total_cost().convergecast_rounds > 0);
+    }
+
+    #[test]
+    fn debug_names_the_scheduling_and_aggregation_modes() {
+        let engine = DistributedTriangleEngine::new(4)
+            .with_hub_split(HubSplit::Off)
+            .with_aggregation(Aggregation::Free);
+        let s = format!("{engine:?}");
+        assert!(s.contains("split=off"));
+        assert!(s.contains("agg=free"));
+        assert_eq!(HubSplit::Auto.name(), "auto");
+        assert_eq!(HubSplit::Budget(3).name(), "budget");
+        assert_eq!(Aggregation::Convergecast.name(), "convergecast");
+        assert_eq!(HubSplit::default(), HubSplit::Auto);
+        assert_eq!(Aggregation::default(), Aggregation::Convergecast);
     }
 }

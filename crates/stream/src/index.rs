@@ -60,6 +60,24 @@ pub enum StreamError {
         /// Number of nodes of the indexed graph.
         node_count: usize,
     },
+    /// A simulated network node received a payload it could not decode
+    /// into protocol-legal content (truncated stream, out-of-range or
+    /// duplicate node ids). The engine's own broadcasts never produce
+    /// this; it surfaces corrupt or hostile injected traffic instead of
+    /// silently truncating ids. The epoch's effects on the engine are
+    /// unspecified once a payload is corrupt — treat the engine as
+    /// unusable.
+    Protocol {
+        /// The node that received the corrupt payload.
+        node: NodeId,
+        /// What failed to decode.
+        detail: String,
+    },
+    /// The engine's persistent worker pool was poisoned by a worker
+    /// panic that a caller caught. The shard state may be lost
+    /// mid-batch, so further applies are refused instead of sending
+    /// jobs to a pool in an undefined state.
+    Poisoned,
 }
 
 impl fmt::Display for StreamError {
@@ -68,6 +86,14 @@ impl fmt::Display for StreamError {
             StreamError::NodeOutOfRange { node, node_count } => write!(
                 f,
                 "delta touches node {node}, outside the indexed graph of {node_count} nodes"
+            ),
+            StreamError::Protocol { node, detail } => write!(
+                f,
+                "node {node} received a protocol-violating payload: {detail}"
+            ),
+            StreamError::Poisoned => write!(
+                f,
+                "engine poisoned by an earlier worker panic; discard it and rebuild from a graph"
             ),
         }
     }

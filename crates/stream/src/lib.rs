@@ -31,13 +31,20 @@
 //!   every graph node is a node of a simulated CONGEST network that owns
 //!   its adjacency slice, and each batch runs as one epoch of
 //!   `congest-sim`'s resumable engine — effective deltas are broadcast
-//!   to the affected neighbourhoods under the B-bit per-link budget,
-//!   third vertices detect triangle births/deaths locally, and a
-//!   coordinator merges the candidates with the same exactly-once dedup
-//!   core the sharded engine uses. It reports per-batch round/message
-//!   cost ([`CongestCost`]) — the paper's yardstick — which the
+//!   to the affected neighbourhoods under the B-bit per-link budget
+//!   (with [`HubSplit`] helper-splitting, over-budget hubs shed
+//!   broadcast slices to their deltas' other endpoints, so hotspot
+//!   epochs scale with the *average* rather than the maximum incident
+//!   load), third vertices detect triangle births/deaths locally, and
+//!   the candidate sets are dedup-merged up a BFS-forest
+//!   [`Aggregation::Convergecast`] in accounted rounds (the same
+//!   exactly-once dedup core the sharded engine uses; the unaccounted
+//!   [`Aggregation::Free`] merge survives as the bench control). It
+//!   reports per-batch round/message cost ([`CongestCost`], with the
+//!   aggregation rounds split out) — the paper's yardstick — which the
 //!   `dynamic_bench` harness compares against re-running the Theorem 1/2
-//!   drivers per batch (≥5x floor; thousands of x in practice).
+//!   drivers per batch (≥5x floor; ~100x in practice even while paying
+//!   for its own merge).
 //! * [`StreamEngine`] — the trait all engines implement; the harness is
 //!   generic over it. Its [`AdjacencyView`](congest_graph::AdjacencyView)
 //!   supertrait is what makes the layer **snapshot-free**: the
@@ -101,7 +108,7 @@ mod sharded;
 mod workload;
 
 pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
-pub use distributed::{CongestCost, DistributedTriangleEngine, SimExecutor};
+pub use distributed::{Aggregation, CongestCost, DistributedTriangleEngine, HubSplit, SimExecutor};
 pub use engine::StreamEngine;
 pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
 pub use pool::WorkerTelemetry;

@@ -12,6 +12,16 @@ use crate::index::{ApplyMode, ApplyReport, TriangleIndex};
 use crate::sharded::ShardedTriangleIndex;
 use crate::workload::Scenario;
 
+/// Index of the `q`-quantile in a sorted sample of `len` elements,
+/// clamped into range: nearest-rank on `len − 1` positions, so a
+/// single-sample set reports that sample for every percentile and no
+/// rounding artefact (e.g. `(len − 1) · 0.99` landing a hair above the
+/// last position on a boundary-sized sample) can index out of bounds.
+fn percentile_index(len: usize, q: f64) -> usize {
+    debug_assert!(len > 0, "callers handle the empty sample separately");
+    (((len - 1) as f64 * q).round() as usize).min(len - 1)
+}
+
 /// Latency percentiles over the per-batch apply times, in microseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyStats {
@@ -35,10 +45,7 @@ impl LatencyStats {
         }
         let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
         us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let pick = |q: f64| {
-            let idx = ((us.len() - 1) as f64 * q).round() as usize;
-            us[idx]
-        };
+        let pick = |q: f64| us[percentile_index(us.len(), q)];
         LatencyStats {
             p50_us: pick(0.50),
             p90_us: pick(0.90),
@@ -72,10 +79,7 @@ impl StalenessStats {
         }
         let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
         us.sort_by(|a, b| a.partial_cmp(b).expect("staleness is finite"));
-        let pick = |q: f64| {
-            let idx = ((us.len() - 1) as f64 * q).round() as usize;
-            us[idx]
-        };
+        let pick = |q: f64| us[percentile_index(us.len(), q)];
         StalenessStats {
             flushes: us.len(),
             p50_us: pick(0.50),
@@ -274,7 +278,13 @@ fn push_json_str(out: &mut String, key: &str, value: &str) {
 }
 
 fn push_json_num(out: &mut String, key: &str, value: f64) {
-    if value.fract() == 0.0 && value.abs() < 1e15 {
+    if !value.is_finite() {
+        // `inf`/`NaN` are not JSON; `null` is the only honest spelling
+        // (reachable only through degenerate ratios like an infinite
+        // speedup — never through the staleness/latency blocks, which
+        // default to 0 when no sample exists).
+        push_json_raw(out, key, "null");
+    } else if value.fract() == 0.0 && value.abs() < 1e15 {
         out.push_str(&format!("\"{}\":{},", escape_json(key), value as i64));
     } else {
         out.push_str(&format!("\"{}\":{:.6},", escape_json(key), value));
@@ -810,6 +820,69 @@ mod tests {
         assert_eq!(stats.flushes, 3);
         assert_eq!(stats.p50_us, 200.0);
         assert_eq!(stats.max_us, 300.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_that_sample() {
+        // The p99 nearest-rank index must clamp on 1-element (and any
+        // boundary-sized) samples instead of trusting float rounding.
+        let one = [Duration::from_micros(42)];
+        let s = StalenessStats::from_durations(&one);
+        assert_eq!(s.flushes, 1);
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (42.0, 42.0, 42.0));
+        let l = LatencyStats::from_durations(&one);
+        assert_eq!(
+            (l.p50_us, l.p90_us, l.p99_us, l.max_us),
+            (42.0, 42.0, 42.0, 42.0)
+        );
+        assert_eq!(l.mean_us, 42.0);
+        // Exhaustively check the index stays in bounds across sizes.
+        for len in 1..200 {
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert!(percentile_index(len, q) < len, "len {len} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_flush_run_emits_null_free_staleness_json() {
+        // An eager run never flushes: every staleness field must be a
+        // real number (zero), never `null`, so downstream dashboards
+        // can subtract without null checks.
+        let summary = WorkloadRunner::new(small_scenario()).run();
+        assert_eq!(summary.staleness.flushes, 0);
+        let json = summary.to_json();
+        for key in [
+            "staleness_flushes",
+            "staleness_p50_us",
+            "staleness_p99_us",
+            "staleness_max_us",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":0")),
+                "{key} must be numeric zero in {json}"
+            );
+            assert!(
+                !json.contains(&format!("\"{key}\":null")),
+                "{key} must not be null"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_metrics_serialize_as_null_not_invalid_json() {
+        // An infinite recompute speedup (zero-cost incremental mean)
+        // must not leak `inf` into the JSON.
+        let mut summary = WorkloadRunner::new(small_scenario())
+            .recompute_every(4)
+            .run();
+        let mut recompute = summary.recompute.expect("sampling was on");
+        recompute.speedup = f64::INFINITY;
+        summary.recompute = Some(recompute);
+        let json = summary.to_json();
+        assert!(json.contains("\"speedup_vs_recompute\":null"), "{json}");
+        assert!(!json.contains("inf"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
     }
 
     #[test]

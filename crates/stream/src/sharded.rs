@@ -323,14 +323,29 @@ impl ShardedTriangleIndex {
         self.telemetry.summary()
     }
 
+    /// Whether an earlier pooled batch poisoned the engine: a worker
+    /// panic was re-raised and caught by a caller, so the shard store
+    /// may be lost mid-batch and the pool's response channel holds
+    /// stale payloads.
+    fn poisoned(&self) -> bool {
+        self.pool.as_ref().is_some_and(ShardPool::poisoned)
+    }
+
     /// Applies a batch according to the [`ApplyMode`] (same contract as
     /// [`TriangleIndex::apply`](crate::TriangleIndex::apply)).
     ///
     /// # Errors
     ///
-    /// [`StreamError::NodeOutOfRange`] if any delta references a node
-    /// outside the graph; the batch is then applied not at all.
+    /// * [`StreamError::NodeOutOfRange`] if any delta references a node
+    ///   outside the graph; the batch is then applied not at all.
+    /// * [`StreamError::Poisoned`] if an earlier batch's worker panic
+    ///   was caught by a caller: the engine's shard state is undefined,
+    ///   so instead of sending jobs to a poisoned pool every further
+    ///   apply is refused cleanly. Rebuild the engine from a graph.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
+        if self.poisoned() {
+            return Err(StreamError::Poisoned);
+        }
         self.validate(batch)?;
         match self.mode {
             ApplyMode::Eager => Ok(self.apply_validated(batch)),
@@ -359,7 +374,10 @@ impl ShardedTriangleIndex {
     /// applies deltas one at a time and would otherwise pay per-delta for
     /// ops the coalescer discards for free.
     pub fn flush(&mut self) -> ApplyReport {
-        if self.pending.is_empty() {
+        if self.pending.is_empty() || self.poisoned() {
+            // A poisoned engine refuses to touch its (possibly lost)
+            // store: the buffered deltas stay pending and `apply`
+            // reports the poisoning as a clean error.
             return ApplyReport::default();
         }
         let buffered = self.pending.take();
@@ -634,8 +652,10 @@ impl ShardedTriangleIndex {
         report: &mut ApplyReport,
     ) -> Vec<WorkerPlan> {
         let shard_count = work.len();
+        // `apply`/`flush` refuse poisoned engines before reaching this
+        // point, so the only reason to respawn is a worker-count change.
         let needs_fresh_pool = match self.pool.as_ref() {
-            Some(pool) => pool.worker_count() != shard_count || pool.poisoned(),
+            Some(pool) => pool.worker_count() != shard_count,
             None => true,
         };
         if needs_fresh_pool {
@@ -1077,6 +1097,51 @@ mod tests {
         assert!(idx.matches_oracle());
         let telemetry = idx.worker_telemetry().expect("pool batches ran");
         assert!(telemetry.pooled_batches >= 2);
+    }
+
+    #[test]
+    fn apply_after_worker_panic_returns_a_clean_error() {
+        use crate::delta::DeltaOp;
+        use crate::pool::BatchRun;
+        use crate::shard::Shard;
+
+        let mut idx = parallel(ShardedTriangleIndex::new(8, 2));
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).insert(v(1), v(2)).insert(v(0), v(2));
+        idx.apply(&b).expect("healthy engine applies");
+        assert!(!idx.poisoned());
+
+        // Poison the engine's own pool the way a real mid-batch worker
+        // panic does: an out-of-range routed op makes a worker panic,
+        // the engine-side recv re-raises, and a caller catches it.
+        {
+            let pool = idx.pool.as_ref().expect("pool spawned on first batch");
+            let mut run = BatchRun::new(pool, 0);
+            run.start_record(
+                vec![Shard::new(1), Shard::new(1)],
+                vec![
+                    vec![ShardOp {
+                        local: 99,
+                        other: v(1),
+                        op: DeltaOp::Insert,
+                    }],
+                    Vec::new(),
+                ],
+            );
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.finish_record()));
+            assert!(caught.is_err());
+        }
+        assert!(idx.poisoned());
+
+        // Subsequent applies fail cleanly instead of sending jobs to a
+        // pool whose response channel holds stale payloads.
+        let mut more = DeltaBatch::new();
+        more.insert(v(3), v(4));
+        assert_eq!(idx.apply(&more).unwrap_err(), StreamError::Poisoned);
+        // Flushing refuses to touch the store too (and keeps nothing
+        // half-applied).
+        assert_eq!(idx.flush(), ApplyReport::default());
     }
 
     #[test]

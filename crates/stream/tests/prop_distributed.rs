@@ -9,7 +9,8 @@ use congest_graph::generators::{Classic, Gnp, PlantedLight, TriangleFreeBipartit
 use congest_graph::triangles as oracle;
 use congest_graph::{Graph, NodeId};
 use congest_stream::{
-    ApplyMode, DeltaBatch, DistributedTriangleEngine, SimExecutor, TriangleIndex,
+    Aggregation, ApplyMode, DeltaBatch, DistributedTriangleEngine, HubSplit, SimExecutor,
+    TriangleIndex,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -48,15 +49,31 @@ fn random_batches(n: usize, batch_count: usize, batch_size: usize, seed: u64) ->
         .collect()
 }
 
-/// Drives the distributed engine (eager and deferred) through the
-/// stream, checking exact triangle-set equality with the single-threaded
-/// engine after every batch and with the centralized oracle at the end,
-/// plus the network-cost invariants (every epoch takes rounds; messages
-/// only flow while there are effective deltas).
+/// Drives the distributed engine (eager and deferred, in the default
+/// helper-split + convergecast mode) through the stream, plus the
+/// legacy unsplit/free-merge protocol and a maximally hub-split engine
+/// on **both executors**, checking exact triangle-set equality with the
+/// single-threaded engine after every batch and with the centralized
+/// oracle at the end, executor lockstep (identical reports and
+/// bit-identical network cost), and the network-cost invariants.
 fn check_distributed_against_oracle(base: &Graph, batches: &[DeltaBatch]) {
     let mut reference = TriangleIndex::from_graph(base);
     let mut eager = DistributedTriangleEngine::from_graph(base);
     let mut deferred = DistributedTriangleEngine::from_graph(base).with_mode(ApplyMode::Deferred);
+    // The PR-3 protocol (both endpoints broadcast, unaccounted merge),
+    // kept as the benchmark control: still oracle-exact.
+    let mut legacy = DistributedTriangleEngine::from_graph(base)
+        .with_hub_split(HubSplit::Off)
+        .with_aggregation(Aggregation::Free);
+    // Maximal helper-splitting with the accounted convergecast, on both
+    // executors: must stay in lockstep with each other and with the
+    // reference.
+    let mut split_seq =
+        DistributedTriangleEngine::from_graph_with_executor(base, SimExecutor::Sequential)
+            .with_hub_split(HubSplit::Budget(1));
+    let mut split_thr =
+        DistributedTriangleEngine::from_graph_with_executor(base, SimExecutor::Threaded)
+            .with_hub_split(HubSplit::Budget(1));
 
     for (i, batch) in batches.iter().enumerate() {
         reference.apply(batch).expect("in-range batch");
@@ -73,6 +90,32 @@ fn check_distributed_against_oracle(base: &Graph, batches: &[DeltaBatch]) {
             "per-batch accounting must cover every delta"
         );
 
+        let legacy_report = legacy.apply(batch).expect("in-range batch");
+        assert_eq!(
+            report, legacy_report,
+            "scheduling/aggregation modes must not change batch {i}'s report"
+        );
+        assert_eq!(
+            legacy.triangles(),
+            reference.triangles(),
+            "legacy batch {i}"
+        );
+
+        let rs = split_seq.apply(batch).expect("in-range batch");
+        let rt = split_thr.apply(batch).expect("in-range batch");
+        assert_eq!(rs, rt, "executor reports diverged at batch {i}");
+        assert_eq!(rs, report, "hub split changed batch {i}'s report");
+        assert_eq!(
+            split_seq.last_batch_cost(),
+            split_thr.last_batch_cost(),
+            "executors must report bit-identical network cost (batch {i})"
+        );
+        assert_eq!(
+            split_seq.triangles(),
+            reference.triangles(),
+            "split batch {i}"
+        );
+
         deferred.apply(batch).expect("in-range batch");
         if i % 3 == 2 {
             deferred.flush();
@@ -82,6 +125,10 @@ fn check_distributed_against_oracle(base: &Graph, batches: &[DeltaBatch]) {
     let expected = oracle::list_all_on(&reference);
     assert!(eager.matches_oracle(), "final state vs oracle");
     assert_eq!(eager.triangles(), &expected, "vs recount");
+    assert!(legacy.matches_oracle(), "legacy protocol vs oracle");
+    assert!(split_seq.matches_oracle(), "split sequential vs oracle");
+    assert!(split_thr.matches_oracle(), "split threaded vs oracle");
+    assert_eq!(split_seq.total_cost(), split_thr.total_cost());
     deferred.flush();
     assert_eq!(deferred.triangles(), &expected, "deferred vs recount");
 
@@ -90,6 +137,11 @@ fn check_distributed_against_oracle(base: &Graph, batches: &[DeltaBatch]) {
     assert!(deferred.epochs() <= eager.epochs());
     if eager.epochs() > 0 {
         assert!(eager.total_cost().rounds >= eager.epochs());
+        // The unaccounted merge can only make epochs cheaper: the
+        // default engine's extra rounds are the convergecast's.
+        assert!(eager.total_cost().rounds >= legacy.total_cost().rounds);
+        assert_eq!(legacy.total_cost().convergecast_rounds, 0);
+        assert!(eager.total_cost().convergecast_rounds > 0);
     }
 }
 
