@@ -45,7 +45,13 @@
 //! Flags: `--quick` shrinks every section for CI (the committed
 //! `BENCH_dynamic.json` baseline is a `--quick` run, which is what the
 //! workflow gates); the default full run is the 10k-node acceptance
-//! configuration.
+//! configuration. `--trace-out PATH` re-runs a small convergecast
+//! stream *after* the measured sections with span tracing enabled and
+//! writes the collected spans as chrome://tracing trace-event JSON.
+//!
+//! The headline and hotspot sections also export the simulator's
+//! received-bits skew (max over mean per-node received bits, the
+//! hub-imbalance signal helper-splitting attacks) into the JSON.
 //!
 //! Output: a plain-text table on stdout and `BENCH_dynamic.json` in the
 //! current directory.
@@ -53,7 +59,7 @@
 use std::fmt::Write as _;
 
 use congest_bench::gate::HOTSPOT_SPLIT_IMPROVEMENT_FLOOR;
-use congest_bench::{table::fmt_f64, Table};
+use congest_bench::{json, table::fmt_f64, Table};
 use congest_graph::{GraphBuilder, NodeId};
 use congest_sim::Bandwidth;
 use congest_stream::{
@@ -116,6 +122,10 @@ struct HotspotSweep {
     spokes: u32,
     unsplit_rounds: u64,
     split_rounds: u64,
+    /// Per-node received-bits skew (max/mean) of the one hub epoch under
+    /// each schedule — the imbalance helper-splitting exists to flatten.
+    unsplit_skew: f64,
+    split_skew: f64,
     oracle_ok: bool,
 }
 
@@ -155,14 +165,20 @@ fn hotspot_sweep(quick: bool) -> HotspotSweep {
             engine.last_batch_cost().rounds,
             engine.matches_oracle(),
             engine.triangle_count(),
+            engine
+                .received_bits_skew()
+                .map(|s| s.max_ratio)
+                .unwrap_or(f64::NAN),
         )
     };
-    let (unsplit_rounds, unsplit_ok, unsplit_triangles) = run(HubSplit::Off);
-    let (split_rounds, split_ok, split_triangles) = run(HubSplit::Auto);
+    let (unsplit_rounds, unsplit_ok, unsplit_triangles, unsplit_skew) = run(HubSplit::Off);
+    let (split_rounds, split_ok, split_triangles, split_skew) = run(HubSplit::Auto);
     HotspotSweep {
         spokes,
         unsplit_rounds,
         split_rounds,
+        unsplit_skew,
+        split_skew,
         oracle_ok: unsplit_ok && split_ok && unsplit_triangles == split_triangles,
     }
 }
@@ -196,11 +212,54 @@ fn run_dynamic(scenario: &Scenario, mode: ApplyMode, flush_every: usize) -> Dyna
     }
 }
 
+/// Re-runs a small convergecast stream with span tracing enabled and
+/// writes the recorded spans as chrome://tracing trace-event JSON. Runs
+/// strictly after the measured sections (which always execute with
+/// tracing disabled), so the gated round counts never include it — and
+/// round counts are bit-identical under tracing anyway, which the
+/// engine's lockstep test enforces.
+fn capture_trace(path: &std::path::Path) {
+    congest_obs::trace::clear();
+    congest_obs::set_enabled(true);
+    let scenario = Scenario::uniform_churn(80, 6, 40)
+        .with_base(BaseGraph::Gnp { p: 0.05 })
+        .seeded(0x00D1_7ACE);
+    let base = scenario.base_graph();
+    let mut engine =
+        DistributedTriangleEngine::from_graph(&base).with_aggregation(Aggregation::Convergecast);
+    for batch in scenario.batches() {
+        engine.apply(&batch).expect("scenario batches are in range");
+    }
+    assert!(engine.matches_oracle(), "traced run diverged from oracle");
+    congest_obs::set_enabled(false);
+    let events = congest_obs::trace::drain();
+    congest_obs::trace::write_chrome_trace(path, &events)
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!(
+        "\nwrote {} ({} trace events, {} dropped)",
+        path.display(),
+        events.len(),
+        congest_obs::trace::dropped(),
+    );
+    println!(
+        "\n{}",
+        congest_obs::report::text_report(&events, &congest_obs::snapshot())
+    );
+}
+
 fn main() {
-    let quick = std::env::args().skip(1).any(|a| match a.as_str() {
-        "--quick" => true,
-        other => panic!("unknown flag {other} (expected --quick)"),
-    });
+    let mut quick = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--trace-out" => {
+                trace_out = Some(it.next().expect("--trace-out requires a value").into());
+            }
+            other => panic!("unknown flag {other} (expected --quick or --trace-out)"),
+        }
+    }
 
     // Matrix scale and the headline scenario. The full headline mirrors
     // `stream_bench`'s 10k-node uniform-churn acceptance scenario.
@@ -287,6 +346,7 @@ fn main() {
         engine.apply(&batch).expect("headline batches are in range");
         max_batch_rounds = max_batch_rounds.max(engine.last_batch_cost().rounds);
     }
+    let headline_skew = engine.received_bits_skew();
     let headline_run = DynamicRun {
         name: headline.name(),
         mode: "eager (headline)",
@@ -407,6 +467,18 @@ fn main() {
          {mean_rounds:.1} rounds/batch pay for the in-network candidate merge"
     );
 
+    // Per-node received-bits skew: how far the worst-loaded node sits
+    // above the mean. The headline's uniform churn should stay modest;
+    // the hub epoch shows the imbalance the split schedule flattens.
+    let (headline_skew_max, headline_skew_mean) = headline_skew
+        .map(|s| (s.max_ratio, s.mean_ratio))
+        .unwrap_or((f64::NAN, f64::NAN));
+    println!(
+        "received-bits skew (max/mean per node): headline max {headline_skew_max:.1}x \
+         mean {headline_skew_mean:.1}x; hub epoch unsplit {:.1}x → split {:.1}x",
+        hotspot.unsplit_skew, hotspot.split_skew,
+    );
+
     let any_oracle_failure = runs.iter().any(|r| !r.oracle_ok)
         || !deferred.oracle_ok
         || !headline_run.oracle_ok
@@ -418,7 +490,7 @@ fn main() {
     // Machine-readable trajectory for the CI gate. Round counts are
     // deterministic per seed, so the gate needs no hardware fingerprint
     // — only the scenario shape (`quick`, `headline_n`) must match.
-    let mut json = String::from("{\"bench\":\"dynamic\",\"schema_version\":1,");
+    let mut json = String::from("{\"bench\":\"dynamic\",\"schema_version\":2,");
     let _ = write!(
         json,
         "\"quick\":{},\"headline_n\":{},\"headline_batches\":{},",
@@ -445,20 +517,32 @@ fn main() {
          \"headline_round_speedup_vs_finding\":{speedup_vs_finding:.3},\
          \"headline_round_speedup_vs_listing\":{speedup_vs_listing:.3},\
          \"headline_bits_ratio_vs_listing\":{bits_ratio_vs_listing:.3},\
+         \"headline_received_bits_skew_max\":{},\
+         \"headline_received_bits_skew_mean\":{},\
          \"hotspot_spokes\":{},\
          \"hotspot_rounds_per_batch_unsplit\":{},\
          \"hotspot_rounds_per_batch\":{},\
+         \"hotspot_received_bits_skew_unsplit\":{},\
+         \"hotspot_received_bits_skew_split\":{},\
          \"hotspot_split_round_improvement\":{hotspot_improvement:.3}}}",
         headline_run.max_batch_rounds,
         headline_run.mean_bits_per_batch(),
         finding.total_rounds,
         listing.total_rounds,
+        json::num(headline_skew_max),
+        json::num(headline_skew_mean),
         hotspot.spokes,
         hotspot.unsplit_rounds,
         hotspot.split_rounds,
+        json::num(hotspot.unsplit_skew),
+        json::num(hotspot.split_skew),
     );
     std::fs::write("BENCH_dynamic.json", &json).expect("write BENCH_dynamic.json");
     println!("\nwrote BENCH_dynamic.json ({} runs)", runs.len() + 2);
+
+    if let Some(path) = &trace_out {
+        capture_trace(path);
+    }
 
     // Enforced floors.
     let mut failed = any_oracle_failure;

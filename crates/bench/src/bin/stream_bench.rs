@@ -30,7 +30,12 @@
 //! `--flush-deadline-ms X` adds latency-bounded flushing to the deferred
 //! matrix runs; `--quick` shrinks the pool sweeps for CI (the committed
 //! `BENCH_stream.json` baseline is a `--quick` run, which is what the
-//! workflow compares against). All are recorded in the JSON metadata.
+//! workflow compares against); `--trace-out PATH` re-runs one pooled
+//! sharded stream and one distributed convergecast stream *after* the
+//! gated sweeps with span tracing enabled and writes the collected spans
+//! as chrome://tracing trace-event JSON (the sweeps themselves always
+//! run with tracing disabled so the gated numbers are never skewed by
+//! instrumentation). All flags are recorded in the JSON metadata.
 //!
 //! Output: a plain-text table on stdout (diffable, like every other
 //! harness binary) and a machine-readable `BENCH_stream.json` in the
@@ -41,8 +46,11 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use congest_bench::gate::{SMALLBATCH_FLOOR_MIN_THREADS, SMALLBATCH_SPEEDUP_FLOOR};
-use congest_bench::{table::fmt_f64, Table};
-use congest_stream::{ApplyMode, BaseGraph, RunSummary, Scenario, WorkloadRunner};
+use congest_bench::{json, table::fmt_f64, Table};
+use congest_stream::{
+    Aggregation, ApplyMode, BaseGraph, DistributedTriangleEngine, RunSummary, Scenario,
+    WorkloadRunner,
+};
 
 /// One row of the benchmark matrix.
 fn scenarios() -> Vec<Scenario> {
@@ -103,11 +111,12 @@ fn hotspot_pool_scenario(quick: bool) -> Scenario {
 }
 
 /// Command-line knobs (also recorded in the JSON metadata).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct Args {
     shards: Option<usize>,
     flush_deadline_ms: Option<f64>,
     quick: bool,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -134,8 +143,12 @@ fn parse_args() -> Args {
                 args.flush_deadline_ms = Some(v);
             }
             "--quick" => args.quick = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out").into()),
             other => {
-                panic!("unknown flag {other} (expected --shards, --flush-deadline-ms or --quick)")
+                panic!(
+                    "unknown flag {other} (expected --shards, --flush-deadline-ms, --quick \
+                     or --trace-out)"
+                )
             }
         }
     }
@@ -209,6 +222,53 @@ fn run_pipeline(scenario: Scenario, spawn: bool, force_pipeline: bool) -> RunSum
         runner = runner.spawn_per_batch();
     }
     runner.run()
+}
+
+/// Re-runs one pooled sharded stream and one distributed convergecast
+/// stream with span tracing enabled, then writes everything recorded as
+/// chrome://tracing trace-event JSON. Both runs stay oracle-verified:
+/// tracing is observation-only, and this is where CI proves the exporter
+/// end of that claim (the lockstep test proves the engine end).
+fn capture_trace(path: &std::path::Path) {
+    congest_obs::trace::clear();
+    congest_obs::set_enabled(true);
+
+    // Pooled sharded engine on the small-batch stream: threshold 0 keeps
+    // every batch on the pool, so all five apply phases plus the pool
+    // waves appear in the trace.
+    let pooled = run_pipeline(smallbatch_scenario(true), false, true);
+    assert!(pooled.oracle_ok, "traced sharded run diverged from oracle");
+
+    // Distributed convergecast engine on a small churn stream: emits the
+    // classify/plan/broadcast/convergecast/merge epoch phases.
+    let scenario = Scenario::uniform_churn(60, 6, 30)
+        .with_base(BaseGraph::Gnp { p: 0.06 })
+        .seeded(0x7AACE);
+    let base = scenario.base_graph();
+    let mut engine =
+        DistributedTriangleEngine::from_graph(&base).with_aggregation(Aggregation::Convergecast);
+    for batch in scenario.batches() {
+        engine
+            .apply(&batch)
+            .expect("scenario batches only touch in-range nodes");
+    }
+    assert!(engine.matches_oracle(), "traced distributed run diverged");
+
+    congest_obs::set_enabled(false);
+    let events = congest_obs::trace::drain();
+    let dropped = congest_obs::trace::dropped();
+    congest_obs::trace::write_chrome_trace(path, &events)
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!(
+        "\nwrote {} ({} trace events, {} dropped)",
+        path.display(),
+        events.len(),
+        dropped,
+    );
+    println!(
+        "\n{}",
+        congest_obs::report::text_report(&events, &congest_obs::snapshot())
+    );
 }
 
 fn main() {
@@ -437,7 +497,7 @@ fn main() {
     let mut json = String::from("{\"bench\":\"stream\",\"schema_version\":3,");
     let _ = write!(
         json,
-        "\"args_shards\":{},\"args_flush_deadline_ms\":{},\"quick\":{},",
+        "\"args_shards\":{},\"args_flush_deadline_ms\":{},\"quick\":{},\"args_trace_out\":{},",
         args.shards
             .map(|s| s.to_string())
             .unwrap_or_else(|| "null".to_string()),
@@ -445,6 +505,10 @@ fn main() {
             .map(|v| format!("{v:.3}"))
             .unwrap_or_else(|| "null".to_string()),
         u8::from(args.quick),
+        args.trace_out
+            .as_ref()
+            .map(|p| format!("\"{}\"", json::escape(&p.display().to_string())))
+            .unwrap_or_else(|| "null".to_string()),
     );
     json.push_str("\"runs\":[");
     for (i, s) in summaries.iter().enumerate() {
@@ -464,13 +528,10 @@ fn main() {
             summary.deltas_per_sec
         );
     }
-    let finite_or_null = |v: f64, digits: usize| {
-        if v.is_finite() {
-            format!("{v:.digits$}")
-        } else {
-            "null".to_string()
-        }
-    };
+    // `json::num` is the shared non-finite→null formatter; the counter/
+    // gauge registry snapshot rides along so the trajectory records what
+    // the engines observed about themselves (steals, busy shares, flush
+    // staleness) without any extra plumbing per metric.
     let _ = write!(
         json,
         "],\"hardware_threads\":{hardware_threads},\
@@ -486,23 +547,33 @@ fn main() {
          \"hotspot_spawn_p99_us\":{:.3},\
          \"hotspot_pool_steals\":{},\
          \"hotspot_pool_worker_busy_max_share\":{},\
-         \"hotspot_pool_worker_busy_mean_share\":{}}}",
+         \"hotspot_pool_worker_busy_mean_share\":{},\
+         \"obs\":{}}}",
         single.deltas_per_sec,
-        finite_or_null(s1_ratio, 4),
-        finite_or_null(best_parallel, 4),
+        json::num(s1_ratio),
+        json::num(best_parallel),
         headline.deltas_per_sec,
-        finite_or_null(headline_speedup, 3),
+        json::num(headline_speedup),
         smallbatch_pool.deltas_per_sec,
         smallbatch_spawn.deltas_per_sec,
-        finite_or_null(smallbatch_speedup, 4),
+        json::num(smallbatch_speedup),
         hotspot_pool.latency.p99_us,
         hotspot_spawn.latency.p99_us,
         hotspot_pool.steal_count.unwrap_or(0),
-        finite_or_null(hotspot_pool.worker_busy_max_share.unwrap_or(f64::NAN), 4),
-        finite_or_null(hotspot_pool.worker_busy_mean_share.unwrap_or(f64::NAN), 4),
+        json::num(hotspot_pool.worker_busy_max_share.unwrap_or(f64::NAN)),
+        json::num(hotspot_pool.worker_busy_mean_share.unwrap_or(f64::NAN)),
+        congest_obs::snapshot().to_json(),
     );
     std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
     println!("\nwrote BENCH_stream.json ({} runs)", summaries.len());
+
+    // Trace capture runs strictly after the gated sweeps (which always
+    // execute with tracing disabled) and after the JSON snapshot, so
+    // neither the gated metrics nor the recorded registry gauges see the
+    // instrumented re-runs.
+    if let Some(path) = &args.trace_out {
+        capture_trace(path);
+    }
 
     // Enforced floors. The parallel-speedup floor only binds where the
     // hardware can express parallelism at all.

@@ -24,9 +24,18 @@
 //! `stream_bench`'s shard floor, on 1-thread containers). The other
 //! same-run floors (10x recompute speedup, S=1 within 10%, S=4 ≥ 1.5x)
 //! are enforced by `stream_bench` itself regardless.
+//!
+//! Finally, the **disabled-overhead guard**: `stream_bench` runs its
+//! gated sweeps with span tracing disabled, so against a matching
+//! baseline the small-batch speedup and hotspot p99 also measure what
+//! the instrumentation costs when off. Those two metrics are held to a
+//! 2% band — the observability layer's near-zero-disabled-overhead
+//! contract — reported separately so a violation reads as "spans got
+//! expensive", not as a generic throughput regression.
 
 use congest_bench::gate::{
-    check_metric_directed, extract_number, DEFAULT_TOLERANCE, LATENCY_TOLERANCE,
+    check_metric_directed, extract_number, DEFAULT_TOLERANCE, DISABLED_OVERHEAD_METRICS,
+    DISABLED_OVERHEAD_METRICS_LOWER_IS_BETTER, DISABLED_OVERHEAD_TOLERANCE, LATENCY_TOLERANCE,
     SMALLBATCH_FLOOR_MIN_THREADS, SMALLBATCH_SPEEDUP_FLOOR, STREAM_GATE_FINGERPRINT,
     STREAM_GATE_METRICS, STREAM_GATE_METRICS_LOWER_IS_BETTER,
 };
@@ -81,6 +90,41 @@ fn main() {
         if comparable {
             println!("{check}");
             failed |= check.regressed;
+        } else {
+            println!("{check} [not gated: foreign baseline fingerprint]");
+        }
+    }
+
+    // Disabled-overhead guard: the gated sweeps always run with tracing
+    // off, so a matching baseline makes these two metrics a direct
+    // measurement of the instrumentation's disabled cost.
+    println!("\ndisabled-overhead guard (tolerance: 2%):");
+    let overhead_checks = DISABLED_OVERHEAD_METRICS
+        .iter()
+        .map(|key| (*key, true))
+        .chain(
+            DISABLED_OVERHEAD_METRICS_LOWER_IS_BETTER
+                .iter()
+                .map(|key| (*key, false)),
+        );
+    for (key, higher_is_better) in overhead_checks {
+        let check = check_metric_directed(
+            &baseline,
+            &current,
+            key,
+            DISABLED_OVERHEAD_TOLERANCE,
+            higher_is_better,
+        );
+        if comparable {
+            println!("{check}");
+            if check.regressed {
+                eprintln!(
+                    "ERROR: {key} moved more than {:.0}% against the baseline — span \
+                     instrumentation is no longer near-zero when disabled",
+                    DISABLED_OVERHEAD_TOLERANCE * 100.0
+                );
+                failed = true;
+            }
         } else {
             println!("{check} [not gated: foreign baseline fingerprint]");
         }

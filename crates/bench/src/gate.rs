@@ -196,6 +196,26 @@ pub const DYNAMIC_GATE_FINGERPRINT: [&str; 2] = ["quick", "headline_n"];
 /// deterministic, so the floor binds on every machine).
 pub const HOTSPOT_SPLIT_IMPROVEMENT_FLOOR: f64 = 2.0;
 
+/// Maximum regression the span instrumentation may cost when tracing is
+/// *disabled* (2%): the observability layer's contract is a near-zero
+/// disabled hot path (one relaxed atomic load per span site), and this
+/// guard is what keeps that contract honest as instrumentation spreads.
+/// `stream_bench` always runs its gated sweeps with tracing off, so a
+/// fresh run vs the committed baseline measures exactly the disabled
+/// overhead (plus scheduler noise, which best-of-two already trims).
+pub const DISABLED_OVERHEAD_TOLERANCE: f64 = 0.02;
+
+/// Higher-is-better metrics held to [`DISABLED_OVERHEAD_TOLERANCE`] by
+/// `stream_gate`'s disabled-overhead guard: the pool-vs-spawn speedup is
+/// a ratio of two runs from the same process on the same machine, so
+/// run-to-run noise largely cancels and a 2% band is meaningful.
+pub const DISABLED_OVERHEAD_METRICS: [&str; 1] = ["smallbatch_pool_speedup_vs_spawn"];
+
+/// Lower-is-better metrics held to [`DISABLED_OVERHEAD_TOLERANCE`]: the
+/// hotspot pool p99 is where per-span overhead would surface first (the
+/// steal path crosses the most span sites per delta).
+pub const DISABLED_OVERHEAD_METRICS_LOWER_IS_BETTER: [&str; 1] = ["hotspot_pool_p99_us"];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,11 +285,37 @@ mod tests {
             .chain(&DYNAMIC_GATE_METRICS)
             .chain(&DYNAMIC_GATE_METRICS_LOWER_IS_BETTER)
             .chain(&DYNAMIC_GATE_FINGERPRINT)
+            .chain(&DISABLED_OVERHEAD_METRICS)
+            .chain(&DISABLED_OVERHEAD_METRICS_LOWER_IS_BETTER)
         {
             assert!(!key.is_empty());
             assert!(key
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn the_disabled_overhead_guard_is_a_tight_band() {
+        // The guard tightens metrics stream_gate already tracks; a 1%
+        // wobble passes, a 3% regression fails, in both directions.
+        const { assert!(DISABLED_OVERHEAD_TOLERANCE < DEFAULT_TOLERANCE) };
+        let base = r#"{"smallbatch_pool_speedup_vs_spawn":3.0,"hotspot_pool_p99_us":1000.0}"#;
+        let wobble = r#"{"smallbatch_pool_speedup_vs_spawn":2.97,"hotspot_pool_p99_us":1010.0}"#;
+        let regressed = r#"{"smallbatch_pool_speedup_vs_spawn":2.9,"hotspot_pool_p99_us":1030.0}"#;
+        for key in DISABLED_OVERHEAD_METRICS {
+            let ok = check_metric_directed(base, wobble, key, DISABLED_OVERHEAD_TOLERANCE, true);
+            assert!(!ok.regressed, "{ok}");
+            let bad =
+                check_metric_directed(base, regressed, key, DISABLED_OVERHEAD_TOLERANCE, true);
+            assert!(bad.regressed, "{bad}");
+        }
+        for key in DISABLED_OVERHEAD_METRICS_LOWER_IS_BETTER {
+            let ok = check_metric_directed(base, wobble, key, DISABLED_OVERHEAD_TOLERANCE, false);
+            assert!(!ok.regressed, "{ok}");
+            let bad =
+                check_metric_directed(base, regressed, key, DISABLED_OVERHEAD_TOLERANCE, false);
+            assert!(bad.regressed, "{bad}");
         }
     }
 

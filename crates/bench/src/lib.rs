@@ -20,6 +20,11 @@ pub mod table;
 pub use fit::{fit_power_law, PowerLawFit};
 pub use table::Table;
 
+/// The workspace's shared hand-rolled JSON helpers (emit + parse), re-
+/// exported from `congest-obs` so every bench binary serializes through
+/// one implementation with one set of invariants (non-finite → `null`).
+pub use congest_obs::json;
+
 /// Default sweep of network sizes used by the round-complexity experiments.
 ///
 /// Sizes are kept laptop-friendly; the scaling exponents are already

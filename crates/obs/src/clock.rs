@@ -1,0 +1,28 @@
+//! The process-wide monotonic clock every span timestamp is relative to.
+//!
+//! Trace viewers want one shared timebase across threads; `Instant` has
+//! no absolute value, so the crate anchors an `Instant` the first time
+//! anyone asks for the time and reports microseconds since that anchor.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process's trace anchor (the first call to any
+/// clock or span function). Monotonic and shared across threads.
+pub fn now_us() -> u64 {
+    ANCHOR.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,360 @@
+//! Streaming log-bucketed latency histograms (HdrHistogram-style).
+//!
+//! A [`Histogram`] records nanosecond values into a fixed array of
+//! buckets: values below 64 ns get one bucket each (exact), and every
+//! octave above that is split into 64 sub-buckets, so the bucket holding
+//! a value is never wider than `value / 64` — at most ≈ 1.6% relative
+//! error on any reported percentile. Memory is fixed (≈ 30 KiB) no
+//! matter how many values are recorded, which is what lets the workload
+//! runner keep per-batch latency percentiles over arbitrarily long
+//! streams without the old grow-forever `Vec<Duration>`.
+//!
+//! Percentiles use the same nearest-rank convention as the sorted-vec
+//! oracle they replaced ([`nearest_rank_index`]), and the reported value
+//! is the containing bucket's midpoint clamped into the exact observed
+//! `[min, max]` — so a single-sample histogram reports that sample
+//! exactly, and no percentile can exceed the recorded maximum.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` = 64
+/// sub-buckets, bounding relative bucket width by `1/64`.
+const SUB_BITS: u32 = 6;
+/// Number of sub-buckets per octave (and width of the exact linear
+/// region at the bottom of the range).
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` nanosecond range:
+/// 64 linear buckets plus 58 octaves × 64 sub-buckets.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Index of the `q`-quantile in a sorted sample of `len` elements,
+/// clamped into range: nearest-rank on `len − 1` positions, so a
+/// single-sample set reports that sample for every percentile and no
+/// float-rounding artefact can index out of bounds. This is the shared
+/// convention of the histogram and of the sorted-vec oracle the
+/// property tests compare it against.
+pub fn nearest_rank_index(len: usize, q: f64) -> usize {
+    debug_assert!(len > 0, "callers handle the empty sample separately");
+    (((len - 1) as f64 * q).round() as usize).min(len - 1)
+}
+
+/// Bucket index of a nanosecond value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let exp = msb - SUB_BITS;
+        (((exp as u64 + 1) << SUB_BITS) | ((v >> exp) & (SUB_BUCKETS - 1))) as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` nanosecond range of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS as usize {
+        (index as u64, index as u64)
+    } else {
+        let exp = (index as u32 >> SUB_BITS) - 1;
+        let sub = index as u64 & (SUB_BUCKETS - 1);
+        let lo = (SUB_BUCKETS + sub) << exp;
+        (lo, lo + ((1u64 << exp) - 1))
+    }
+}
+
+/// A streaming log-bucketed histogram over nanosecond values.
+///
+/// ```
+/// use std::time::Duration;
+/// use congest_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for ms in [1, 2, 3, 4, 100] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// // p50 is within one log-bucket (≤ 1.6%) of the exact median.
+/// let p50 = h.value_at_quantile(0.5) as f64;
+/// assert!((p50 - 3e6).abs() <= 3e6 / 64.0);
+/// // min/max/mean are exact.
+/// assert_eq!(h.max_ns(), 100_000_000);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (fixed allocation, ≈ 30 KiB).
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration (saturating at `u64::MAX` nanoseconds —
+    /// ≈ 584 years, comfortably beyond any batch latency).
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one raw nanosecond value.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded values, as a `Duration`.
+    pub fn total(&self) -> Duration {
+        // 2^64 ns ≈ 584 years per value; the u128 sum converts exactly
+        // for any realistic stream length.
+        Duration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
+    }
+
+    /// Exact arithmetic mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Exact minimum recorded value in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Exact maximum recorded value in nanoseconds (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The nearest-rank `q`-quantile in nanoseconds: the midpoint of the
+    /// bucket holding the rank, clamped into the exact `[min, max]` — so
+    /// the result is within one log-bucket (≤ 1.6% relative) of the
+    /// exact sorted-sample quantile, never exceeds the observed maximum,
+    /// and is exact on single-sample histograms. Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = nearest_rank_index(self.count as usize, q) as u64;
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let (lo, hi) = bucket_bounds(index);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// [`value_at_quantile`](Histogram::value_at_quantile) in
+    /// microseconds, the unit the workload summaries report.
+    pub fn value_at_quantile_us(&self, q: f64) -> f64 {
+        self.value_at_quantile(q) as f64 / 1e3
+    }
+
+    /// Adds every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+
+    /// Inclusive `[lo, hi]` nanosecond bounds of the bucket `ns` falls
+    /// in — the resolution the property tests hold percentiles to.
+    pub fn bucket_of(ns: u64) -> (u64, u64) {
+        bucket_bounds(bucket_index(ns))
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min_ns", &self.min_ns())
+            .field("max_ns", &self.max_ns())
+            .field("mean_ns", &self.mean_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn every_value_falls_inside_its_bucket() {
+        let mut probes: Vec<u64> = vec![0, 1, 63, 64, 65, 127, 128, 1000, u64::MAX];
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            probes.extend([v, v + 1, v.saturating_mul(3) - 1]);
+            v = v.saturating_mul(3);
+        }
+        for p in probes {
+            let (lo, hi) = Histogram::bucket_of(p);
+            assert!(lo <= p && p <= hi, "{p} outside [{lo}, {hi}]");
+            // Relative bucket width is bounded by 1/64 above the linear
+            // region and zero inside it.
+            if p >= SUB_BUCKETS {
+                assert!(hi - lo <= lo / SUB_BUCKETS, "bucket too wide at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone_and_in_range() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 2 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(i < BUCKETS);
+            last = i;
+            v = v.saturating_mul(2).saturating_add(v / 3);
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn single_sample_is_reported_exactly() {
+        let mut h = Histogram::new();
+        h.record_ns(42_000);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.value_at_quantile(q), 42_000, "q={q}");
+        }
+        assert_eq!(h.min_ns(), 42_000);
+        assert_eq!(h.max_ns(), 42_000);
+        assert_eq!(h.mean_ns(), 42_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_match_the_sorted_oracle_within_a_bucket() {
+        // A deliberately skewed sample: linear ramp plus a heavy tail.
+        let mut samples: Vec<u64> = (1..=500).map(|i| i * 997).collect();
+        samples.extend((1..=20).map(|i| 10_000_000 + i * 123_457));
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let exact = sorted[nearest_rank_index(sorted.len(), q)];
+            let approx = h.value_at_quantile(q);
+            let (lo, hi) = Histogram::bucket_of(exact);
+            assert!(
+                approx >= lo && approx <= hi,
+                "q={q}: {approx} outside the bucket [{lo}, {hi}] of exact {exact}"
+            );
+        }
+        // Quantiles are monotone in q.
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.value_at_quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        // And never exceed the exact maximum.
+        assert!(*qs.last().unwrap() <= h.max_ns());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let (a_vals, b_vals): (Vec<u64>, Vec<u64>) = (
+            (1..400).map(|i| i * 31).collect(),
+            (1..300).map(|i| i * 77777).collect(),
+        );
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &a_vals {
+            a.record_ns(v);
+            both.record_ns(v);
+        }
+        for &v in &b_vals {
+            b.record_ns(v);
+            both.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min_ns(), both.min_ns());
+        assert_eq!(a.max_ns(), both.max_ns());
+        assert_eq!(a.mean_ns(), both.mean_ns());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.value_at_quantile(q), both.value_at_quantile(q));
+        }
+        // Merging an empty histogram changes nothing.
+        let before = a.value_at_quantile(0.5);
+        a.merge(&Histogram::new());
+        assert_eq!(a.value_at_quantile(0.5), before);
+    }
+
+    #[test]
+    fn nearest_rank_stays_in_bounds() {
+        for len in 1..200 {
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert!(nearest_rank_index(len, q) < len, "len {len} q {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The workspace's one hand-rolled JSON surface.
+//!
+//! Every bench binary and summary serializer previously carried its own
+//! copy of these emit helpers; they live here once, with the invariants
+//! the committed baselines rely on: **non-finite numbers spell as
+//! `null`** (never `inf`/`NaN`, which are not JSON), integral values
+//! below `1e15` print as integers, and everything else prints with six
+//! decimals. A minimal recursive-descent parser ([`Value`]) rides along
+//! for the tooling that reads these files back (the chrome-trace
+//! schema check).
+
+/// Appends `"key":"value",` with both sides escaped.
+pub fn push_str(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("\"{}\":\"{}\",", escape(key), escape(value)));
+}
+
+/// Appends `"key":value,` — `null` for non-finite values, an integer
+/// rendering for integral values below `1e15`, six decimals otherwise.
+pub fn push_num(out: &mut String, key: &str, value: f64) {
+    out.push_str(&format!("\"{}\":{},", escape(key), num(value)));
+}
+
+/// Appends `"key":true,` / `"key":false,`.
+pub fn push_bool(out: &mut String, key: &str, value: bool) {
+    out.push_str(&format!("\"{}\":{},", escape(key), value));
+}
+
+/// Appends `"key":raw,` with `raw` emitted verbatim (e.g. `null` or a
+/// nested object the caller already serialized).
+pub fn push_raw(out: &mut String, key: &str, raw: &str) {
+    out.push_str(&format!("\"{}\":{},", escape(key), raw));
+}
+
+/// Closes an object built with the `push_*` helpers: strips the single
+/// trailing comma they each append and adds the brace.
+pub fn finish_object(out: &mut String) {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push('}');
+}
+
+/// A number rendered for JSON: `null` when non-finite (the only honest
+/// spelling — reachable through degenerate ratios like an infinite
+/// speedup), an integer rendering for integral values below `1e15`
+/// (above that `f64` cannot represent every integer), six decimals
+/// otherwise.
+pub fn num(value: f64) -> String {
+    if !value.is_finite() {
+        "null".to_string()
+    } else if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value:.6}")
+    }
+}
+
+/// Escapes a string for embedding in JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value (subset sufficient for files this workspace
+/// emits: no surrogate-pair escapes, numbers as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (first match; our emitters never
+    /// duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parser depth limit: the files we emit nest two or three levels; a
+/// bound this generous only exists to keep corrupt input from
+/// overflowing the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u{hex} escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii span");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_helpers_match_the_established_format() {
+        let mut out = String::from("{");
+        push_str(&mut out, "name", "a\"b");
+        push_num(&mut out, "int", 3.0);
+        push_num(&mut out, "float", 1.5);
+        push_num(&mut out, "inf", f64::INFINITY);
+        push_num(&mut out, "nan", f64::NAN);
+        push_bool(&mut out, "ok", true);
+        push_raw(&mut out, "none", "null");
+        finish_object(&mut out);
+        assert_eq!(
+            out,
+            "{\"name\":\"a\\\"b\",\"int\":3,\"float\":1.500000,\
+             \"inf\":null,\"nan\":null,\"ok\":true,\"none\":null}"
+        );
+        assert!(!out.contains(",}"));
+    }
+
+    #[test]
+    fn escaping_handles_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn num_keeps_large_integral_values_in_float_form() {
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(-7.0), "-7");
+        assert_eq!(num(1e16), "10000000000000000.000000");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn parser_round_trips_emitted_objects() {
+        let mut out = String::from("{");
+        push_str(&mut out, "s", "x\ty");
+        push_num(&mut out, "n", 12.5);
+        push_bool(&mut out, "b", false);
+        push_raw(&mut out, "z", "null");
+        push_raw(&mut out, "arr", "[1,2,3]");
+        finish_object(&mut out);
+        let v = Value::parse(&out).expect("well-formed");
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x\ty"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(12.5));
+        assert_eq!(v.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("z"), Some(&Value::Null));
+        assert_eq!(
+            v.get("arr").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "123garbage",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_nesting_whitespace_and_escapes() {
+        let v = Value::parse(
+            " { \"a\" : [ 1 , { \"b\" : \"\\u0041\\n\" } , null , true ] , \"c\" : -2.5e1 } ",
+        )
+        .expect("well-formed");
+        let arr = v.get("a").and_then(Value::as_arr).expect("array");
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b").and_then(Value::as_str), Some("A\n"));
+        assert_eq!(arr[2], Value::Null);
+        assert_eq!(arr[3], Value::Bool(true));
+        assert_eq!(v.get("c").and_then(Value::as_f64), Some(-25.0));
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Value::parse(&deep).is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! Span tracing: guards, per-thread ring buffers, the global collector,
+//! and the `chrome://tracing` exporter.
+//!
+//! The hot path is designed around *not* observing anything: a span site
+//! costs one relaxed atomic load while tracing is runtime-disabled (the
+//! default), and compiles to a unit struct when the crate is built
+//! without the `spans` feature. When enabled, a completed span is pushed
+//! into a fixed-capacity per-thread buffer with no shared state touched;
+//! a thread hands its buffer to the global collector only when the
+//! buffer fills, on an explicit [`flush_thread`] (the worker pool calls
+//! it once per job), or at thread exit. The collector itself is bounded:
+//! past [`MAX_EVENTS`] new events are counted as dropped rather than
+//! growing without limit.
+//!
+//! Span timestamps are microseconds on the process-wide monotonic clock
+//! ([`crate::now_us`]); thread ids are small integers assigned in first-
+//! use order, which is what trace viewers want for row grouping.
+
+use std::io;
+use std::path::Path;
+
+use crate::json;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Category (trace-viewer grouping), e.g. `"sharded"` / `"pool"` /
+    /// `"distributed"` / `"runner"`.
+    pub cat: &'static str,
+    /// Span name, e.g. `"collect"`.
+    pub name: &'static str,
+    /// Start, in microseconds on the process clock.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Small sequential id of the recording thread.
+    pub tid: u64,
+}
+
+/// Capacity of each per-thread buffer; filling it triggers a hand-off to
+/// the global collector (one mutex lock per 4096 spans, not per span).
+#[cfg(feature = "spans")]
+const LOCAL_CAP: usize = 4096;
+
+/// Global collector bound: ~1M events (≈ 40 MB) — far beyond any bench
+/// capture; past it events are counted in [`dropped`] instead of stored.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+#[cfg(feature = "spans")]
+mod imp {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    use super::{TraceEvent, LOCAL_CAP, MAX_EVENTS};
+    use crate::clock::now_us;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    static DROPPED: AtomicU64 = AtomicU64::new(0);
+    static COLLECTOR: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+    /// The per-thread ring: spans land here lock-free; the buffer is
+    /// handed to the collector when full, on `flush_thread`, and — via
+    /// `Drop` — when the thread exits.
+    struct LocalBuf {
+        tid: u64,
+        events: Vec<TraceEvent>,
+    }
+
+    impl LocalBuf {
+        fn flush(&mut self) {
+            if self.events.is_empty() {
+                return;
+            }
+            let mut collector = COLLECTOR.lock().expect("trace collector poisoned");
+            let room = MAX_EVENTS.saturating_sub(collector.len());
+            if room >= self.events.len() {
+                collector.append(&mut self.events);
+            } else {
+                DROPPED.fetch_add((self.events.len() - room) as u64, Ordering::Relaxed);
+                collector.extend(self.events.drain(..room));
+                self.events.clear();
+            }
+        }
+    }
+
+    impl Drop for LocalBuf {
+        fn drop(&mut self) {
+            self.flush();
+        }
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Vec::new(),
+        });
+    }
+
+    pub fn set_enabled(on: bool) {
+        if on {
+            // Anchor the clock before the first span so timestamps of
+            // all threads share the epoch.
+            let _ = now_us();
+        }
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub fn record(event_cat: &'static str, name: &'static str, ts_us: u64, dur_us: u64) {
+        LOCAL.with(|local| {
+            let mut local = local.borrow_mut();
+            let tid = local.tid;
+            local.events.push(TraceEvent {
+                cat: event_cat,
+                name,
+                ts_us,
+                dur_us,
+                tid,
+            });
+            if local.events.len() >= LOCAL_CAP {
+                local.flush();
+            }
+        });
+    }
+
+    pub fn flush_thread() {
+        LOCAL.with(|local| local.borrow_mut().flush());
+    }
+
+    pub fn drain() -> Vec<TraceEvent> {
+        flush_thread();
+        std::mem::take(&mut *COLLECTOR.lock().expect("trace collector poisoned"))
+    }
+
+    pub fn dropped() -> u64 {
+        DROPPED.load(Ordering::Relaxed)
+    }
+
+    pub fn clear() {
+        flush_thread();
+        COLLECTOR.lock().expect("trace collector poisoned").clear();
+        DROPPED.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(feature = "spans"))]
+mod imp {
+    //! Compile-time-off stand-ins: every function is an inert no-op, so
+    //! instrumented code builds identically with spans compiled out.
+    use super::TraceEvent;
+
+    pub fn set_enabled(_on: bool) {}
+
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn record(_cat: &'static str, _name: &'static str, _ts_us: u64, _dur_us: u64) {}
+
+    pub fn flush_thread() {}
+
+    pub fn drain() -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    pub fn dropped() -> u64 {
+        0
+    }
+
+    pub fn clear() {}
+}
+
+/// Turns runtime tracing on or off (off by default). With the `spans`
+/// feature compiled out this is a no-op and [`enabled`] is always false.
+pub fn set_enabled(on: bool) {
+    imp::set_enabled(on);
+}
+
+/// Whether spans are currently being recorded.
+pub fn enabled() -> bool {
+    imp::enabled()
+}
+
+/// A live span: records a [`TraceEvent`] covering its lifetime when
+/// dropped. Obtained from [`span`]; inert (a single relaxed load was the
+/// whole cost) when tracing is disabled.
+#[must_use = "a span measures its guard's lifetime; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    /// `Some` only when tracing was enabled at entry.
+    live: Option<(&'static str, &'static str, u64)>,
+}
+
+/// Opens a span. The returned guard records the span on drop; bind it
+/// (`let _span = obs::span(...)`) or use the [`span!`](crate::span!)
+/// statement macro.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    SpanGuard {
+        live: imp::enabled().then(|| (cat, name, crate::now_us())),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((cat, name, start)) = self.live {
+            let end = crate::now_us();
+            imp::record(cat, name, start, end.saturating_sub(start));
+        }
+    }
+}
+
+/// Opens a span guard bound to the enclosing scope:
+/// `span!("sharded", "collect");` measures from the statement to the end
+/// of the block.
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $name:expr) => {
+        let _span_guard = $crate::trace::span($cat, $name);
+    };
+}
+
+/// Records a span with explicit timing — for phases whose duration is
+/// derived rather than guarded (e.g. an epoch's wall time apportioned
+/// between its broadcast and convergecast round shares). No-op while
+/// tracing is disabled.
+pub fn record_span(cat: &'static str, name: &'static str, ts_us: u64, dur_us: u64) {
+    if imp::enabled() {
+        imp::record(cat, name, ts_us, dur_us);
+    }
+}
+
+/// Flushes the calling thread's span buffer into the global collector.
+/// Long-lived worker threads call this at job boundaries so a later
+/// [`drain`] on another thread sees their spans.
+pub fn flush_thread() {
+    imp::flush_thread();
+}
+
+/// Takes every collected event (flushing the calling thread first).
+/// Events still sitting in *other* live threads' buffers are not
+/// included until those threads flush — the worker pool flushes per job,
+/// so by the time an engine's batch returns its workers' spans are here.
+pub fn drain() -> Vec<TraceEvent> {
+    imp::drain()
+}
+
+/// Events discarded because the bounded collector was full.
+pub fn dropped() -> u64 {
+    imp::dropped()
+}
+
+/// Clears collected events and the dropped counter (test/bench hygiene
+/// between capture sections).
+pub fn clear() {
+    imp::clear()
+}
+
+/// Renders events in the `chrome://tracing` / Perfetto trace-event
+/// format: a single JSON object whose `traceEvents` array holds one
+/// `ph:"X"` (complete) event per span, timestamps and durations in
+/// microseconds. Open the file via `chrome://tracing` ("Load") or
+/// <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json::push_str(&mut out, "name", e.name);
+        json::push_str(&mut out, "cat", e.cat);
+        json::push_str(&mut out, "ph", "X");
+        json::push_num(&mut out, "ts", e.ts_us as f64);
+        json::push_num(&mut out, "dur", e.dur_us as f64);
+        json::push_num(&mut out, "pid", 1.0);
+        json::push_num(&mut out, "tid", e.tid as f64);
+        json::finish_object(&mut out);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Writes [`chrome_trace_json`] of `events` to `path`.
+pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(events))
+}
+
+#[cfg(all(test, feature = "spans"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The collector is process-global; serialize the tests that touch it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        set_enabled(false);
+        guard
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _x = exclusive();
+        {
+            span!("test", "quiet");
+        }
+        let _unused = span("test", "also_quiet");
+        drop(_unused);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn enabled_spans_are_collected_with_durations() {
+        let _x = exclusive();
+        set_enabled(true);
+        {
+            span!("cat_a", "outer");
+            {
+                span!("cat_b", "inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        // Inner drops first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert!(events[0].dur_us >= 1_000, "{events:?}");
+        assert!(events[1].dur_us >= events[0].dur_us);
+        assert!(events[1].ts_us <= events[0].ts_us);
+        assert!(drain().is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn spans_from_other_threads_arrive_after_their_exit() {
+        let _x = exclusive();
+        set_enabled(true);
+        std::thread::spawn(|| {
+            span!("worker", "job");
+        })
+        .join()
+        .expect("worker ran");
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].cat, events[0].name), ("worker", "job"));
+    }
+
+    #[test]
+    fn explicit_record_span_respects_the_switch() {
+        let _x = exclusive();
+        record_span("x", "off", 0, 5);
+        set_enabled(true);
+        record_span("x", "on", 10, 5);
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "on");
+        assert_eq!((events[0].ts_us, events[0].dur_us), (10, 5));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_trace_event_json() {
+        let events = [
+            TraceEvent {
+                cat: "sharded",
+                name: "collect",
+                ts_us: 100,
+                dur_us: 40,
+                tid: 3,
+            },
+            TraceEvent {
+                cat: "pool",
+                name: "worker",
+                ts_us: 105,
+                dur_us: 20,
+                tid: 4,
+            },
+        ];
+        let text = chrome_trace_json(&events);
+        let parsed = crate::json::Value::parse(&text).expect("valid JSON");
+        let items = parsed
+            .get("traceEvents")
+            .and_then(crate::json::Value::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(items.len(), 2);
+        for (item, event) in items.iter().zip(&events) {
+            assert_eq!(
+                item.get("ph").and_then(crate::json::Value::as_str),
+                Some("X")
+            );
+            assert_eq!(
+                item.get("name").and_then(crate::json::Value::as_str),
+                Some(event.name)
+            );
+            assert_eq!(
+                item.get("ts").and_then(crate::json::Value::as_f64),
+                Some(event.ts_us as f64)
+            );
+            assert_eq!(
+                item.get("dur").and_then(crate::json::Value::as_f64),
+                Some(event.dur_us as f64)
+            );
+            assert!(item.get("pid").is_some() && item.get("tid").is_some());
+        }
+        // Empty capture still renders a loadable file.
+        assert!(crate::json::Value::parse(&chrome_trace_json(&[])).is_ok());
+    }
+}

@@ -358,6 +358,22 @@ impl CongestCost {
     }
 }
 
+/// Per-node received-bits imbalance across the epochs run so far: each
+/// epoch's skew is the busiest node's received bits over the per-node
+/// mean (1.0 = perfectly even, `n` = one node received everything). Hub
+/// batches without helper-splitting push this toward the hub's degree;
+/// [`HubSplit`] pulls it back down — this is the load-balance story of
+/// the paper's bounds made measurable per run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceivedBitsSkew {
+    /// Worst single-epoch skew.
+    pub max_ratio: f64,
+    /// Mean over epochs of the per-epoch skew.
+    pub mean_ratio: f64,
+    /// Epochs the statistics cover.
+    pub epochs: u64,
+}
+
 /// One network node's program: owns the adjacency slice `N(v)` and runs
 /// the two-phase broadcast protocol each epoch (see the
 /// [module documentation](self)).
@@ -924,6 +940,10 @@ pub struct DistributedTriangleEngine {
     total: CongestCost,
     /// Number of epochs (batches that actually ran the network).
     epochs: u64,
+    /// Worst single-epoch received-bits skew (max node over mean node).
+    skew_max: f64,
+    /// Sum of per-epoch skews (mean = sum / epochs).
+    skew_sum: f64,
 }
 
 /// The coordinator-computed BFS forest of one epoch's union topology:
@@ -1023,6 +1043,8 @@ impl DistributedTriangleEngine {
             last_batch: CongestCost::default(),
             total: CongestCost::default(),
             epochs: 0,
+            skew_max: 0.0,
+            skew_sum: 0.0,
         }
     }
 
@@ -1153,6 +1175,16 @@ impl DistributedTriangleEngine {
     /// least one effective delta).
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// Received-bits skew statistics over every epoch so far (`None`
+    /// before the first epoch). See [`ReceivedBitsSkew`].
+    pub fn received_bits_skew(&self) -> Option<ReceivedBitsSkew> {
+        (self.epochs > 0).then(|| ReceivedBitsSkew {
+            max_ratio: self.skew_max,
+            mean_ratio: self.skew_sum / self.epochs as f64,
+            epochs: self.epochs,
+        })
     }
 
     /// Applies a batch according to the [`ApplyMode`] (same contract as
@@ -1327,6 +1359,7 @@ impl DistributedTriangleEngine {
 
         // Classify against the current graph: only effective deltas
         // enter the network.
+        let classify_span = congest_obs::trace::span("distributed", "classify");
         let mut removes: Vec<Edge> = Vec::new();
         let mut inserts: Vec<Edge> = Vec::new();
         for d in &coalesced {
@@ -1340,9 +1373,11 @@ impl DistributedTriangleEngine {
         }
         report.inserts_applied = inserts.len();
         report.removes_applied = removes.len();
+        drop(classify_span);
         if inserts.is_empty() && removes.is_empty() {
             return Ok(report);
         }
+        let plan_span = congest_obs::trace::span("distributed", "plan");
 
         // Per-node incident slices, the helper-split broadcast plans,
         // and the global phase lengths: a phase must cover the longest
@@ -1430,7 +1465,14 @@ impl DistributedTriangleEngine {
             }
             self.sim.inject(node, w.finish());
         }
+        drop(plan_span);
 
+        // The epoch runs as one opaque simulator call; when tracing is
+        // on, its wall time is apportioned between the broadcast prefix
+        // and the convergecast suffix by their round shares and recorded
+        // as two derived spans (see `congest_obs::trace::record_span`).
+        let trace_on = congest_obs::trace::enabled();
+        let epoch_start_us = if trace_on { congest_obs::now_us() } else { 0 };
         let epoch = self.sim.run_epoch();
         debug_assert!(epoch.completed(), "batch epochs always terminate");
         // The broadcast prefix is exactly rm + ins + 1 rounds (the +1 is
@@ -1439,6 +1481,35 @@ impl DistributedTriangleEngine {
         self.last_batch = CongestCost::from_epoch(&epoch.metrics, rm_rounds + ins_rounds + 1);
         self.total.accumulate(&self.last_batch);
         self.epochs += 1;
+        if trace_on {
+            let wall_us = congest_obs::now_us().saturating_sub(epoch_start_us);
+            let total_rounds = self.last_batch.rounds.max(1);
+            let broadcast_us =
+                wall_us * (total_rounds - self.last_batch.convergecast_rounds) / total_rounds;
+            congest_obs::trace::record_span(
+                "distributed",
+                "broadcast",
+                epoch_start_us,
+                broadcast_us,
+            );
+            congest_obs::trace::record_span(
+                "distributed",
+                "convergecast",
+                epoch_start_us + broadcast_us,
+                wall_us - broadcast_us,
+            );
+        }
+        // Per-epoch network load imbalance, for the bench skew export.
+        let mean_bits = epoch.metrics.mean_received_bits();
+        if mean_bits > 0.0 {
+            let ratio = epoch.metrics.max_received_bits() as f64 / mean_bits;
+            self.skew_max = self.skew_max.max(ratio);
+            self.skew_sum += ratio;
+        } else {
+            // An epoch with traffic on no node still counts toward the
+            // mean as perfectly even.
+            self.skew_sum += 1.0;
+        }
 
         // A node that received an undecodable payload latched the
         // violation; surface it instead of merging a corrupt epoch.
@@ -1453,6 +1524,7 @@ impl DistributedTriangleEngine {
         }
 
         // Coordinator merge through the shared exactly-once dedup core.
+        let merge_span = congest_obs::trace::span("distributed", "merge");
         match &forest {
             // Free aggregation: drain every node's candidates directly
             // (a merge the network never paid for — the bench control).
@@ -1480,6 +1552,8 @@ impl DistributedTriangleEngine {
                 }
             }
         }
+
+        drop(merge_span);
 
         // Settle the communication topology on G' (drop removed links),
         // once per distinct endpoint — a hub shedding many edges in one

@@ -108,7 +108,9 @@ mod sharded;
 mod workload;
 
 pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
-pub use distributed::{Aggregation, CongestCost, DistributedTriangleEngine, HubSplit, SimExecutor};
+pub use distributed::{
+    Aggregation, CongestCost, DistributedTriangleEngine, HubSplit, ReceivedBitsSkew, SimExecutor,
+};
 pub use engine::StreamEngine;
 pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
 pub use pool::WorkerTelemetry;

@@ -470,6 +470,7 @@ pub(crate) struct BatchStats {
 /// sender.
 fn worker_loop(worker: usize, jobs: Receiver<Job>, results: Sender<Response>) {
     while let Ok(job) = jobs.recv() {
+        let worker_span = congest_obs::trace::span("pool", "worker");
         let started = Instant::now();
         let mut steals = 0u64;
         // A panicking job must still produce a response, or the engine's
@@ -481,7 +482,12 @@ fn worker_loop(worker: usize, jobs: Receiver<Job>, results: Sender<Response>) {
         .unwrap_or_else(|panic| Payload::Panicked(panic_message(&panic)));
         // The store view is dropped inside `process_job` *before* this
         // send (by unwinding, in the panic case), so once the engine
-        // holds every response, `Arc::try_unwrap` succeeds.
+        // holds every response, `Arc::try_unwrap` succeeds. The span
+        // closes before the send, and the buffer is flushed at the job
+        // boundary so the engine thread's `drain` sees worker spans
+        // without waiting for this long-lived thread to exit.
+        drop(worker_span);
+        congest_obs::trace::flush_thread();
         if results
             .send(Response {
                 worker,
@@ -510,6 +516,7 @@ fn process_job(job: Job, worker: usize, steals: &mut u64) -> Payload {
         } => {
             let (mut plan, removals) = classify_slice(&store, &deltas);
             if slice_cost(&store, &removals) <= split_threshold {
+                congest_obs::span!("sharded", "collect");
                 collect_candidates(&store, &removals, &mut plan.removed);
             } else {
                 // Too hot to handle alone: the engine will chunk these
@@ -520,12 +527,14 @@ fn process_job(job: Job, worker: usize, steals: &mut u64) -> Payload {
             Payload::Plan(plan)
         }
         Job::Drain { store, injector } => {
+            congest_obs::span!("pool", "drain");
             let mut candidates = Vec::new();
             *steals += drain_injector(&store, &injector, worker, &mut candidates);
             drop(store);
             Payload::Candidates(candidates)
         }
         Job::Record { mut shard, ops } => {
+            congest_obs::span!("sharded", "record");
             for op in ops {
                 shard.apply_op(op);
             }
@@ -536,6 +545,7 @@ fn process_job(job: Job, worker: usize, steals: &mut u64) -> Payload {
             local,
             injector,
         } => {
+            congest_obs::span!("sharded", "collect");
             let mut candidates = Vec::new();
             collect_candidates(&store, &local, &mut candidates);
             *steals += drain_injector(&store, &injector, worker, &mut candidates);
@@ -602,6 +612,7 @@ pub(crate) fn classify_slice(store: &ShardStore, deltas: &[EdgeDelta]) -> (Worke
     // Worker-local coalesce: sort by (edge, arrival order) and keep the
     // last op of each equal-edge run. Doing this per worker keeps the
     // whole coalescing cost inside the parallel phase.
+    let coalesce_span = congest_obs::trace::span("sharded", "coalesce");
     let mut ordered: Vec<(EdgeDelta, usize)> =
         deltas.iter().copied().zip(0..deltas.len()).collect();
     ordered.sort_unstable_by_key(|&(d, i)| (d.edge, i));
@@ -616,6 +627,8 @@ pub(crate) fn classify_slice(store: &ShardStore, deltas: &[EdgeDelta]) -> (Worke
             _ => coalesced.push(delta),
         }
     }
+    drop(coalesce_span);
+    congest_obs::span!("sharded", "classify");
     for delta in &coalesced {
         let (u, v) = delta.edge.endpoints();
         let present = store.has_edge(u, v);

@@ -547,17 +547,24 @@ impl ShardedTriangleIndex {
         let mut plans = Vec::with_capacity(work.len());
         for slice in work {
             let (mut plan, removals) = classify_slice(&self.store, slice);
+            congest_obs::span!("sharded", "collect");
             collect_candidates(&self.store, &removals, &mut plan.removed);
             plans.push(plan);
         }
-        for plan in &plans {
-            report.triangles_removed +=
-                merge_removed_candidates(&mut self.triangles, &plan.removed);
+        {
+            congest_obs::span!("sharded", "merge");
+            for plan in &plans {
+                report.triangles_removed +=
+                    merge_removed_candidates(&mut self.triangles, &plan.removed);
+            }
         }
-        for plan in &plans {
-            for (dest, ops) in plan.ops.iter().enumerate() {
-                for &op in ops {
-                    self.store.apply_routed(dest, op);
+        {
+            congest_obs::span!("sharded", "record");
+            for plan in &plans {
+                for (dest, ops) in plan.ops.iter().enumerate() {
+                    for &op in ops {
+                        self.store.apply_routed(dest, op);
+                    }
                 }
             }
         }
@@ -566,7 +573,11 @@ impl ShardedTriangleIndex {
                 continue;
             }
             let mut candidates = Vec::new();
-            collect_candidates(&self.store, &plan.inserts, &mut candidates);
+            {
+                congest_obs::span!("sharded", "collect");
+                collect_candidates(&self.store, &plan.inserts, &mut candidates);
+            }
+            congest_obs::span!("sharded", "merge");
             report.triangles_added += merge_added_candidates(&mut self.triangles, &candidates);
         }
         plans
@@ -582,6 +593,7 @@ impl ShardedTriangleIndex {
                 .map(|slice| {
                     scope.spawn(move || {
                         let (mut plan, removals) = classify_slice(store, slice);
+                        congest_obs::span!("sharded", "collect");
                         collect_candidates(store, &removals, &mut plan.removed);
                         plan
                     })
@@ -593,9 +605,12 @@ impl ShardedTriangleIndex {
                 .collect()
         });
 
-        for plan in &plans {
-            report.triangles_removed +=
-                merge_removed_candidates(&mut self.triangles, &plan.removed);
+        {
+            congest_obs::span!("sharded", "merge");
+            for plan in &plans {
+                report.triangles_removed +=
+                    merge_removed_candidates(&mut self.triangles, &plan.removed);
+            }
         }
 
         let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); work.len()];
@@ -605,15 +620,18 @@ impl ShardedTriangleIndex {
             }
         }
         let mut shards = self.store.take_shards();
-        crossbeam::thread::scope(|scope| {
-            for (shard, ops) in shards.iter_mut().zip(&routed) {
-                scope.spawn(move || {
-                    for &op in ops {
-                        shard.apply_op(op);
-                    }
-                });
-            }
-        });
+        {
+            congest_obs::span!("sharded", "record");
+            crossbeam::thread::scope(|scope| {
+                for (shard, ops) in shards.iter_mut().zip(&routed) {
+                    scope.spawn(move || {
+                        for &op in ops {
+                            shard.apply_op(op);
+                        }
+                    });
+                }
+            });
+        }
         self.store.restore_shards(shards);
 
         if plans.iter().any(|p| !p.inserts.is_empty()) {
@@ -623,6 +641,7 @@ impl ShardedTriangleIndex {
                     .iter()
                     .map(|plan| {
                         scope.spawn(move || {
+                            congest_obs::span!("sharded", "collect");
                             let mut out = Vec::new();
                             collect_candidates(store, &plan.inserts, &mut out);
                             out
@@ -634,6 +653,7 @@ impl ShardedTriangleIndex {
                     .map(|h| h.join().expect("shard worker panicked"))
                     .collect()
             });
+            congest_obs::span!("sharded", "merge");
             for candidates in &added {
                 report.triangles_added += merge_added_candidates(&mut self.triangles, candidates);
             }
@@ -666,8 +686,10 @@ impl ShardedTriangleIndex {
 
         // Phase 1: collect (read-only). Workers whose removal slice
         // exceeds the split threshold defer it instead of intersecting.
+        let collect_span = congest_obs::trace::span("pool", "collect_wave");
         let (store, mut plans) = run.collect(std::mem::take(&mut self.store), work);
         self.store = store;
+        drop(collect_span);
 
         // Phase 1.5: the steal wave, only when something was deferred —
         // every deferred slice is chunked onto the shared queue before
@@ -677,6 +699,7 @@ impl ShardedTriangleIndex {
         // *pre-batch* adjacency.
         let mut wave_removed: Vec<Triangle> = Vec::new();
         if plans.iter().any(|p| !p.deferred_removals.is_empty()) {
+            congest_obs::span!("pool", "steal_wave");
             let deferred: Vec<(usize, Vec<Edge>)> = plans
                 .iter_mut()
                 .enumerate()
@@ -696,23 +719,31 @@ impl ShardedTriangleIndex {
                 routed[dest].extend_from_slice(ops);
             }
         }
+        let record_span = congest_obs::trace::span("pool", "record_wave");
         run.start_record(self.store.take_shards(), routed);
-        for plan in &plans {
+        {
+            congest_obs::span!("sharded", "merge");
+            for plan in &plans {
+                report.triangles_removed +=
+                    merge_removed_candidates(&mut self.triangles, &plan.removed);
+            }
             report.triangles_removed +=
-                merge_removed_candidates(&mut self.triangles, &plan.removed);
+                merge_removed_candidates(&mut self.triangles, &wave_removed);
         }
-        report.triangles_removed += merge_removed_candidates(&mut self.triangles, &wave_removed);
         self.store.restore_shards(run.finish_record());
+        drop(record_span);
 
         // Phase 3: the triangles each effective insertion closes on the
         // post-batch adjacency.
         if plans.iter().any(|p| !p.inserts.is_empty()) {
+            congest_obs::span!("pool", "insert_wave");
             let inserts: Vec<Vec<Edge>> = plans
                 .iter_mut()
                 .map(|p| std::mem::take(&mut p.inserts))
                 .collect();
             let (store, candidates) = run.insert_collect(std::mem::take(&mut self.store), inserts);
             self.store = store;
+            congest_obs::span!("sharded", "merge");
             for c in &candidates {
                 report.triangles_added += merge_added_candidates(&mut self.triangles, c);
             }

@@ -1,0 +1,73 @@
+//! Property test for the streaming latency histogram: on real per-batch
+//! apply durations from every scenario generator family, each reported
+//! percentile must land inside the log-bucket of the exact sorted-vec
+//! oracle's answer (the histogram's advertised ≤ 1.6% resolution), and
+//! count/min/max/mean must be exact.
+
+use std::time::Instant;
+
+use congest_obs::{nearest_rank_index, Histogram};
+use congest_stream::{BaseGraph, Scenario, TriangleIndex};
+use proptest::prelude::*;
+
+/// One scenario per generator family, all on the same seed so a failure
+/// names the family that produced it.
+fn families(seed: u64) -> Vec<Scenario> {
+    let sized = |s: Scenario| s.with_base(BaseGraph::Gnp { p: 0.08 }).seeded(seed);
+    vec![
+        sized(Scenario::uniform_churn(50, 12, 20)),
+        sized(Scenario::hotspot_churn(50, 12, 20)),
+        sized(Scenario::planted_bursts(50, 12, 20)),
+        sized(Scenario::grow_then_shrink(50, 12, 20)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The histogram agrees with the sorted-vec oracle on latency
+    /// samples measured from real engine batches: exact count, min,
+    /// max, and mean; every quantile within one log-bucket.
+    #[test]
+    fn histogram_percentiles_match_the_sorted_oracle(seed in any::<u64>()) {
+        for scenario in families(seed) {
+            let base = scenario.base_graph();
+            let mut index = TriangleIndex::from_graph(&base);
+            let mut hist = Histogram::new();
+            let mut samples_ns: Vec<u64> = Vec::new();
+            for batch in scenario.batches() {
+                let start = Instant::now();
+                index
+                    .apply(&batch)
+                    .expect("scenario batches only touch in-range nodes");
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                hist.record_ns(ns);
+                samples_ns.push(ns);
+            }
+            samples_ns.sort_unstable();
+            let name = scenario.name();
+
+            prop_assert_eq!(hist.count() as usize, samples_ns.len());
+            prop_assert_eq!(hist.min_ns(), samples_ns[0]);
+            prop_assert_eq!(hist.max_ns(), *samples_ns.last().unwrap());
+            let exact_mean =
+                samples_ns.iter().map(|&v| v as f64).sum::<f64>() / samples_ns.len() as f64;
+            prop_assert!(
+                (hist.mean_ns() - exact_mean).abs() <= 1e-6 * exact_mean.max(1.0),
+                "{name}: mean {} vs exact {exact_mean}",
+                hist.mean_ns()
+            );
+
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let exact = samples_ns[nearest_rank_index(samples_ns.len(), q)];
+                let approx = hist.value_at_quantile(q);
+                let (lo, hi) = Histogram::bucket_of(exact);
+                prop_assert!(
+                    approx >= lo && approx <= hi,
+                    "{name} q={q}: histogram {approx} outside bucket [{lo}, {hi}] \
+                     of the oracle's {exact}"
+                );
+            }
+        }
+    }
+}
