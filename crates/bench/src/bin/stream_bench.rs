@@ -1,7 +1,7 @@
 //! Streaming workload benchmark — load-tests the `congest-stream`
 //! incremental triangle engines the way a service is load-tested.
 //!
-//! Five sections:
+//! Six sections:
 //!
 //! * the **matrix** crosses the four churn scenarios (uniform, hotspot,
 //!   planted-burst, grow-then-shrink) with eager and deferred application
@@ -24,7 +24,12 @@
 //! * the **hotspot sweep** runs power-law hub churn through both
 //!   pipelines at S=4 and reports p99 apply latency: the work-stealing
 //!   path exists to flatten exactly this tail, and the pool run's steal
-//!   count and worker busy shares land in the JSON as evidence.
+//!   count and worker busy shares land in the JSON as evidence;
+//! * the **intersect-kernel sweep** times the shared sorted-set
+//!   intersection core directly on a degree-skewed pair (where the
+//!   adaptive kernel gallops) and a balanced pair (where it merges),
+//!   reporting millions of elements scanned per second for each — the
+//!   two regimes the candidate-counting hot loop alternates between.
 //!
 //! Flags: `--shards N` restricts the shard sweep to a single count;
 //! `--flush-deadline-ms X` adds latency-bounded flushing to the deferred
@@ -43,10 +48,11 @@
 //! `stream_gate`.
 
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use congest_bench::gate::{SMALLBATCH_FLOOR_MIN_THREADS, SMALLBATCH_SPEEDUP_FLOOR};
 use congest_bench::{json, table::fmt_f64, Table};
+use congest_graph::{count_common, NodeId, GALLOP_RATIO};
 use congest_stream::{
     Aggregation, ApplyMode, BaseGraph, DistributedTriangleEngine, RunSummary, Scenario,
     WorkloadRunner,
@@ -96,6 +102,10 @@ fn sweep_scenario() -> Scenario {
 /// where per-batch fixed costs (thread spawns on the old engine, channel
 /// handoff on the pool) dominate the actual intersection work.
 fn smallbatch_scenario(quick: bool) -> Scenario {
+    // The quick shapes stay short deliberately: on a contended host a
+    // short run plus best-of-three lets at least one try land inside a
+    // quiet window, where a longer run would integrate every
+    // background spike into the gated number.
     Scenario::uniform_churn(2_000, if quick { 150 } else { 400 }, 48)
         .with_base(BaseGraph::Gnp { p: 0.005 })
         .seeded(0x5B47C4)
@@ -169,30 +179,45 @@ fn run_one(scenario: Scenario, mode: ApplyMode, recompute_every: usize, args: &A
     runner.run()
 }
 
-/// Runs a measurement twice and keeps the run with the higher score.
-/// Scheduler noise and CPU contention only ever *hurt* a run (lower
-/// throughput, longer tails), so best-of-N is the cheap robust estimator
-/// for the gated metrics; two tries already cut the tail that made
-/// single runs swing by 20%+ on a busy machine.
-fn best_of_two_by(run: impl Fn() -> RunSummary, score: impl Fn(&RunSummary) -> f64) -> RunSummary {
-    let first = run();
-    let second = run();
-    if score(&second) > score(&first) {
-        second
-    } else {
-        first
+/// Runs a measurement `tries` times and keeps the run with the highest
+/// score. Scheduler noise and CPU contention only ever *hurt* a run
+/// (lower throughput, longer tails), so best-of-N is the cheap robust
+/// estimator for the gated metrics; two tries already cut the tail that
+/// made single runs swing by 20%+ on a busy machine. The two sweeps
+/// behind `stream_gate`'s 2% disabled-overhead guard take three tries —
+/// that band is an order of magnitude tighter than the regression
+/// tolerances, so it needs the tighter estimator.
+fn best_of_by(
+    tries: usize,
+    run: impl Fn() -> RunSummary,
+    score: impl Fn(&RunSummary) -> f64,
+) -> RunSummary {
+    let mut best = run();
+    for _ in 1..tries {
+        let next = run();
+        if score(&next) > score(&best) {
+            best = next;
+        }
     }
+    best
 }
 
 /// Best-of-two on throughput (the gated metric of most sweeps).
 fn best_of_two(run: impl Fn() -> RunSummary) -> RunSummary {
-    best_of_two_by(run, |s| s.deltas_per_sec)
+    best_of_by(2, run, |s| s.deltas_per_sec)
 }
 
-/// Best-of-two for the latency sweep: keeps the run with the *lower*
-/// p99 apply latency (noise only ever lengthens the tail).
-fn best_of_two_p99(run: impl Fn() -> RunSummary) -> RunSummary {
-    best_of_two_by(run, |s| -s.latency.p99_us)
+/// Best-of-three on throughput, for the small-batch sweep feeding the
+/// disabled-overhead guard.
+fn best_of_three(run: impl Fn() -> RunSummary) -> RunSummary {
+    best_of_by(3, run, |s| s.deltas_per_sec)
+}
+
+/// Best-of-three for the latency sweep: keeps the run with the *lowest*
+/// p99 apply latency (noise only ever lengthens the tail), also behind
+/// the disabled-overhead guard.
+fn best_of_three_p99(run: impl Fn() -> RunSummary) -> RunSummary {
+    best_of_by(3, run, |s| -s.latency.p99_us)
 }
 
 /// One sweep entry: the sharded engine at a fixed shard count.
@@ -224,6 +249,49 @@ fn run_pipeline(scenario: Scenario, spawn: bool, force_pipeline: bool) -> RunSum
     runner.run()
 }
 
+/// Builds a sorted, duplicate-free neighbour list of `len` ids spaced
+/// `stride` apart, offset so the two sweep inputs interleave and share
+/// some members (both kernel regimes must do real matching work).
+fn kernel_list(len: usize, stride: u32, offset: u32) -> Vec<NodeId> {
+    (0..len as u32)
+        .map(|i| NodeId(offset + i * stride))
+        .collect()
+}
+
+/// Times `count_common` on one input pair and reports throughput in
+/// millions of elements scanned per second (elements = |a| + |b| per
+/// call, the merge kernel's natural unit; the galloping path's win shows
+/// up as scanning "more" elements per second than it ever touches).
+fn time_kernel(a: &[NodeId], b: &[NodeId], iters: usize) -> f64 {
+    let mut hits = 0usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        hits += count_common(std::hint::black_box(a), std::hint::black_box(b));
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(hits);
+    (iters * (a.len() + b.len())) as f64 / secs / 1e6
+}
+
+/// The intersect-kernel microbench: one degree-skewed pair whose ratio
+/// clears [`GALLOP_RATIO`] (64 vs 8192, ratio 128 — the hub-adjacent
+/// regime where galloping skips most of the long list) and one balanced
+/// pair (4096 vs 4096 — the regime the branch-light merge owns). Both
+/// numbers are gated, so neither regime of the adaptive kernel can
+/// regress silently. Returns (skewed, balanced) in Melems/s, best of
+/// two passes like every other gated sweep.
+fn intersect_kernel_sweep(quick: bool) -> (f64, f64) {
+    let small = kernel_list(64, 131, 0);
+    let big = kernel_list(8_192, 1, 0);
+    debug_assert!(big.len() / small.len() >= GALLOP_RATIO);
+    let bal_a = kernel_list(4_096, 2, 0);
+    let bal_b = kernel_list(4_096, 3, 1);
+    let iters = if quick { 2_000 } else { 20_000 };
+    let skewed = time_kernel(&small, &big, iters).max(time_kernel(&small, &big, iters));
+    let balanced = time_kernel(&bal_a, &bal_b, iters).max(time_kernel(&bal_a, &bal_b, iters));
+    (skewed, balanced)
+}
+
 /// Re-runs one pooled sharded stream and one distributed convergecast
 /// stream with span tracing enabled, then writes everything recorded as
 /// chrome://tracing trace-event JSON. Both runs stay oracle-verified:
@@ -233,10 +301,18 @@ fn capture_trace(path: &std::path::Path) {
     congest_obs::trace::clear();
     congest_obs::set_enabled(true);
 
-    // Pooled sharded engine on the small-batch stream: threshold 0 keeps
-    // every batch on the pool, so all five apply phases plus the pool
-    // waves appear in the trace.
-    let pooled = run_pipeline(smallbatch_scenario(true), false, true);
+    // Pooled sharded engine on the small-batch stream: parallel
+    // threshold 0 keeps every batch on the pool, and split threshold 0
+    // marks every shard's record work as oversized, so all six apply
+    // phases — including the record-prepare steal wave — appear in the
+    // trace deterministically.
+    let pooled = WorkloadRunner::new(smallbatch_scenario(true))
+        .with_shards(4)
+        .recompute_every(0)
+        .verified(true)
+        .with_parallel_threshold(0)
+        .with_split_threshold(0)
+        .run();
     assert!(pooled.oracle_ok, "traced sharded run diverged from oracle");
 
     // Distributed convergecast engine on a small churn stream: emits the
@@ -374,9 +450,9 @@ fn main() {
     // Small-batch sweep: the persistent pool vs the per-batch-spawn
     // pipeline on an identical high-rate stream of b = 48 batches.
     let smallbatch_pool =
-        best_of_two(|| run_pipeline(smallbatch_scenario(args.quick), false, true));
+        best_of_three(|| run_pipeline(smallbatch_scenario(args.quick), false, true));
     let smallbatch_spawn =
-        best_of_two(|| run_pipeline(smallbatch_scenario(args.quick), true, true));
+        best_of_three(|| run_pipeline(smallbatch_scenario(args.quick), true, true));
     let smallbatch_speedup = smallbatch_pool.deltas_per_sec / smallbatch_spawn.deltas_per_sec;
     for (label, summary) in [
         ("pool S=4 b=48", &smallbatch_pool),
@@ -405,9 +481,9 @@ fn main() {
     // Hotspot sweep: p99 apply latency under power-law hub churn, pool
     // (stealing) vs spawn (no stealing) at S=4.
     let hotspot_pool =
-        best_of_two_p99(|| run_pipeline(hotspot_pool_scenario(args.quick), false, false));
+        best_of_three_p99(|| run_pipeline(hotspot_pool_scenario(args.quick), false, false));
     let hotspot_spawn =
-        best_of_two_p99(|| run_pipeline(hotspot_pool_scenario(args.quick), true, false));
+        best_of_three_p99(|| run_pipeline(hotspot_pool_scenario(args.quick), true, false));
     for (label, summary) in [
         ("pool S=4 hotspot", &hotspot_pool),
         ("spawn S=4 hotspot", &hotspot_spawn),
@@ -430,6 +506,10 @@ fn main() {
     }
     summaries.push(hotspot_pool.clone());
     summaries.push(hotspot_spawn.clone());
+
+    // Intersect-kernel microbench: no engine, no stream — just the
+    // shared sorted-set intersection core in both adaptive regimes.
+    let (kernel_skewed, kernel_balanced) = intersect_kernel_sweep(args.quick);
 
     println!("# stream_bench — incremental triangle engines under churn\n");
     table.print();
@@ -487,6 +567,10 @@ fn main() {
             .unwrap_or_else(|| "-".to_string()),
         hotspot_pool.steal_count.unwrap_or(0),
     );
+    println!(
+        "intersect kernel: skewed 64v8192 {kernel_skewed:.0} Melems/s (galloping), \
+         balanced 4096v4096 {kernel_balanced:.0} Melems/s (merge)"
+    );
 
     let any_oracle_failure = summaries.iter().any(|s| !s.oracle_ok);
     if any_oracle_failure {
@@ -494,7 +578,7 @@ fn main() {
     }
 
     // Machine-readable trajectory for future PRs (and the CI gate).
-    let mut json = String::from("{\"bench\":\"stream\",\"schema_version\":3,");
+    let mut json = String::from("{\"bench\":\"stream\",\"schema_version\":4,");
     let _ = write!(
         json,
         "\"args_shards\":{},\"args_flush_deadline_ms\":{},\"quick\":{},\"args_trace_out\":{},",
@@ -548,6 +632,8 @@ fn main() {
          \"hotspot_pool_steals\":{},\
          \"hotspot_pool_worker_busy_max_share\":{},\
          \"hotspot_pool_worker_busy_mean_share\":{},\
+         \"intersect_kernel_skewed_melems_per_sec\":{:.3},\
+         \"intersect_kernel_balanced_melems_per_sec\":{:.3},\
          \"obs\":{}}}",
         single.deltas_per_sec,
         json::num(s1_ratio),
@@ -562,6 +648,8 @@ fn main() {
         hotspot_pool.steal_count.unwrap_or(0),
         json::num(hotspot_pool.worker_busy_max_share.unwrap_or(f64::NAN)),
         json::num(hotspot_pool.worker_busy_mean_share.unwrap_or(f64::NAN)),
+        kernel_skewed,
+        kernel_balanced,
         congest_obs::snapshot().to_json(),
     );
     std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");

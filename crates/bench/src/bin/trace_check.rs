@@ -5,9 +5,10 @@
 //! can never silently rot: the file must parse as JSON, every event must
 //! carry the complete-event shape (`name`/`cat` strings, `ph == "X"`,
 //! numeric `ts`/`dur`/`pid`/`tid`), and the trace must contain the span
-//! families the instrumentation promises — all five sharded apply phases
-//! (coalesce, classify, collect, record, merge), the worker pool, and
-//! the distributed engine's broadcast and convergecast phases.
+//! families the instrumentation promises — all six sharded apply phases
+//! (coalesce, classify, collect, record_prepare, record, merge), the
+//! worker pool, and the distributed engine's broadcast and convergecast
+//! phases.
 //!
 //! Usage: `trace_check <trace.json>`. Exits non-zero with a diagnostic
 //! on the first violation; prints a per-category event tally on success.
@@ -20,10 +21,11 @@ use congest_bench::json::Value;
 /// `(cat, name)` pairs that must appear in a trace captured from the
 /// benches' instrumented runs (a pooled sharded stream plus a
 /// distributed convergecast stream).
-const REQUIRED_SPANS: [(&str, &str); 8] = [
+const REQUIRED_SPANS: [(&str, &str); 9] = [
     ("sharded", "coalesce"),
     ("sharded", "classify"),
     ("sharded", "collect"),
+    ("sharded", "record_prepare"),
     ("sharded", "record"),
     ("sharded", "merge"),
     ("pool", "worker"),

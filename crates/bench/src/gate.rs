@@ -130,11 +130,18 @@ pub fn check_metric_directed(
 /// trajectory data but is not gated: it measures an 8-batch slice whose
 /// run-to-run noise approaches the tolerance, and `stream_bench` already
 /// enforces the S=1-within-10% floor on the same run.)
-pub const STREAM_GATE_METRICS: [&str; 4] = [
+/// `intersect_kernel_*` rides along here: the microbench sweeps the
+/// shared intersection core on a degree-skewed pair (where the galloping
+/// kernel must win) and a balanced pair (where the branch-light merge
+/// must hold), so a selection-heuristic regression surfaces directly
+/// rather than diluted through a full engine run.
+pub const STREAM_GATE_METRICS: [&str; 6] = [
     "headline_deltas_per_sec",
     "headline_speedup_vs_recompute",
     "sweep_best_parallel_speedup",
     "smallbatch_pool_speedup_vs_spawn",
+    "intersect_kernel_skewed_melems_per_sec",
+    "intersect_kernel_balanced_melems_per_sec",
 ];
 
 /// Lower-is-better stream metrics, gated with [`LATENCY_TOLERANCE`]:

@@ -54,4 +54,7 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use node::NodeId;
 pub use triangle::{Edge, Triangle, TriangleSet};
-pub use view::{count_common, for_each_common, intersect_sorted, AdjacencyView, NodeIdRange};
+pub use view::{
+    count_common, for_each_common, intersect_sorted, intersection_cost_estimate, AdjacencyView,
+    NodeIdRange, GALLOP_RATIO,
+};

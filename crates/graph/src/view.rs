@@ -22,15 +22,29 @@
 
 use crate::{NodeId, Triangle};
 
+/// Length-skew ratio at which [`for_each_common`] switches from the
+/// branch-light linear merge to galloping search, and past which
+/// [`intersection_cost_estimate`] bills the logarithmic kernel instead
+/// of the merge. Merge is `O(d_min + d_max)`, galloping is
+/// `O(d_min · log(d_max/d_min))`; the gallop wins once the skew beats
+/// the log by a comfortable margin.
+pub const GALLOP_RATIO: usize = 16;
+
 /// Visits each element of `a ∩ b` in increasing order, for sorted,
 /// duplicate-free slices. This is *the* common-neighbour intersection
 /// core of the workspace — the trait defaults below, [`Graph`]'s
 /// inherent methods and the `congest-stream` engines all route through
-/// it. Oriented by length: the walk runs over the shorter list, and for
-/// badly skewed lengths (hub nodes under power-law churn) each element
-/// of the short list is binary-probed into the long one,
-/// `O(d_min log d_max)`; otherwise a linear merge of the two sorted
-/// lists is faster.
+/// it. The kernel is chosen adaptively per call from the length ratio:
+///
+/// * ratio ≥ [`GALLOP_RATIO`] (hub nodes under power-law churn): each
+///   element of the short list is galloped into the long one —
+///   exponential doubling from an advancing lower bound, then a binary
+///   search inside the bracket. The lower bound never moves backwards,
+///   so the whole pass is `O(d_min · log(d_max/d_min))` amortized
+///   rather than `O(d_min · log d_max)` for repeated full-width probes.
+/// * balanced lengths: a branch-light two-pointer merge whose index
+///   advances are computed from comparisons instead of a three-way
+///   `match`, keeping the loop free of hard-to-predict branches.
 ///
 /// [`Graph`]: crate::Graph
 pub fn for_each_common<F: FnMut(NodeId)>(a: &[NodeId], b: &[NodeId], mut visit: F) {
@@ -38,28 +52,66 @@ pub fn for_each_common<F: FnMut(NodeId)>(a: &[NodeId], b: &[NodeId], mut visit: 
     if small.len() > large.len() {
         std::mem::swap(&mut small, &mut large);
     }
-    // Probe threshold: merge is O(d_min + d_max), probing is
-    // O(d_min log d_max); probing wins once the skew beats log.
-    if large.len() / small.len().max(1) >= 16 {
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        let mut lo = 0usize;
         for &w in small {
-            if large.binary_search(&w).is_ok() {
-                visit(w);
+            // Exponential search: double the step until the probe value
+            // at `lo + step` is no longer below `w` (or runs off the
+            // end), then binary-search the bracket that doubling
+            // established. `lo` only ever advances.
+            let mut step = 1usize;
+            while lo + step < large.len() && large[lo + step] < w {
+                step <<= 1;
+            }
+            let hi = (lo + step + 1).min(large.len());
+            match large[lo..hi].binary_search(&w) {
+                Ok(pos) => {
+                    visit(w);
+                    lo += pos + 1;
+                }
+                Err(pos) => lo += pos,
+            }
+            if lo >= large.len() {
+                break;
             }
         }
     } else {
         let (mut i, mut j) = (0usize, 0usize);
         while i < small.len() && j < large.len() {
-            match small[i].cmp(&large[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    visit(small[i]);
-                    i += 1;
-                    j += 1;
-                }
+            let x = small[i];
+            let y = large[j];
+            if x == y {
+                visit(x);
+                i += 1;
+                j += 1;
+            } else {
+                i += usize::from(x < y);
+                j += usize::from(y < x);
             }
         }
     }
+}
+
+/// Estimated comparison count of [`for_each_common`] on lists of length
+/// `da` and `db`, matching the kernel the lengths select: skewed pairs
+/// bill the gallop at `d_min · (log2(d_max/d_min) + 1)`, balanced pairs
+/// bill the merge at `d_min + d_max`. Never returns zero, so cost-based
+/// chunking (the sharded pool's split budgeting) always makes progress.
+pub fn intersection_cost_estimate(da: usize, db: usize) -> usize {
+    let (min, max) = if da <= db { (da, db) } else { (db, da) };
+    if min == 0 {
+        return 1;
+    }
+    let ratio = max / min;
+    let cost = if ratio >= GALLOP_RATIO {
+        min * (usize::BITS - ratio.leading_zeros()) as usize
+    } else {
+        min + max
+    };
+    cost.max(1)
 }
 
 /// `a ∩ b` for sorted, duplicate-free slices (see [`for_each_common`]).
@@ -310,6 +362,87 @@ mod tests {
         assert_eq!(nodes.len(), 5);
         assert_eq!(nodes[4], v(4));
         assert_eq!(view.nodes().len(), 5);
+    }
+
+    /// Reference intersection: plain merge, no kernel selection.
+    fn naive_intersect(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+        a.iter().filter(|w| b.contains(w)).copied().collect()
+    }
+
+    #[test]
+    fn both_kernels_match_the_naive_intersection() {
+        // Deterministic pseudo-random sorted sets across a sweep of
+        // length pairs that straddles GALLOP_RATIO from both sides.
+        let mut state = 0x9e37u64;
+        let mut next = move |bound: u32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % bound
+        };
+        let mut sorted_set = |len: usize, bound: u32| {
+            let mut v: Vec<NodeId> = (0..len * 2).map(|_| NodeId(next(bound))).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.truncate(len);
+            v
+        };
+        for (la, lb) in [
+            (0, 0),
+            (0, 40),
+            (1, 1),
+            (3, 200),
+            (17, 17),
+            (10, 10 * GALLOP_RATIO),
+            (10, 10 * GALLOP_RATIO - 1),
+            (64, 64),
+            (5, 4096),
+        ] {
+            for bound in [8u32, 64, 1 << 14] {
+                let a = sorted_set(la, bound);
+                let b = sorted_set(lb, bound);
+                assert_eq!(
+                    intersect_sorted(&a, &b),
+                    naive_intersect(&a, &b),
+                    "lens ({la},{lb}) bound {bound}"
+                );
+                assert_eq!(count_common(&a, &b), naive_intersect(&a, &b).len());
+                // Symmetry: orientation must not change the result.
+                assert_eq!(intersect_sorted(&b, &a), intersect_sorted(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn galloping_handles_adversarial_layouts() {
+        // All of small before large, after large, interleaved at the
+        // ends — the advancing lower bound must not skip matches.
+        let large: Vec<NodeId> = (100..1700).map(NodeId).collect();
+        let before: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let after: Vec<NodeId> = (2000..2005).map(NodeId).collect();
+        let edges = vec![NodeId(100), NodeId(1699)];
+        assert!(intersect_sorted(&before, &large).is_empty());
+        assert!(intersect_sorted(&after, &large).is_empty());
+        assert_eq!(intersect_sorted(&edges, &large), edges);
+        // Dense duplicated-value-free run fully contained.
+        let inside: Vec<NodeId> = (500..510).map(NodeId).collect();
+        assert_eq!(intersect_sorted(&inside, &large), inside);
+    }
+
+    #[test]
+    fn cost_estimate_matches_kernel_selection() {
+        // Balanced pairs bill the merge.
+        assert_eq!(intersection_cost_estimate(4, 4), 8);
+        assert_eq!(intersection_cost_estimate(10, 30), 40);
+        // Skewed pairs bill the gallop: min · (log2(max/min) + 1).
+        assert_eq!(intersection_cost_estimate(10, 160), 10 * 5);
+        assert_eq!(intersection_cost_estimate(160, 10), 10 * 5);
+        assert_eq!(intersection_cost_estimate(1, 1024), 11);
+        // The gallop estimate undercuts the merge estimate on skew.
+        assert!(intersection_cost_estimate(10, 160) < 10 + 160);
+        // Never zero, so cost-budgeted chunking always progresses.
+        assert_eq!(intersection_cost_estimate(0, 0), 1);
+        assert_eq!(intersection_cost_estimate(0, 100), 1);
     }
 
     #[test]

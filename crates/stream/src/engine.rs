@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use congest_graph::AdjacencyView;
 
+use crate::arena::ArenaStats;
 use crate::delta::DeltaBatch;
 use crate::distributed::DistributedTriangleEngine;
 use crate::index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
@@ -65,6 +66,15 @@ pub trait StreamEngine: AdjacencyView {
     fn worker_telemetry(&self) -> Option<WorkerTelemetry> {
         None
     }
+
+    /// Health of the engine's flat neighbour-arena storage (slab bytes,
+    /// free-list occupancy, compaction count), for engines that store
+    /// adjacency in a [`NeighborArena`](crate::NeighborArena). The
+    /// default is `None`: the distributed engine's simulated node
+    /// programs keep plain per-node lists and have no arena to report.
+    fn arena_stats(&self) -> Option<ArenaStats> {
+        None
+    }
 }
 
 impl StreamEngine for TriangleIndex {
@@ -98,6 +108,10 @@ impl StreamEngine for TriangleIndex {
 
     fn shard_count(&self) -> usize {
         1
+    }
+
+    fn arena_stats(&self) -> Option<ArenaStats> {
+        Some(TriangleIndex::arena_stats(self))
     }
 }
 
@@ -136,6 +150,10 @@ impl StreamEngine for ShardedTriangleIndex {
 
     fn worker_telemetry(&self) -> Option<WorkerTelemetry> {
         ShardedTriangleIndex::worker_telemetry(self)
+    }
+
+    fn arena_stats(&self) -> Option<ArenaStats> {
+        Some(ShardedTriangleIndex::arena_stats(self))
     }
 }
 

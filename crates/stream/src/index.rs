@@ -24,8 +24,9 @@ use std::time::Duration;
 
 use congest_graph::{AdjacencyView, Graph, GraphBuilder, NodeId, Triangle, TriangleSet};
 
+use crate::arena::{ArenaStats, NeighborArena};
 use crate::delta::{DeltaBatch, DeltaOp, EdgeDelta, PendingBuffer};
-use crate::shard::{intersect_sorted, sorted_insert, sorted_remove};
+use crate::shard::intersect_sorted;
 
 /// When the engine pays for triangle maintenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,9 +169,10 @@ impl ApplyReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TriangleIndex {
-    /// Sorted neighbour list per node (the mutable mirror of the CSR
-    /// layout `congest_graph::Graph` freezes).
-    adjacency: Vec<Vec<NodeId>>,
+    /// Sorted neighbour list per node (slot = node index), packed into
+    /// one flat [`NeighborArena`] — the mutable mirror of the CSR
+    /// layout `congest_graph::Graph` freezes.
+    adjacency: NeighborArena,
     /// The live triangle set.
     triangles: TriangleSet,
     /// Number of present undirected edges.
@@ -184,7 +186,7 @@ impl TriangleIndex {
     /// An empty index on `node_count` nodes, in [`ApplyMode::Eager`].
     pub fn new(node_count: usize) -> Self {
         TriangleIndex {
-            adjacency: vec![Vec::new(); node_count],
+            adjacency: NeighborArena::new(node_count),
             triangles: TriangleSet::new(),
             edge_count: 0,
             mode: ApplyMode::Eager,
@@ -195,8 +197,10 @@ impl TriangleIndex {
     /// An index seeded with a static graph's edges and triangles (the
     /// triangles are computed once with the centralized reference listing).
     pub fn from_graph(graph: &Graph) -> Self {
-        let adjacency: Vec<Vec<NodeId>> =
-            graph.nodes().map(|v| graph.neighbors(v).to_vec()).collect();
+        let mut adjacency = NeighborArena::new(graph.node_count());
+        for v in graph.nodes() {
+            adjacency.seed(v.index(), graph.neighbors(v));
+        }
         TriangleIndex {
             adjacency,
             triangles: congest_graph::triangles::list_all(graph),
@@ -225,7 +229,7 @@ impl TriangleIndex {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.adjacency.slot_count()
     }
 
     /// Number of present undirected edges (excluding pending deltas).
@@ -243,7 +247,7 @@ impl TriangleIndex {
         } else {
             (b, a)
         };
-        self.adjacency[from.index()].binary_search(&to).is_ok()
+        self.adjacency.contains(from.index(), to)
     }
 
     /// Current degree of `node`.
@@ -252,7 +256,7 @@ impl TriangleIndex {
     ///
     /// Panics if `node` is out of range.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.index()].len()
+        self.adjacency.len_of(node.index())
     }
 
     /// Sorted neighbour list of `node`.
@@ -261,7 +265,12 @@ impl TriangleIndex {
     ///
     /// Panics if `node` is out of range.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adjacency[node.index()]
+        self.adjacency.neighbors(node.index())
+    }
+
+    /// Health counters of the index's neighbour arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.adjacency.stats()
     }
 
     /// The live triangle set.
@@ -338,9 +347,9 @@ impl TriangleIndex {
     /// centralized oracle.
     pub fn snapshot(&self) -> Graph {
         let mut b = GraphBuilder::new(self.node_count());
-        for (u, neighbors) in self.adjacency.iter().enumerate() {
+        for u in 0..self.node_count() {
             let u = NodeId::from_index(u);
-            for &v in neighbors {
+            for &v in self.adjacency.neighbors(u.index()) {
                 if u < v {
                     b.add_edge(u, v).expect("index adjacency is always valid");
                 }
@@ -363,7 +372,9 @@ impl TriangleIndex {
         validate_batch(batch, self.node_count())
     }
 
-    /// Applies a pre-validated batch eagerly.
+    /// Applies a pre-validated batch eagerly. Each batch is one arena
+    /// epoch: slabs freed by this batch's churn become reusable (and
+    /// oversized arenas compact) at the boundary.
     fn apply_validated(&mut self, batch: &DeltaBatch) -> ApplyReport {
         let mut report = ApplyReport {
             deltas_seen: batch.len(),
@@ -372,12 +383,13 @@ impl TriangleIndex {
         for delta in batch {
             self.apply_delta(delta, &mut report);
         }
+        self.adjacency.advance_epoch();
         report
     }
 
     fn apply_delta(&mut self, delta: &EdgeDelta, report: &mut ApplyReport) {
         let (u, v) = delta.edge.endpoints();
-        let present = self.adjacency[u.index()].binary_search(&v).is_ok();
+        let present = self.adjacency.contains(u.index(), v);
         match delta.op {
             DeltaOp::Insert => {
                 if present {
@@ -393,8 +405,8 @@ impl TriangleIndex {
                         report.triangles_added += 1;
                     }
                 }
-                sorted_insert(&mut self.adjacency[u.index()], v);
-                sorted_insert(&mut self.adjacency[v.index()], u);
+                self.adjacency.insert(u.index(), v);
+                self.adjacency.insert(v.index(), u);
                 self.edge_count += 1;
                 report.inserts_applied += 1;
             }
@@ -409,19 +421,21 @@ impl TriangleIndex {
                         report.triangles_removed += 1;
                     }
                 }
-                sorted_remove(&mut self.adjacency[u.index()], v);
-                sorted_remove(&mut self.adjacency[v.index()], u);
+                self.adjacency.remove(u.index(), v);
+                self.adjacency.remove(v.index(), u);
                 self.edge_count -= 1;
                 report.removes_applied += 1;
             }
         }
     }
 
-    /// `N(u) ∩ N(v)` on the current adjacency, via the shared
-    /// degree-oriented intersection core
-    /// ([`shard::intersect_sorted`](crate::shard)).
+    /// `N(u) ∩ N(v)` on the current adjacency, via the shared adaptive
+    /// intersection core ([`shard::intersect_sorted`](crate::shard)).
     fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
-        intersect_sorted(&self.adjacency[u.index()], &self.adjacency[v.index()])
+        intersect_sorted(
+            self.adjacency.neighbors(u.index()),
+            self.adjacency.neighbors(v.index()),
+        )
     }
 }
 

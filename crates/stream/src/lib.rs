@@ -97,6 +97,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod delta;
 mod distributed;
 mod engine;
@@ -107,6 +108,7 @@ mod shard;
 mod sharded;
 mod workload;
 
+pub use arena::{ArenaStats, NeighborArena};
 pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
 pub use distributed::{
     Aggregation, CongestCost, DistributedTriangleEngine, HubSplit, ReceivedBitsSkew, SimExecutor,

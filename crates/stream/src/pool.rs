@@ -27,7 +27,12 @@
 //!   spread across the whole pool instead of serializing one worker.
 //!   (The insert phase needs no extra wave: its work lists are known to
 //!   the engine before dispatch, so oversized ones are pre-chunked onto
-//!   the queue and the rest ride along in the per-worker jobs.)
+//!   the queue and the rest ride along in the per-worker jobs.) The
+//!   *record* phase steals too: a shard whose routed mutations exceed
+//!   the threshold has its slot groups resolved into ready-to-seed
+//!   post-batch neighbour lists by a pre-seeded prepare wave
+//!   ([`BatchRun::record_wave`]), so the owner lands them as wholesale
+//!   arena slab replacements instead of applying every op serially.
 //!
 //! Everything stays safe Rust with no locks on the read path by
 //! **round-tripping ownership** instead of sharing borrows:
@@ -51,7 +56,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use congest_graph::{Edge, Triangle};
+use congest_graph::{Edge, NodeId, Triangle};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::deque::{Injector, Steal};
 
@@ -103,6 +108,15 @@ pub struct WorkerTelemetry {
     /// Total intersection task units executed by a worker that did not
     /// own the slice they came from.
     pub steals: u64,
+    /// Total record-prepare task units pushed onto the shared queue:
+    /// slot groups of an oversized shard's routed mutations whose
+    /// post-batch neighbour lists were merged by the whole pool instead
+    /// of serializing the owning worker's record pass.
+    pub record_split_tasks: u64,
+    /// The split threshold in effect after the last pooled batch. Under
+    /// the adaptive controller this drifts with observed imbalance;
+    /// pinned engines report their fixed value.
+    pub split_threshold: usize,
 }
 
 /// One stealable unit of candidate-collection work: intersect the
@@ -112,6 +126,31 @@ struct IntersectTask {
     /// any other worker counts as a steal).
     owner: usize,
     edges: Vec<Edge>,
+}
+
+/// One stealable unit of record-preparation work: merge each slot
+/// group's routed mutations into the slot's pre-batch neighbour list,
+/// yielding the post-batch list ready to be seeded wholesale during the
+/// record phase.
+struct PrepareTask {
+    /// The shard the slots belong to — which is also the index of the
+    /// worker that would otherwise apply these ops serially (worker `i`
+    /// owns shard `i`), so a pop by any other worker counts as a steal.
+    owner: usize,
+    /// Routed ops grouped by local slot: at most one op per `(slot,
+    /// other)` pair survives the upstream coalesce, so a single merge
+    /// pass per group is exact.
+    groups: Vec<(usize, Vec<ShardOp>)>,
+}
+
+/// One post-batch neighbour list produced by the record-prepare wave,
+/// routed back to its owning shard's record job and landed with
+/// [`Shard::seed`] (a wholesale slab replacement in the arena).
+#[derive(Debug)]
+pub(crate) struct PreparedSlot {
+    pub(crate) shard: usize,
+    pub(crate) local: usize,
+    pub(crate) list: Vec<NodeId>,
 }
 
 /// A work descriptor for one worker. All payloads are owned, which is
@@ -132,8 +171,22 @@ enum Job {
         store: Arc<ShardStore>,
         injector: Arc<Injector<IntersectTask>>,
     },
-    /// Apply the routed mutations to this worker's own shard.
-    Record { shard: Shard, ops: Vec<ShardOp> },
+    /// Record-prepare wave: pop slot groups from the pre-seeded shared
+    /// queue and merge each group's ops into the slot's pre-batch list
+    /// on the shared read-only store (same seeded-before-drain
+    /// discipline as the collect steal wave).
+    RecordPrepare {
+        store: Arc<ShardStore>,
+        injector: Arc<Injector<PrepareTask>>,
+    },
+    /// Apply the routed mutations to this worker's own shard: prepared
+    /// post-batch lists land wholesale first, the remaining ops apply
+    /// one by one.
+    Record {
+        shard: Shard,
+        ops: Vec<ShardOp>,
+        prepared: Vec<PreparedSlot>,
+    },
     /// Read-only collect of the triangles `local` closes on the
     /// post-batch adjacency, then drain the (pre-seeded) shared queue of
     /// oversized insert slices.
@@ -149,6 +202,7 @@ enum Payload {
     Plan(WorkerPlan),
     Shard(Shard),
     Candidates(Vec<Triangle>),
+    Prepared(Vec<PreparedSlot>),
     /// The job's processing panicked; the engine re-raises the panic on
     /// its own thread (matching the scoped-thread pipeline, where a
     /// worker panic propagated through `join`). Without this a dead
@@ -259,6 +313,7 @@ pub(crate) struct BatchRun<'a> {
     started: Instant,
     busy: Vec<Duration>,
     steals: u64,
+    record_split_tasks: u64,
 }
 
 impl<'a> BatchRun<'a> {
@@ -271,6 +326,7 @@ impl<'a> BatchRun<'a> {
             started: Instant::now(),
             busy: vec![Duration::ZERO; workers],
             steals: 0,
+            record_split_tasks: 0,
         }
     }
 
@@ -360,13 +416,102 @@ impl<'a> BatchRun<'a> {
         (store, all)
     }
 
+    /// Phase 1.75, the record-prepare wave (the write-path analogue of
+    /// the collect steal wave): before shards move to their owners, a
+    /// shard whose routed mutations carry more estimated merge work
+    /// (pre-batch degree plus op count, summed over touched slots) than
+    /// the split threshold has those mutations resolved into
+    /// ready-to-seed post-batch neighbour lists on the shared read-only
+    /// store. The slot groups are chunked onto the shared queue *before*
+    /// the drain jobs go out — the same deterministic seeded-before-drain
+    /// discipline as [`steal_wave`](BatchRun::steal_wave) — so a hot
+    /// shard's write preparation spreads across the whole pool instead
+    /// of serializing its owner. Shards within the threshold keep their
+    /// ops untouched (applied serially by the owner, as before). Returns
+    /// the reclaimed store and each shard's prepared slots; when no
+    /// shard exceeds the threshold the wave is skipped entirely (no jobs
+    /// are dispatched).
+    pub(crate) fn record_wave(
+        &mut self,
+        store: ShardStore,
+        routed: &mut [Vec<ShardOp>],
+    ) -> (ShardStore, Vec<Vec<PreparedSlot>>) {
+        let workers = self.pool.worker_count();
+        let spec = store.spec();
+        let injector = Arc::new(Injector::new());
+        let mut pushed = 0u64;
+        for (shard, ops) in routed.iter_mut().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let groups = group_by_slot(std::mem::take(ops));
+            let cost: usize = groups
+                .iter()
+                .map(|(local, group)| store.degree(spec.node_of(shard, *local)) + group.len())
+                .sum();
+            if cost <= self.split_threshold {
+                // Within budget: hand the ops back for the serial path.
+                *ops = groups.into_iter().flat_map(|(_, group)| group).collect();
+                continue;
+            }
+            pushed += push_prepare_chunks(&store, shard, groups, self.split_threshold, &injector);
+        }
+        self.record_split_tasks += pushed;
+        if pushed == 0 {
+            return (store, (0..workers).map(|_| Vec::new()).collect());
+        }
+        let store = Arc::new(store);
+        for worker in 0..workers {
+            self.pool.send(
+                worker,
+                Job::RecordPrepare {
+                    store: Arc::clone(&store),
+                    injector: Arc::clone(&injector),
+                },
+            );
+        }
+        let mut all: Vec<Vec<PreparedSlot>> = (0..workers).map(|_| Vec::new()).collect();
+        for _ in 0..workers {
+            let response = self.pool.recv();
+            self.absorb(&response);
+            match response.payload {
+                Payload::Prepared(slots) => {
+                    // A stolen group's list belongs to the *owner's*
+                    // record job, not the preparer's: route by shard.
+                    for slot in slots {
+                        all[slot.shard].push(slot);
+                    }
+                }
+                _ => unreachable!("the prepare wave only receives prepared slots"),
+            }
+        }
+        let store =
+            Arc::try_unwrap(store).expect("workers drop their store views before responding");
+        (store, all)
+    }
+
     /// Phase 2 start: moves each shard to its owning worker along with
-    /// its routed mutations. Returns immediately so the caller can merge
+    /// its routed mutations and any prepared post-batch lists from the
+    /// record-prepare wave. Returns immediately so the caller can merge
     /// removal candidates while the workers write; finish with
     /// [`finish_record`](BatchRun::finish_record).
-    pub(crate) fn start_record(&mut self, shards: Vec<Shard>, routed: Vec<Vec<ShardOp>>) {
-        for (worker, (shard, ops)) in shards.into_iter().zip(routed).enumerate() {
-            self.pool.send(worker, Job::Record { shard, ops });
+    pub(crate) fn start_record(
+        &mut self,
+        shards: Vec<Shard>,
+        routed: Vec<Vec<ShardOp>>,
+        prepared: Vec<Vec<PreparedSlot>>,
+    ) {
+        for (worker, ((shard, ops), prepared)) in
+            shards.into_iter().zip(routed).zip(prepared).enumerate()
+        {
+            self.pool.send(
+                worker,
+                Job::Record {
+                    shard,
+                    ops,
+                    prepared,
+                },
+            );
         }
     }
 
@@ -454,6 +599,7 @@ impl<'a> BatchRun<'a> {
             busy_max_share: (max / wall).min(1.0),
             busy_mean_share: (total / (workers * wall)).min(1.0),
             steals: self.steals,
+            record_split_tasks: self.record_split_tasks,
         }
     }
 }
@@ -464,6 +610,7 @@ pub(crate) struct BatchStats {
     pub(crate) busy_max_share: f64,
     pub(crate) busy_mean_share: f64,
     pub(crate) steals: u64,
+    pub(crate) record_split_tasks: u64,
 }
 
 /// The persistent worker's loop: exits when the engine drops its job
@@ -533,8 +680,46 @@ fn process_job(job: Job, worker: usize, steals: &mut u64) -> Payload {
             drop(store);
             Payload::Candidates(candidates)
         }
-        Job::Record { mut shard, ops } => {
+        Job::RecordPrepare { store, injector } => {
+            congest_obs::span!("sharded", "record_prepare");
+            let spec = store.spec();
+            let mut prepared = Vec::new();
+            loop {
+                match injector.steal() {
+                    Steal::Success(task) => {
+                        if task.owner != worker {
+                            *steals += 1;
+                        }
+                        for (local, mut ops) in task.groups {
+                            let base = store.neighbors(spec.node_of(task.owner, local));
+                            let list = merge_ops(base, &mut ops);
+                            prepared.push(PreparedSlot {
+                                shard: task.owner,
+                                local,
+                                list,
+                            });
+                        }
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+            drop(store);
+            Payload::Prepared(prepared)
+        }
+        Job::Record {
+            mut shard,
+            ops,
+            prepared,
+        } => {
             congest_obs::span!("sharded", "record");
+            for slot in prepared {
+                debug_assert_eq!(
+                    slot.shard, worker,
+                    "prepared slots are routed to their owner"
+                );
+                shard.seed(slot.local, &slot.list);
+            }
             for op in ops {
                 shard.apply_op(op);
             }
@@ -715,6 +900,94 @@ fn push_chunks(
     }
 }
 
+/// Groups one shard's routed ops by local slot (ascending). Op order
+/// inside a group is irrelevant: the upstream coalesce leaves at most
+/// one op per `(slot, other)` pair, and the merge sorts by `other`.
+fn group_by_slot(mut ops: Vec<ShardOp>) -> Vec<(usize, Vec<ShardOp>)> {
+    ops.sort_unstable_by_key(|op| op.local);
+    let mut groups: Vec<(usize, Vec<ShardOp>)> = Vec::new();
+    for op in ops {
+        match groups.last_mut() {
+            Some((local, group)) if *local == op.local => group.push(op),
+            _ => groups.push((op.local, vec![op])),
+        }
+    }
+    groups
+}
+
+/// Merges one slot's coalesced ops into its sorted pre-batch neighbour
+/// list, producing the sorted post-batch list in a single pass. The
+/// classify phase guarantees every op is effective — inserts are absent
+/// from the base, removes are present — so the merge never has to
+/// resolve a conflict.
+fn merge_ops(base: &[NodeId], ops: &mut [ShardOp]) -> Vec<NodeId> {
+    ops.sort_unstable_by_key(|op| op.other);
+    let mut out = Vec::with_capacity(base.len() + ops.len());
+    let mut i = 0usize;
+    for op in ops.iter() {
+        while i < base.len() && base[i] < op.other {
+            out.push(base[i]);
+            i += 1;
+        }
+        let present = i < base.len() && base[i] == op.other;
+        match op.op {
+            DeltaOp::Insert => {
+                debug_assert!(!present, "effective inserts are absent from the base");
+                out.push(op.other);
+            }
+            DeltaOp::Remove => {
+                debug_assert!(present, "effective removes are present in the base");
+                if present {
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.extend_from_slice(&base[i..]);
+    out
+}
+
+/// Chunks an oversized shard's slot groups into owner-tagged prepare
+/// tasks of roughly `threshold` estimated merge work each (pre-batch
+/// degree plus op count per group; a threshold of 0 makes every slot
+/// group its own task — the property tests use this to force the record
+/// steal path) and pushes them onto the shared queue. Returns how many
+/// tasks were pushed. Groups are never split across tasks: a slot's
+/// post-batch list must come from one merge.
+fn push_prepare_chunks(
+    store: &ShardStore,
+    shard: usize,
+    groups: Vec<(usize, Vec<ShardOp>)>,
+    threshold: usize,
+    injector: &Injector<PrepareTask>,
+) -> u64 {
+    let spec = store.spec();
+    let budget = threshold.max(1);
+    let mut pushed = 0u64;
+    let mut chunk: Vec<(usize, Vec<ShardOp>)> = Vec::new();
+    let mut cost = 0usize;
+    for (local, group) in groups {
+        if !chunk.is_empty() && cost >= budget {
+            injector.push(PrepareTask {
+                owner: shard,
+                groups: std::mem::take(&mut chunk),
+            });
+            pushed += 1;
+            cost = 0;
+        }
+        cost += (store.degree(spec.node_of(shard, local)) + group.len()).max(1);
+        chunk.push((local, group));
+    }
+    if !chunk.is_empty() {
+        injector.push(PrepareTask {
+            owner: shard,
+            groups: chunk,
+        });
+        pushed += 1;
+    }
+    pushed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,10 +1001,10 @@ mod tests {
     /// wing 0–3.
     fn sample_store() -> ShardStore {
         let mut store = ShardStore::new(6, 2);
-        store.seed(v(0), vec![v(1), v(2), v(3)]);
-        store.seed(v(1), vec![v(0), v(2)]);
-        store.seed(v(2), vec![v(0), v(1)]);
-        store.seed(v(3), vec![v(0)]);
+        store.seed(v(0), &[v(1), v(2), v(3)]);
+        store.seed(v(1), &[v(0), v(2)]);
+        store.seed(v(2), &[v(0), v(1)]);
+        store.seed(v(3), &[v(0)]);
         store
     }
 
@@ -784,6 +1057,95 @@ mod tests {
     }
 
     #[test]
+    fn merge_ops_lands_inserts_and_removes_in_one_pass() {
+        let base = vec![v(1), v(3), v(5), v(7)];
+        let mut ops = vec![
+            ShardOp {
+                local: 0,
+                other: v(5),
+                op: DeltaOp::Remove,
+            },
+            ShardOp {
+                local: 0,
+                other: v(0),
+                op: DeltaOp::Insert,
+            },
+            ShardOp {
+                local: 0,
+                other: v(9),
+                op: DeltaOp::Insert,
+            },
+            ShardOp {
+                local: 0,
+                other: v(4),
+                op: DeltaOp::Insert,
+            },
+        ];
+        assert_eq!(
+            merge_ops(&base, &mut ops),
+            vec![v(0), v(1), v(3), v(4), v(7), v(9)]
+        );
+        // Degenerate shapes: empty base, remove-to-empty.
+        assert_eq!(
+            merge_ops(
+                &[],
+                &mut [ShardOp {
+                    local: 0,
+                    other: v(2),
+                    op: DeltaOp::Insert,
+                }]
+            ),
+            vec![v(2)]
+        );
+        assert_eq!(
+            merge_ops(
+                &[v(2)],
+                &mut [ShardOp {
+                    local: 0,
+                    other: v(2),
+                    op: DeltaOp::Remove,
+                }]
+            ),
+            Vec::<NodeId>::new()
+        );
+    }
+
+    #[test]
+    fn prepare_chunks_keep_slot_groups_whole() {
+        let store = sample_store();
+        // Shard 0 owns nodes {0, 2, 4}: locals 0 (deg 3) and 1 (deg 2).
+        let groups = group_by_slot(vec![
+            ShardOp {
+                local: 1,
+                other: v(4),
+                op: DeltaOp::Insert,
+            },
+            ShardOp {
+                local: 0,
+                other: v(3),
+                op: DeltaOp::Remove,
+            },
+            ShardOp {
+                local: 0,
+                other: v(5),
+                op: DeltaOp::Insert,
+            },
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[0].1.len(), 2);
+        // Threshold 0: one task per slot group, never per op.
+        let injector = Injector::new();
+        assert_eq!(
+            push_prepare_chunks(&store, 0, groups.clone(), 0, &injector),
+            2
+        );
+        // A roomy budget packs both groups into one task.
+        let injector = Injector::new();
+        assert_eq!(push_prepare_chunks(&store, 0, groups, 1_000, &injector), 1);
+    }
+
+    #[test]
     fn drained_tasks_count_steals_by_owner() {
         let store = sample_store();
         let injector = Injector::new();
@@ -819,7 +1181,7 @@ mod tests {
             }],
             Vec::new(),
         ];
-        run.start_record(shards, routed);
+        run.start_record(shards, routed, vec![Vec::new(), Vec::new()]);
         let _ = run.finish_record();
     }
 
@@ -837,7 +1199,7 @@ mod tests {
             }],
             Vec::new(),
         ];
-        run.start_record(shards, routed);
+        run.start_record(shards, routed, vec![Vec::new(), Vec::new()]);
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.finish_record()));
         assert!(caught.is_err());
         // A caller that catches the re-raise must not reuse the pool:
@@ -870,18 +1232,23 @@ mod tests {
         // Steal wave: the deferred hub removal is chunked up front and
         // drained by whichever worker gets there first.
         let deferred = vec![(0, std::mem::take(&mut plans[0].deferred_removals))];
-        let (mut store, waves) = run.steal_wave(store, deferred);
+        let (store, waves) = run.steal_wave(store, deferred);
         let dead: Vec<Triangle> = waves.into_iter().flatten().collect();
         assert_eq!(dead, vec![Triangle::new(v(0), v(1), v(2))]); // {0,1,2} dies
 
-        // Record: route the ops and apply them on the workers.
+        // Record: route the ops, run the prepare wave (threshold 0
+        // forces every slot group onto the queue, so the ops land as
+        // prepared wholesale lists), and apply them on the workers.
         let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); 2];
         for plan in &plans {
             for (dest, ops) in plan.ops.iter().enumerate() {
                 routed[dest].extend_from_slice(ops);
             }
         }
-        run.start_record(store.take_shards(), routed);
+        let (mut store, prepared) = run.record_wave(store, &mut routed);
+        assert!(routed.iter().all(Vec::is_empty));
+        assert!(prepared.iter().any(|p| !p.is_empty()));
+        run.start_record(store.take_shards(), routed, prepared);
         store.restore_shards(run.finish_record());
         assert!(!store.has_edge(v(0), v(1)));
         assert!(store.has_edge(v(2), v(3)));

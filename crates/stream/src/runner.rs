@@ -312,6 +312,9 @@ pub struct WorkloadRunner {
     verify: bool,
     /// Override of the sharded engine's parallel threshold.
     parallel_threshold: Option<usize>,
+    /// Override of the sharded engine's split threshold (pins it,
+    /// disabling the adaptive controller).
+    split_threshold: Option<usize>,
     /// Benchmark control: drive the sharded engine in per-batch-spawn
     /// mode instead of on its persistent pool.
     spawn_per_batch: bool,
@@ -332,6 +335,7 @@ impl WorkloadRunner {
             target_batches_per_sec: None,
             verify: false,
             parallel_threshold: None,
+            split_threshold: None,
             spawn_per_batch: false,
         }
     }
@@ -356,6 +360,16 @@ impl WorkloadRunner {
     /// sweeps use this so sub-threshold batches still exercise the pool.
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = Some(threshold);
+        self
+    }
+
+    /// Pins the sharded engine's split threshold, disabling its adaptive
+    /// controller (builder style; only meaningful together with
+    /// [`with_shards`](WorkloadRunner::with_shards)). 0 makes every edge
+    /// and every touched slot its own stealable task — the trace capture
+    /// uses this to force both steal paths deterministically.
+    pub fn with_split_threshold(mut self, threshold: usize) -> Self {
+        self.split_threshold = Some(threshold);
         self
     }
 
@@ -420,6 +434,9 @@ impl WorkloadRunner {
                 let mut engine = ShardedTriangleIndex::from_graph(&base, s).with_mode(self.mode);
                 if let Some(threshold) = self.parallel_threshold {
                     engine = engine.with_parallel_threshold(threshold);
+                }
+                if let Some(threshold) = self.split_threshold {
+                    engine = engine.with_split_threshold(threshold);
                 }
                 if self.spawn_per_batch {
                     engine = engine.with_per_batch_spawn();
@@ -542,6 +559,15 @@ impl WorkloadRunner {
             congest_obs::gauge_set("pool.busy_max_share_mean", t.busy_max_share_mean);
             congest_obs::gauge_set("pool.busy_mean_share_mean", t.busy_mean_share_mean);
             congest_obs::gauge_set("pool.steals", t.steals as f64);
+            congest_obs::gauge_set("pool.record_split_tasks", t.record_split_tasks as f64);
+            congest_obs::gauge_set("pool.split_threshold", t.split_threshold as f64);
+        }
+        if let Some(a) = index.arena_stats() {
+            congest_obs::gauge_set("arena.slab_bytes", a.slab_bytes as f64);
+            congest_obs::gauge_set("arena.live_bytes", a.live_bytes as f64);
+            congest_obs::gauge_set("arena.free_bytes", a.free_bytes as f64);
+            congest_obs::gauge_set("arena.free_slabs", a.free_slabs as f64);
+            congest_obs::gauge_set("arena.compactions", a.compactions as f64);
         }
         if !staleness_hist.is_empty() {
             congest_obs::gauge_set(

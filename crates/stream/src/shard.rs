@@ -21,8 +21,9 @@
 //!   `shard(u)`'s copy of `N(u)` and once in `shard(v)`'s copy of `N(v)` —
 //!   exactly like the two directions of an adjacency list.
 //! * [`Shard`] — one shard's slice of the adjacency: sorted neighbour
-//!   lists for its owned nodes, mutated only by its owning worker during
-//!   the record phase of a batch apply.
+//!   lists for its owned nodes, stored in one flat
+//!   [`NeighborArena`](crate::arena) per shard and mutated only by its
+//!   owning worker during the record phase of a batch apply.
 //! * [`ShardStore`] — the spec plus all `S` shards as one movable value.
 //!   The pool-backed engine hands the whole store to its persistent
 //!   workers by `Arc` for the read-only collect phases and moves the
@@ -31,6 +32,8 @@
 //!   free of `unsafe` and of locks on the read path.
 
 use congest_graph::{Edge, NodeId, Triangle, TriangleSet};
+
+use crate::arena::{ArenaStats, NeighborArena};
 
 pub(crate) use congest_graph::intersect_sorted;
 
@@ -67,14 +70,18 @@ pub(crate) fn merge_added_candidates<'a>(
         .count()
 }
 
-/// Inserts `value` into a sorted, duplicate-free list, keeping it sorted.
+/// Inserts `value` into a sorted, duplicate-free list, keeping it
+/// sorted. Only the distributed engine's simulated node programs still
+/// keep flat `Vec` lists; both shared-memory engines mutate adjacency
+/// through the [`NeighborArena`](crate::arena) instead.
 pub(crate) fn sorted_insert(list: &mut Vec<NodeId>, value: NodeId) {
     if let Err(pos) = list.binary_search(&value) {
         list.insert(pos, value);
     }
 }
 
-/// Removes `value` from a sorted list if present.
+/// Removes `value` from a sorted list if present (same scope note as
+/// [`sorted_insert`]).
 pub(crate) fn sorted_remove(list: &mut Vec<NodeId>, value: NodeId) {
     if let Ok(pos) = list.binary_search(&value) {
         list.remove(pos);
@@ -125,6 +132,15 @@ impl ShardSpec {
         node.index() / self.shard_count
     }
 
+    /// The node stored at `local` slot of `shard` — the inverse of
+    /// ([`shard_of`](ShardSpec::shard_of),
+    /// [`local_index`](ShardSpec::local_index)). The record pipeline's
+    /// prepare wave uses it to look a slot's pre-batch list back up on
+    /// the shared store.
+    pub(crate) fn node_of(&self, shard: usize, local: usize) -> NodeId {
+        NodeId::from_index(local * self.shard_count + shard)
+    }
+
     /// Number of nodes owned by shard `s`.
     pub(crate) fn nodes_in_shard(&self, s: usize) -> usize {
         if s < self.node_count % self.shard_count {
@@ -145,47 +161,64 @@ pub(crate) struct ShardOp {
 }
 
 /// One shard's slice of the partitioned adjacency: the sorted neighbour
-/// lists of its owned nodes. During the parallel phase of a batch apply
-/// exactly one worker holds `&mut` to each shard, so shards never contend;
-/// between phases the whole structure is read-shared.
+/// lists of its owned nodes, packed into one flat
+/// [`NeighborArena`](crate::arena) (local slot = arena slot). During the
+/// parallel phase of a batch apply exactly one worker holds `&mut` to
+/// each shard, so shards never contend; between phases the whole
+/// structure is read-shared.
 #[derive(Debug, Clone)]
 pub(crate) struct Shard {
-    /// Sorted neighbour list per owned node, indexed by local slot.
-    adjacency: Vec<Vec<NodeId>>,
+    /// Flat slot-indexed storage for this shard's neighbour lists.
+    arena: NeighborArena,
 }
 
 impl Shard {
     /// An empty shard with `slots` owned nodes.
     pub(crate) fn new(slots: usize) -> Self {
         Shard {
-            adjacency: vec![Vec::new(); slots],
+            arena: NeighborArena::new(slots),
         }
     }
 
     /// The sorted neighbour list at `local` slot.
     pub(crate) fn neighbors(&self, local: usize) -> &[NodeId] {
-        &self.adjacency[local]
+        self.arena.neighbors(local)
     }
 
-    /// Seeds the neighbour list at `local` (used when building an index
-    /// from a static graph; `neighbors` must already be sorted).
-    pub(crate) fn seed(&mut self, local: usize, neighbors: Vec<NodeId>) {
-        debug_assert!(neighbors.is_sorted());
-        self.adjacency[local] = neighbors;
+    /// Replaces the neighbour list at `local` wholesale: seeding from a
+    /// static graph, and landing the record pipeline's prepared
+    /// post-batch lists (`neighbors` must already be sorted).
+    pub(crate) fn seed(&mut self, local: usize, neighbors: &[NodeId]) {
+        self.arena.seed(local, neighbors);
     }
 
     /// Applies one routed mutation to this shard's lists.
     pub(crate) fn apply_op(&mut self, op: ShardOp) {
         match op.op {
-            DeltaOp::Insert => sorted_insert(&mut self.adjacency[op.local], op.other),
-            DeltaOp::Remove => sorted_remove(&mut self.adjacency[op.local], op.other),
+            DeltaOp::Insert => {
+                self.arena.insert(op.local, op.other);
+            }
+            DeltaOp::Remove => {
+                self.arena.remove(op.local, op.other);
+            }
         }
+    }
+
+    /// Ends the shard's mutation epoch (see
+    /// [`NeighborArena::advance_epoch`]).
+    pub(crate) fn advance_epoch(&mut self) {
+        self.arena.advance_epoch();
     }
 
     /// Half-edge count: the sum of this shard's list lengths (summing over
     /// all shards counts every undirected edge exactly twice).
     pub(crate) fn half_edges(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum()
+        self.arena.total_len()
+    }
+
+    /// This shard's arena health counters.
+    pub(crate) fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 }
 
@@ -269,15 +302,20 @@ impl ShardStore {
     }
 
     /// Estimated cost of intersecting the endpoint neighbourhoods of
-    /// `edge`: the sum of endpoint degrees, which bounds the merge walk.
-    /// The pool splits slices into stealable tasks on this estimate.
+    /// `edge`, matching the kernel the degrees select (see
+    /// [`congest_graph::intersection_cost_estimate`]): skewed pairs bill
+    /// the galloping search at `d_min · (log2(d_max/d_min) + 1)`,
+    /// balanced pairs bill the merge walk at `d_min + d_max`. The pool
+    /// splits slices into stealable tasks on this estimate, so a hub
+    /// whose intersections gallop no longer looks quadratically more
+    /// expensive than it runs.
     pub(crate) fn intersection_cost(&self, edge: Edge) -> usize {
-        self.degree(edge.lo()) + self.degree(edge.hi())
+        congest_graph::intersection_cost_estimate(self.degree(edge.lo()), self.degree(edge.hi()))
     }
 
     /// Seeds `node`'s sorted neighbour list (used when building from a
     /// static graph).
-    pub(crate) fn seed(&mut self, node: NodeId, neighbors: Vec<NodeId>) {
+    pub(crate) fn seed(&mut self, node: NodeId, neighbors: &[NodeId]) {
         let shard = self.spec.shard_of(node);
         self.shards[shard].seed(self.spec.local_index(node), neighbors);
     }
@@ -304,6 +342,24 @@ impl ShardStore {
     /// Sum of all shards' list lengths (twice the undirected edge count).
     pub(crate) fn half_edges(&self) -> usize {
         self.shards.iter().map(Shard::half_edges).sum()
+    }
+
+    /// Ends every shard's mutation epoch: quarantined slabs become
+    /// reusable and oversized arenas compact. The engine calls this once
+    /// per applied batch, while it owns the store exclusively.
+    pub(crate) fn advance_epoch(&mut self) {
+        for shard in &mut self.shards {
+            shard.advance_epoch();
+        }
+    }
+
+    /// Arena health counters summed over every shard.
+    pub(crate) fn arena_stats(&self) -> ArenaStats {
+        let mut total = ArenaStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.arena_stats());
+        }
+        total
     }
 }
 
@@ -378,15 +434,31 @@ mod tests {
     }
 
     #[test]
+    fn spec_node_of_inverts_the_partition() {
+        for (n, s) in [(10, 3), (7, 1), (5, 8)] {
+            let spec = ShardSpec::new(n, s);
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                assert_eq!(
+                    spec.node_of(spec.shard_of(node), spec.local_index(node)),
+                    node,
+                    "n={n} s={s} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn store_round_trips_shards_and_estimates_cost() {
         let mut store = ShardStore::new(6, 2);
-        store.seed(v(0), ids(&[2, 4]));
-        store.seed(v(2), ids(&[0]));
-        store.seed(v(4), ids(&[0]));
+        store.seed(v(0), &ids(&[2, 4]));
+        store.seed(v(2), &ids(&[0]));
+        store.seed(v(4), &ids(&[0]));
         assert_eq!(store.neighbors(v(0)), ids(&[2, 4]));
         assert!(store.has_edge(v(0), v(4)));
         assert!(!store.has_edge(v(0), v(1)));
         assert!(!store.has_edge(v(0), v(0)));
+        // Balanced degrees (2 vs 1) bill the merge walk: d_min + d_max.
         assert_eq!(store.intersection_cost(Edge::new(v(0), v(2))), 3);
         assert_eq!(store.half_edges(), 4);
 
@@ -408,9 +480,21 @@ mod tests {
     }
 
     #[test]
+    fn skewed_intersection_cost_bills_the_gallop() {
+        // A hub of degree 64 against a degree-2 node: ratio 32 ≥ 16, so
+        // the estimate is d_min · (log2(ratio) + 1) = 2 · 6, far below
+        // the old degree-sum estimate of 66.
+        let mut store = ShardStore::new(70, 2);
+        let hub: Vec<NodeId> = (2..66).map(NodeId).collect();
+        store.seed(v(0), &hub);
+        store.seed(v(1), &ids(&[2, 3]));
+        assert_eq!(store.intersection_cost(Edge::new(v(0), v(1))), 12);
+    }
+
+    #[test]
     fn shard_applies_routed_ops() {
         let mut shard = Shard::new(2);
-        shard.seed(0, ids(&[4, 8]));
+        shard.seed(0, &ids(&[4, 8]));
         shard.apply_op(ShardOp {
             local: 0,
             other: v(6),

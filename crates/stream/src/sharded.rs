@@ -74,6 +74,27 @@ use crate::shard::{
 /// tiny batch's intersections.
 const DEFAULT_PARALLEL_THRESHOLD: usize = 128;
 
+/// Clamp range for the adaptive split-threshold controller. The floor
+/// keeps queue traffic from swamping tiny slices when imbalance is
+/// persistent; the ceiling keeps one pathological balanced batch from
+/// disabling stealing for the rest of the run.
+const MIN_SPLIT_THRESHOLD: usize = 64;
+const MAX_SPLIT_THRESHOLD: usize = 65_536;
+
+/// Controller bands: observed max/mean busy-share imbalance above the
+/// high band halves the threshold (spread harder), below the low band
+/// doubles it (stop paying for queue traffic the balance doesn't need).
+const IMBALANCE_HIGH: f64 = 1.5;
+const IMBALANCE_LOW: f64 = 1.15;
+
+/// Saturation gate for the controller: splitting a hot shard can only
+/// shorten a batch when the busiest worker's compute actually dominates
+/// the batch's wall clock. Below this busy share the critical path is
+/// handoff and merge, not shard work — seen in practice when the OS has
+/// fewer cores than the pool has workers — and every extra stealable
+/// task is pure queue overhead, so the controller backs off instead.
+const SATURATION_FLOOR: f64 = 0.5;
+
 /// Aggregates per-batch pool stats into the engine's lifetime
 /// [`WorkerTelemetry`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -82,6 +103,7 @@ struct TelemetryAccum {
     max_share_sum: f64,
     mean_share_sum: f64,
     steals: u64,
+    record_split_tasks: u64,
 }
 
 impl TelemetryAccum {
@@ -90,14 +112,17 @@ impl TelemetryAccum {
         self.max_share_sum += stats.busy_max_share;
         self.mean_share_sum += stats.busy_mean_share;
         self.steals += stats.steals;
+        self.record_split_tasks += stats.record_split_tasks;
     }
 
-    fn summary(&self) -> Option<WorkerTelemetry> {
+    fn summary(&self, split_threshold: usize) -> Option<WorkerTelemetry> {
         (self.pooled_batches > 0).then(|| WorkerTelemetry {
             pooled_batches: self.pooled_batches,
             busy_max_share_mean: self.max_share_sum / self.pooled_batches as f64,
             busy_mean_share_mean: self.mean_share_sum / self.pooled_batches as f64,
             steals: self.steals,
+            record_split_tasks: self.record_split_tasks,
+            split_threshold,
         })
     }
 }
@@ -139,6 +164,10 @@ pub struct ShardedTriangleIndex {
     /// Estimated intersection work above which a worker's candidate
     /// collection splits into stealable tasks.
     split_threshold: usize,
+    /// Whether the split threshold tracks observed busy-share imbalance
+    /// (the default) or stays pinned to the value handed to
+    /// [`with_split_threshold`](ShardedTriangleIndex::with_split_threshold).
+    split_threshold_adaptive: bool,
     /// Benchmark control: spawn scoped threads per batch (the pre-pool
     /// pipeline) instead of using the persistent pool.
     spawn_per_batch: bool,
@@ -161,6 +190,7 @@ impl Clone for ShardedTriangleIndex {
             pending: self.pending.clone(),
             parallel_threshold: self.parallel_threshold,
             split_threshold: self.split_threshold,
+            split_threshold_adaptive: self.split_threshold_adaptive,
             spawn_per_batch: self.spawn_per_batch,
             pool: None,
             telemetry: self.telemetry,
@@ -180,6 +210,7 @@ impl ShardedTriangleIndex {
             pending: PendingBuffer::default(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             split_threshold: DEFAULT_SPLIT_THRESHOLD,
+            split_threshold_adaptive: true,
             spawn_per_batch: false,
             pool: None,
             telemetry: TelemetryAccum::default(),
@@ -192,7 +223,7 @@ impl ShardedTriangleIndex {
     pub fn from_graph(graph: &Graph, shard_count: usize) -> Self {
         let mut index = Self::new(graph.node_count(), shard_count);
         for node in graph.nodes() {
-            index.store.seed(node, graph.neighbors(node).to_vec());
+            index.store.seed(node, graph.neighbors(node));
         }
         index.triangles = congest_graph::triangles::list_all(graph);
         index.edge_count = graph.edge_count();
@@ -224,15 +255,21 @@ impl ShardedTriangleIndex {
         self
     }
 
-    /// Sets the estimated-intersection-work budget (sum of endpoint
-    /// degrees over a worker's effective deltas) above which the worker's
-    /// candidate collection is split into stealable task units on the
-    /// pool's shared injector queue (builder style). Lower values spread
+    /// Pins the estimated-work budget above which a worker's candidate
+    /// collection — and a shard's record preparation — is split into
+    /// stealable task units on the pool's shared injector queue (builder
+    /// style), **disabling the adaptive controller**. By default the
+    /// threshold starts at 2048 and tracks observed busy-share
+    /// imbalance per pooled batch: persistent imbalance halves it
+    /// (spread harder), sustained balance doubles it (stop paying for
+    /// queue traffic), clamped to `[64, 65536]`. Lower values spread
     /// hub-heavy slices more aggressively at the cost of more queue
-    /// traffic; 0 makes every edge its own task (the property tests use
-    /// this to force the steal path on tiny batches).
+    /// traffic; 0 makes every edge (and every touched slot) its own
+    /// task (the property tests use this to force both steal paths on
+    /// tiny batches).
     pub fn with_split_threshold(mut self, threshold: usize) -> Self {
         self.split_threshold = threshold;
+        self.split_threshold_adaptive = false;
         self
     }
 
@@ -320,7 +357,13 @@ impl ShardedTriangleIndex {
     /// run on the pool — inline, sequential and per-batch-spawn applies
     /// have no persistent workers to observe).
     pub fn worker_telemetry(&self) -> Option<WorkerTelemetry> {
-        self.telemetry.summary()
+        self.telemetry.summary(self.split_threshold)
+    }
+
+    /// Aggregate arena health over every shard's flat neighbour storage
+    /// (slab bytes, live bytes, free-list occupancy, compactions).
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.store.arena_stats()
     }
 
     /// Whether an earlier pooled batch poisoned the engine: a worker
@@ -489,6 +532,7 @@ impl ShardedTriangleIndex {
                 );
             }
         }
+        self.store.advance_epoch();
         report
     }
 
@@ -538,6 +582,10 @@ impl ShardedTriangleIndex {
             2 * self.edge_count,
             "shard adjacency lost symmetry"
         );
+        // One batch = one arena epoch: slabs freed by this batch's
+        // churn become reusable (and oversized arenas compact) now that
+        // no read view of the pre-batch lists is live.
+        self.store.advance_epoch();
         report
     }
 
@@ -711,16 +759,26 @@ impl ShardedTriangleIndex {
             wave_removed = waves.into_iter().flatten().collect();
         }
 
-        // Phase 2: move each shard to its owning worker; merge the
-        // removal candidates here while the workers write.
+        // Phase 1.75: the record-prepare wave — a shard whose routed
+        // mutations exceed the split threshold has them resolved into
+        // ready-to-seed post-batch lists by the whole pool (pre-seeded
+        // queue, same discipline as the steal wave) instead of applied
+        // serially by its owner.
         let mut routed: Vec<Vec<ShardOp>> = vec![Vec::new(); shard_count];
         for plan in &plans {
             for (dest, ops) in plan.ops.iter().enumerate() {
                 routed[dest].extend_from_slice(ops);
             }
         }
+        let prepare_span = congest_obs::trace::span("pool", "prepare_wave");
+        let (store, prepared) = run.record_wave(std::mem::take(&mut self.store), &mut routed);
+        self.store = store;
+        drop(prepare_span);
+
+        // Phase 2: move each shard to its owning worker; merge the
+        // removal candidates here while the workers write.
         let record_span = congest_obs::trace::span("pool", "record_wave");
-        run.start_record(self.store.take_shards(), routed);
+        run.start_record(self.store.take_shards(), routed, prepared);
         {
             congest_obs::span!("sharded", "merge");
             for plan in &plans {
@@ -749,8 +807,30 @@ impl ShardedTriangleIndex {
             }
         }
 
-        self.telemetry.record(run.finish());
+        let stats = run.finish();
+        self.telemetry.record(stats);
+        self.adapt_split_threshold(stats);
         plans
+    }
+
+    /// The adaptive split-threshold controller: one multiplicative step
+    /// per pooled batch, driven by the batch's busy-share imbalance
+    /// (max/mean — 1.0 means perfectly even, `S` means one worker did
+    /// everything), gated on the pool actually being compute-saturated
+    /// ([`SATURATION_FLOOR`]): an imbalanced-but-idle pool means the
+    /// batch is bounded by handoff, and more splitting only adds queue
+    /// traffic. Disabled when the threshold was pinned with
+    /// [`with_split_threshold`](ShardedTriangleIndex::with_split_threshold).
+    fn adapt_split_threshold(&mut self, stats: BatchStats) {
+        if !self.split_threshold_adaptive {
+            return;
+        }
+        let imbalance = stats.busy_max_share / stats.busy_mean_share.max(f64::EPSILON);
+        if stats.busy_max_share < SATURATION_FLOOR || imbalance < IMBALANCE_LOW {
+            self.split_threshold = (self.split_threshold * 2).min(MAX_SPLIT_THRESHOLD);
+        } else if imbalance > IMBALANCE_HIGH {
+            self.split_threshold = (self.split_threshold / 2).max(MIN_SPLIT_THRESHOLD);
+        }
     }
 }
 
@@ -810,6 +890,50 @@ mod tests {
     /// Forces the pool-backed pipeline even on tiny batches.
     fn parallel(index: ShardedTriangleIndex) -> ShardedTriangleIndex {
         index.with_parallel_threshold(0)
+    }
+
+    /// Synthetic batch stats for driving the controller directly.
+    fn stats(busy_max_share: f64, busy_mean_share: f64) -> BatchStats {
+        BatchStats {
+            busy_max_share,
+            busy_mean_share,
+            steals: 0,
+            record_split_tasks: 0,
+        }
+    }
+
+    #[test]
+    fn split_threshold_controller_halves_doubles_clamps_and_gates() {
+        let mut idx = ShardedTriangleIndex::new(8, 4);
+        assert_eq!(idx.split_threshold, DEFAULT_SPLIT_THRESHOLD);
+
+        // Saturated and imbalanced: halve, down to the floor.
+        for _ in 0..20 {
+            idx.adapt_split_threshold(stats(0.9, 0.3));
+        }
+        assert_eq!(idx.split_threshold, MIN_SPLIT_THRESHOLD);
+
+        // Saturated and even: double, up to the ceiling.
+        for _ in 0..20 {
+            idx.adapt_split_threshold(stats(0.9, 0.85));
+        }
+        assert_eq!(idx.split_threshold, MAX_SPLIT_THRESHOLD);
+
+        // In the dead band between the two imbalance edges: hold.
+        idx.split_threshold = DEFAULT_SPLIT_THRESHOLD;
+        idx.adapt_split_threshold(stats(0.9, 0.9 / 1.3));
+        assert_eq!(idx.split_threshold, DEFAULT_SPLIT_THRESHOLD);
+
+        // Imbalanced but idle (oversubscribed pool, busiest worker well
+        // under the saturation floor): back off instead of splitting —
+        // extra stealable tasks cannot shorten a handoff-bound batch.
+        idx.adapt_split_threshold(stats(0.2, 0.1));
+        assert_eq!(idx.split_threshold, DEFAULT_SPLIT_THRESHOLD * 2);
+
+        // A pinned threshold never moves.
+        let mut pinned = ShardedTriangleIndex::new(8, 4).with_split_threshold(512);
+        pinned.adapt_split_threshold(stats(0.9, 0.3));
+        assert_eq!(pinned.split_threshold, 512);
     }
 
     #[test]
@@ -1158,6 +1282,7 @@ mod tests {
                     }],
                     Vec::new(),
                 ],
+                vec![Vec::new(), Vec::new()],
             );
             let caught =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.finish_record()));

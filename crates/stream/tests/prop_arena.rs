@@ -1,0 +1,251 @@
+//! Property tests for the flat neighbour-list arena: seeded from every
+//! generator family and driven through long insert/remove/seed churn,
+//! [`NeighborArena`] must stay element-for-element equal to a plain
+//! `Vec<Vec<NodeId>>` oracle mutated by the obvious sorted-vec code —
+//! across epoch boundaries, free-list reuse, slab growth and
+//! compactions. A dedicated shrink-then-regrow schedule forces the
+//! free-list reuse and compaction machinery specifically.
+
+use congest_graph::generators::{Classic, Gnp, PlantedLight, TriangleFreeBipartite};
+use congest_graph::{Graph, NodeId};
+use congest_stream::NeighborArena;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The plain nested-vec storage the arena replaced, used as the oracle.
+struct VecOracle {
+    lists: Vec<Vec<NodeId>>,
+}
+
+impl VecOracle {
+    fn new(slots: usize) -> Self {
+        VecOracle {
+            lists: vec![Vec::new(); slots],
+        }
+    }
+
+    fn insert(&mut self, slot: usize, value: NodeId) -> bool {
+        match self.lists[slot].binary_search(&value) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.lists[slot].insert(pos, value);
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, slot: usize, value: NodeId) -> bool {
+        match self.lists[slot].binary_search(&value) {
+            Ok(pos) => {
+                self.lists[slot].remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn seed(&mut self, slot: usize, neighbors: &[NodeId]) {
+        self.lists[slot] = neighbors.to_vec();
+    }
+
+    fn total_len(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+/// Every slot equal, plus the cheap aggregate invariants.
+fn assert_matches(arena: &NeighborArena, oracle: &VecOracle, context: &str) {
+    assert_eq!(arena.slot_count(), oracle.lists.len(), "{context}");
+    for (slot, list) in oracle.lists.iter().enumerate() {
+        assert_eq!(arena.neighbors(slot), &list[..], "{context}: slot {slot}");
+        assert_eq!(arena.len_of(slot), list.len(), "{context}: slot {slot}");
+    }
+    assert_eq!(arena.total_len(), oracle.total_len(), "{context}");
+    let stats = arena.stats();
+    assert_eq!(
+        stats.live_bytes,
+        oracle.total_len() * std::mem::size_of::<NodeId>(),
+        "{context}: live bytes"
+    );
+    assert!(
+        stats.slab_bytes >= stats.live_bytes,
+        "{context}: buffer cannot hold less than the live data"
+    );
+}
+
+/// One generator-family base per `family` value, sized by `seed`.
+fn family_base(family: usize, seed: u64) -> Graph {
+    match family {
+        0 => {
+            let n = 12 + (seed % 24) as usize;
+            Gnp::new(n, 0.2).seeded(seed).generate()
+        }
+        1 => {
+            let count = 2 + (seed % 6) as usize;
+            PlantedLight::new(3 * count + 10, count)
+                .with_background(0.05)
+                .seeded(seed)
+                .generate()
+        }
+        2 => {
+            let side = 5 + (seed % 9) as usize;
+            TriangleFreeBipartite::new(side, side + 2, 0.35)
+                .seeded(seed)
+                .generate()
+        }
+        _ => Classic::Complete(5 + (seed % 8) as usize).generate(),
+    }
+}
+
+/// Seeds both stores from the base graph's adjacency.
+fn seed_from_graph(graph: &Graph) -> (NeighborArena, VecOracle) {
+    let n = graph.node_count();
+    let mut arena = NeighborArena::new(n);
+    let mut oracle = VecOracle::new(n);
+    for node in graph.nodes() {
+        arena.seed(node.index(), graph.neighbors(node));
+        oracle.seed(node.index(), graph.neighbors(node));
+    }
+    (arena, oracle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random mixed churn (inserts, removes, wholesale re-seeds) with
+    /// epoch boundaries sprinkled in: the arena must track the nested-vec
+    /// oracle exactly at every step.
+    #[test]
+    fn arena_matches_vec_oracle_under_mixed_churn(
+        family in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let base = family_base(family, seed);
+        let n = base.node_count();
+        let (mut arena, mut oracle) = seed_from_graph(&base);
+        assert_matches(&arena, &oracle, &format!("family {family} after seeding"));
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA7E9A);
+        for step in 0..400 {
+            let slot = rng.gen_range(0..n);
+            let value = NodeId::from_index(rng.gen_range(0..n));
+            match rng.gen_range(0..10) {
+                0..=4 => {
+                    prop_assert_eq!(arena.insert(slot, value), oracle.insert(slot, value));
+                }
+                5..=8 => {
+                    prop_assert_eq!(arena.remove(slot, value), oracle.remove(slot, value));
+                }
+                _ => {
+                    // Wholesale replacement with a fresh sorted list, the
+                    // record pipeline's prepared-list landing path.
+                    let len = rng.gen_range(0..12usize);
+                    let mut list: Vec<NodeId> =
+                        (0..len).map(|_| NodeId::from_index(rng.gen_range(0..n))).collect();
+                    list.sort_unstable();
+                    list.dedup();
+                    arena.seed(slot, &list);
+                    oracle.seed(slot, &list);
+                }
+            }
+            if step % 25 == 24 {
+                arena.advance_epoch();
+                assert_matches(
+                    &arena,
+                    &oracle,
+                    &format!("family {family} after epoch at step {step}"),
+                );
+            }
+        }
+        assert_matches(&arena, &oracle, &format!("family {family} final"));
+    }
+
+    /// Heavy remove/re-insert churn: strip every list to empty (freeing
+    /// every slab), then regrow, across epochs — exercising quarantine
+    /// promotion, free-list reuse and the compaction trigger. Content
+    /// must survive every round; a large-enough arena must compact at
+    /// least once rather than growing its buffer without bound.
+    #[test]
+    fn shrink_regrow_churn_reuses_slabs_and_compacts(
+        seed in any::<u64>(),
+        rounds in 2usize..5,
+    ) {
+        let n = 48;
+        let mut arena = NeighborArena::new(n);
+        let mut oracle = VecOracle::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for round in 0..rounds {
+            // Regrow every slot to a round-dependent size.
+            for slot in 0..n {
+                let len = 8 + rng.gen_range(0..56usize);
+                let mut list: Vec<NodeId> =
+                    (0..len).map(|_| NodeId(rng.gen_range(0..10_000u32))).collect();
+                list.sort_unstable();
+                list.dedup();
+                arena.seed(slot, &list);
+                oracle.seed(slot, &list);
+            }
+            assert_matches(&arena, &oracle, &format!("round {round} grown"));
+            arena.advance_epoch();
+
+            // Strip everything element by element (not by re-seeding), so
+            // slabs shrink through the remove path and empty slots free
+            // their slabs.
+            for slot in 0..n {
+                for value in oracle.lists[slot].clone() {
+                    prop_assert!(arena.remove(slot, value));
+                    oracle.remove(slot, value);
+                }
+                prop_assert_eq!(arena.len_of(slot), 0);
+            }
+            prop_assert_eq!(arena.total_len(), 0);
+            arena.advance_epoch();
+        }
+        // All data was freed and the buffer had grown well past the
+        // compaction floor: the epoch boundary must have compacted
+        // instead of letting parked slabs accumulate forever.
+        let stats = arena.stats();
+        prop_assert!(stats.compactions >= 1, "no compaction after {rounds} strip rounds");
+        prop_assert!(stats.live_bytes == 0);
+    }
+
+    /// Epoch discipline: a slab freed this epoch is invisible to
+    /// same-epoch allocation (the buffer must grow instead), and becomes
+    /// reusable — without growing the buffer — once the epoch turns.
+    #[test]
+    fn same_epoch_frees_never_feed_same_epoch_growth(
+        len in 5usize..9, // one size class: slabs of capacity 8
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fresh_list = |rng: &mut StdRng| -> Vec<NodeId> {
+            let mut list: Vec<NodeId> =
+                (0..len).map(|_| NodeId(rng.gen_range(0..100_000u32))).collect();
+            list.sort_unstable();
+            list.dedup();
+            while list.len() < len {
+                let extra = NodeId(rng.gen_range(0..100_000u32));
+                if !list.contains(&extra) {
+                    list.push(extra);
+                    list.sort_unstable();
+                }
+            }
+            list
+        };
+        let mut arena = NeighborArena::new(3);
+        arena.seed(0, &fresh_list(&mut rng));
+        arena.seed(0, &[]); // frees slot 0's slab into quarantine
+        let before = arena.stats().slab_bytes;
+        // Same epoch, same class: must NOT reuse the quarantined slab.
+        arena.seed(1, &fresh_list(&mut rng));
+        prop_assert!(arena.stats().slab_bytes > before, "quarantined slab was reused");
+        // Next epoch, same class: the promoted slab is reused, so the
+        // buffer does not grow again.
+        arena.advance_epoch();
+        let promoted = arena.stats().slab_bytes;
+        arena.seed(2, &fresh_list(&mut rng));
+        prop_assert_eq!(arena.stats().slab_bytes, promoted);
+    }
+}

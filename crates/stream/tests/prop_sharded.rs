@@ -303,11 +303,21 @@ proptest! {
         }
         // At S > 1 the whole hub slice belongs to worker 0 and a zero
         // split threshold makes every intersection a task: the steal
-        // telemetry must show the pool path actually ran.
+        // telemetry must show the pool path actually ran, and the
+        // record phase must have split every mutated shard's write
+        // preparation into stealable prepare tasks (every batch has at
+        // least one effective delta by construction, so at least one
+        // shard carries routed ops each batch).
         for (engine, &s) in engines.iter().zip(&SHARD_COUNTS) {
             if s > 1 {
                 let telemetry = engine.worker_telemetry().expect("pooled batches ran");
                 assert_eq!(telemetry.pooled_batches, batches.len(), "S={s}");
+                assert!(
+                    telemetry.record_split_tasks > 0,
+                    "S={s}: zero split threshold must force record-phase splitting"
+                );
+                // Pinning the threshold disables the adaptive controller.
+                assert_eq!(telemetry.split_threshold, 0, "S={s}");
             }
         }
     }
