@@ -1,0 +1,118 @@
+//! CI bench-regression gate for the serving layer.
+//!
+//! Usage: `serve_gate <baseline.json> <current.json>`
+//!
+//! Compares the fresh `BENCH_serve.json` written by `serve_bench`
+//! against the committed baseline and exits non-zero when a gated
+//! metric regresses: the open-loop ramp's max-sustainable read rate
+//! must not drop more than 20% below baseline, and the read p99 at
+//! that rate must not rise more than 50% above it. Metrics missing
+//! from either side are reported but skipped. Every serve metric is
+//! timing-derived and hardware-bound (readers and the writer contend
+//! for cores), so the comparison only gates against a baseline with a
+//! matching `hardware_threads` + `quick` fingerprint — against a
+//! foreign baseline the gate reports and passes, regaining teeth as
+//! soon as a matching baseline is committed.
+//!
+//! Independent of any baseline, the gate re-checks the absolute
+//! write-throughput-ratio floor from the current run whenever the
+//! machine has >= 4 hardware threads: the serving layer's contract is
+//! that leased readers never block the write pipeline, so the writer
+//! must keep >= 90% of its no-reader throughput with a full reader
+//! complement attached. (`serve_bench` already enforces this in-binary;
+//! re-checking here keeps the gate meaningful when the committed
+//! baseline predates the metric.)
+
+use congest_bench::gate::{
+    check_metric_directed, extract_number, DEFAULT_TOLERANCE, LATENCY_TOLERANCE,
+    SERVE_GATE_FINGERPRINT, SERVE_GATE_METRICS, SERVE_GATE_METRICS_LOWER_IS_BETTER,
+    SERVE_WRITE_RATIO_FLOOR, SMALLBATCH_FLOOR_MIN_THREADS,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (baseline_path, current_path) = match (args.next(), args.next()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!("usage: serve_gate <baseline.json> <current.json>");
+            std::process::exit(2);
+        }
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let current = std::fs::read_to_string(&current_path)
+        .unwrap_or_else(|e| panic!("read current {current_path}: {e}"));
+
+    println!(
+        "# serve_gate — {baseline_path} vs {current_path} \
+         (tolerance: 20% rps drop, 50% p99 rise)\n"
+    );
+    let mut comparable = true;
+    for key in SERVE_GATE_FINGERPRINT {
+        let fingerprints = (
+            extract_number(&baseline, key),
+            extract_number(&current, key),
+        );
+        if !matches!(fingerprints, (Some(b), Some(c)) if b == c) {
+            println!(
+                "baseline {key} {:?} != current {:?}: timing metrics are not comparable \
+                 like-for-like; reporting without gating.",
+                fingerprints.0, fingerprints.1
+            );
+            comparable = false;
+        }
+    }
+    if !comparable {
+        println!();
+    }
+    let mut failed = false;
+    let checks = SERVE_GATE_METRICS
+        .iter()
+        .map(|key| (*key, true, DEFAULT_TOLERANCE))
+        .chain(
+            SERVE_GATE_METRICS_LOWER_IS_BETTER
+                .iter()
+                .map(|key| (*key, false, LATENCY_TOLERANCE)),
+        );
+    for (key, higher_is_better, tolerance) in checks {
+        let check = check_metric_directed(&baseline, &current, key, tolerance, higher_is_better);
+        if comparable {
+            println!("{check}");
+            failed |= check.regressed;
+        } else {
+            println!("{check} [not gated: foreign baseline fingerprint]");
+        }
+    }
+
+    // Absolute write-ratio floor: needs no baseline, only enough
+    // hardware threads for readers and the writer to actually contend.
+    let threads = extract_number(&current, "hardware_threads").unwrap_or(1.0);
+    if let Some(ratio) = extract_number(&current, "serve_write_throughput_ratio") {
+        if threads >= SMALLBATCH_FLOOR_MIN_THREADS {
+            if ratio < SERVE_WRITE_RATIO_FLOOR {
+                eprintln!(
+                    "\nERROR: write throughput with readers attached is {ratio:.3}x the \
+                     detached baseline, below the {SERVE_WRITE_RATIO_FLOOR}x floor on a \
+                     {threads:.0}-thread machine — readers are blocking the write pipeline"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "\nwrite-ratio floor: {ratio:.3}x with readers attached \
+                     (>= {SERVE_WRITE_RATIO_FLOOR}x required, {threads:.0} threads)"
+                );
+            }
+        } else {
+            println!(
+                "\nwrite-ratio floor skipped: {threads:.0} hardware thread(s) cannot \
+                 express reader/writer contention (needs >= {SMALLBATCH_FLOOR_MIN_THREADS:.0})"
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("\nERROR: serve bench regressed against the baseline");
+        std::process::exit(1);
+    }
+    println!("\ngate passed");
+}

@@ -9,7 +9,7 @@
 //! * the **headline** run quantifies incremental maintenance vs.
 //!   from-scratch recount on 10k nodes (acceptance floor: 10x);
 //! * the **shard sweep** drives a denser 10k-node uniform-churn stream
-//!   through [`ShardedTriangleIndex`](congest_stream::ShardedTriangleIndex)
+//!   through [`ShardedTriangleIndex`]
 //!   at S ∈ {1, 2, 4, 8} and reports the parallel speedup over the
 //!   single-threaded [`TriangleIndex`](congest_stream::TriangleIndex) on
 //!   the identical stream. The S=4 ≥ 1.5x floor is enforced when the machine
@@ -36,11 +36,12 @@
 //! matrix runs; `--quick` shrinks the pool sweeps for CI (the committed
 //! `BENCH_stream.json` baseline is a `--quick` run, which is what the
 //! workflow compares against); `--trace-out PATH` re-runs one pooled
-//! sharded stream and one distributed convergecast stream *after* the
-//! gated sweeps with span tracing enabled and writes the collected spans
-//! as chrome://tracing trace-event JSON (the sweeps themselves always
-//! run with tracing disabled so the gated numbers are never skewed by
-//! instrumentation). All flags are recorded in the JSON metadata.
+//! sharded stream, one distributed convergecast stream and one served
+//! stream with leased readers *after* the gated sweeps with span
+//! tracing enabled and writes the collected spans as chrome://tracing
+//! trace-event JSON (the sweeps themselves always run with tracing
+//! disabled so the gated numbers are never skewed by instrumentation).
+//! All flags are recorded in the JSON metadata.
 //!
 //! Output: a plain-text table on stdout (diffable, like every other
 //! harness binary) and a machine-readable `BENCH_stream.json` in the
@@ -55,7 +56,7 @@ use congest_bench::{json, table::fmt_f64, Table};
 use congest_graph::{count_common, NodeId, GALLOP_RATIO};
 use congest_stream::{
     Aggregation, ApplyMode, BaseGraph, DistributedTriangleEngine, RunSummary, Scenario,
-    WorkloadRunner,
+    ShardedTriangleIndex, TriangleServer, WorkloadRunner,
 };
 
 /// One row of the benchmark matrix.
@@ -292,11 +293,13 @@ fn intersect_kernel_sweep(quick: bool) -> (f64, f64) {
     (skewed, balanced)
 }
 
-/// Re-runs one pooled sharded stream and one distributed convergecast
-/// stream with span tracing enabled, then writes everything recorded as
-/// chrome://tracing trace-event JSON. Both runs stay oracle-verified:
-/// tracing is observation-only, and this is where CI proves the exporter
-/// end of that claim (the lockstep test proves the engine end).
+/// Re-runs one pooled sharded stream, one distributed convergecast
+/// stream and one served stream with leased readers, all with span
+/// tracing enabled, then writes everything recorded as chrome://tracing
+/// trace-event JSON — one file carrying every span family `trace_check`
+/// requires. The runs stay oracle-verified: tracing is
+/// observation-only, and this is where CI proves the exporter end of
+/// that claim (the lockstep tests prove the engine end).
 fn capture_trace(path: &std::path::Path) {
     congest_obs::trace::clear();
     congest_obs::set_enabled(true);
@@ -329,6 +332,28 @@ fn capture_trace(path: &std::path::Path) {
             .expect("scenario batches only touch in-range nodes");
     }
     assert!(engine.matches_oracle(), "traced distributed run diverged");
+
+    // Served stream with leased readers: emits the serve/publish (one
+    // per applied batch), serve/lease_acquire and serve/query families.
+    let serve_scenario = Scenario::uniform_churn(200, 4, 64)
+        .with_base(BaseGraph::Gnp { p: 0.05 })
+        .seeded(0x5E47E);
+    let serve_base = serve_scenario.base_graph();
+    let mut server = TriangleServer::new(ShardedTriangleIndex::from_graph(&serve_base, 4));
+    let handle = server.handle();
+    for batch in serve_scenario.batches() {
+        server
+            .apply(&batch)
+            .expect("scenario batches only touch in-range nodes");
+        let lease = handle.lease();
+        std::hint::black_box(lease.triangle_count());
+        std::hint::black_box(lease.node_support(NodeId(0)));
+        std::hint::black_box(lease.top_k_support(4));
+    }
+    assert!(
+        server.engine().matches_oracle(),
+        "traced serve run diverged"
+    );
 
     congest_obs::set_enabled(false);
     let events = congest_obs::trace::drain();

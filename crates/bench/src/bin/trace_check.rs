@@ -7,8 +7,9 @@
 //! numeric `ts`/`dur`/`pid`/`tid`), and the trace must contain the span
 //! families the instrumentation promises — all six sharded apply phases
 //! (coalesce, classify, collect, record_prepare, record, merge), the
-//! worker pool, and the distributed engine's broadcast and convergecast
-//! phases.
+//! worker pool, the distributed engine's broadcast and convergecast
+//! phases, and the serve layer's publish / lease-acquire / query
+//! families.
 //!
 //! Usage: `trace_check <trace.json>`. Exits non-zero with a diagnostic
 //! on the first violation; prints a per-category event tally on success.
@@ -19,9 +20,9 @@ use std::process::ExitCode;
 use congest_bench::json::Value;
 
 /// `(cat, name)` pairs that must appear in a trace captured from the
-/// benches' instrumented runs (a pooled sharded stream plus a
-/// distributed convergecast stream).
-const REQUIRED_SPANS: [(&str, &str); 9] = [
+/// benches' instrumented runs (a pooled sharded stream, a distributed
+/// convergecast stream, and a served stream with leased readers).
+const REQUIRED_SPANS: [(&str, &str); 12] = [
     ("sharded", "coalesce"),
     ("sharded", "classify"),
     ("sharded", "collect"),
@@ -31,6 +32,9 @@ const REQUIRED_SPANS: [(&str, &str); 9] = [
     ("pool", "worker"),
     ("distributed", "broadcast"),
     ("distributed", "convergecast"),
+    ("serve", "publish"),
+    ("serve", "lease_acquire"),
+    ("serve", "query"),
 ];
 
 fn check(input: &str) -> Result<BTreeMap<(String, String), usize>, String> {

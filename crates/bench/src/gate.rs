@@ -203,6 +203,33 @@ pub const DYNAMIC_GATE_FINGERPRINT: [&str; 2] = ["quick", "headline_n"];
 /// deterministic, so the floor binds on every machine).
 pub const HOTSPOT_SPLIT_IMPROVEMENT_FLOOR: f64 = 2.0;
 
+/// The metrics `serve_gate` holds against the committed
+/// `BENCH_serve.json` baseline: the open-loop ramp's max-sustainable
+/// read rate (higher is better, [`DEFAULT_TOLERANCE`]). Like the stream
+/// metrics it is timing-derived, so the gate only enforces it under a
+/// matching hardware-and-shape fingerprint.
+pub const SERVE_GATE_METRICS: [&str; 1] = ["serve_max_sustainable_rps"];
+
+/// Lower-is-better serve metrics, gated with [`LATENCY_TOLERANCE`]: the
+/// read p99 at the max sustainable rate is a single tail order statistic
+/// and as noisy as the stream p99, so it gets the same 50% band.
+pub const SERVE_GATE_METRICS_LOWER_IS_BETTER: [&str; 1] = ["serve_read_p99_us"];
+
+/// The fingerprint keys that must match between a `BENCH_serve.json`
+/// baseline and a fresh run for the serve gate to have teeth:
+/// `hardware_threads` pins the machine (readers and the writer contend
+/// for cores, so every serve metric is hardware-bound) and `quick` pins
+/// the ramp shape (CI sweeps a shorter ramp under `--quick`).
+pub const SERVE_GATE_FINGERPRINT: [&str; 2] = ["hardware_threads", "quick"];
+
+/// Absolute floor for the serve write-throughput ratio (readers attached
+/// vs detached), enforced in-binary by `serve_bench` whenever the
+/// machine has at least [`SMALLBATCH_FLOOR_MIN_THREADS`] hardware
+/// threads: the ISSUE's contract is that queries never block the write
+/// pipeline, so the writer must keep >= 90% of its no-reader throughput
+/// with a full reader complement leasing under its feet.
+pub const SERVE_WRITE_RATIO_FLOOR: f64 = 0.9;
+
 /// Maximum regression the span instrumentation may cost when tracing is
 /// *disabled* (2%): the observability layer's contract is a near-zero
 /// disabled hot path (one relaxed atomic load per span site), and this
@@ -292,6 +319,9 @@ mod tests {
             .chain(&DYNAMIC_GATE_METRICS)
             .chain(&DYNAMIC_GATE_METRICS_LOWER_IS_BETTER)
             .chain(&DYNAMIC_GATE_FINGERPRINT)
+            .chain(&SERVE_GATE_METRICS)
+            .chain(&SERVE_GATE_METRICS_LOWER_IS_BETTER)
+            .chain(&SERVE_GATE_FINGERPRINT)
             .chain(&DISABLED_OVERHEAD_METRICS)
             .chain(&DISABLED_OVERHEAD_METRICS_LOWER_IS_BETTER)
         {

@@ -23,7 +23,13 @@
 //! * [`registry`] — a process-wide counter/gauge registry
 //!   ([`counter_add`], [`gauge_set`]) snapshotted to JSON or a text
 //!   report; the engines fold their existing telemetry
-//!   (`WorkerTelemetry`, pool steal counts) into it.
+//!   (`WorkerTelemetry`, pool steal counts) into it, and the serve
+//!   layer publishes its `serve.active_leases` and
+//!   `serve.oldest_lease_epoch_lag` gauges here (writer-side, once per
+//!   published epoch, so the query hot path never touches the registry
+//!   mutex). The serve span families (`serve/publish`,
+//!   `serve/lease_acquire`, `serve/query`) ride the same span substrate
+//!   and are schema-required by `trace_check`.
 //! * [`hist`] — streaming log-bucketed latency histograms
 //!   ([`Histogram`]): HdrHistogram-style fixed memory (a few KiB however
 //!   long the stream), values bucketed with at most `1/64` ≈ 1.6%

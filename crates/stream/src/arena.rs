@@ -19,15 +19,18 @@
 //!   a list removed down to empty returns its slab. Both hand the old
 //!   slab to the free list instead of leaking it.
 //! * **Epoch-versioned free list** — a slab freed in the current epoch
-//!   is *quarantined*: it only becomes allocatable after
-//!   [`advance_epoch`](NeighborArena::advance_epoch) (the engines call
-//!   this once per applied batch). Within an epoch, freed slabs are
-//!   therefore never rewritten by another slot's growth, so any read
-//!   view taken at the start of the epoch stays byte-stable even while
-//!   mutations proceed — Rust's borrow rules already force exclusive
-//!   access today, but the epoch discipline is what keeps the layout
-//!   safe for the record pipeline's prepared-list seeding and for any
-//!   future lease-based concurrent readers.
+//!   is *quarantined* and stamped with the epoch that freed it: it only
+//!   becomes allocatable after an epoch advance whose *reclaim horizon*
+//!   has moved past that stamp (the engines advance once per applied
+//!   batch). Within an epoch, freed slabs are therefore never rewritten
+//!   by another slot's growth, so any read view taken at the start of
+//!   the epoch stays byte-stable even while mutations proceed. When the
+//!   serve layer holds epoch-stamped reader leases
+//!   ([`TriangleServer`](crate::TriangleServer)),
+//!   [`advance_epoch_held`](NeighborArena::advance_epoch_held) keeps
+//!   every slab freed since the oldest outstanding lease quarantined
+//!   (and defers compaction), so the slab layout a lease can still see
+//!   is never recycled underneath it.
 //! * **Compaction** — when promoted free slabs hold more than half the
 //!   buffer, the epoch boundary rewrites every live list tightly into a
 //!   fresh buffer and resets the free lists. Heavy remove/re-insert
@@ -81,11 +84,11 @@ impl SlotEntry {
 /// Free slabs of one size class, split by the epoch discipline.
 #[derive(Debug, Clone, Default)]
 struct FreeClass {
-    /// Freed in an earlier epoch: allocatable now.
+    /// Freed behind the reclaim horizon: allocatable now.
     ready: Vec<u32>,
-    /// Freed in the current epoch: allocatable after the next
-    /// [`NeighborArena::advance_epoch`].
-    quarantine: Vec<u32>,
+    /// `(epoch freed, offset)` pairs still quarantined: allocatable once
+    /// an epoch advance's reclaim horizon moves past the stamp.
+    quarantine: Vec<(u64, u32)>,
 }
 
 /// Point-in-time health counters of one arena (or, summed, of every
@@ -271,13 +274,41 @@ impl NeighborArena {
     /// Ends the current mutation epoch: quarantined slabs become
     /// allocatable, and the arena compacts if free slack has outgrown
     /// the live data. The engines call this once per applied batch,
-    /// while they hold the arena exclusively.
+    /// while they hold the arena exclusively. Equivalent to
+    /// [`advance_epoch_held`](NeighborArena::advance_epoch_held) with a
+    /// hold of zero epochs.
     pub fn advance_epoch(&mut self) {
+        self.advance_epoch_held(0);
+    }
+
+    /// Ends the current mutation epoch while readers may still hold
+    /// leases on recent epochs: slabs freed during the last `hold`
+    /// epochs (counting the one just ended) stay quarantined, older
+    /// ones become allocatable. `hold == 0` means no lease is
+    /// outstanding and reproduces [`advance_epoch`]'s promote-everything
+    /// behaviour; a lease pinned `k` batches ago passes `hold == k` so
+    /// every slab its view can still reference keeps its bytes.
+    /// Compaction (which rewrites the whole buffer) only runs when
+    /// nothing is held.
+    ///
+    /// [`advance_epoch`]: NeighborArena::advance_epoch
+    pub fn advance_epoch_held(&mut self, hold: u64) {
         self.epoch += 1;
+        let horizon = self.epoch.saturating_sub(hold);
         for class in &mut self.free {
-            class.ready.append(&mut class.quarantine);
+            let mut i = 0;
+            while i < class.quarantine.len() {
+                if class.quarantine[i].0 < horizon {
+                    let (_, off) = class.quarantine.swap_remove(i);
+                    class.ready.push(off);
+                } else {
+                    i += 1;
+                }
+            }
         }
-        self.maybe_compact();
+        if hold == 0 {
+            self.maybe_compact();
+        }
     }
 
     /// Current health counters.
@@ -323,13 +354,14 @@ impl NeighborArena {
         off as u32
     }
 
-    /// Parks a slab on its class's quarantine list.
+    /// Parks a slab on its class's quarantine list, stamped with the
+    /// epoch that freed it.
     fn release(&mut self, off: u32, class: u8) {
         if self.free.len() <= class as usize {
             self.free
                 .resize_with(class as usize + 1, FreeClass::default);
         }
-        self.free[class as usize].quarantine.push(off);
+        self.free[class as usize].quarantine.push((self.epoch, off));
     }
 
     /// Rewrites every live list tightly into a fresh buffer when parked
@@ -445,6 +477,59 @@ mod tests {
         assert_eq!(arena.stats().slab_bytes, slab_mid, "ready slab reused");
         assert_eq!(arena.neighbors(0), ids(&[8, 9, 10, 11]));
         assert_eq!(arena.neighbors(1), ids(&[5, 6, 7]));
+    }
+
+    #[test]
+    fn held_epochs_keep_freed_slabs_quarantined() {
+        let mut arena = NeighborArena::new(2);
+        arena.seed(0, &ids(&[1, 2, 3, 4]));
+        arena.seed(0, &[]); // frees the 4-slab, stamped epoch 0
+                            // A lease is pinned at epoch 0: hold it across the advance.
+        arena.advance_epoch_held(1);
+        let slab_before = arena.stats().slab_bytes;
+        arena.seed(1, &ids(&[5, 6, 7, 8])); // same class; held slab must not be reused
+        assert!(
+            arena.stats().slab_bytes > slab_before,
+            "held slab untouched"
+        );
+        // The lease is still at epoch 0 one batch later: hold grows to 2.
+        arena.seed(1, &[]); // frees the second slab, stamped epoch 1
+        arena.advance_epoch_held(2);
+        let slab_mid = arena.stats().slab_bytes;
+        arena.seed(0, &ids(&[9, 10, 11, 12]));
+        assert!(arena.stats().slab_bytes > slab_mid, "both slabs still held");
+        // The lease drops: a plain advance promotes everything and the
+        // next same-class allocation reuses a ready slab.
+        arena.advance_epoch();
+        let slab_free = arena.stats().slab_bytes;
+        arena.seed(1, &ids(&[13, 14, 15, 16]));
+        assert_eq!(arena.stats().slab_bytes, slab_free, "promoted slab reused");
+        assert_eq!(arena.neighbors(0), ids(&[9, 10, 11, 12]));
+        assert_eq!(arena.neighbors(1), ids(&[13, 14, 15, 16]));
+    }
+
+    #[test]
+    fn compaction_is_deferred_while_an_epoch_is_held() {
+        let mut arena = NeighborArena::new(8);
+        for slot in 0..8 {
+            let big: Vec<NodeId> = (0..512).map(|i| v(i * 2)).collect();
+            arena.seed(slot, &big);
+        }
+        for slot in 0..8 {
+            arena.seed(slot, &ids(&[1, 3, 5]));
+        }
+        let before = arena.stats();
+        assert!(before.free_bytes * 2 > before.slab_bytes);
+        // A lease pins the previous epoch: the boundary must not rewrite
+        // the buffer the lease's view points into.
+        arena.advance_epoch_held(1);
+        assert_eq!(arena.stats().compactions, 0, "compaction deferred");
+        // Once nothing is held, the next boundary compacts as usual.
+        arena.advance_epoch();
+        assert!(arena.stats().compactions >= 1, "compaction caught up");
+        for slot in 0..8 {
+            assert_eq!(arena.neighbors(slot), ids(&[1, 3, 5]), "slot {slot}");
+        }
     }
 
     #[test]

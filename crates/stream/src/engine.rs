@@ -75,6 +75,16 @@ pub trait StreamEngine: AdjacencyView {
     fn arena_stats(&self) -> Option<ArenaStats> {
         None
     }
+
+    /// Number of live triangles containing `node`, for engines that
+    /// maintain per-node support counters incrementally (the serve
+    /// layer's per-node query). The default is `None`: the distributed
+    /// engine's node programs track per-edge candidate state, not a
+    /// global support vector.
+    fn node_support(&self, node: congest_graph::NodeId) -> Option<usize> {
+        let _ = node;
+        None
+    }
 }
 
 impl StreamEngine for TriangleIndex {
@@ -112,6 +122,10 @@ impl StreamEngine for TriangleIndex {
 
     fn arena_stats(&self) -> Option<ArenaStats> {
         Some(TriangleIndex::arena_stats(self))
+    }
+
+    fn node_support(&self, node: congest_graph::NodeId) -> Option<usize> {
+        Some(TriangleIndex::node_support(self, node))
     }
 }
 
@@ -154,6 +168,10 @@ impl StreamEngine for ShardedTriangleIndex {
 
     fn arena_stats(&self) -> Option<ArenaStats> {
         Some(ShardedTriangleIndex::arena_stats(self))
+    }
+
+    fn node_support(&self, node: congest_graph::NodeId) -> Option<usize> {
+        Some(ShardedTriangleIndex::node_support(self, node))
     }
 }
 

@@ -26,7 +26,7 @@ use congest_graph::{AdjacencyView, Graph, GraphBuilder, NodeId, Triangle, Triang
 
 use crate::arena::{ArenaStats, NeighborArena};
 use crate::delta::{DeltaBatch, DeltaOp, EdgeDelta, PendingBuffer};
-use crate::shard::intersect_sorted;
+use crate::shard::{intersect_sorted, NodeSupport};
 
 /// When the engine pays for triangle maintenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -175,6 +175,9 @@ pub struct TriangleIndex {
     adjacency: NeighborArena,
     /// The live triangle set.
     triangles: TriangleSet,
+    /// Per-node triangle-support counters, maintained at the same two
+    /// sites that mutate `triangles`.
+    support: NodeSupport,
     /// Number of present undirected edges.
     edge_count: usize,
     mode: ApplyMode,
@@ -188,6 +191,7 @@ impl TriangleIndex {
         TriangleIndex {
             adjacency: NeighborArena::new(node_count),
             triangles: TriangleSet::new(),
+            support: NodeSupport::new(node_count),
             edge_count: 0,
             mode: ApplyMode::Eager,
             pending: PendingBuffer::default(),
@@ -201,9 +205,12 @@ impl TriangleIndex {
         for v in graph.nodes() {
             adjacency.seed(v.index(), graph.neighbors(v));
         }
+        let triangles = congest_graph::triangles::list_all(graph);
+        let support = NodeSupport::seed_from(&triangles, graph.node_count());
         TriangleIndex {
             adjacency,
-            triangles: congest_graph::triangles::list_all(graph),
+            triangles,
+            support,
             edge_count: graph.edge_count(),
             mode: ApplyMode::Eager,
             pending: PendingBuffer::default(),
@@ -285,6 +292,31 @@ impl TriangleIndex {
     /// [`triangles`](TriangleIndex::triangles)).
     pub fn triangle_count(&self) -> usize {
         self.triangles.len()
+    }
+
+    /// Number of live triangles containing `node`, maintained
+    /// incrementally alongside the triangle set — O(1), no
+    /// re-intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_support(&self, node: NodeId) -> usize {
+        self.support.of(node)
+    }
+
+    /// Number of live triangles containing the edge `{a, b}` — one
+    /// sorted-list intersection (`O(deg a + deg b)`); 0 when the edge is
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn edge_support(&self, a: NodeId, b: NodeId) -> usize {
+        if !self.has_edge(a, b) {
+            return 0;
+        }
+        congest_graph::count_common(self.neighbors(a), self.neighbors(b))
     }
 
     /// Deltas buffered by deferred mode and not yet flushed.
@@ -401,7 +433,9 @@ impl TriangleIndex {
                 // goes in, on the neighbourhood state the new edge closes.
                 let common = self.common_neighbors(u, v);
                 for w in common {
-                    if self.triangles.insert(Triangle::new(u, v, w)) {
+                    let t = Triangle::new(u, v, w);
+                    if self.triangles.insert(t) {
+                        self.support.record(&t);
                         report.triangles_added += 1;
                     }
                 }
@@ -417,7 +451,9 @@ impl TriangleIndex {
                 }
                 let common = self.common_neighbors(u, v);
                 for w in common {
-                    if self.triangles.remove(&Triangle::new(u, v, w)) {
+                    let t = Triangle::new(u, v, w);
+                    if self.triangles.remove(&t) {
+                        self.support.retire(&t);
                         report.triangles_removed += 1;
                     }
                 }

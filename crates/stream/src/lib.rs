@@ -45,6 +45,17 @@
 //!   `dynamic_bench` harness compares against re-running the Theorem 1/2
 //!   drivers per batch (≥5x floor; ~100x in practice even while paying
 //!   for its own merge).
+//! * [`TriangleServer`] / [`ServeHandle`] / [`Lease`] — the serving
+//!   layer: one writer applies batches and publishes **epoch-stamped
+//!   read snapshots** (an O(S) handle-copy per batch; shards are shared
+//!   copy-on-write `Arc`s), while any number of reader sessions pin the
+//!   last published epoch with a lease and answer queries — triangle
+//!   count, per-node/per-edge support, edge-in-triangle, top-k-support
+//!   — against that consistent view. Readers never block the write
+//!   pipeline and the writer never waits on readers; the arena's
+//!   epoch-stamped free lists defer slab reuse until the oldest lease
+//!   advances. `serve_bench` drives it with an open-loop load generator
+//!   and gates the max-sustainable-rps and read-latency numbers.
 //! * [`StreamEngine`] — the trait all engines implement; the harness is
 //!   generic over it. Its [`AdjacencyView`](congest_graph::AdjacencyView)
 //!   supertrait is what makes the layer **snapshot-free**: the
@@ -104,6 +115,7 @@ mod engine;
 mod index;
 mod pool;
 mod runner;
+mod serve;
 mod shard;
 mod sharded;
 mod workload;
@@ -117,5 +129,6 @@ pub use engine::StreamEngine;
 pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
 pub use pool::WorkerTelemetry;
 pub use runner::{LatencyStats, RecomputeStats, RunSummary, StalenessStats, WorkloadRunner};
+pub use serve::{Lease, ServeHandle, TriangleServer};
 pub use sharded::ShardedTriangleIndex;
 pub use workload::{BaseGraph, Scenario, ScenarioKind};

@@ -42,9 +42,13 @@
 //!    [`Arc::try_unwrap`] once all responses are in — each worker drops
 //!    its clone *before* responding, so by the time the engine holds all
 //!    `S` responses the count is back to one.
-//! 2. *Record* (write): each [`Shard`] is moved to its owning worker
-//!    along with its routed mutations and moved back in the response;
-//!    shards never alias, so there is nothing to lock.
+//! 2. *Record* (write): each [`Shard`]'s `Arc` is moved to its owning
+//!    worker along with its routed mutations and moved back in the
+//!    response; the writer side never aliases, so there is nothing to
+//!    lock. Mutation goes through [`Arc::make_mut`]: exclusive shards
+//!    (the only case outside serve mode) are edited in place, while a
+//!    shard pinned by a published serve-mode read view is copied on the
+//!    worker before its first write, leaving readers' bytes untouched.
 //! 3. *Insert collect* (read-only): same `Arc` round trip on the
 //!    post-batch store.
 //!
@@ -183,7 +187,7 @@ enum Job {
     /// post-batch lists land wholesale first, the remaining ops apply
     /// one by one.
     Record {
-        shard: Shard,
+        shard: Arc<Shard>,
         ops: Vec<ShardOp>,
         prepared: Vec<PreparedSlot>,
     },
@@ -200,7 +204,7 @@ enum Job {
 /// The phase-specific payload of a worker's response.
 enum Payload {
     Plan(WorkerPlan),
-    Shard(Shard),
+    Shard(Arc<Shard>),
     Candidates(Vec<Triangle>),
     Prepared(Vec<PreparedSlot>),
     /// The job's processing panicked; the engine re-raises the panic on
@@ -497,7 +501,7 @@ impl<'a> BatchRun<'a> {
     /// [`finish_record`](BatchRun::finish_record).
     pub(crate) fn start_record(
         &mut self,
-        shards: Vec<Shard>,
+        shards: Vec<Arc<Shard>>,
         routed: Vec<Vec<ShardOp>>,
         prepared: Vec<Vec<PreparedSlot>>,
     ) {
@@ -516,9 +520,9 @@ impl<'a> BatchRun<'a> {
     }
 
     /// Phase 2 end: collects the mutated shards back in slot order.
-    pub(crate) fn finish_record(&mut self) -> Vec<Shard> {
+    pub(crate) fn finish_record(&mut self) -> Vec<Arc<Shard>> {
         let workers = self.pool.worker_count();
-        let mut slots: Vec<Option<Shard>> = (0..workers).map(|_| None).collect();
+        let mut slots: Vec<Option<Arc<Shard>>> = (0..workers).map(|_| None).collect();
         for _ in 0..workers {
             let response = self.pool.recv();
             self.absorb(&response);
@@ -713,15 +717,20 @@ fn process_job(job: Job, worker: usize, steals: &mut u64) -> Payload {
             prepared,
         } => {
             congest_obs::span!("sharded", "record");
+            // Copy-on-write: in place when this worker holds the only
+            // reference, a clone first when a published serve-mode view
+            // still pins the shard — conveniently paid on the worker
+            // thread, in parallel across shards.
+            let target = Arc::make_mut(&mut shard);
             for slot in prepared {
                 debug_assert_eq!(
                     slot.shard, worker,
                     "prepared slots are routed to their owner"
                 );
-                shard.seed(slot.local, &slot.list);
+                target.seed(slot.local, &slot.list);
             }
             for op in ops {
-                shard.apply_op(op);
+                target.apply_op(op);
             }
             Payload::Shard(shard)
         }
@@ -1172,7 +1181,7 @@ mod tests {
         // An out-of-range local slot makes `Shard::apply_op` panic on
         // worker 0; the engine must re-raise instead of hanging on the
         // lock-step recv.
-        let shards = vec![Shard::new(1), Shard::new(1)];
+        let shards = vec![Arc::new(Shard::new(1)), Arc::new(Shard::new(1))];
         let routed = vec![
             vec![ShardOp {
                 local: 99,
@@ -1190,7 +1199,7 @@ mod tests {
         let pool = ShardPool::new(2);
         assert!(!pool.poisoned());
         let mut run = BatchRun::new(&pool, 0);
-        let shards = vec![Shard::new(1), Shard::new(1)];
+        let shards = vec![Arc::new(Shard::new(1)), Arc::new(Shard::new(1))];
         let routed = vec![
             vec![ShardOp {
                 local: 99,

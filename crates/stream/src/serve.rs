@@ -1,0 +1,564 @@
+//! The serving layer: epoch-stamped read snapshots over the sharded
+//! engine.
+//!
+//! [`TriangleServer`] wraps a [`ShardedTriangleIndex`] and separates the
+//! two roles a production deployment runs concurrently:
+//!
+//! * **One writer** owns the server and calls
+//!   [`apply`](TriangleServer::apply); each batch applies through the
+//!   engine's normal pipeline and then **publishes** a new epoch — an
+//!   O(S) handle-copy of the shard store (the shards themselves are
+//!   shared `Arc`s) plus the shared per-node support vector.
+//! * **Any number of readers** hold a cloneable [`ServeHandle`] and call
+//!   [`lease`](ServeHandle::lease): one mutex lock and an `Arc` clone
+//!   pins the last fully-published epoch. Every query on the resulting
+//!   [`Lease`] — triangle count, per-node/per-edge support, *is this
+//!   edge in a triangle*, top-k-support nodes — answers against that
+//!   frozen view, no matter how many batches the writer applies
+//!   meanwhile.
+//!
+//! Neither side waits on the other:
+//!
+//! * Readers never block the write pipeline — a lease acquire is a
+//!   sub-microsecond critical section, and queries run entirely on the
+//!   reader's own `Arc`s.
+//! * The writer never waits on readers — publishing swaps the shared
+//!   view pointer; it does not reclaim anything a lease still uses.
+//!   Mutation is copy-on-write per shard ([`Arc::make_mut`]): a shard
+//!   pinned by a published view is cloned once when next touched (paid
+//!   on the worker that records it, in parallel across shards), and the
+//!   arena's epoch-stamped free lists additionally defer slab reuse and
+//!   compaction by `next_epoch − oldest_lease_epoch`
+//!   ([`NeighborArena::advance_epoch_held`](crate::NeighborArena::advance_epoch_held)),
+//!   so memory behind old views stays stable until the oldest lease
+//!   advances.
+//!
+//! A dropped [`Lease`] retires itself from the server's epoch table;
+//! the next publish then lets reclamation catch up. Observability:
+//! `serve/lease_acquire`, `serve/query` and `serve/publish` span
+//! families, plus the `serve.active_leases` and
+//! `serve.oldest_lease_epoch_lag` gauges (updated writer-side at each
+//! publish, so the query path stays contention-free).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use congest_graph::{count_common, AdjacencyView, NodeId};
+
+use crate::delta::DeltaBatch;
+use crate::index::{ApplyReport, StreamError};
+use crate::shard::ShardStore;
+use crate::sharded::ShardedTriangleIndex;
+
+/// One published, immutable view of the indexed graph.
+///
+/// Building one is O(S): the shard store is a vector of shared `Arc`s
+/// and the support vector is shared copy-on-write, so publishing copies
+/// handles, not adjacency.
+struct EpochView {
+    /// The publish counter this view was stamped with.
+    epoch: u64,
+    /// Shared shard handles; the writer copy-on-writes any shard it
+    /// touches after this view was published.
+    store: ShardStore,
+    /// Live triangle count at the stamp.
+    triangle_count: usize,
+    /// Present undirected edges at the stamp.
+    edge_count: usize,
+    /// Per-node triangle-support counters at the stamp.
+    support: Arc<Vec<u32>>,
+}
+
+/// Reader-side bookkeeping, behind the server's single mutex.
+struct ServeState {
+    /// The most recently published view.
+    view: Arc<EpochView>,
+    /// Outstanding leases per epoch (entries removed when they hit 0),
+    /// so the oldest outstanding epoch is `O(log e)` away.
+    leases: BTreeMap<u64, usize>,
+    /// Total outstanding leases (the sum of `leases` values).
+    active: usize,
+}
+
+/// What the writer and every handle share.
+struct ServeShared {
+    state: Mutex<ServeState>,
+}
+
+impl ServeShared {
+    /// Locks the reader table; a reader that panicked mid-drop only
+    /// poisons bookkeeping integers, so the poison is ignored.
+    fn lock(&self) -> MutexGuard<'_, ServeState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The writer's end of the serving layer: owns the engine, applies
+/// batches, publishes epochs.
+///
+/// ```
+/// use congest_graph::generators::Gnp;
+/// use congest_stream::{DeltaBatch, ShardedTriangleIndex, TriangleServer};
+///
+/// let graph = Gnp::new(64, 0.1).seeded(1).generate();
+/// let mut server = TriangleServer::new(ShardedTriangleIndex::from_graph(&graph, 4));
+/// let handle = server.handle();
+///
+/// let lease = handle.lease(); // pins the pre-batch epoch
+/// let before = lease.triangle_count();
+///
+/// let mut batch = DeltaBatch::new();
+/// batch.insert(congest_graph::NodeId(0), congest_graph::NodeId(1));
+/// server.apply(&batch).unwrap(); // publishes a new epoch, does not wait
+///
+/// assert_eq!(lease.triangle_count(), before); // the old lease is frozen
+/// assert_eq!(handle.lease().epoch(), lease.epoch() + 1);
+/// ```
+pub struct TriangleServer {
+    engine: ShardedTriangleIndex,
+    shared: Arc<ServeShared>,
+    /// The last published epoch (one publish per applied batch).
+    epoch: u64,
+}
+
+impl TriangleServer {
+    /// Wraps an engine and publishes its current state as epoch 0.
+    pub fn new(engine: ShardedTriangleIndex) -> Self {
+        let view = Arc::new(EpochView {
+            epoch: 0,
+            store: engine.clone_store(),
+            triangle_count: engine.triangle_count(),
+            edge_count: engine.edge_count(),
+            support: engine.support_counts(),
+        });
+        TriangleServer {
+            engine,
+            shared: Arc::new(ServeShared {
+                state: Mutex::new(ServeState {
+                    view,
+                    leases: BTreeMap::new(),
+                    active: 0,
+                }),
+            }),
+            epoch: 0,
+        }
+    }
+
+    /// A cloneable reader handle onto the server's published epochs.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The last published epoch (0 until the first
+    /// [`apply`](TriangleServer::apply)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The wrapped engine (reads see the *live* state, which may be
+    /// ahead of the published epoch only inside `apply`; between calls
+    /// the two coincide).
+    pub fn engine(&self) -> &ShardedTriangleIndex {
+        &self.engine
+    }
+
+    /// Unwraps the server, dropping the lease table. Outstanding leases
+    /// keep their views alive independently.
+    pub fn into_engine(self) -> ShardedTriangleIndex {
+        self.engine
+    }
+
+    /// Outstanding leases across all epochs.
+    pub fn active_leases(&self) -> usize {
+        self.shared.lock().active
+    }
+
+    /// The oldest epoch any outstanding lease pins (`None` with no
+    /// leases out).
+    pub fn oldest_lease_epoch(&self) -> Option<u64> {
+        self.shared.lock().leases.keys().next().copied()
+    }
+
+    /// Applies one batch through the engine and publishes the result as
+    /// the next epoch. The arena reclaim lag is set first, so slabs the
+    /// batch frees stay quarantined until the oldest outstanding lease
+    /// advances past the epochs that could still read them.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ShardedTriangleIndex::apply`]'s errors; on error
+    /// nothing is published and the epoch does not advance.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
+        let next = self.epoch + 1;
+        let hold = match self.oldest_lease_epoch() {
+            Some(oldest) => next.saturating_sub(oldest),
+            None => 0,
+        };
+        self.engine.set_reclaim_lag(hold);
+        let report = self.engine.apply(batch)?;
+        self.publish();
+        Ok(report)
+    }
+
+    /// Stamps the engine's current state as the next epoch and swaps it
+    /// in for new leases — an O(S) handle-copy; readers holding older
+    /// epochs are unaffected. Also the single place the serve gauges
+    /// are updated, keeping the query path free of registry traffic.
+    fn publish(&mut self) {
+        congest_obs::span!("serve", "publish");
+        self.epoch += 1;
+        let view = Arc::new(EpochView {
+            epoch: self.epoch,
+            store: self.engine.clone_store(),
+            triangle_count: self.engine.triangle_count(),
+            edge_count: self.engine.edge_count(),
+            support: self.engine.support_counts(),
+        });
+        let (active, oldest) = {
+            let mut state = self.shared.lock();
+            state.view = view;
+            (state.active, state.leases.keys().next().copied())
+        };
+        congest_obs::gauge_set("serve.active_leases", active as f64);
+        congest_obs::gauge_set(
+            "serve.oldest_lease_epoch_lag",
+            oldest.map_or(0.0, |o| (self.epoch - o) as f64),
+        );
+    }
+}
+
+impl std::fmt::Debug for TriangleServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TriangleServer(epoch={}, active_leases={}, engine={:?})",
+            self.epoch,
+            self.active_leases(),
+            self.engine,
+        )
+    }
+}
+
+/// A cheap, cloneable reader handle; clone one per client session or
+/// reader thread.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<ServeShared>,
+}
+
+impl ServeHandle {
+    /// Pins the most recently published epoch: one lock, one `Arc`
+    /// clone, one counter bump. The returned [`Lease`] answers every
+    /// query against that frozen view until dropped.
+    pub fn lease(&self) -> Lease {
+        congest_obs::span!("serve", "lease_acquire");
+        let view = {
+            let mut state = self.shared.lock();
+            let view = Arc::clone(&state.view);
+            *state.leases.entry(view.epoch).or_insert(0) += 1;
+            state.active += 1;
+            view
+        };
+        Lease {
+            view,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServeHandle(epoch={})", self.shared.lock().view.epoch)
+    }
+}
+
+/// A read view pinned to one published epoch.
+///
+/// Every accessor answers against the leased epoch's state — applied
+/// batches published after the acquire are invisible — and the lease is
+/// also an [`AdjacencyView`], so the centralized oracle (and any other
+/// view-generic algorithm) runs on it directly.
+pub struct Lease {
+    view: Arc<EpochView>,
+    shared: Arc<ServeShared>,
+}
+
+impl Lease {
+    /// The epoch this lease pins.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch
+    }
+
+    /// Live triangles at the leased epoch.
+    pub fn triangle_count(&self) -> usize {
+        congest_obs::span!("serve", "query");
+        self.view.triangle_count
+    }
+
+    /// Triangles containing `node` at the leased epoch — O(1) off the
+    /// published support vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_support(&self, node: NodeId) -> usize {
+        congest_obs::span!("serve", "query");
+        self.view.support[node.index()] as usize
+    }
+
+    /// Triangles containing the edge `{a, b}` at the leased epoch — one
+    /// sorted-list intersection on the leased adjacency; 0 when the
+    /// edge is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn edge_support(&self, a: NodeId, b: NodeId) -> usize {
+        congest_obs::span!("serve", "query");
+        if !self.view.store.has_edge(a, b) {
+            return 0;
+        }
+        count_common(self.view.store.neighbors(a), self.view.store.neighbors(b))
+    }
+
+    /// Whether `{a, b}` is an edge of at least one triangle at the
+    /// leased epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn edge_in_triangle(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_support(a, b) > 0
+    }
+
+    /// The `k` nodes with the highest triangle support at the leased
+    /// epoch, highest first (ties broken by node id, ascending).
+    /// O(n + k log k) via selection, so a dashboard-sized `k` does not
+    /// sort the whole vector.
+    pub fn top_k_support(&self, k: usize) -> Vec<(NodeId, u32)> {
+        congest_obs::span!("serve", "query");
+        let counts = &self.view.support;
+        let mut order: Vec<u32> = (0..counts.len() as u32).collect();
+        let rank = |&a: &u32, &b: &u32| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b));
+        let k = k.min(order.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        if k < order.len() {
+            order.select_nth_unstable_by(k - 1, rank);
+            order.truncate(k);
+        }
+        order.sort_unstable_by(rank);
+        order
+            .into_iter()
+            .map(|i| (NodeId(i), counts[i as usize]))
+            .collect()
+    }
+}
+
+/// The lease *is* an adjacency view of the leased epoch: the oracle and
+/// the CONGEST drivers run on the frozen state directly.
+impl AdjacencyView for Lease {
+    fn node_count(&self) -> usize {
+        self.view.store.node_count()
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        self.view.store.neighbors(node)
+    }
+
+    fn edge_count(&self) -> usize {
+        self.view.edge_count
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        self.view.store.degree(node)
+    }
+
+    fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.view.store.has_edge(a, b)
+    }
+}
+
+impl Drop for Lease {
+    /// Retires this lease from the server's epoch table; once an
+    /// epoch's count hits zero the next publish lets arena reclamation
+    /// advance past it.
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        if let Some(count) = state.leases.get_mut(&self.view.epoch) {
+            *count -= 1;
+            if *count == 0 {
+                state.leases.remove(&self.view.epoch);
+            }
+            state.active -= 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Lease(epoch={}, n={}, m={}, triangles={})",
+            self.view.epoch,
+            self.view.store.node_count(),
+            self.view.edge_count,
+            self.view.triangle_count,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators::{Classic, Gnp};
+    use congest_graph::triangles as oracle;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn triangle_batch() -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).insert(v(1), v(2)).insert(v(0), v(2));
+        b
+    }
+
+    #[test]
+    fn a_lease_pins_its_epoch_across_applies() {
+        let mut server = TriangleServer::new(ShardedTriangleIndex::new(8, 2));
+        let handle = server.handle();
+        let before = handle.lease();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.triangle_count(), 0);
+
+        server.apply(&triangle_batch()).unwrap();
+        assert_eq!(server.epoch(), 1);
+
+        // The old lease still answers from epoch 0…
+        assert_eq!(before.triangle_count(), 0);
+        assert_eq!(before.edge_count(), 0);
+        assert!(!before.has_edge(v(0), v(1)));
+        assert_eq!(before.node_support(v(0)), 0);
+
+        // …while a fresh lease sees the published batch.
+        let after = handle.lease();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.triangle_count(), 1);
+        assert_eq!(after.edge_count(), 3);
+        assert_eq!(after.node_support(v(1)), 1);
+        assert_eq!(after.edge_support(v(0), v(2)), 1);
+        assert!(after.edge_in_triangle(v(0), v(1)));
+        assert!(!after.edge_in_triangle(v(3), v(4)));
+    }
+
+    #[test]
+    fn lease_bookkeeping_tracks_acquires_and_drops() {
+        let mut server = TriangleServer::new(ShardedTriangleIndex::new(8, 2));
+        let handle = server.handle();
+        assert_eq!(server.active_leases(), 0);
+        assert_eq!(server.oldest_lease_epoch(), None);
+
+        let a = handle.lease();
+        server.apply(&triangle_batch()).unwrap();
+        let b = handle.lease();
+        let c = handle.lease();
+        assert_eq!(server.active_leases(), 3);
+        assert_eq!(server.oldest_lease_epoch(), Some(0));
+
+        drop(a);
+        assert_eq!(server.active_leases(), 2);
+        assert_eq!(server.oldest_lease_epoch(), Some(1));
+        drop(b);
+        drop(c);
+        assert_eq!(server.active_leases(), 0);
+        assert_eq!(server.oldest_lease_epoch(), None);
+    }
+
+    #[test]
+    fn leases_survive_heavy_churn_and_match_the_oracle() {
+        // Removals force arena frees while a lease pins the pre-churn
+        // epoch: the frozen view must keep answering exactly, and the
+        // writer must keep matching its own oracle.
+        let g = Classic::Complete(12).generate();
+        let mut server =
+            TriangleServer::new(ShardedTriangleIndex::from_graph(&g, 3).with_parallel_threshold(0));
+        let handle = server.handle();
+        let pinned = handle.lease();
+        let pinned_triangles = oracle::list_all_on(&pinned);
+        assert_eq!(pinned.triangle_count(), pinned_triangles.len());
+
+        for round in 0..6u32 {
+            let mut batch = DeltaBatch::new();
+            for i in 0..12u32 {
+                let j = (i + round + 1) % 12;
+                if i != j {
+                    if round % 2 == 0 {
+                        batch.remove(v(i), v(j));
+                    } else {
+                        batch.insert(v(i), v(j));
+                    }
+                }
+            }
+            server.apply(&batch).unwrap();
+            assert!(server.engine().matches_oracle(), "round {round}");
+            // The pinned epoch never moves: a recount on the frozen
+            // adjacency still equals the set it was published with.
+            assert_eq!(pinned.epoch(), 0);
+            assert_eq!(oracle::list_all_on(&pinned), pinned_triangles);
+            assert_eq!(pinned.edge_count(), g.edge_count());
+        }
+    }
+
+    #[test]
+    fn top_k_support_orders_by_support_then_id() {
+        let g = Gnp::new(30, 0.25).seeded(5).generate();
+        let mut server = TriangleServer::new(ShardedTriangleIndex::from_graph(&g, 2));
+        server.apply(&DeltaBatch::new()).unwrap();
+        let lease = server.handle().lease();
+
+        let all = lease.top_k_support(usize::MAX);
+        assert_eq!(all.len(), 30);
+        for pair in all.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "descending support with id tiebreak"
+            );
+        }
+        for &(node, support) in &all {
+            assert_eq!(support as usize, lease.node_support(node));
+            assert_eq!(
+                support as usize,
+                server.engine().node_support(node),
+                "published support matches the live engine at the same epoch"
+            );
+        }
+        assert_eq!(lease.top_k_support(3), all[..3].to_vec());
+        assert!(lease.top_k_support(0).is_empty());
+    }
+
+    #[test]
+    fn into_engine_returns_the_live_engine() {
+        let mut server = TriangleServer::new(ShardedTriangleIndex::new(8, 2));
+        server.apply(&triangle_batch()).unwrap();
+        let lease = server.handle().lease();
+        let engine = server.into_engine();
+        assert_eq!(engine.triangle_count(), 1);
+        // The lease outlives the server: its view holds the data alive.
+        assert_eq!(lease.triangle_count(), 1);
+    }
+
+    #[test]
+    fn debug_formats_summarize() {
+        let server = TriangleServer::new(ShardedTriangleIndex::new(4, 2));
+        assert!(format!("{server:?}").contains("epoch=0"));
+        assert!(format!("{:?}", server.handle()).contains("epoch=0"));
+        assert!(format!("{:?}", server.handle().lease()).contains("n=4"));
+    }
+}

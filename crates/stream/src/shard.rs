@@ -25,11 +25,22 @@
 //!   [`NeighborArena`](crate::arena) per shard and mutated only by its
 //!   owning worker during the record phase of a batch apply.
 //! * [`ShardStore`] — the spec plus all `S` shards as one movable value.
-//!   The pool-backed engine hands the whole store to its persistent
+//!   Each shard sits behind an `Arc`, so the store clones in `O(S)`:
+//!   the pool-backed engine hands the whole store to its persistent
 //!   workers by `Arc` for the read-only collect phases and moves the
-//!   individual shards out to their owning workers for the record phase,
+//!   shard `Arc`s out to their owning workers for the record phase,
 //!   reclaiming ownership afterwards — which is how the pipeline stays
-//!   free of `unsafe` and of locks on the read path.
+//!   free of `unsafe` and of locks on the read path. Mutation goes
+//!   through [`Arc::make_mut`]: exclusive shards (the common case) are
+//!   edited in place, while a shard pinned by a published serve-mode
+//!   view ([`TriangleServer`](crate::TriangleServer)) is copied on its
+//!   first write of the batch, leaving the readers' bytes untouched.
+//! * [`NodeSupport`] — per-node triangle-support counters maintained by
+//!   the same exactly-once merge that maintains the triangle set, so
+//!   serve-mode support queries are `O(1)` lookups instead of repeated
+//!   intersections.
+
+use std::sync::Arc;
 
 use congest_graph::{Edge, NodeId, Triangle, TriangleSet};
 
@@ -67,6 +78,110 @@ pub(crate) fn merge_added_candidates<'a>(
     candidates
         .into_iter()
         .filter(|t| triangles.insert(**t))
+        .count()
+}
+
+/// Per-node triangle-support counters: `counts[v]` is the number of
+/// live triangles containing node `v`. The counts live behind an `Arc`
+/// so a serve-mode publish shares them with readers in `O(1)`; the
+/// engines mutate through [`Arc::make_mut`], which copies the vector at
+/// most once per batch while a published view pins it.
+///
+/// The counters are maintained by exactly the inserts/removes that
+/// mutate the [`TriangleSet`] (the `_supported` merge variants below and
+/// the engines' direct apply paths), so they are always consistent with
+/// the live set — the lockstep property tests recount them against the
+/// oracle.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeSupport {
+    counts: Arc<Vec<u32>>,
+}
+
+impl NodeSupport {
+    /// All-zero counters for `node_count` nodes.
+    pub(crate) fn new(node_count: usize) -> Self {
+        NodeSupport {
+            counts: Arc::new(vec![0; node_count]),
+        }
+    }
+
+    /// Counters seeded from an existing triangle set.
+    pub(crate) fn seed_from(triangles: &TriangleSet, node_count: usize) -> Self {
+        let mut support = NodeSupport::new(node_count);
+        for t in triangles.iter() {
+            support.record(t);
+        }
+        support
+    }
+
+    /// Credits one live triangle to each of its three nodes.
+    pub(crate) fn record(&mut self, t: &Triangle) {
+        let counts = Arc::make_mut(&mut self.counts);
+        for v in t.nodes() {
+            counts[v.index()] += 1;
+        }
+    }
+
+    /// Retires one triangle from each of its three nodes.
+    pub(crate) fn retire(&mut self, t: &Triangle) {
+        let counts = Arc::make_mut(&mut self.counts);
+        for v in t.nodes() {
+            counts[v.index()] -= 1;
+        }
+    }
+
+    /// Number of live triangles containing `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub(crate) fn of(&self, node: NodeId) -> usize {
+        self.counts[node.index()] as usize
+    }
+
+    /// Shares the counters (an `Arc` bump) for a published read view.
+    pub(crate) fn share(&self) -> Arc<Vec<u32>> {
+        Arc::clone(&self.counts)
+    }
+}
+
+/// [`merge_removed_candidates`] that also retires each actually-removed
+/// triangle from the per-node support counters — the sharded engine's
+/// merge core; the distributed engine keeps the unsupported variant.
+pub(crate) fn merge_removed_candidates_supported<'a>(
+    triangles: &mut TriangleSet,
+    support: &mut NodeSupport,
+    candidates: impl IntoIterator<Item = &'a Triangle>,
+) -> usize {
+    candidates
+        .into_iter()
+        .filter(|t| {
+            let removed = triangles.remove(t);
+            if removed {
+                support.retire(t);
+            }
+            removed
+        })
+        .count()
+}
+
+/// [`merge_added_candidates`] that also credits each actually-added
+/// triangle to the per-node support counters (the insertion dual of
+/// [`merge_removed_candidates_supported`]).
+pub(crate) fn merge_added_candidates_supported<'a>(
+    triangles: &mut TriangleSet,
+    support: &mut NodeSupport,
+    candidates: impl IntoIterator<Item = &'a Triangle>,
+) -> usize {
+    candidates
+        .into_iter()
+        .filter(|t| {
+            let added = triangles.insert(**t);
+            if added {
+                support.record(t);
+            }
+            added
+        })
         .count()
 }
 
@@ -204,10 +319,10 @@ impl Shard {
         }
     }
 
-    /// Ends the shard's mutation epoch (see
-    /// [`NeighborArena::advance_epoch`]).
-    pub(crate) fn advance_epoch(&mut self) {
-        self.arena.advance_epoch();
+    /// Ends the shard's mutation epoch while reader leases pin the last
+    /// `hold` epochs (see [`NeighborArena::advance_epoch_held`]).
+    pub(crate) fn advance_epoch_held(&mut self, hold: u64) {
+        self.arena.advance_epoch_held(hold);
     }
 
     /// Half-edge count: the sum of this shard's list lengths (summing over
@@ -228,7 +343,10 @@ impl Shard {
 #[derive(Debug, Clone)]
 pub(crate) struct ShardStore {
     spec: ShardSpec,
-    shards: Vec<Shard>,
+    /// One `Arc` per shard: cloning the store is `O(S)`, and a clone
+    /// held by a published serve-mode view keeps its shards' bytes
+    /// alive while the writer copy-on-writes past them.
+    shards: Vec<Arc<Shard>>,
 }
 
 impl Default for ShardStore {
@@ -245,7 +363,7 @@ impl ShardStore {
     pub(crate) fn new(node_count: usize, shard_count: usize) -> Self {
         let spec = ShardSpec::new(node_count, shard_count);
         let shards = (0..spec.shard_count())
-            .map(|s| Shard::new(spec.nodes_in_shard(s)))
+            .map(|s| Arc::new(Shard::new(spec.nodes_in_shard(s))))
             .collect();
         ShardStore { spec, shards }
     }
@@ -317,39 +435,50 @@ impl ShardStore {
     /// static graph).
     pub(crate) fn seed(&mut self, node: NodeId, neighbors: &[NodeId]) {
         let shard = self.spec.shard_of(node);
-        self.shards[shard].seed(self.spec.local_index(node), neighbors);
+        Arc::make_mut(&mut self.shards[shard]).seed(self.spec.local_index(node), neighbors);
     }
 
     /// Applies one routed mutation to the shard that owns it.
     pub(crate) fn apply_routed(&mut self, shard: usize, op: ShardOp) {
-        self.shards[shard].apply_op(op);
+        Arc::make_mut(&mut self.shards[shard]).apply_op(op);
     }
 
-    /// Moves the shards out (for the record phase, where each worker
-    /// owns exactly one); the store is unusable until
+    /// Moves the shard `Arc`s out (for the record phase, where each
+    /// worker owns exactly one); the store is unusable until
     /// [`restore_shards`](ShardStore::restore_shards) puts them back.
-    pub(crate) fn take_shards(&mut self) -> Vec<Shard> {
+    pub(crate) fn take_shards(&mut self) -> Vec<Arc<Shard>> {
         std::mem::take(&mut self.shards)
     }
 
     /// Puts the shards moved out by
     /// [`take_shards`](ShardStore::take_shards) back in slot order.
-    pub(crate) fn restore_shards(&mut self, shards: Vec<Shard>) {
+    pub(crate) fn restore_shards(&mut self, shards: Vec<Arc<Shard>>) {
         debug_assert_eq!(shards.len(), self.spec.shard_count());
         self.shards = shards;
     }
 
     /// Sum of all shards' list lengths (twice the undirected edge count).
     pub(crate) fn half_edges(&self) -> usize {
-        self.shards.iter().map(Shard::half_edges).sum()
+        self.shards.iter().map(|shard| shard.half_edges()).sum()
     }
 
-    /// Ends every shard's mutation epoch: quarantined slabs become
-    /// reusable and oversized arenas compact. The engine calls this once
-    /// per applied batch, while it owns the store exclusively.
-    pub(crate) fn advance_epoch(&mut self) {
+    /// Ends every shard's mutation epoch while reader leases pin the
+    /// last `hold` epochs: slabs those leases' views can still reference
+    /// stay quarantined and compaction is deferred (see
+    /// [`NeighborArena::advance_epoch_held`]).
+    ///
+    /// A shard still pinned by a published view here was not touched by
+    /// the batch (any touched shard was copy-on-written and is exclusive
+    /// again): it freed nothing, so rather than cloning it just to bump
+    /// its epoch counter, the advance is skipped. Its arena epoch then
+    /// lags the batch count, which only makes future holds more
+    /// conservative — slabs stay quarantined at least as long as the
+    /// stamped-epoch discipline requires.
+    pub(crate) fn advance_epoch_held(&mut self, hold: u64) {
         for shard in &mut self.shards {
-            shard.advance_epoch();
+            if let Some(shard) = Arc::get_mut(shard) {
+                shard.advance_epoch_held(hold);
+            }
         }
     }
 

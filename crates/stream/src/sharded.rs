@@ -55,6 +55,7 @@
 //! dropped ops as no-ops instead of applying them).
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use congest_graph::{AdjacencyView, Edge, Graph, GraphBuilder, NodeId, Triangle, TriangleSet};
@@ -66,7 +67,8 @@ use crate::pool::{
     WorkerTelemetry, DEFAULT_SPLIT_THRESHOLD,
 };
 use crate::shard::{
-    intersect_sorted, merge_added_candidates, merge_removed_candidates, ShardOp, ShardStore,
+    intersect_sorted, merge_added_candidates_supported, merge_removed_candidates_supported,
+    NodeSupport, ShardOp, ShardStore,
 };
 
 /// Below this many deltas a batch is applied inline: even with the
@@ -154,8 +156,17 @@ pub struct ShardedTriangleIndex {
     store: ShardStore,
     /// The live triangle set (global: the merge phase is the only writer).
     triangles: TriangleSet,
+    /// Per-node triangle-support counters, maintained alongside
+    /// `triangles` by the same merge/apply sites (copy-on-write so a
+    /// published serve view shares it for free).
+    support: NodeSupport,
     /// Number of present undirected edges.
     edge_count: usize,
+    /// How many arena epochs freed slabs stay quarantined past their
+    /// free point: `next_epoch − oldest_lease_epoch` when a
+    /// [`TriangleServer`](crate::TriangleServer) has readers pinned to
+    /// old views, 0 (immediate reuse once the batch ends) otherwise.
+    reclaim_lag: u64,
     mode: ApplyMode,
     /// Deferred-mode buffer (concatenated batches + staleness clock).
     pending: PendingBuffer,
@@ -185,7 +196,9 @@ impl Clone for ShardedTriangleIndex {
         ShardedTriangleIndex {
             store: self.store.clone(),
             triangles: self.triangles.clone(),
+            support: self.support.clone(),
             edge_count: self.edge_count,
+            reclaim_lag: self.reclaim_lag,
             mode: self.mode,
             pending: self.pending.clone(),
             parallel_threshold: self.parallel_threshold,
@@ -205,7 +218,9 @@ impl ShardedTriangleIndex {
         ShardedTriangleIndex {
             store: ShardStore::new(node_count, shard_count),
             triangles: TriangleSet::new(),
+            support: NodeSupport::new(node_count),
             edge_count: 0,
+            reclaim_lag: 0,
             mode: ApplyMode::Eager,
             pending: PendingBuffer::default(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
@@ -226,6 +241,7 @@ impl ShardedTriangleIndex {
             index.store.seed(node, graph.neighbors(node));
         }
         index.triangles = congest_graph::triangles::list_all(graph);
+        index.support = NodeSupport::seed_from(&index.triangles, graph.node_count());
         index.edge_count = graph.edge_count();
         index
     }
@@ -341,6 +357,51 @@ impl ShardedTriangleIndex {
         self.triangles.len()
     }
 
+    /// Number of live triangles containing `node`, maintained
+    /// incrementally by the merge phase — O(1), no re-intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_support(&self, node: NodeId) -> usize {
+        self.support.of(node)
+    }
+
+    /// Number of live triangles containing the edge `{a, b}` — one
+    /// sorted-list intersection (`O(deg a + deg b)`); 0 when the edge is
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn edge_support(&self, a: NodeId, b: NodeId) -> usize {
+        if !self.has_edge(a, b) {
+            return 0;
+        }
+        congest_graph::count_common(self.neighbors(a), self.neighbors(b))
+    }
+
+    /// Sets how many arena epochs freed slabs outlive their free point
+    /// (0 restores immediate end-of-batch reuse). The serve layer calls
+    /// this before every apply with `next_epoch − oldest_lease_epoch` so
+    /// published views never see their slabs recycled under them.
+    pub(crate) fn set_reclaim_lag(&mut self, lag: u64) {
+        self.reclaim_lag = lag;
+    }
+
+    /// An O(S) handle-copy of the shard store (the shards themselves are
+    /// shared `Arc`s; the next mutating batch copy-on-writes only the
+    /// shards it touches). This is what a published serve view holds.
+    pub(crate) fn clone_store(&self) -> ShardStore {
+        self.store.clone()
+    }
+
+    /// The shared per-node support vector backing
+    /// [`node_support`](Self::node_support) (an `Arc` clone, no copy).
+    pub(crate) fn support_counts(&self) -> Arc<Vec<u32>> {
+        self.support.share()
+    }
+
     /// Deltas buffered by deferred mode and not yet flushed.
     pub fn pending_deltas(&self) -> usize {
         self.pending.len()
@@ -439,8 +500,13 @@ impl ShardedTriangleIndex {
     }
 
     /// Freezes the current graph (pending deltas excluded) into an
-    /// immutable [`Graph`]. Rarely needed now that the index itself is an
-    /// [`AdjacencyView`]; kept for callers that want an owned frozen copy.
+    /// immutable [`Graph`]. **O(m)**: every neighbour list is walked and
+    /// re-inserted into a fresh builder, so this is a full copy of the
+    /// adjacency — not a cheap view. Rarely needed now that the index
+    /// itself is an [`AdjacencyView`] and
+    /// [`TriangleServer`](crate::TriangleServer) leases give consistent
+    /// O(1)-acquire read views; kept for callers that want an owned
+    /// frozen [`Graph`].
     pub fn snapshot(&self) -> Graph {
         let mut b = GraphBuilder::new(self.node_count());
         for u in AdjacencyView::nodes(self) {
@@ -500,7 +566,9 @@ impl ShardedTriangleIndex {
                         continue;
                     }
                     for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
-                        if self.triangles.insert(Triangle::new(u, v, w)) {
+                        let t = Triangle::new(u, v, w);
+                        if self.triangles.insert(t) {
+                            self.support.record(&t);
                             report.triangles_added += 1;
                         }
                     }
@@ -513,7 +581,9 @@ impl ShardedTriangleIndex {
                         continue;
                     }
                     for w in intersect_sorted(self.neighbors(u), self.neighbors(v)) {
-                        if self.triangles.remove(&Triangle::new(u, v, w)) {
+                        let t = Triangle::new(u, v, w);
+                        if self.triangles.remove(&t) {
+                            self.support.retire(&t);
                             report.triangles_removed += 1;
                         }
                     }
@@ -532,7 +602,7 @@ impl ShardedTriangleIndex {
                 );
             }
         }
-        self.store.advance_epoch();
+        self.store.advance_epoch_held(self.reclaim_lag);
         report
     }
 
@@ -583,9 +653,11 @@ impl ShardedTriangleIndex {
             "shard adjacency lost symmetry"
         );
         // One batch = one arena epoch: slabs freed by this batch's
-        // churn become reusable (and oversized arenas compact) now that
-        // no read view of the pre-batch lists is live.
-        self.store.advance_epoch();
+        // churn become reusable (and oversized arenas compact) once no
+        // read view of the pre-batch lists is live — immediately when
+        // `reclaim_lag` is 0, deferred past the oldest reader lease
+        // otherwise.
+        self.store.advance_epoch_held(self.reclaim_lag);
         report
     }
 
@@ -602,8 +674,11 @@ impl ShardedTriangleIndex {
         {
             congest_obs::span!("sharded", "merge");
             for plan in &plans {
-                report.triangles_removed +=
-                    merge_removed_candidates(&mut self.triangles, &plan.removed);
+                report.triangles_removed += merge_removed_candidates_supported(
+                    &mut self.triangles,
+                    &mut self.support,
+                    &plan.removed,
+                );
             }
         }
         {
@@ -626,7 +701,11 @@ impl ShardedTriangleIndex {
                 collect_candidates(&self.store, &plan.inserts, &mut candidates);
             }
             congest_obs::span!("sharded", "merge");
-            report.triangles_added += merge_added_candidates(&mut self.triangles, &candidates);
+            report.triangles_added += merge_added_candidates_supported(
+                &mut self.triangles,
+                &mut self.support,
+                &candidates,
+            );
         }
         plans
     }
@@ -656,8 +735,11 @@ impl ShardedTriangleIndex {
         {
             congest_obs::span!("sharded", "merge");
             for plan in &plans {
-                report.triangles_removed +=
-                    merge_removed_candidates(&mut self.triangles, &plan.removed);
+                report.triangles_removed += merge_removed_candidates_supported(
+                    &mut self.triangles,
+                    &mut self.support,
+                    &plan.removed,
+                );
             }
         }
 
@@ -673,6 +755,9 @@ impl ShardedTriangleIndex {
             crossbeam::thread::scope(|scope| {
                 for (shard, ops) in shards.iter_mut().zip(&routed) {
                     scope.spawn(move || {
+                        // Copy-on-write: in place while no published
+                        // view pins the shard, a clone otherwise.
+                        let shard = Arc::make_mut(shard);
                         for &op in ops {
                             shard.apply_op(op);
                         }
@@ -703,7 +788,11 @@ impl ShardedTriangleIndex {
             });
             congest_obs::span!("sharded", "merge");
             for candidates in &added {
-                report.triangles_added += merge_added_candidates(&mut self.triangles, candidates);
+                report.triangles_added += merge_added_candidates_supported(
+                    &mut self.triangles,
+                    &mut self.support,
+                    candidates,
+                );
             }
         }
         plans
@@ -782,11 +871,17 @@ impl ShardedTriangleIndex {
         {
             congest_obs::span!("sharded", "merge");
             for plan in &plans {
-                report.triangles_removed +=
-                    merge_removed_candidates(&mut self.triangles, &plan.removed);
+                report.triangles_removed += merge_removed_candidates_supported(
+                    &mut self.triangles,
+                    &mut self.support,
+                    &plan.removed,
+                );
             }
-            report.triangles_removed +=
-                merge_removed_candidates(&mut self.triangles, &wave_removed);
+            report.triangles_removed += merge_removed_candidates_supported(
+                &mut self.triangles,
+                &mut self.support,
+                &wave_removed,
+            );
         }
         self.store.restore_shards(run.finish_record());
         drop(record_span);
@@ -803,7 +898,8 @@ impl ShardedTriangleIndex {
             self.store = store;
             congest_obs::span!("sharded", "merge");
             for c in &candidates {
-                report.triangles_added += merge_added_candidates(&mut self.triangles, c);
+                report.triangles_added +=
+                    merge_added_candidates_supported(&mut self.triangles, &mut self.support, c);
             }
         }
 
@@ -1023,9 +1119,16 @@ mod tests {
             let idx = ShardedTriangleIndex::from_graph(&g, shards);
             assert_eq!(idx.edge_count(), g.edge_count());
             assert_eq!(idx.triangles(), &oracle::list_all(&g));
-            assert_eq!(&idx.snapshot(), &g);
             for node in g.nodes() {
                 assert_eq!(idx.neighbors(node), g.neighbors(node));
+            }
+            // A consistent frozen view comes from a serve lease now (a
+            // pinned epoch), not from the O(m) `snapshot()` copy.
+            let server = crate::TriangleServer::new(idx);
+            let lease = server.handle().lease();
+            assert_eq!(AdjacencyView::edge_count(&lease), g.edge_count());
+            for node in g.nodes() {
+                assert_eq!(AdjacencyView::neighbors(&lease, node), g.neighbors(node));
             }
         }
     }
@@ -1273,7 +1376,7 @@ mod tests {
             let pool = idx.pool.as_ref().expect("pool spawned on first batch");
             let mut run = BatchRun::new(pool, 0);
             run.start_record(
-                vec![Shard::new(1), Shard::new(1)],
+                vec![Arc::new(Shard::new(1)), Arc::new(Shard::new(1))],
                 vec![
                     vec![ShardOp {
                         local: 99,

@@ -61,8 +61,8 @@ pub mod prelude {
     pub use congest_sim::{Bandwidth, EpochReport, Model, RunReport, SimConfig, Simulation};
     pub use congest_stream::{
         Aggregation, ApplyMode, BaseGraph, CongestCost, DeltaBatch, DistributedTriangleEngine,
-        EdgeDelta, HubSplit, RunSummary, Scenario, ShardedTriangleIndex, SimExecutor, StreamEngine,
-        TriangleIndex, WorkerTelemetry, WorkloadRunner,
+        EdgeDelta, HubSplit, Lease, RunSummary, Scenario, ServeHandle, ShardedTriangleIndex,
+        SimExecutor, StreamEngine, TriangleIndex, TriangleServer, WorkerTelemetry, WorkloadRunner,
     };
     pub use congest_triangles::{
         find_triangles, list_triangles, ConstantsProfile, EpsilonChoice, FindingConfig,
