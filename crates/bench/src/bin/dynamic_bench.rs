@@ -27,7 +27,16 @@
 //!   hotspot epoch by ≥ 2x (`HOTSPOT_SPLIT_IMPROVEMENT_FLOOR`,
 //!   enforced in-binary; rounds are deterministic, so the floor binds
 //!   on every machine), and `dynamic_gate` gates the split rounds
-//!   lower-is-better.
+//!   lower-is-better;
+//! * a **fault** sweep: one fixed-seed uniform-churn stream replayed
+//!   through the self-healing hardened engine under seeded loss plans
+//!   (drop ∈ {0, 0.1%, 1%}), reporting the recovery overhead each rate
+//!   costs — rounds/batch, accounted recovery rounds/batch, repair and
+//!   degraded epoch counts. The zero-rate point is asserted in-binary
+//!   to be **bit-identical** to a plain engine (a quiet plan is exactly
+//!   the legacy path), and the 1% point's rounds/batch is gated
+//!   lower-is-better (`fault_drop1pct_rounds_per_batch`) so recovery
+//!   cannot silently get more expensive.
 //!
 //! All other sections run the engine in its defaults — helper-split
 //! scheduling *and* CONGEST-accounted convergecast aggregation — so the
@@ -64,7 +73,7 @@ use congest_graph::{GraphBuilder, NodeId};
 use congest_sim::Bandwidth;
 use congest_stream::{
     Aggregation, ApplyMode, BaseGraph, CongestCost, DeltaBatch, DistributedTriangleEngine,
-    HubSplit, Scenario,
+    FaultPlan, HubSplit, RecoveryStats, Scenario,
 };
 use congest_triangles::{find_triangles, list_triangles, FindingConfig, ListingConfig};
 
@@ -183,6 +192,91 @@ fn hotspot_sweep(quick: bool) -> HotspotSweep {
     }
 }
 
+/// One drop rate's cost through the fault sweep: the same fixed-seed
+/// churn stream through the hardened engine under a seeded loss plan.
+struct FaultPoint {
+    drop_rate: f64,
+    batches: usize,
+    total: CongestCost,
+    stats: RecoveryStats,
+    oracle_ok: bool,
+}
+
+impl FaultPoint {
+    fn mean_rounds_per_batch(&self) -> f64 {
+        self.total.rounds as f64 / self.batches.max(1) as f64
+    }
+
+    fn recovery_rounds_per_batch(&self) -> f64 {
+        self.total.recovery_rounds as f64 / self.batches.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"drop_rate\":{},\"batches\":{},\"total_rounds\":{},\
+             \"recovery_rounds\":{},\"mean_rounds_per_batch\":{:.4},\
+             \"recovery_rounds_per_batch\":{:.4},\"retransmit_rounds\":{},\
+             \"epoch_repairs\":{},\"degraded_epochs\":{},\"oracle_ok\":{}}}",
+            self.drop_rate,
+            self.batches,
+            self.total.rounds,
+            self.total.recovery_rounds,
+            self.mean_rounds_per_batch(),
+            self.recovery_rounds_per_batch(),
+            self.stats.retransmit_rounds,
+            self.stats.epoch_repairs,
+            self.stats.degraded_epochs,
+            self.oracle_ok,
+        )
+    }
+}
+
+/// Replays one fixed-seed uniform-churn stream through the hardened
+/// engine under seeded loss plans of growing drop rate (plus the
+/// zero-rate control) and measures what recovery costs at each rate.
+/// Also returns the total cost of a *plain* engine (no fault layer at
+/// all) on the same stream, so `main` can assert the zero-rate point
+/// bit-identical to it — the acceptance claim that a quiet plan leaves
+/// every cost metric exactly as it was. Every faulted run must still
+/// end oracle-exact: the loss rates stay inside the bounded-repair
+/// budget, so a failure to recover here is a protocol regression, not
+/// bad luck (the plan seed is fixed).
+fn fault_sweep(quick: bool) -> (CongestCost, Vec<FaultPoint>) {
+    let (n, batches, size) = if quick { (300, 6, 40) } else { (600, 12, 60) };
+    let scenario = Scenario::uniform_churn(n, batches, size)
+        .with_base(BaseGraph::Gnp { p: 8.0 / n as f64 })
+        .seeded(0x000D_1FA7);
+    let base = scenario.base_graph();
+    let stream = scenario.batches();
+
+    let mut plain = DistributedTriangleEngine::from_graph(&base);
+    for batch in &stream {
+        plain.apply(batch).expect("scenario batches are in range");
+    }
+    assert!(plain.matches_oracle(), "plain fault-sweep control diverged");
+
+    let points = [0.0, 0.001, 0.01]
+        .into_iter()
+        .map(|rate| {
+            let plan = FaultPlan::default().with_drop(rate).with_seed(0x0000_FA17);
+            let mut engine = DistributedTriangleEngine::from_graph(&base).with_fault_plan(plan);
+            for batch in &stream {
+                engine.apply(batch).unwrap_or_else(|e| {
+                    panic!("fault sweep at drop rate {rate} failed to recover: {e}")
+                });
+            }
+            FaultPoint {
+                drop_rate: rate,
+                batches: stream.len(),
+                total: engine.total_cost(),
+                stats: engine.recovery_stats(),
+                oracle_ok: engine.matches_oracle(),
+            }
+        })
+        .collect();
+    (plain.total_cost(), points)
+}
+
 /// Drives one scenario through the distributed engine and totals the
 /// network cost.
 fn run_dynamic(scenario: &Scenario, mode: ApplyMode, flush_every: usize) -> DynamicRun {
@@ -212,8 +306,10 @@ fn run_dynamic(scenario: &Scenario, mode: ApplyMode, flush_every: usize) -> Dyna
     }
 }
 
-/// Re-runs a small convergecast stream with span tracing enabled and
-/// writes the recorded spans as chrome://tracing trace-event JSON. Runs
+/// Re-runs a small convergecast stream — once clean, once under a
+/// seeded loss plan so the recovery span family is exercised — with
+/// span tracing enabled and writes the recorded spans as
+/// chrome://tracing trace-event JSON. Runs
 /// strictly after the measured sections (which always execute with
 /// tracing disabled), so the gated round counts never include it — and
 /// round counts are bit-identical under tracing anyway, which the
@@ -231,6 +327,24 @@ fn capture_trace(path: &std::path::Path) {
         engine.apply(&batch).expect("scenario batches are in range");
     }
     assert!(engine.matches_oracle(), "traced run diverged from oracle");
+
+    // The same stream replayed under a seeded 2% loss plan: trailer
+    // verification failures trigger bounded retransmission epochs, so
+    // the `distributed/recovery` span family `trace_check` requires is
+    // present in the capture.
+    let mut faulted = DistributedTriangleEngine::from_graph(&base)
+        .with_aggregation(Aggregation::Convergecast)
+        .with_fault_plan(FaultPlan::default().with_drop(0.02).with_seed(0x0000_FA17));
+    for batch in scenario.batches() {
+        faulted
+            .apply(&batch)
+            .expect("traced faulted stream must recover within the repair budget");
+    }
+    assert!(faulted.matches_oracle(), "traced faulted run diverged");
+    assert!(
+        faulted.recovery_stats().epoch_repairs > 0,
+        "traced faulted run ran no repairs; the recovery span would be absent"
+    );
     congest_obs::set_enabled(false);
     let events = congest_obs::trace::drain();
     congest_obs::trace::write_chrome_trace(path, &events)
@@ -479,10 +593,46 @@ fn main() {
         hotspot.unsplit_skew, hotspot.split_skew,
     );
 
+    // Fault sweep: the same fixed-seed churn stream through the
+    // hardened engine under seeded loss plans. The zero-rate point must
+    // be bit-identical to the plain engine — a quiet plan takes exactly
+    // the legacy path — and every lossy point reports what its bounded
+    // retransmission recovery cost in accounted rounds.
+    let (fault_plain_total, fault_points) = fault_sweep(quick);
+    let fault_zero = &fault_points[0];
+    assert_eq!(
+        fault_zero.total, fault_plain_total,
+        "zero-rate fault plan changed the cost accounting"
+    );
+    assert_eq!(
+        fault_zero.stats,
+        RecoveryStats::default(),
+        "zero-rate fault plan ran recovery machinery"
+    );
+    let fault_zero_round_ratio =
+        fault_zero.total.rounds as f64 / fault_plain_total.rounds.max(1) as f64;
+    let fault_drop1 = fault_points.last().expect("the sweep has points");
+    print!("fault sweep (drop rate → rounds/batch, of which recovery): ");
+    for p in &fault_points {
+        print!(
+            "{}% → {:.1} (+{:.1})  ",
+            p.drop_rate * 100.0,
+            p.mean_rounds_per_batch(),
+            p.recovery_rounds_per_batch(),
+        );
+    }
+    println!();
+    println!(
+        "zero-fault round ratio {fault_zero_round_ratio:.3} (bit-identity enforced in-binary); \
+         1% drop pays {} repair epochs and {} degraded epochs over {} batches",
+        fault_drop1.stats.epoch_repairs, fault_drop1.stats.degraded_epochs, fault_drop1.batches,
+    );
+
     let any_oracle_failure = runs.iter().any(|r| !r.oracle_ok)
         || !deferred.oracle_ok
         || !headline_run.oracle_ok
-        || !hotspot.oracle_ok;
+        || !hotspot.oracle_ok
+        || fault_points.iter().any(|p| !p.oracle_ok);
     if any_oracle_failure {
         eprintln!("ERROR: at least one run diverged from the centralized oracle");
     }
@@ -490,7 +640,7 @@ fn main() {
     // Machine-readable trajectory for the CI gate. Round counts are
     // deterministic per seed, so the gate needs no hardware fingerprint
     // — only the scenario shape (`quick`, `headline_n`) must match.
-    let mut json = String::from("{\"bench\":\"dynamic\",\"schema_version\":2,");
+    let mut json = String::from("{\"bench\":\"dynamic\",\"schema_version\":3,");
     let _ = write!(
         json,
         "\"quick\":{},\"headline_n\":{},\"headline_batches\":{},",
@@ -505,9 +655,19 @@ fn main() {
         }
         json.push_str(&r.to_json());
     }
+    json.push_str("],\"fault_sweep\":[");
+    for (i, p) in fault_points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&p.to_json());
+    }
     let _ = write!(
         json,
-        "],\"bandwidth_sweep\":{bw_json},\
+        "],\"fault_zero_round_ratio\":{fault_zero_round_ratio:.3},\
+         \"fault_drop1pct_rounds_per_batch\":{:.4},\
+         \"fault_drop1pct_recovery_rounds_per_batch\":{:.4},\
+         \"bandwidth_sweep\":{bw_json},\
          \"headline_mean_rounds_per_batch\":{mean_rounds:.4},\
          \"headline_max_batch_rounds\":{},\
          \"headline_mean_bits_per_batch\":{:.1},\
@@ -525,6 +685,8 @@ fn main() {
          \"hotspot_received_bits_skew_unsplit\":{},\
          \"hotspot_received_bits_skew_split\":{},\
          \"hotspot_split_round_improvement\":{hotspot_improvement:.3}}}",
+        fault_drop1.mean_rounds_per_batch(),
+        fault_drop1.recovery_rounds_per_batch(),
         headline_run.max_batch_rounds,
         headline_run.mean_bits_per_batch(),
         finding.total_rounds,

@@ -55,7 +55,7 @@ use congest_bench::gate::{SMALLBATCH_FLOOR_MIN_THREADS, SMALLBATCH_SPEEDUP_FLOOR
 use congest_bench::{json, table::fmt_f64, Table};
 use congest_graph::{count_common, NodeId, GALLOP_RATIO};
 use congest_stream::{
-    Aggregation, ApplyMode, BaseGraph, DistributedTriangleEngine, RunSummary, Scenario,
+    Aggregation, ApplyMode, BaseGraph, DistributedTriangleEngine, FaultPlan, RunSummary, Scenario,
     ShardedTriangleIndex, TriangleServer, WorkloadRunner,
 };
 
@@ -294,8 +294,9 @@ fn intersect_kernel_sweep(quick: bool) -> (f64, f64) {
 }
 
 /// Re-runs one pooled sharded stream, one distributed convergecast
-/// stream and one served stream with leased readers, all with span
-/// tracing enabled, then writes everything recorded as chrome://tracing
+/// stream (clean, then again under a seeded loss plan so the recovery
+/// span family is exercised) and one served stream with leased readers,
+/// all with span tracing enabled, then writes everything recorded as chrome://tracing
 /// trace-event JSON — one file carrying every span family `trace_check`
 /// requires. The runs stay oracle-verified: tracing is
 /// observation-only, and this is where CI proves the exporter end of
@@ -332,6 +333,23 @@ fn capture_trace(path: &std::path::Path) {
             .expect("scenario batches only touch in-range nodes");
     }
     assert!(engine.matches_oracle(), "traced distributed run diverged");
+
+    // The same churn stream under a seeded 2% loss plan: trailer
+    // verification failures drive bounded retransmission epochs, which
+    // is what records the distributed/recovery span family.
+    let mut faulted = DistributedTriangleEngine::from_graph(&base)
+        .with_aggregation(Aggregation::Convergecast)
+        .with_fault_plan(FaultPlan::default().with_drop(0.02).with_seed(0x0000_FA17));
+    for batch in scenario.batches() {
+        faulted
+            .apply(&batch)
+            .expect("traced faulted stream must recover within the repair budget");
+    }
+    assert!(faulted.matches_oracle(), "traced faulted run diverged");
+    assert!(
+        faulted.recovery_stats().epoch_repairs > 0,
+        "traced faulted run ran no repairs; the recovery span would be absent"
+    );
 
     // Served stream with leased readers: emits the serve/publish (one
     // per applied batch), serve/lease_acquire and serve/query families.

@@ -21,8 +21,9 @@ use congest_bench::json::Value;
 
 /// `(cat, name)` pairs that must appear in a trace captured from the
 /// benches' instrumented runs (a pooled sharded stream, a distributed
-/// convergecast stream, and a served stream with leased readers).
-const REQUIRED_SPANS: [(&str, &str); 12] = [
+/// convergecast stream — clean plus a lossy hardened replay — and a
+/// served stream with leased readers).
+const REQUIRED_SPANS: [(&str, &str); 13] = [
     ("sharded", "coalesce"),
     ("sharded", "classify"),
     ("sharded", "collect"),
@@ -32,6 +33,7 @@ const REQUIRED_SPANS: [(&str, &str); 12] = [
     ("pool", "worker"),
     ("distributed", "broadcast"),
     ("distributed", "convergecast"),
+    ("distributed", "recovery"),
     ("serve", "publish"),
     ("serve", "lease_acquire"),
     ("serve", "query"),

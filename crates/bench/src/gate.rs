@@ -186,10 +186,14 @@ pub const DYNAMIC_GATE_METRICS: [&str; 3] = [
 /// real protocol regression, not noise): the helper-split hotspot
 /// epoch cost — the rounds per batch on a hub carrying ≥ 8x the
 /// per-phase budget, which the split scheduling exists to flatten —
-/// and the convergecast aggregation rounds charged per headline batch.
-pub const DYNAMIC_GATE_METRICS_LOWER_IS_BETTER: [&str; 2] = [
+/// the convergecast aggregation rounds charged per headline batch, and
+/// the hardened engine's rounds per batch on the fault sweep's 1%-drop
+/// point (retransmission recovery included), so self-healing cannot
+/// silently get more expensive.
+pub const DYNAMIC_GATE_METRICS_LOWER_IS_BETTER: [&str; 3] = [
     "hotspot_rounds_per_batch",
     "headline_convergecast_rounds_per_batch",
+    "fault_drop1pct_rounds_per_batch",
 ];
 
 /// The fingerprint keys that must match between a `BENCH_dynamic.json`

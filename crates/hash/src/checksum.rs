@@ -1,0 +1,110 @@
+//! Incremental stream checksums over the Mersenne-61 field.
+//!
+//! The self-healing distributed protocol in `congest-stream` tags each
+//! broadcast/convergecast stream with a cheap trailer so receivers can
+//! tell a short or corrupted stream from a healthy one. The checksum is a
+//! Horner evaluation `Σ xᵢ · αⁿ⁻ⁱ` over `F_p`, `p = 2^61 − 1` — the same
+//! field the k-wise families use — folded one `u64` at a time, so senders
+//! never buffer the stream.
+
+use crate::Mersenne61;
+
+/// Fixed evaluation point of the checksum polynomial. Any non-trivial
+/// field element works; fixing it keeps sender and receiver in agreement
+/// without shipping it.
+const ALPHA: u64 = 0x0005_DEEC_E66D_u64;
+
+/// Number of bits a serialized checksum occupies (one field element).
+pub const CHECKSUM_BITS: usize = 61;
+
+/// An incremental Mersenne-61 polynomial checksum.
+///
+/// Fold the stream's words in order with [`Checksum61::update`]; equal
+/// streams give equal values, and a single flipped bit, missing word or
+/// duplicated word changes the value (up to the 2⁻⁶¹-ish collision
+/// probability of the polynomial evaluation).
+///
+/// ```
+/// use congest_hash::Checksum61;
+///
+/// let mut a = Checksum61::new();
+/// a.update(7);
+/// a.update(9);
+/// let mut b = Checksum61::new();
+/// b.update(7);
+/// assert_ne!(a.value(), b.value());
+/// b.update(9);
+/// assert_eq!(a.value(), b.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum61 {
+    acc: u64,
+}
+
+impl Default for Checksum61 {
+    fn default() -> Self {
+        Checksum61::new()
+    }
+}
+
+impl Checksum61 {
+    /// A checksum over the empty stream.
+    ///
+    /// The accumulator starts at 1, not 0, so a stream of `k` words
+    /// evaluates `αᵏ + Σ xᵢ·αᵏ⁻ⁱ` — leading zero words still shift the
+    /// polynomial and streams of different lengths never trivially
+    /// collide.
+    pub fn new() -> Self {
+        Checksum61 { acc: 1 }
+    }
+
+    /// Folds the next stream word into the checksum.
+    pub fn update(&mut self, word: u64) {
+        let alpha = Mersenne61::new(ALPHA);
+        let acc = Mersenne61::new(self.acc);
+        self.acc = (acc * alpha + Mersenne61::new(word)).value();
+    }
+
+    /// The current checksum value, always `< 2^61 − 1` so it fits a
+    /// [`CHECKSUM_BITS`]-bit trailer field.
+    pub fn value(&self) -> u64 {
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(words: &[u64]) -> u64 {
+        let mut c = Checksum61::new();
+        for &w in words {
+            c.update(w);
+        }
+        c.value()
+    }
+
+    #[test]
+    fn empty_stream_is_one_and_fits_the_trailer() {
+        assert_eq!(of(&[]), 1);
+        assert!(of(&[u64::MAX, u64::MAX, 12345]) < (1 << CHECKSUM_BITS));
+    }
+
+    #[test]
+    fn detects_reorder_truncation_duplication_and_bit_flips() {
+        let base = of(&[1, 2, 3]);
+        assert_ne!(base, of(&[1, 3, 2]));
+        assert_ne!(base, of(&[1, 2]));
+        assert_ne!(base, of(&[1, 2, 3, 3]));
+        assert_ne!(base, of(&[1, 2, 2, 3]));
+        assert_ne!(base, of(&[1, 2, 3 ^ (1 << 40)]));
+        assert_eq!(base, of(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn leading_zero_words_matter() {
+        // A prefix of zero words must still shift the polynomial: a
+        // receiver that missed the first (zero) word must not collide.
+        assert_ne!(of(&[0, 5]), of(&[5]));
+    }
+}

@@ -30,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checksum;
 mod family;
 mod field;
 
+pub use checksum::{Checksum61, CHECKSUM_BITS};
 pub use family::{HashFunction, KWiseFamily};
 pub use field::Mersenne61;

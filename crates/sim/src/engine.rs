@@ -13,8 +13,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::context::Outbox;
+use crate::faults::FaultState;
 use crate::rng::derive_node_seed;
-use crate::{Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage, RoundContext, SimConfig};
+use crate::{
+    FaultPlan, Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage, RoundContext, SimConfig,
+};
 
 /// Why a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +158,8 @@ pub struct Simulation<P: NodeProgram> {
     inboxes: Vec<Vec<ReceivedMessage>>,
     /// Number of completed epochs (the index of the next one).
     epoch: u64,
+    /// Persistent fault-injection state (no-op under a quiet plan).
+    faults: FaultState,
 }
 
 impl<P: NodeProgram> Simulation<P> {
@@ -174,6 +179,7 @@ impl<P: NodeProgram> Simulation<P> {
         Simulation {
             infos,
             programs,
+            faults: FaultState::new(&config, n),
             config,
             rngs: (0..n)
                 .map(|i| SmallRng::seed_from_u64(derive_node_seed(config.seed, i)))
@@ -181,6 +187,21 @@ impl<P: NodeProgram> Simulation<P> {
             inboxes: vec![Vec::new(); n],
             epoch: 0,
         }
+    }
+
+    /// Replaces the fault schedule, reseeding the fault RNG streams.
+    ///
+    /// Takes effect from the next epoch; program RNGs and state are
+    /// untouched, so installing a quiet plan restores exact legacy
+    /// behaviour.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.faults = plan;
+        self.faults = FaultState::new(&self.config, self.infos.len());
+    }
+
+    /// Overrides the round cap for subsequent epochs.
+    pub fn set_max_rounds(&mut self, max_rounds: u64) {
+        self.config.max_rounds = max_rounds;
     }
 
     /// Number of nodes in the simulated network.
@@ -256,6 +277,15 @@ impl<P: NodeProgram> Simulation<P> {
         let mut metrics = Metrics::new(n);
         let mut halted = vec![false; n];
         let mut termination = Termination::AllHalted;
+        // Nodes crashed per the fault schedule sit the epoch out: the
+        // existing halted semantics (no compute, inbound dropped) are
+        // exactly a crash, and the program state is left intact for the
+        // rejoin re-seed.
+        for (i, crashed) in halted.iter_mut().enumerate() {
+            if self.faults.crashed(i, self.epoch) {
+                *crashed = true;
+            }
+        }
 
         let mut round: u64 = 0;
         loop {
@@ -292,11 +322,8 @@ impl<P: NodeProgram> Simulation<P> {
                     *halted = true;
                 }
                 for (to, payload) in outbox.messages {
-                    metrics.record_delivery(i, to.index(), payload.bit_len());
-                    next_inboxes[to.index()].push(ReceivedMessage {
-                        from: NodeId::from_index(i),
-                        payload,
-                    });
+                    self.faults
+                        .deliver(i, to.index(), payload, &mut metrics, &mut next_inboxes);
                 }
             }
             self.inboxes = next_inboxes;
@@ -486,6 +513,7 @@ mod tests {
             bandwidth: Bandwidth::default(),
             max_rounds: 100,
             seed: 0,
+            faults: FaultPlan::default(),
         };
         let report = Simulation::new(&g, config, |_| CliqueState(0)).run();
         assert_eq!(*report.output_of(NodeId(2)), 1);

@@ -1,0 +1,200 @@
+//! Deterministic fault injection shared by both executors.
+//!
+//! The fault layer sits on the single choke point both engines already
+//! share: the post-round delivery loop, which applies every node's outbox
+//! in node order with destinations in `BTreeMap` order. Because that
+//! delivery sequence is identical in the sequential and threaded
+//! executors, drawing fault decisions from per-sender RNGs at delivery
+//! time keeps the two bit-identical under the same
+//! [`FaultPlan`](crate::FaultPlan) — the property the lockstep tests pin.
+
+use congest_wire::Payload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rng::derive_node_seed;
+use crate::{FaultPlan, Metrics, ReceivedMessage, SimConfig};
+
+/// Salt mixed into the fault seed so the fault streams are independent
+/// from the per-node program RNGs even when the two seeds coincide.
+const FAULT_SEED_SALT: u64 = 0xFA17_0CCA_515E_ED00;
+
+/// Persistent fault-injection state of one simulation: the plan plus one
+/// RNG stream per sender. Lives across epochs so fault randomness
+/// continues instead of repeating.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rngs: Vec<SmallRng>,
+}
+
+impl FaultState {
+    /// Builds the state for `config` over an `n`-node network. A quiet
+    /// plan allocates nothing and never draws.
+    pub(crate) fn new(config: &SimConfig, n: usize) -> Self {
+        let plan = config.faults;
+        let rngs = if plan.is_quiet() {
+            Vec::new()
+        } else {
+            (0..n)
+                .map(|i| SmallRng::seed_from_u64(derive_node_seed(plan.seed ^ FAULT_SEED_SALT, i)))
+                .collect()
+        };
+        FaultState { plan, rngs }
+    }
+
+    /// Whether the plan injects no faults (legacy fast path).
+    pub(crate) fn quiet(&self) -> bool {
+        self.rngs.is_empty()
+    }
+
+    /// Whether `node` is crashed during `epoch` per the plan's schedule.
+    pub(crate) fn crashed(&self, node: usize, epoch: u64) -> bool {
+        !self.quiet() && self.plan.crashed(node, epoch)
+    }
+
+    /// Delivers one message from `from` to `to`, applying drop, corruption
+    /// and duplication per the plan. Must be called for every CONGEST
+    /// delivery in the engine's canonical order (injections bypass it).
+    pub(crate) fn deliver(
+        &mut self,
+        from: usize,
+        to: usize,
+        payload: Payload,
+        metrics: &mut Metrics,
+        next_inboxes: &mut [Vec<ReceivedMessage>],
+    ) {
+        let bits = payload.bit_len();
+        if self.quiet() {
+            push(from, to, payload, bits, metrics, next_inboxes);
+            return;
+        }
+        let rng = &mut self.rngs[from];
+        if self.plan.drop_p > 0.0 && rng.gen_bool(self.plan.drop_p) {
+            metrics.record_drop(from, bits);
+            return;
+        }
+        let mut payload = payload;
+        if self.plan.corrupt_p > 0.0 && rng.gen_bool(self.plan.corrupt_p) && bits > 0 {
+            payload = flip_bit(&payload, rng.gen_range(0..bits));
+            metrics.corrupted_messages += 1;
+        }
+        if self.plan.duplicate_p > 0.0 && rng.gen_bool(self.plan.duplicate_p) {
+            metrics.duplicated_messages += 1;
+            push(from, to, payload.clone(), bits, metrics, next_inboxes);
+        }
+        push(from, to, payload, bits, metrics, next_inboxes);
+    }
+}
+
+fn push(
+    from: usize,
+    to: usize,
+    payload: Payload,
+    bits: usize,
+    metrics: &mut Metrics,
+    next_inboxes: &mut [Vec<ReceivedMessage>],
+) {
+    metrics.record_delivery(from, to, bits);
+    next_inboxes[to].push(ReceivedMessage {
+        from: congest_graph::NodeId::from_index(from),
+        payload,
+    });
+}
+
+/// Returns `payload` with bit `index` flipped (payload bit order, MSB
+/// first within each byte).
+fn flip_bit(payload: &Payload, index: usize) -> Payload {
+    let mut bytes = payload.as_bytes().to_vec();
+    bytes[index / 8] ^= 1 << (7 - index % 8);
+    Payload::from_parts(bytes, payload.bit_len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(plan: FaultPlan) -> FaultState {
+        let config = SimConfig::congest(0).with_faults(plan);
+        FaultState::new(&config, 4)
+    }
+
+    #[test]
+    fn quiet_state_allocates_no_rngs_and_delivers_exactly() {
+        let mut s = state(FaultPlan::default());
+        assert!(s.quiet());
+        let mut metrics = Metrics::new(4);
+        let mut inboxes = vec![Vec::new(); 4];
+        s.deliver(
+            0,
+            1,
+            Payload::from_parts(vec![0xAB], 8),
+            &mut metrics,
+            &mut inboxes,
+        );
+        assert_eq!(metrics.messages, 1);
+        assert_eq!(metrics.dropped_messages, 0);
+        assert_eq!(inboxes[1].len(), 1);
+    }
+
+    #[test]
+    fn drop_everything_plan_delivers_nothing() {
+        let mut s = state(FaultPlan::default().with_drop(1.0));
+        let mut metrics = Metrics::new(4);
+        let mut inboxes = vec![Vec::new(); 4];
+        s.deliver(
+            2,
+            1,
+            Payload::from_parts(vec![0xAB], 8),
+            &mut metrics,
+            &mut inboxes,
+        );
+        assert_eq!(metrics.messages, 0);
+        assert_eq!(metrics.dropped_messages, 1);
+        assert_eq!(metrics.sent_bits[2], 8);
+        assert!(inboxes[1].is_empty());
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut s = state(FaultPlan::default().with_corruption(1.0));
+        let mut metrics = Metrics::new(4);
+        let mut inboxes = vec![Vec::new(); 4];
+        let original = Payload::from_parts(vec![0b1010_1010, 0b1100_0000], 10);
+        s.deliver(0, 3, original.clone(), &mut metrics, &mut inboxes);
+        assert_eq!(metrics.corrupted_messages, 1);
+        let delivered = &inboxes[3][0].payload;
+        assert_eq!(delivered.bit_len(), original.bit_len());
+        let flipped = (0..10)
+            .filter(|&i| delivered.bit(i) != original.bit(i))
+            .count();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_counts_both() {
+        let mut s = state(FaultPlan::default().with_duplication(1.0));
+        let mut metrics = Metrics::new(4);
+        let mut inboxes = vec![Vec::new(); 4];
+        s.deliver(
+            1,
+            0,
+            Payload::from_parts(vec![0xFF], 8),
+            &mut metrics,
+            &mut inboxes,
+        );
+        assert_eq!(metrics.duplicated_messages, 1);
+        assert_eq!(metrics.messages, 2);
+        assert_eq!(inboxes[0].len(), 2);
+        assert_eq!(inboxes[0][0].payload, inboxes[0][1].payload);
+    }
+
+    #[test]
+    fn empty_payloads_survive_certain_corruption() {
+        let mut s = state(FaultPlan::default().with_corruption(1.0));
+        let mut metrics = Metrics::new(4);
+        let mut inboxes = vec![Vec::new(); 4];
+        s.deliver(0, 1, Payload::new(), &mut metrics, &mut inboxes);
+        assert_eq!(metrics.corrupted_messages, 0);
+        assert_eq!(inboxes[1].len(), 1);
+    }
+}

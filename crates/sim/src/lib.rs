@@ -27,6 +27,11 @@
 //!   with barrier-synchronized rounds; it produces bit-identical results to
 //!   the sequential engine and exists to demonstrate that programs only
 //!   rely on message passing.
+//! * [`FaultPlan`] — a seeded, deterministic fault schedule (message
+//!   drops, payload bit corruption, duplication and scheduled
+//!   crash/rejoin windows keyed by epoch) applied identically by both
+//!   executors at delivery time. The default plan is quiet and preserves
+//!   the paper's reliable model bit-for-bit.
 //! * [`transfer`] — chunked multi-round transfers ([`ChunkedSender`],
 //!   [`ChunkAssembler`], [`MultiSender`]): the paper's "send the set `S` to
 //!   the neighbour" steps, which take `⌈|S| log n / B⌉` rounds.
@@ -75,13 +80,14 @@ mod config;
 mod context;
 mod engine;
 mod error;
+mod faults;
 mod metrics;
 mod program;
 mod rng;
 mod threaded;
 pub mod transfer;
 
-pub use config::{Bandwidth, Model, SimConfig};
+pub use config::{Bandwidth, CrashWindow, FaultPlan, Model, SimConfig};
 pub use context::{IdPayloadCodec, ReceivedMessage, RoundContext};
 pub use engine::{EpochReport, RunReport, Simulation, Termination};
 pub use error::SimError;

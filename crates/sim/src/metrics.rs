@@ -21,6 +21,14 @@ pub struct Metrics {
     pub sent_bits: Vec<u64>,
     /// Messages received by each node over the whole run.
     pub received_messages: Vec<u64>,
+    /// Messages lost in transit by the fault layer (zero unless a
+    /// [`FaultPlan`](crate::FaultPlan) injects drops).
+    pub dropped_messages: u64,
+    /// Messages whose payload had a bit flipped in transit by the fault
+    /// layer.
+    pub corrupted_messages: u64,
+    /// Messages delivered twice by the fault layer.
+    pub duplicated_messages: u64,
 }
 
 impl Metrics {
@@ -33,6 +41,9 @@ impl Metrics {
             received_bits: vec![0; n],
             received_messages: vec![0; n],
             sent_bits: vec![0; n],
+            dropped_messages: 0,
+            corrupted_messages: 0,
+            duplicated_messages: 0,
         }
     }
 
@@ -43,6 +54,13 @@ impl Metrics {
         self.received_bits[to] += bits as u64;
         self.received_messages[to] += 1;
         self.sent_bits[from] += bits as u64;
+    }
+
+    /// Records a message from `from` lost in transit: the sender paid for
+    /// the `bits`, nothing was delivered.
+    pub(crate) fn record_drop(&mut self, from: usize, bits: usize) {
+        self.sent_bits[from] += bits as u64;
+        self.dropped_messages += 1;
     }
 
     /// The largest number of bits received by any single node.

@@ -19,10 +19,11 @@ use rand::SeedableRng;
 
 use crate::context::Outbox;
 use crate::engine::build_infos;
+use crate::faults::FaultState;
 use crate::rng::derive_node_seed;
 use crate::{
-    EpochReport, Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage, RoundContext,
-    RunReport, SimConfig, Termination,
+    EpochReport, FaultPlan, Metrics, NodeInfo, NodeProgram, NodeStatus, ReceivedMessage,
+    RoundContext, RunReport, SimConfig, Termination,
 };
 
 /// Instruction sent from the coordinator to a worker thread: execute one
@@ -57,6 +58,10 @@ pub struct ThreadedSimulation<P: NodeProgram> {
     rngs: Vec<SmallRng>,
     inboxes: Vec<Vec<ReceivedMessage>>,
     epoch: u64,
+    /// Persistent fault-injection state (no-op under a quiet plan). Held
+    /// by the coordinator, not the workers, so fault decisions are drawn
+    /// in the same delivery order as the sequential engine.
+    faults: FaultState,
 }
 
 impl<P: NodeProgram> ThreadedSimulation<P> {
@@ -75,6 +80,7 @@ impl<P: NodeProgram> ThreadedSimulation<P> {
         ThreadedSimulation {
             infos,
             programs,
+            faults: FaultState::new(&config, n),
             config,
             rngs: (0..n)
                 .map(|i| SmallRng::seed_from_u64(derive_node_seed(config.seed, i)))
@@ -82,6 +88,18 @@ impl<P: NodeProgram> ThreadedSimulation<P> {
             inboxes: vec![Vec::new(); n],
             epoch: 0,
         }
+    }
+
+    /// Replaces the fault schedule, reseeding the fault RNG streams (see
+    /// [`Simulation::set_fault_plan`](crate::Simulation::set_fault_plan)).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.faults = plan;
+        self.faults = FaultState::new(&self.config, self.infos.len());
+    }
+
+    /// Overrides the round cap for subsequent epochs.
+    pub fn set_max_rounds(&mut self, max_rounds: u64) {
+        self.config.max_rounds = max_rounds;
     }
 
     /// Number of completed epochs.
@@ -150,6 +168,7 @@ impl<P: NodeProgram> ThreadedSimulation<P> {
         let (to_coord, from_workers): (Sender<FromWorker>, Receiver<_>) = unbounded();
         let infos = &self.infos;
         let inboxes = &mut self.inboxes;
+        let faults = &mut self.faults;
 
         let (metrics, termination) = std::thread::scope(|scope| {
             // Spawn one worker per node, borrowing its program and RNG for
@@ -190,6 +209,13 @@ impl<P: NodeProgram> ThreadedSimulation<P> {
             // Coordinator: synchronous round loop.
             let mut metrics = Metrics::new(n);
             let mut halted = vec![false; n];
+            // Crashed nodes sit the epoch out, exactly as in the
+            // sequential engine.
+            for (i, crashed) in halted.iter_mut().enumerate() {
+                if faults.crashed(i, epoch) {
+                    *crashed = true;
+                }
+            }
             let mut termination = Termination::AllHalted;
             let mut round: u64 = 0;
 
@@ -235,11 +261,7 @@ impl<P: NodeProgram> ThreadedSimulation<P> {
                         halted[i] = true;
                     }
                     for (to, payload) in messages {
-                        metrics.record_delivery(i, to.index(), payload.bit_len());
-                        next_inboxes[to.index()].push(ReceivedMessage {
-                            from: NodeId::from_index(i),
-                            payload,
-                        });
+                        faults.deliver(i, to.index(), payload, &mut metrics, &mut next_inboxes);
                     }
                 }
                 *inboxes = next_inboxes;
@@ -409,6 +431,93 @@ mod tests {
                 "node {node} diverged across executors"
             );
         }
+    }
+
+    /// Gossip variant that tolerates corrupted payloads (skips messages
+    /// that no longer decode instead of unwrapping).
+    struct NoisyGossip {
+        sum: u64,
+    }
+
+    impl NodeProgram for NoisyGossip {
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut RoundContext<'_>) -> NodeStatus {
+            if ctx.round() == 0 {
+                let codec = ctx.id_codec();
+                let n = ctx.n() as u64;
+                let value = ctx.rng().gen_range(0..n);
+                for v in ctx.neighbors().to_vec() {
+                    ctx.send(v, codec.single(value)).unwrap();
+                }
+                NodeStatus::Active
+            } else {
+                let codec = ctx.id_codec();
+                for m in ctx.take_inbox() {
+                    if let Ok(v) = codec.decode_single(&m.payload) {
+                        self.sum += v;
+                    }
+                }
+                NodeStatus::Halted
+            }
+        }
+        fn finish(&mut self) -> u64 {
+            self.sum
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_under_faults() {
+        use crate::FaultPlan;
+        let g = Gnp::new(20, 0.35).seeded(11).generate();
+        for (drop_p, corrupt_p, dup_p) in [(0.1, 0.0, 0.0), (0.05, 0.05, 0.05), (0.0, 0.2, 0.1)] {
+            let plan = FaultPlan::default()
+                .with_drop(drop_p)
+                .with_corruption(corrupt_p)
+                .with_duplication(dup_p)
+                .with_seed(0xFA)
+                .with_crash(2, 0, 1);
+            let config = SimConfig::congest(99).with_faults(plan);
+            let seq = Simulation::new(&g, config, |_| NoisyGossip { sum: 0 }).run();
+            let thr = ThreadedSimulation::new(&g, config, |_| NoisyGossip { sum: 0 }).run();
+            assert_eq!(seq.outputs, thr.outputs);
+            assert_eq!(
+                seq.metrics, thr.metrics,
+                "plan ({drop_p},{corrupt_p},{dup_p})"
+            );
+            assert_eq!(seq.termination, thr.termination);
+        }
+    }
+
+    #[test]
+    fn crashed_node_sits_the_epoch_out_and_wakes_after() {
+        use crate::FaultPlan;
+        let g = Classic::Complete(4).generate();
+        let plan = FaultPlan::default().with_crash(1, 0, 2);
+        let config = SimConfig::congest(7).with_faults(plan);
+        let mut seq = Simulation::new(&g, config, |_| Tally(Vec::new()));
+        let mut thr = ThreadedSimulation::new(&g, config, |_| Tally(Vec::new()));
+        for _ in 0..3 {
+            let a = seq.run_epoch();
+            let b = thr.run_epoch();
+            assert_eq!(a.metrics, b.metrics);
+        }
+        // Crashed for epochs 0 and 1, live in epoch 2: the program ran in
+        // exactly one epoch, so exactly one tally entry exists.
+        let tallies = seq.program_mut(congest_graph::NodeId(1)).finish();
+        assert_eq!(tallies.len(), 1);
+        assert_eq!(tallies, thr.program_mut(congest_graph::NodeId(1)).finish());
+    }
+
+    #[test]
+    fn quiet_plan_is_bit_identical_to_no_plan() {
+        use crate::FaultPlan;
+        let g = Gnp::new(16, 0.4).seeded(3).generate();
+        let base = SimConfig::congest(5);
+        let quiet = base.with_faults(FaultPlan::default().with_seed(0xDEAD));
+        let a = Simulation::new(&g, base, |_| Gossip::new()).run();
+        let b = Simulation::new(&g, quiet, |_| Gossip::new()).run();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

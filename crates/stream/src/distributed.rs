@@ -121,9 +121,10 @@ use std::fmt;
 use std::time::Duration;
 
 use congest_graph::{AdjacencyView, Edge, Graph, NodeId, Triangle, TriangleSet};
+use congest_hash::{Checksum61, CHECKSUM_BITS};
 use congest_sim::{
-    Bandwidth, EpochReport, NodeProgram, NodeStatus, ReceivedMessage, RoundContext, SimConfig,
-    Simulation, ThreadedSimulation,
+    Bandwidth, EpochReport, FaultPlan, NodeProgram, NodeStatus, ReceivedMessage, RoundContext,
+    SimConfig, Simulation, ThreadedSimulation,
 };
 use congest_wire::{BitReader, BitWriter, IdCodec, Payload};
 
@@ -137,6 +138,27 @@ use crate::shard::{
 /// batch descriptor (out-of-band client input, not CONGEST traffic) and
 /// of the candidate-count fields in convergecast streams.
 const COUNT_BITS: usize = 32;
+
+/// Bits of the self-checking trailer every hardened broadcast stream
+/// ends with: an edge count plus a [`Checksum61`] over the stream's id
+/// words. Senders append it in the last `⌈93/B⌉` rounds of the phase;
+/// a receiver only converts a buffered stream into candidates once the
+/// trailer verifies.
+const TRAILER_BITS: usize = COUNT_BITS + CHECKSUM_BITS;
+
+/// Width of the per-node convergecast deadline field in hardened
+/// descriptors (an absolute round number; 32 bits could overflow on
+/// pathological bounds, 48 cannot in practice).
+const DEADLINE_BITS: usize = 48;
+
+/// How many retransmission epochs the coordinator schedules before
+/// giving up with [`StreamError::RecoveryExhausted`]. Each attempt
+/// re-sends only the still-unverified streams, so under realistic loss
+/// rates one or two attempts settle everything. The budget is sized for
+/// narrow links: at small `n` the checksum trailer alone spans ~10
+/// messages, so a single attempt under a few-percent loss rate fails
+/// with non-trivial probability and several retries must stay cheap.
+const MAX_REPAIR_ATTEMPTS: u32 = 8;
 
 /// Copies the next `len` bits from `reader` to `writer` in ≤ 64-bit
 /// steps (the convergecast's chunking and reassembly both move
@@ -318,6 +340,28 @@ impl EpochEngine {
             EpochEngine::Threaded(sim) => sim.run_epoch(),
         }
     }
+
+    /// Index of the next epoch to run (crash windows are keyed by it).
+    fn epoch(&self) -> u64 {
+        match self {
+            EpochEngine::Sequential(sim) => sim.epoch(),
+            EpochEngine::Threaded(sim) => sim.epoch(),
+        }
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        match self {
+            EpochEngine::Sequential(sim) => sim.set_fault_plan(plan),
+            EpochEngine::Threaded(sim) => sim.set_fault_plan(plan),
+        }
+    }
+
+    fn set_max_rounds(&mut self, max_rounds: u64) {
+        match self {
+            EpochEngine::Sequential(sim) => sim.set_max_rounds(max_rounds),
+            EpochEngine::Threaded(sim) => sim.set_max_rounds(max_rounds),
+        }
+    }
 }
 
 /// CONGEST cost of one epoch (or a running total over all epochs): the
@@ -334,6 +378,11 @@ pub struct CongestCost {
     /// convergecast aggregation of candidate sets — always 0 under
     /// [`Aggregation::Free`], whose merge the network never executes.
     pub convergecast_rounds: u64,
+    /// The share of [`rounds`](CongestCost::rounds) spent on recovery:
+    /// the bounded retransmission epochs a hardened engine (one with a
+    /// non-quiet [`FaultPlan`]) runs to re-send broadcast streams whose
+    /// trailer failed to verify. Always 0 under a quiet plan.
+    pub recovery_rounds: u64,
 }
 
 impl CongestCost {
@@ -346,7 +395,16 @@ impl CongestCost {
             messages: metrics.messages,
             bits: metrics.total_bits,
             convergecast_rounds: metrics.rounds.saturating_sub(broadcast_rounds),
+            recovery_rounds: 0,
         }
+    }
+
+    /// Adds one retransmission epoch's metrics into this batch cost.
+    fn add_recovery_epoch(&mut self, metrics: &congest_sim::Metrics) {
+        self.rounds += metrics.rounds;
+        self.messages += metrics.messages;
+        self.bits += metrics.total_bits;
+        self.recovery_rounds += metrics.rounds;
     }
 
     /// Adds `other` into this running total.
@@ -355,6 +413,7 @@ impl CongestCost {
         self.messages += other.messages;
         self.bits += other.bits;
         self.convergecast_rounds += other.convergecast_rounds;
+        self.recovery_rounds += other.recovery_rounds;
     }
 }
 
@@ -372,6 +431,30 @@ pub struct ReceivedBitsSkew {
     pub mean_ratio: f64,
     /// Epochs the statistics cover.
     pub epochs: u64,
+}
+
+/// One broadcast stream being reassembled by a hardened receiver: the
+/// decoded edges in arrival order plus the trailer bits, verified
+/// together at the phase boundary.
+#[derive(Default)]
+struct StreamBuf {
+    edges: Vec<Edge>,
+    trailer: BitWriter,
+    /// Set when a data chunk failed to decode — the stream can no
+    /// longer verify, but buffering continues so the epoch stays in
+    /// lockstep.
+    corrupt: bool,
+}
+
+/// Folds a broadcast queue's edges into the trailer checksum (two id
+/// words per edge, in stream order).
+fn edge_checksum(edges: &[Edge]) -> u64 {
+    let mut cs = Checksum61::new();
+    for e in edges {
+        cs.update(e.lo().as_u64());
+        cs.update(e.hi().as_u64());
+    }
+    cs.value()
 }
 
 /// One network node's program: owns the adjacency slice `N(v)` and runs
@@ -428,6 +511,35 @@ struct DynamicTriangleNode {
     /// First protocol violation observed this epoch (corrupt payload);
     /// surfaced by the coordinator as [`StreamError::Protocol`].
     protocol_error: Option<String>,
+    /// Whether the engine runs with a non-quiet [`FaultPlan`]: streams
+    /// then carry self-checking trailers, receivers buffer-and-verify
+    /// instead of trusting deliveries, and the node understands repair
+    /// descriptors. Set once by the coordinator; a quiet plan leaves
+    /// every path below bit-identical to the legacy protocol.
+    hardened: bool,
+    /// Snapshot of the pre-batch slice, kept so retransmitted removal
+    /// streams can still be checked against the graph they refer to.
+    pre_adjacency: Vec<NodeId>,
+    /// Buffered broadcast streams, keyed by (insertion-phase?, sender).
+    stream_bufs: BTreeMap<(bool, NodeId), StreamBuf>,
+    /// Senders whose removal / insertion streams verified this epoch
+    /// (the coordinator reads these to find the streams that did not).
+    verified_rm: BTreeSet<NodeId>,
+    verified_ins: BTreeSet<NodeId>,
+    /// Absolute round after which this node stops waiting for
+    /// convergecast children and forwards a partial aggregate.
+    deadline: u64,
+    /// Latched when a convergecast stream was rejected or the deadline
+    /// fired — the coordinator then degrades to a direct drain.
+    agg_trouble: bool,
+    /// Repair-epoch state (kind-1 descriptors): phase length, the
+    /// streams to re-send, the streams to expect (with their removal
+    /// prefix length), and the senders that verified.
+    repair_mode: bool,
+    repair_rounds: u64,
+    repair_queues: Vec<(NodeId, Vec<Edge>)>,
+    repair_expect: BTreeMap<NodeId, usize>,
+    repair_verified: BTreeSet<NodeId>,
 }
 
 impl DynamicTriangleNode {
@@ -454,6 +566,28 @@ impl DynamicTriangleNode {
             agg_born: TriangleSet::new(),
             up_chunks: None,
             protocol_error: None,
+            hardened: false,
+            pre_adjacency: Vec::new(),
+            stream_bufs: BTreeMap::new(),
+            verified_rm: BTreeSet::new(),
+            verified_ins: BTreeSet::new(),
+            deadline: 0,
+            agg_trouble: false,
+            repair_mode: false,
+            repair_rounds: 0,
+            repair_queues: Vec::new(),
+            repair_expect: BTreeMap::new(),
+            repair_verified: BTreeSet::new(),
+        }
+    }
+
+    /// Rounds the self-checking trailer occupies at the end of every
+    /// non-empty hardened broadcast phase (0 on a legacy engine).
+    fn trailer_rounds(&self, bandwidth_bits: usize) -> u64 {
+        if self.hardened {
+            TRAILER_BITS.div_ceil(bandwidth_bits.max(1)) as u64
+        } else {
+            0
         }
     }
 
@@ -531,7 +665,9 @@ impl DynamicTriangleNode {
     }
 
     /// Decodes the injected batch descriptor and prepares the epoch;
-    /// resets all per-epoch state first so nothing leaks across epochs.
+    /// resets all per-epoch state first so nothing leaks across epochs
+    /// (the adjacency slice and its pre-batch snapshot are the only
+    /// carry-overs — repair epochs still verify against them).
     fn load_descriptor(&mut self, ctx: &mut RoundContext<'_>) {
         self.rm_rounds = 0;
         self.ins_rounds = 0;
@@ -550,12 +686,30 @@ impl DynamicTriangleNode {
         self.agg_born = TriangleSet::new();
         self.up_chunks = None;
         self.protocol_error = None;
+        self.stream_bufs.clear();
+        self.verified_rm.clear();
+        self.verified_ins.clear();
+        self.deadline = 0;
+        self.agg_trouble = false;
+        self.repair_mode = false;
+        self.repair_rounds = 0;
+        self.repair_queues.clear();
+        self.repair_expect.clear();
+        self.repair_verified.clear();
         let codec = ctx.id_codec().codec();
         let n = ctx.n();
         for m in ctx.take_inbox() {
             if let Err(detail) = self.parse_descriptor(codec, n, &m.payload) {
                 self.record_protocol_error(m.from, detail);
             }
+        }
+        if self.repair_mode {
+            // Repair epochs re-send previously-broadcast streams; the
+            // queues came verbatim from the repair descriptor.
+            return;
+        }
+        if self.hardened {
+            self.pre_adjacency = self.adjacency.clone();
         }
         // Removal broadcasts go over the pre-batch neighbourhood.
         self.rm_queues = Self::build_queues(&self.adjacency, &self.bcast_removes);
@@ -573,16 +727,34 @@ impl DynamicTriangleNode {
             move |e| format!("descriptor {what}: {e}")
         }
         let mut r = BitReader::new(payload);
+        let mut sync = None;
+        if self.hardened {
+            if r.read_bool().map_err(err("kind"))? {
+                return self.parse_repair(codec, n, &mut r);
+            }
+            if r.read_bool().map_err(err("sync flag"))? {
+                let count = r.read_bits(COUNT_BITS).map_err(err("sync length"))?;
+                let mut list = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    list.push(Self::decode_node(codec, &mut r, n)?);
+                }
+                sync = Some(list);
+            }
+        }
         let rm_rounds = r.read_bits(COUNT_BITS).map_err(err("rm_rounds"))?;
         let ins_rounds = r.read_bits(COUNT_BITS).map_err(err("ins_rounds"))?;
         let aggregate = r.read_bool().map_err(err("aggregation flag"))?;
         let mut parent = None;
         let mut child_count = 0usize;
+        let mut deadline = 0u64;
         if aggregate {
             if r.read_bool().map_err(err("parent flag"))? {
                 parent = Some(Self::decode_node(codec, &mut r, n)?);
             }
             child_count = r.read_bits(COUNT_BITS).map_err(err("child count"))? as usize;
+            if self.hardened {
+                deadline = r.read_bits(DEADLINE_BITS).map_err(err("deadline"))?;
+            }
         }
         let mut lists: [(Vec<Edge>, Vec<Edge>); 2] = Default::default();
         for (all, bcast) in &mut lists {
@@ -596,15 +768,60 @@ impl DynamicTriangleNode {
             }
         }
         let [(rm_all, rm_bcast), (ins_all, ins_bcast)] = lists;
+        if let Some(list) = sync {
+            // Rejoin after a crash window: the coordinator re-seeds the
+            // slice this node missed updates for while halted.
+            self.adjacency = list;
+        }
         self.rm_rounds = rm_rounds;
         self.ins_rounds = ins_rounds;
         self.aggregate = aggregate;
         self.parent = parent;
         self.child_count = child_count;
+        self.deadline = deadline;
         self.my_removes = rm_all;
         self.bcast_removes = rm_bcast;
         self.my_inserts = ins_all;
         self.bcast_inserts = ins_bcast;
+        Ok(())
+    }
+
+    /// Parses a repair descriptor (hardened engines only): the epoch
+    /// length, the streams this node must re-send (removal edges lead
+    /// each list), and the streams it should expect with their removal
+    /// prefix lengths.
+    fn parse_repair(
+        &mut self,
+        codec: IdCodec,
+        n: usize,
+        r: &mut BitReader<'_>,
+    ) -> Result<(), String> {
+        fn err<E: fmt::Display>(what: &'static str) -> impl FnOnce(E) -> String {
+            move |e| format!("repair descriptor {what}: {e}")
+        }
+        let rounds = r.read_bits(COUNT_BITS).map_err(err("rounds"))?;
+        let target_count = r.read_bits(COUNT_BITS).map_err(err("target count"))?;
+        let mut queues = Vec::with_capacity(target_count as usize);
+        for _ in 0..target_count {
+            let to = Self::decode_node(codec, r, n)?;
+            let count = r.read_bits(COUNT_BITS).map_err(err("edge count"))?;
+            let mut edges = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                edges.push(Self::decode_edge(codec, r, n)?);
+            }
+            queues.push((to, edges));
+        }
+        let expect_count = r.read_bits(COUNT_BITS).map_err(err("expect count"))?;
+        let mut expect = BTreeMap::new();
+        for _ in 0..expect_count {
+            let from = Self::decode_node(codec, r, n)?;
+            let rm_len = r.read_bits(COUNT_BITS).map_err(err("removal prefix"))? as usize;
+            expect.insert(from, rm_len);
+        }
+        self.repair_mode = true;
+        self.repair_rounds = rounds;
+        self.repair_queues = queues;
+        self.repair_expect = expect;
         Ok(())
     }
 
@@ -652,6 +869,137 @@ impl DynamicTriangleNode {
         }
     }
 
+    /// Sends this round's chunk of every non-empty queue's trailer
+    /// (`[edge count | Checksum61]`, split to the link budget). The
+    /// trailer occupies the phase's last [`trailer_rounds`] rounds, so
+    /// receivers can tell data chunks from trailer chunks by round
+    /// alone.
+    ///
+    /// [`trailer_rounds`]: DynamicTriangleNode::trailer_rounds
+    fn send_trailer_wave(
+        ctx: &mut RoundContext<'_>,
+        queues: &[(NodeId, Vec<Edge>)],
+        chunk: usize,
+        bandwidth_bits: usize,
+    ) {
+        for (nb, q) in queues {
+            let mut w = BitWriter::new();
+            w.write_bits(q.len() as u64, COUNT_BITS);
+            w.write_bits(edge_checksum(q), CHECKSUM_BITS);
+            let trailer = w.finish();
+            let lo = chunk * bandwidth_bits;
+            if lo >= trailer.bit_len() {
+                continue;
+            }
+            let take = bandwidth_bits.min(trailer.bit_len() - lo);
+            let mut r = BitReader::new(&trailer);
+            let mut skip = lo;
+            while skip > 0 {
+                let step = skip.min(64);
+                r.read_bits(step).expect("offset within trailer");
+                skip -= step;
+            }
+            let mut out = BitWriter::new();
+            copy_bits(&mut r, &mut out, take);
+            ctx.send(*nb, out.finish())
+                .expect("trailer chunks fit the link budget");
+        }
+    }
+
+    /// Verifies every buffered stream of one broadcast phase against
+    /// its trailer: the trailer must be exactly [`TRAILER_BITS`], its
+    /// count must match the received edges and its checksum must match
+    /// their fold. Verified streams convert to candidates exactly like
+    /// legacy deliveries; anything else is silently set aside for the
+    /// coordinator, which compares the verified-sender sets against its
+    /// own expectations and schedules retransmission.
+    fn verify_streams(&mut self, ins_phase: bool) {
+        let senders: Vec<NodeId> = self
+            .stream_bufs
+            .keys()
+            .filter(|k| k.0 == ins_phase)
+            .map(|k| k.1)
+            .collect();
+        for from in senders {
+            let buf = self
+                .stream_bufs
+                .remove(&(ins_phase, from))
+                .expect("key was just listed");
+            if !Self::stream_verifies(&buf) {
+                continue;
+            }
+            self.convert_candidates(&buf.edges, ins_phase, false);
+            if ins_phase {
+                self.verified_ins.insert(from);
+            } else {
+                self.verified_rm.insert(from);
+            }
+        }
+    }
+
+    /// Whether one buffered stream's trailer checks out.
+    fn stream_verifies(buf: &StreamBuf) -> bool {
+        let trailer = buf.trailer.clone().finish();
+        if buf.corrupt || trailer.bit_len() != TRAILER_BITS {
+            return false;
+        }
+        let mut r = BitReader::new(&trailer);
+        let count = r.read_bits(COUNT_BITS).expect("length-checked");
+        let checksum = r.read_bits(CHECKSUM_BITS).expect("length-checked");
+        count == buf.edges.len() as u64 && checksum == edge_checksum(&buf.edges)
+    }
+
+    /// Converts a verified stream's edges into candidate triangles.
+    /// `against_pre` checks membership on the pre-batch snapshot —
+    /// retransmitted removal streams arrive after the local boundary
+    /// already switched the slice to the post-batch graph.
+    fn convert_candidates(&mut self, edges: &[Edge], ins_phase: bool, against_pre: bool) {
+        for e in edges {
+            if e.contains(self.id) {
+                continue;
+            }
+            let (u, v) = e.endpoints();
+            let known = if against_pre {
+                self.pre_adjacency.binary_search(&u).is_ok()
+                    && self.pre_adjacency.binary_search(&v).is_ok()
+            } else {
+                self.knows(u) && self.knows(v)
+            };
+            if known {
+                let t = Triangle::new(u, v, self.id);
+                if ins_phase {
+                    self.born.push(t);
+                } else {
+                    self.dead.push(t);
+                }
+            }
+        }
+    }
+
+    /// Verifies the streams received during a repair epoch. Each
+    /// verified stream's removal prefix (length from the repair
+    /// descriptor) converts against the pre-batch snapshot, the rest
+    /// against the live post-batch slice.
+    fn verify_repair_streams(&mut self) {
+        let senders: Vec<NodeId> = self.stream_bufs.keys().map(|k| k.1).collect();
+        for from in senders {
+            let buf = self
+                .stream_bufs
+                .remove(&(false, from))
+                .expect("repair streams buffer under the removal key");
+            let Some(&rm_len) = self.repair_expect.get(&from) else {
+                continue;
+            };
+            if !Self::stream_verifies(&buf) {
+                continue;
+            }
+            let rm_len = rm_len.min(buf.edges.len());
+            self.convert_candidates(&buf.edges[..rm_len], false, true);
+            self.convert_candidates(&buf.edges[rm_len..], true, false);
+            self.repair_verified.insert(from);
+        }
+    }
+
     /// Decodes the edges packed into a broadcast message, rejecting
     /// payloads that are not an exact sequence of in-range edges.
     fn decode_edges(codec: IdCodec, payload: &Payload, n: usize) -> Result<Vec<Edge>, String> {
@@ -673,19 +1021,31 @@ impl DynamicTriangleNode {
 
     /// Serializes the merged candidate aggregate for the upward
     /// convergecast leg. Empty aggregates serialize to the empty stream
-    /// (one 1-bit chunk), so quiet subtrees cost almost nothing.
-    fn serialize_aggregate(codec: IdCodec, dead: &TriangleSet, born: &TriangleSet) -> Payload {
-        if dead.is_empty() && born.is_empty() {
+    /// (one 1-bit chunk), so quiet subtrees cost almost nothing. A
+    /// hardened stream always carries its counts plus a closing
+    /// [`Checksum61`] so receivers can reject corrupted reassemblies.
+    fn serialize_aggregate(
+        codec: IdCodec,
+        dead: &TriangleSet,
+        born: &TriangleSet,
+        checked: bool,
+    ) -> Payload {
+        if !checked && dead.is_empty() && born.is_empty() {
             return Payload::new();
         }
         let mut w = BitWriter::new();
+        let mut cs = Checksum61::new();
         for set in [dead, born] {
             w.write_bits(set.len() as u64, COUNT_BITS);
             for t in set.iter() {
                 for v in t.nodes() {
                     codec.encode(&mut w, v.as_u64());
+                    cs.update(v.as_u64());
                 }
             }
+        }
+        if checked {
+            w.write_bits(cs.value(), CHECKSUM_BITS);
         }
         w.finish()
     }
@@ -696,13 +1056,18 @@ impl DynamicTriangleNode {
         codec: IdCodec,
         n: usize,
         stream: &Payload,
+        checked: bool,
     ) -> Result<(Vec<Triangle>, Vec<Triangle>), String> {
         if stream.bit_len() == 0 {
+            if checked {
+                return Err("aggregate stream is missing its checksum".into());
+            }
             return Ok((Vec::new(), Vec::new()));
         }
         let mut r = BitReader::new(stream);
         let mut dead = Vec::new();
         let mut born = Vec::new();
+        let mut cs = Checksum61::new();
         for list in [&mut dead, &mut born] {
             let count = r
                 .read_bits(COUNT_BITS)
@@ -714,7 +1079,18 @@ impl DynamicTriangleNode {
                 if a == b || b == c || a == c {
                     return Err(format!("degenerate triangle {{{a}, {b}, {c}}}"));
                 }
+                for v in [a, b, c] {
+                    cs.update(v.as_u64());
+                }
                 list.push(Triangle::new(a, b, c));
+            }
+        }
+        if checked {
+            let expect = r
+                .read_bits(CHECKSUM_BITS)
+                .map_err(|e| format!("aggregate checksum: {e}"))?;
+            if expect != cs.value() {
+                return Err("aggregate checksum mismatch".into());
             }
         }
         if !r.is_exhausted() {
@@ -757,7 +1133,13 @@ impl DynamicTriangleNode {
         let more = match r.read_bool() {
             Ok(more) => more,
             Err(e) => {
-                self.record_protocol_error(m.from, format!("empty convergecast chunk: {e}"));
+                if self.hardened {
+                    // A hardened receiver degrades instead of erroring:
+                    // the coordinator re-reads the subtree directly.
+                    self.agg_trouble = true;
+                } else {
+                    self.record_protocol_error(m.from, format!("empty convergecast chunk: {e}"));
+                }
                 // Count the stream as finished so the epoch still
                 // terminates; the error surfaces after it.
                 self.children_done += 1;
@@ -774,12 +1156,18 @@ impl DynamicTriangleNode {
             .remove(&m.from)
             .expect("buffer was just written")
             .finish();
-        match Self::decode_aggregate(codec, n, &stream) {
+        match Self::decode_aggregate(codec, n, &stream, self.hardened) {
             Ok((dead, born)) => {
                 merge_added_candidates(&mut self.agg_dead, &dead);
                 merge_added_candidates(&mut self.agg_born, &born);
             }
-            Err(detail) => self.record_protocol_error(m.from, detail),
+            Err(detail) => {
+                if self.hardened {
+                    self.agg_trouble = true;
+                } else {
+                    self.record_protocol_error(m.from, detail);
+                }
+            }
         }
         self.children_done += 1;
     }
@@ -792,10 +1180,57 @@ impl NodeProgram for DynamicTriangleNode {
         let r = ctx.round();
         let codec = ctx.id_codec().codec();
         let n = ctx.n();
-        let per_message = Self::edges_per_message(ctx.bandwidth_bits(), codec.width());
+        let bandwidth_bits = ctx.bandwidth_bits();
+        let per_message = Self::edges_per_message(bandwidth_bits, codec.width());
+        let trailer = self.trailer_rounds(bandwidth_bits);
 
         if r == 0 {
             self.load_descriptor(ctx);
+        } else if self.repair_mode {
+            // Repair deliveries: data chunks first, then the trailer in
+            // the phase's final rounds. Everything buffers; nothing is
+            // trusted until `verify_repair_streams` at the end.
+            let data_end = self.repair_rounds.saturating_sub(trailer);
+            for m in ctx.take_inbox() {
+                let buf = self.stream_bufs.entry((false, m.from)).or_default();
+                if r <= data_end {
+                    match Self::decode_edges(codec, &m.payload, n) {
+                        Ok(edges) => buf.edges.extend(edges),
+                        Err(_) => buf.corrupt = true,
+                    }
+                } else {
+                    let mut reader = BitReader::new(&m.payload);
+                    copy_bits(&mut reader, &mut buf.trailer, m.payload.bit_len());
+                }
+            }
+        } else if self.hardened {
+            // Hardened inbox: broadcast deliveries buffer per sender and
+            // per phase instead of converting immediately; a chunk that
+            // fails to decode poisons the buffer rather than the epoch.
+            // Conversion happens at the phase boundaries below, only for
+            // streams whose trailer verifies.
+            let broadcast_end = self.rm_rounds + self.ins_rounds;
+            for m in ctx.take_inbox() {
+                if r > broadcast_end {
+                    self.receive_chunk(codec, n, &m);
+                    continue;
+                }
+                let (ins_phase, pr, phase_len) = if r <= self.rm_rounds {
+                    (false, r, self.rm_rounds)
+                } else {
+                    (true, r - self.rm_rounds, self.ins_rounds)
+                };
+                let buf = self.stream_bufs.entry((ins_phase, m.from)).or_default();
+                if pr <= phase_len.saturating_sub(trailer) {
+                    match Self::decode_edges(codec, &m.payload, n) {
+                        Ok(edges) => buf.edges.extend(edges),
+                        Err(_) => buf.corrupt = true,
+                    }
+                } else {
+                    let mut reader = BitReader::new(&m.payload);
+                    copy_bits(&mut reader, &mut buf.trailer, m.payload.bit_len());
+                }
+            }
         } else {
             let broadcast_end = self.rm_rounds + self.ins_rounds;
             // Deliveries from rounds `1..=rm_rounds` are removal
@@ -834,6 +1269,40 @@ impl NodeProgram for DynamicTriangleNode {
             }
         }
 
+        // Repair epochs are a pure re-broadcast: send the scheduled
+        // streams (data waves, then the trailer), verify at the end,
+        // halt. No local state changes — the batch already applied.
+        if self.repair_mode {
+            if r >= self.repair_rounds {
+                self.verify_repair_streams();
+                return NodeStatus::Halted;
+            }
+            let data_rounds = self.repair_rounds - trailer;
+            if r < data_rounds {
+                Self::send_wave(ctx, &self.repair_queues, r as usize, per_message);
+            } else {
+                Self::send_trailer_wave(
+                    ctx,
+                    &self.repair_queues,
+                    (r - data_rounds) as usize,
+                    bandwidth_bits,
+                );
+            }
+            return NodeStatus::Active;
+        }
+
+        // Hardened phase boundaries: verify the buffered removal streams
+        // against the still-pre-batch slice, insertion streams against
+        // the post-batch slice (apply_local has run by then).
+        if self.hardened && r > 0 {
+            if r == self.rm_rounds && self.rm_rounds > 0 {
+                self.verify_streams(false);
+            }
+            if r == self.rm_rounds + self.ins_rounds && self.ins_rounds > 0 {
+                self.verify_streams(true);
+            }
+        }
+
         // Phase boundary: the removal broadcasts are all delivered, so
         // the node switches its slice to the post-batch graph.
         if r == self.rm_rounds {
@@ -841,12 +1310,32 @@ impl NodeProgram for DynamicTriangleNode {
         }
 
         if r < self.rm_rounds {
-            Self::send_wave(ctx, &self.rm_queues, r as usize, per_message);
+            let data_rounds = self.rm_rounds - trailer;
+            if r < data_rounds {
+                Self::send_wave(ctx, &self.rm_queues, r as usize, per_message);
+            } else {
+                Self::send_trailer_wave(
+                    ctx,
+                    &self.rm_queues,
+                    (r - data_rounds) as usize,
+                    bandwidth_bits,
+                );
+            }
             return NodeStatus::Active;
         }
         if r < self.rm_rounds + self.ins_rounds {
-            let wave = (r - self.rm_rounds) as usize;
-            Self::send_wave(ctx, &self.ins_queues, wave, per_message);
+            let wave = r - self.rm_rounds;
+            let data_rounds = self.ins_rounds - trailer;
+            if wave < data_rounds {
+                Self::send_wave(ctx, &self.ins_queues, wave as usize, per_message);
+            } else {
+                Self::send_trailer_wave(
+                    ctx,
+                    &self.ins_queues,
+                    (wave - data_rounds) as usize,
+                    bandwidth_bits,
+                );
+            }
             return NodeStatus::Active;
         }
 
@@ -865,14 +1354,26 @@ impl NodeProgram for DynamicTriangleNode {
             merge_added_candidates(&mut self.agg_born, &born);
         }
         if self.children_done < self.child_count {
-            return NodeStatus::Active;
+            if self.hardened && r >= self.deadline {
+                // A child stream is overdue (lost chunks); give up on it
+                // and forward a partial aggregate so the epoch
+                // terminates. The coordinator re-reads every node's
+                // aggregates directly on a hardened engine, so nothing
+                // verified is lost — only network-side merging.
+                self.agg_trouble = true;
+                self.children_done = self.child_count;
+                self.child_streams.clear();
+            } else {
+                return NodeStatus::Active;
+            }
         }
         let Some(parent) = self.parent else {
             return NodeStatus::Halted;
         };
         if self.up_chunks.is_none() {
-            let stream = Self::serialize_aggregate(codec, &self.agg_dead, &self.agg_born);
-            self.up_chunks = Some(Self::chunk_stream(&stream, ctx.bandwidth_bits()));
+            let stream =
+                Self::serialize_aggregate(codec, &self.agg_dead, &self.agg_born, self.hardened);
+            self.up_chunks = Some(Self::chunk_stream(&stream, bandwidth_bits));
         }
         let chunks = self.up_chunks.as_mut().expect("chunks were just built");
         let chunk = chunks
@@ -944,6 +1445,32 @@ pub struct DistributedTriangleEngine {
     skew_max: f64,
     /// Sum of per-epoch skews (mean = sum / epochs).
     skew_sum: f64,
+    /// The deterministic fault schedule in effect (quiet by default; a
+    /// non-quiet plan hardens the protocol — see [`with_fault_plan`]).
+    ///
+    /// [`with_fault_plan`]: DistributedTriangleEngine::with_fault_plan
+    fault_plan: FaultPlan,
+    /// Shadow adjacency of currently-crashed nodes: their in-network
+    /// slices go stale while they sit out epochs, so the coordinator
+    /// keeps the true list here (advanced every batch) and re-seeds the
+    /// node from it when it rejoins.
+    offline: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Cumulative self-healing statistics (see [`RecoveryStats`]).
+    recovery: RecoveryStats,
+}
+
+/// Cumulative self-healing statistics of a hardened
+/// [`DistributedTriangleEngine`] (all zero on a quiet plan).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Network rounds spent in retransmission (repair) epochs.
+    pub retransmit_rounds: u64,
+    /// Repair epochs executed.
+    pub epoch_repairs: u64,
+    /// Epochs that needed any degradation to central recomputation
+    /// (crashed nodes, uncovered deltas, or abandoned convergecast
+    /// streams) — the batches whose cost accounting is best-effort.
+    pub degraded_epochs: u64,
 }
 
 /// The coordinator-computed BFS forest of one epoch's union topology:
@@ -953,6 +1480,19 @@ struct BfsForest {
     parent: Vec<Option<NodeId>>,
     children: Vec<usize>,
     roots: Vec<NodeId>,
+    /// Subtree height per node (leaves 0), used to derive per-node
+    /// convergecast deadlines on hardened engines.
+    height: Vec<u64>,
+}
+
+/// One broadcast stream that failed verification at its receiver and
+/// awaits retransmission: the removal-phase and insertion-phase edges
+/// of one (sender, receiver) pair, re-sent as a single repair stream
+/// (removals lead).
+#[derive(Default)]
+struct PendingStream {
+    rm: Vec<Edge>,
+    ins: Vec<Edge>,
 }
 
 impl DistributedTriangleEngine {
@@ -1045,6 +1585,9 @@ impl DistributedTriangleEngine {
             epochs: 0,
             skew_max: 0.0,
             skew_sum: 0.0,
+            fault_plan: FaultPlan::default(),
+            offline: BTreeMap::new(),
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -1073,6 +1616,60 @@ impl DistributedTriangleEngine {
     pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
         self.aggregation = aggregation;
         self
+    }
+
+    /// Sets the deterministic fault schedule (builder style). A
+    /// non-quiet plan **hardens** the protocol: every broadcast and
+    /// convergecast stream carries a length + [`Checksum61`] trailer,
+    /// receivers buffer-and-verify instead of trusting deliveries, lost
+    /// or corrupted streams are retransmitted in accounted repair
+    /// epochs ([`CongestCost::recovery_rounds`]), and scheduled crash
+    /// windows degrade to coordinator-side recomputation with a state
+    /// sync on rejoin. A quiet plan (the default) leaves every code
+    /// path — and every cost metric — bit-identical to the legacy
+    /// engine.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self.sim.set_fault_plan(plan);
+        let hardened = !plan.is_quiet();
+        for i in 0..self.node_count() {
+            self.sim.program_mut(NodeId::from_index(i)).hardened = hardened;
+        }
+        self
+    }
+
+    /// Overrides the per-epoch round cap (builder style). An epoch that
+    /// exhausts it surfaces as [`StreamError::RoundLimit`] from
+    /// [`apply`](DistributedTriangleEngine::apply).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.sim.set_max_rounds(max_rounds);
+        self
+    }
+
+    /// The fault schedule in effect.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Whether the engine runs the hardened (self-checking) protocol,
+    /// i.e. whether the fault plan is non-quiet.
+    pub fn hardened(&self) -> bool {
+        !self.fault_plan.is_quiet()
+    }
+
+    /// Cumulative self-healing statistics (all zero on a quiet plan).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The true current neighbour list of `node`: the in-network slice,
+    /// or the coordinator's shadow copy while the node is crashed (its
+    /// slice goes stale until the rejoin sync).
+    fn adjacency_of(&self, node: NodeId) -> &[NodeId] {
+        match self.offline.get(&node) {
+            Some(list) => list,
+            None => &self.sim.program(node).adjacency,
+        }
     }
 
     /// The application mode in effect.
@@ -1107,13 +1704,14 @@ impl DistributedTriangleEngine {
     }
 
     /// Sorted neighbour list of `node`, read from the owning network
-    /// node's slice.
+    /// node's slice (or the coordinator's shadow copy while the node
+    /// is crashed).
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.sim.program(node).adjacency
+        self.adjacency_of(node)
     }
 
     /// Current degree of `node`.
@@ -1309,17 +1907,26 @@ impl DistributedTriangleEngine {
     /// for the convergecast: `union_lists` holds the already-updated
     /// lists of insertion endpoints, every other node keeps its current
     /// (pre-batch) list.
-    fn bfs_forest(&self, union_lists: &BTreeMap<NodeId, Vec<NodeId>>) -> BfsForest {
+    fn bfs_forest(
+        &self,
+        union_lists: &BTreeMap<NodeId, Vec<NodeId>>,
+        crashed: &[bool],
+    ) -> BfsForest {
         let n = self.node_count();
         let mut forest = BfsForest {
             parent: vec![None; n],
             children: vec![0; n],
             roots: Vec::new(),
+            height: vec![0; n],
         };
         let mut visited = vec![false; n];
         let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
         for i in 0..n {
-            if visited[i] {
+            // Crashed nodes sit out the epoch entirely: they neither
+            // relay nor root a component (their candidates are
+            // recomputed centrally).
+            if visited[i] || crashed[i] {
                 continue;
             }
             let root = NodeId::from_index(i);
@@ -1327,12 +1934,13 @@ impl DistributedTriangleEngine {
             forest.roots.push(root);
             queue.push_back(root);
             while let Some(u) = queue.pop_front() {
+                order.push(u);
                 let neighbors = match union_lists.get(&u) {
                     Some(list) => list.as_slice(),
-                    None => &self.sim.program(u).adjacency,
+                    None => self.adjacency_of(u),
                 };
                 for &w in neighbors {
-                    if !visited[w.index()] {
+                    if !visited[w.index()] && !crashed[w.index()] {
                         visited[w.index()] = true;
                         forest.parent[w.index()] = Some(u);
                         forest.children[u.index()] += 1;
@@ -1341,7 +1949,77 @@ impl DistributedTriangleEngine {
                 }
             }
         }
+        // Heights bottom-up: reverse BFS order visits every child before
+        // its parent.
+        for &u in order.iter().rev() {
+            if let Some(p) = forest.parent[u.index()] {
+                let lift = forest.height[u.index()] + 1;
+                forest.height[p.index()] = forest.height[p.index()].max(lift);
+            }
+        }
         forest
+    }
+
+    /// Drains every online node's per-epoch candidates *and*
+    /// convergecast aggregates into the coordinator-side sets. The
+    /// merges are exactly-once, so calling this repeatedly (after the
+    /// main epoch and after every repair epoch) is harmless. Returns
+    /// whether any node latched convergecast trouble.
+    fn collect_candidates(
+        &mut self,
+        crashed: &[bool],
+        cand_dead: &mut TriangleSet,
+        cand_born: &mut TriangleSet,
+    ) -> bool {
+        let mut trouble = false;
+        for (i, &down) in crashed.iter().enumerate() {
+            if down {
+                continue;
+            }
+            let prog = self.sim.program_mut(NodeId::from_index(i));
+            trouble |= prog.agg_trouble;
+            let (dead, born) = prog.drain_candidates();
+            merge_added_candidates(cand_dead, &dead);
+            merge_added_candidates(cand_born, &born);
+            let (agg_dead, agg_born) = prog.take_aggregates();
+            merge_added_candidates(cand_dead, agg_dead.iter());
+            merge_added_candidates(cand_born, agg_born.iter());
+        }
+        trouble
+    }
+
+    /// Central (coordinator-side) recomputation of one third-vertex
+    /// candidate: does `w` close a triangle over delta edge `e`?
+    /// Removal candidates check the pre-batch snapshot, insertions the
+    /// post-batch one — exactly the membership a healthy receiver
+    /// would have tested in-network.
+    #[allow(clippy::too_many_arguments)]
+    fn central_candidate(
+        w: NodeId,
+        e: Edge,
+        ins_phase: bool,
+        pre_adj: &[Vec<NodeId>],
+        post_adj: &[Vec<NodeId>],
+        cand_dead: &mut TriangleSet,
+        cand_born: &mut TriangleSet,
+    ) {
+        if e.contains(w) {
+            return;
+        }
+        let adj = if ins_phase {
+            &post_adj[w.index()]
+        } else {
+            &pre_adj[w.index()]
+        };
+        let (u, v) = e.endpoints();
+        if adj.binary_search(&u).is_ok() && adj.binary_search(&v).is_ok() {
+            let t = Triangle::new(u, v, w);
+            if ins_phase {
+                merge_added_candidates(cand_born, std::iter::once(&t));
+            } else {
+                merge_added_candidates(cand_dead, std::iter::once(&t));
+            }
+        }
     }
 
     /// Runs one pre-validated batch as a network epoch (see the
@@ -1379,11 +2057,33 @@ impl DistributedTriangleEngine {
         }
         let plan_span = congest_obs::trace::span("distributed", "plan");
 
+        // Crash bookkeeping (hardened engines only): nodes scheduled as
+        // crashed for this epoch leave the protocol entirely — their
+        // slices go to the coordinator's shadow, their candidates are
+        // recomputed centrally. Nodes whose outage just ended rejoin
+        // with a state-sync descriptor built from the shadow.
+        let n = self.node_count();
+        let hardened = self.hardened();
+        let epoch_index = self.sim.epoch();
+        let mut crashed = vec![false; n];
+        if hardened {
+            for (i, flag) in crashed.iter_mut().enumerate() {
+                *flag = self.fault_plan.crashed(i, epoch_index);
+                if *flag && !self.offline.contains_key(&NodeId::from_index(i)) {
+                    let node = NodeId::from_index(i);
+                    let list = self.sim.program(node).adjacency.clone();
+                    self.offline.insert(node, list);
+                }
+            }
+        }
+        let any_crashed = crashed.iter().any(|&c| c);
+
         // Per-node incident slices, the helper-split broadcast plans,
         // and the global phase lengths: a phase must cover the longest
         // post-split per-node queue, at most
-        // ceil(assigned deltas / edges-per-message).
-        let n = self.node_count();
+        // ceil(assigned deltas / edges-per-message). Crashed endpoints
+        // cannot broadcast; a delta both of whose endpoints are down is
+        // uncovered and falls back to central recomputation.
         let codec = IdCodec::new(n as u64);
         let per_message =
             DynamicTriangleNode::edges_per_message(self.bandwidth_bits, codec.width());
@@ -1393,6 +2093,18 @@ impl DistributedTriangleEngine {
             for e in edges.iter() {
                 for node in [e.lo(), e.hi()] {
                     slices.entry(node).or_default().push(*e);
+                }
+            }
+        }
+        let mut uncovered: Vec<(Edge, bool)> = Vec::new();
+        if any_crashed {
+            rm_slices.retain(|node, _| !crashed[node.index()]);
+            ins_slices.retain(|node, _| !crashed[node.index()]);
+            for (edges, ins_phase) in [(&removes, false), (&inserts, true)] {
+                for e in edges.iter() {
+                    if crashed[e.lo().index()] && crashed[e.hi().index()] {
+                        uncovered.push((*e, ins_phase));
+                    }
                 }
             }
         }
@@ -1407,8 +2119,40 @@ impl DistributedTriangleEngine {
                 .max()
                 .unwrap_or(0)
         };
-        let rm_rounds = assigned(&rm_slices, &rm_dropped);
-        let ins_rounds = assigned(&ins_slices, &ins_dropped);
+        // A hardened phase is extended by the trailer rounds at its end.
+        let trailer = if hardened {
+            TRAILER_BITS.div_ceil(self.bandwidth_bits.max(1)) as u64
+        } else {
+            0
+        };
+        let extend = |waves: u64| if waves > 0 { waves + trailer } else { 0 };
+        let rm_rounds = extend(assigned(&rm_slices, &rm_dropped));
+        let ins_rounds = extend(assigned(&ins_slices, &ins_dropped));
+
+        // Pre/post-batch adjacency snapshots (hardened only): the
+        // coordinator's expectation mirror and every central
+        // recomputation check membership against these.
+        let (pre_adj, post_adj) = if hardened {
+            let pre: Vec<Vec<NodeId>> = (0..n)
+                .map(|i| self.adjacency_of(NodeId::from_index(i)).to_vec())
+                .collect();
+            let mut post = pre.clone();
+            for (edges, insert) in [(&removes, false), (&inserts, true)] {
+                for e in edges.iter() {
+                    for (node, other) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
+                        let list = &mut post[node.index()];
+                        if insert {
+                            sorted_insert(list, other);
+                        } else {
+                            sorted_remove(list, other);
+                        }
+                    }
+                }
+            }
+            (pre, post)
+        } else {
+            (Vec::new(), Vec::new())
+        };
 
         // Epoch topology: the union G ∪ G' — a removed link still
         // carries its tear-down broadcast (and its convergecast leg),
@@ -1420,7 +2164,7 @@ impl DistributedTriangleEngine {
             for (node, other) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
                 let list = union_lists
                     .entry(node)
-                    .or_insert_with(|| self.sim.program(node).adjacency.clone());
+                    .or_insert_with(|| self.adjacency_of(node).to_vec());
                 sorted_insert(list, other);
             }
         }
@@ -1428,18 +2172,78 @@ impl DistributedTriangleEngine {
         // before the topology mutations below so it can read the
         // pre-batch lists of untouched nodes.
         let aggregate = self.aggregation == Aggregation::Convergecast;
-        let forest = aggregate.then(|| self.bfs_forest(&union_lists));
+        let forest = aggregate.then(|| self.bfs_forest(&union_lists, &crashed));
         for (node, list) in union_lists {
             self.sim.update_topology(node, list);
         }
 
-        // Inject every node's batch descriptor (all nodes need the phase
-        // lengths to know when the epoch ends, even pure detectors — and
-        // every node has a convergecast leg to play).
+        // Per-node convergecast deadlines (hardened aggregation only):
+        // a node abandons overdue child streams `height·hop` rounds
+        // into the aggregation phase, where `hop` bounds the rounds any
+        // single subtree stream can need — so a parent's deadline always
+        // leaves room for a child that gave up at its own.
+        let mut deadlines = vec![0u64; n];
+        if hardened && aggregate {
+            let cand_bound: u64 = removes
+                .iter()
+                .map(|e| (pre_adj[e.lo().index()].len()).min(pre_adj[e.hi().index()].len()) as u64)
+                .chain(inserts.iter().map(|e| {
+                    (post_adj[e.lo().index()].len()).min(post_adj[e.hi().index()].len()) as u64
+                }))
+                .sum();
+            let agg_bits = 2 * COUNT_BITS as u64
+                + 3 * codec.width() as u64 * cand_bound
+                + CHECKSUM_BITS as u64;
+            let per_chunk = self.bandwidth_bits.saturating_sub(1).max(1) as u64;
+            let hop = agg_bits.div_ceil(per_chunk) + 1;
+            if let Some(forest) = &forest {
+                let broadcast_end = rm_rounds + ins_rounds;
+                for (deadline, &height) in deadlines.iter_mut().zip(&forest.height) {
+                    *deadline = broadcast_end + (height + 1) * hop + 2;
+                }
+            }
+        }
+
+        // Rejoining nodes leave the shadow now that their sync list is
+        // fixed: from this epoch on their in-network slice is live again.
+        let mut sync_lists: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        if hardened {
+            let rejoining: Vec<NodeId> = self
+                .offline
+                .keys()
+                .copied()
+                .filter(|v| !crashed[v.index()])
+                .collect();
+            for node in rejoining {
+                let list = self.offline.remove(&node).expect("key was just listed");
+                sync_lists.insert(node, list);
+            }
+        }
+
+        // Inject every online node's batch descriptor (all nodes need
+        // the phase lengths to know when the epoch ends, even pure
+        // detectors — and every node has a convergecast leg to play).
+        // Crashed nodes get nothing: they sit the epoch out.
         let empty = Vec::new();
         for i in 0..n {
+            if crashed[i] {
+                continue;
+            }
             let node = NodeId::from_index(i);
             let mut w = BitWriter::new();
+            if hardened {
+                w.write_bool(false); // kind: batch, not repair
+                match sync_lists.get(&node) {
+                    Some(list) => {
+                        w.write_bool(true);
+                        w.write_bits(list.len() as u64, COUNT_BITS);
+                        for v in list {
+                            codec.encode(&mut w, v.as_u64());
+                        }
+                    }
+                    None => w.write_bool(false),
+                }
+            }
             w.write_bits(rm_rounds, COUNT_BITS);
             w.write_bits(ins_rounds, COUNT_BITS);
             w.write_bool(aggregate);
@@ -1452,6 +2256,9 @@ impl DistributedTriangleEngine {
                     None => w.write_bool(false),
                 }
                 w.write_bits(forest.children[i] as u64, COUNT_BITS);
+                if hardened {
+                    w.write_bits(deadlines[i], DEADLINE_BITS);
+                }
             }
             for (slices, dropped) in [(&rm_slices, &rm_dropped), (&ins_slices, &ins_dropped)] {
                 let list = slices.get(&node).unwrap_or(&empty);
@@ -1474,12 +2281,20 @@ impl DistributedTriangleEngine {
         let trace_on = congest_obs::trace::enabled();
         let epoch_start_us = if trace_on { congest_obs::now_us() } else { 0 };
         let epoch = self.sim.run_epoch();
-        debug_assert!(epoch.completed(), "batch epochs always terminate");
+        if !epoch.completed() {
+            return Err(StreamError::RoundLimit {
+                rounds: epoch.metrics.rounds,
+            });
+        }
+        let mut faults_dropped = epoch.metrics.dropped_messages;
+        let mut faults_corrupted = epoch.metrics.corrupted_messages;
+        let mut faults_duplicated = epoch.metrics.duplicated_messages;
         // The broadcast prefix is exactly rm + ins + 1 rounds (the +1 is
         // the descriptor/boundary round); everything beyond it is the
         // convergecast (free-aggregation epochs end right there).
+        // Recovery epochs accumulate on top below; the running total
+        // follows once the batch is fully settled.
         self.last_batch = CongestCost::from_epoch(&epoch.metrics, rm_rounds + ins_rounds + 1);
-        self.total.accumulate(&self.last_batch);
         self.epochs += 1;
         if trace_on {
             let wall_us = congest_obs::now_us().saturating_sub(epoch_start_us);
@@ -1513,7 +2328,13 @@ impl DistributedTriangleEngine {
 
         // A node that received an undecodable payload latched the
         // violation; surface it instead of merging a corrupt epoch.
-        for i in 0..n {
+        // (Hardened receivers never latch on faulted traffic — a bad
+        // stream just fails verification — so this still only fires on
+        // genuinely corrupt injected input.)
+        for (i, &down) in crashed.iter().enumerate() {
+            if down {
+                continue;
+            }
             let node = NodeId::from_index(i);
             if let Some(detail) = &self.sim.program(node).protocol_error {
                 return Err(StreamError::Protocol {
@@ -1525,35 +2346,279 @@ impl DistributedTriangleEngine {
 
         // Coordinator merge through the shared exactly-once dedup core.
         let merge_span = congest_obs::trace::span("distributed", "merge");
-        match &forest {
-            // Free aggregation: drain every node's candidates directly
-            // (a merge the network never paid for — the bench control).
-            None => {
-                for i in 0..n {
-                    let (dead, born) = self
-                        .sim
-                        .program_mut(NodeId::from_index(i))
-                        .drain_candidates();
-                    report.triangles_removed +=
-                        merge_removed_candidates(&mut self.triangles, &dead);
-                    report.triangles_added += merge_added_candidates(&mut self.triangles, &born);
+        let mut degraded = false;
+        if hardened {
+            // Hardened merge: collect idempotently from *everything* —
+            // every node's direct candidates plus every node's (not
+            // just the roots') convergecast aggregates, so a lost
+            // convergecast stream costs nothing that the broadcasts
+            // verified. The exactly-once merge core makes the overlap
+            // harmless.
+            let mut cand_dead = TriangleSet::new();
+            let mut cand_born = TriangleSet::new();
+            degraded |= self.collect_candidates(&crashed, &mut cand_dead, &mut cand_born);
+            drop(merge_span);
+
+            // Everything from here on is recovery: central
+            // recomputation for crashed and uncovered pieces, and
+            // retransmission epochs for broadcast streams that failed
+            // verification.
+            let recovery_start_us = if trace_on { congest_obs::now_us() } else { 0 };
+
+            // Crashed nodes miss every broadcast: recompute their
+            // third-vertex candidates centrally against the snapshots.
+            for (i, _) in crashed.iter().enumerate().filter(|(_, c)| **c) {
+                let w = NodeId::from_index(i);
+                for (edges, ins_phase) in [(&removes, false), (&inserts, true)] {
+                    for e in edges.iter() {
+                        Self::central_candidate(
+                            w,
+                            *e,
+                            ins_phase,
+                            &pre_adj,
+                            &post_adj,
+                            &mut cand_dead,
+                            &mut cand_born,
+                        );
+                    }
                 }
             }
-            // Convergecast: the network already aggregated each
-            // component's candidates at its root over accounted rounds;
-            // the coordinator only reads the roots.
-            Some(forest) => {
-                for &root in &forest.roots {
-                    let (dead, born) = self.sim.program_mut(root).take_aggregates();
-                    report.triangles_removed +=
-                        merge_removed_candidates(&mut self.triangles, dead.iter());
-                    report.triangles_added +=
-                        merge_added_candidates(&mut self.triangles, born.iter());
+            // Uncovered deltas (both endpoints down) had no broadcaster
+            // at all: recompute for every online third vertex too.
+            for &(e, ins_phase) in &uncovered {
+                for (i, _) in crashed.iter().enumerate().filter(|(_, c)| !**c) {
+                    Self::central_candidate(
+                        NodeId::from_index(i),
+                        e,
+                        ins_phase,
+                        &pre_adj,
+                        &post_adj,
+                        &mut cand_dead,
+                        &mut cand_born,
+                    );
                 }
             }
+            degraded |= any_crashed || !uncovered.is_empty();
+
+            // Expectation mirror: replay `build_queues` for every
+            // assigned broadcaster and compare against each online
+            // receiver's verified-sender sets. Anything missing becomes
+            // a pending retransmission.
+            let assign = |slices: &BTreeMap<NodeId, Vec<Edge>>,
+                          dropped: &BTreeMap<NodeId, BTreeSet<Edge>>| {
+                slices
+                    .iter()
+                    .map(|(node, list)| {
+                        let shed = dropped.get(node);
+                        let kept: Vec<Edge> = list
+                            .iter()
+                            .copied()
+                            .filter(|e| !shed.is_some_and(|s| s.contains(e)))
+                            .collect();
+                        (*node, kept)
+                    })
+                    .collect::<BTreeMap<NodeId, Vec<Edge>>>()
+            };
+            let rm_assigned = assign(&rm_slices, &rm_dropped);
+            let ins_assigned = assign(&ins_slices, &ins_dropped);
+            let mut pending: BTreeMap<(NodeId, NodeId), PendingStream> = BTreeMap::new();
+            for (ins_phase, assigned_map) in [(false, &rm_assigned), (true, &ins_assigned)] {
+                for (s, edges) in assigned_map {
+                    if edges.is_empty() {
+                        continue;
+                    }
+                    let audience = if ins_phase {
+                        &post_adj[s.index()]
+                    } else {
+                        &pre_adj[s.index()]
+                    };
+                    for &w in audience {
+                        if crashed[w.index()] {
+                            continue; // already recomputed centrally
+                        }
+                        let q: Vec<Edge> =
+                            edges.iter().copied().filter(|e| !e.contains(w)).collect();
+                        if q.is_empty() {
+                            continue;
+                        }
+                        let prog = self.sim.program(w);
+                        let verified = if ins_phase {
+                            prog.verified_ins.contains(s)
+                        } else {
+                            prog.verified_rm.contains(s)
+                        };
+                        if !verified {
+                            let p = pending.entry((*s, w)).or_default();
+                            if ins_phase {
+                                p.ins = q;
+                            } else {
+                                p.rm = q;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Retransmission loop: re-send every pending stream in
+            // dedicated repair epochs, accounted as recovery rounds,
+            // until everything verified or the attempt budget runs out.
+            let mut attempts = 0u32;
+            let mut repairs_ran = false;
+            while !pending.is_empty() && attempts < MAX_REPAIR_ATTEMPTS {
+                attempts += 1;
+                let repair_epoch = self.sim.epoch();
+                // A pair whose participant is crashed during this repair
+                // epoch cannot retransmit — fall back to central
+                // recomputation for it (a degradation, not a failure).
+                let plan = self.fault_plan;
+                pending.retain(|(s, w), p| {
+                    if plan.crashed(s.index(), repair_epoch)
+                        || plan.crashed(w.index(), repair_epoch)
+                    {
+                        for (edges, ins_phase) in [(&p.rm, false), (&p.ins, true)] {
+                            for e in edges.iter() {
+                                Self::central_candidate(
+                                    *w,
+                                    *e,
+                                    ins_phase,
+                                    &pre_adj,
+                                    &post_adj,
+                                    &mut cand_dead,
+                                    &mut cand_born,
+                                );
+                            }
+                        }
+                        degraded = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if pending.is_empty() {
+                    break;
+                }
+                let mut send_q: BTreeMap<NodeId, Vec<(NodeId, Vec<Edge>)>> = BTreeMap::new();
+                let mut expect: BTreeMap<NodeId, Vec<(NodeId, usize)>> = BTreeMap::new();
+                let mut max_edges = 0usize;
+                for ((s, w), p) in &pending {
+                    let mut stream = p.rm.clone();
+                    stream.extend_from_slice(&p.ins);
+                    max_edges = max_edges.max(stream.len());
+                    expect.entry(*w).or_default().push((*s, p.rm.len()));
+                    send_q.entry(*s).or_default().push((*w, stream));
+                }
+                let repair_rounds = (max_edges.div_ceil(per_message) as u64) + trailer;
+                let participants: BTreeSet<NodeId> =
+                    send_q.keys().chain(expect.keys()).copied().collect();
+                for node in &participants {
+                    let mut w = BitWriter::new();
+                    w.write_bool(true); // kind: repair
+                    w.write_bits(repair_rounds, COUNT_BITS);
+                    let queues = send_q.get(node).map_or(&[] as &[_], Vec::as_slice);
+                    w.write_bits(queues.len() as u64, COUNT_BITS);
+                    for (to, edges) in queues {
+                        codec.encode(&mut w, to.as_u64());
+                        w.write_bits(edges.len() as u64, COUNT_BITS);
+                        for e in edges {
+                            codec.encode(&mut w, e.lo().as_u64());
+                            codec.encode(&mut w, e.hi().as_u64());
+                        }
+                    }
+                    let expects = expect.get(node).map_or(&[] as &[_], Vec::as_slice);
+                    w.write_bits(expects.len() as u64, COUNT_BITS);
+                    for (from, rm_len) in expects {
+                        codec.encode(&mut w, from.as_u64());
+                        w.write_bits(*rm_len as u64, COUNT_BITS);
+                    }
+                    self.sim.inject(*node, w.finish());
+                }
+                let repair = self.sim.run_epoch();
+                if !repair.completed() {
+                    return Err(StreamError::RoundLimit {
+                        rounds: repair.metrics.rounds,
+                    });
+                }
+                repairs_ran = true;
+                faults_dropped += repair.metrics.dropped_messages;
+                faults_corrupted += repair.metrics.corrupted_messages;
+                faults_duplicated += repair.metrics.duplicated_messages;
+                self.last_batch.add_recovery_epoch(&repair.metrics);
+                self.recovery.epoch_repairs += 1;
+                self.recovery.retransmit_rounds += repair.metrics.rounds;
+                self.collect_candidates(&crashed, &mut cand_dead, &mut cand_born);
+                pending.retain(|(s, w), _| !self.sim.program(*w).repair_verified.contains(s));
+            }
+            if !pending.is_empty() {
+                return Err(StreamError::RecoveryExhausted {
+                    attempts,
+                    pending: pending.len(),
+                });
+            }
+
+            if degraded {
+                self.recovery.degraded_epochs += 1;
+            }
+            report.triangles_removed +=
+                merge_removed_candidates(&mut self.triangles, cand_dead.iter());
+            report.triangles_added += merge_added_candidates(&mut self.triangles, cand_born.iter());
+
+            if trace_on && (repairs_ran || degraded) {
+                let dur = congest_obs::now_us().saturating_sub(recovery_start_us);
+                congest_obs::trace::record_span("distributed", "recovery", recovery_start_us, dur);
+            }
+            congest_obs::counter_add("faults.dropped", faults_dropped);
+            congest_obs::counter_add("faults.corrupted", faults_corrupted);
+            congest_obs::counter_add("faults.duplicated", faults_duplicated);
+            congest_obs::gauge_set(
+                "recovery.retransmit_rounds",
+                self.recovery.retransmit_rounds as f64,
+            );
+            congest_obs::gauge_set("recovery.epoch_repairs", self.recovery.epoch_repairs as f64);
+            congest_obs::gauge_set(
+                "recovery.degraded_epochs",
+                self.recovery.degraded_epochs as f64,
+            );
+        } else {
+            match &forest {
+                // Free aggregation: drain every node's candidates
+                // directly (a merge the network never paid for — the
+                // bench control).
+                None => {
+                    for i in 0..n {
+                        let (dead, born) = self
+                            .sim
+                            .program_mut(NodeId::from_index(i))
+                            .drain_candidates();
+                        report.triangles_removed +=
+                            merge_removed_candidates(&mut self.triangles, &dead);
+                        report.triangles_added +=
+                            merge_added_candidates(&mut self.triangles, &born);
+                    }
+                }
+                // Convergecast: the network already aggregated each
+                // component's candidates at its root over accounted
+                // rounds; the coordinator only reads the roots.
+                Some(forest) => {
+                    for &root in &forest.roots {
+                        let (dead, born) = self.sim.program_mut(root).take_aggregates();
+                        report.triangles_removed +=
+                            merge_removed_candidates(&mut self.triangles, dead.iter());
+                        report.triangles_added +=
+                            merge_added_candidates(&mut self.triangles, born.iter());
+                    }
+                }
+            }
+            drop(merge_span);
         }
 
-        drop(merge_span);
+        // Advance the shadow slices of still-crashed nodes to the
+        // post-batch graph — the truth the rejoin sync (and the engine's
+        // own adjacency view) will be read from.
+        if !self.offline.is_empty() {
+            for (node, list) in self.offline.iter_mut() {
+                *list = post_adj[node.index()].clone();
+            }
+        }
 
         // Settle the communication topology on G' (drop removed links),
         // once per distinct endpoint — a hub shedding many edges in one
@@ -1561,12 +2626,13 @@ impl DistributedTriangleEngine {
         let removed_endpoints: BTreeSet<NodeId> =
             removes.iter().flat_map(|e| [e.lo(), e.hi()]).collect();
         for node in removed_endpoints {
-            let list = self.sim.program(node).adjacency.clone();
+            let list = self.adjacency_of(node).to_vec();
             self.sim.update_topology(node, list);
         }
 
         self.edge_count += inserts.len();
         self.edge_count -= removes.len();
+        self.total.accumulate(&self.last_batch);
         debug_assert_eq!(
             (0..n)
                 .map(|i| self.degree(NodeId::from_index(i)))
@@ -2120,7 +3186,7 @@ mod tests {
         dead.insert(Triangle::new(v(3), v(10), v(40)));
         let mut born = TriangleSet::new();
         born.insert(Triangle::new(v(5), v(6), v(63)));
-        let stream = DynamicTriangleNode::serialize_aggregate(codec, &dead, &born);
+        let stream = DynamicTriangleNode::serialize_aggregate(codec, &dead, &born, false);
         // Chunk to a tiny budget and reassemble, exactly as a parent
         // node does.
         for bandwidth in [13usize, 20, 4096] {
@@ -2135,7 +3201,7 @@ mod tests {
                 copy_bits(&mut r, &mut rebuilt, chunk.bit_len() - 1);
             }
             assert!(finished);
-            let (d, b) = DynamicTriangleNode::decode_aggregate(codec, 64, &rebuilt.finish())
+            let (d, b) = DynamicTriangleNode::decode_aggregate(codec, 64, &rebuilt.finish(), false)
                 .expect("round trip");
             assert_eq!(d, dead.iter().copied().collect::<Vec<_>>());
             assert_eq!(b, born.iter().copied().collect::<Vec<_>>());
@@ -2145,12 +3211,13 @@ mod tests {
             codec,
             &TriangleSet::new(),
             &TriangleSet::new(),
+            false,
         );
         assert_eq!(empty.bit_len(), 0);
         let chunks = DynamicTriangleNode::chunk_stream(&empty, 16);
         assert_eq!(chunks.len(), 1);
         assert_eq!(chunks[0].bit_len(), 1);
-        let (d, b) = DynamicTriangleNode::decode_aggregate(codec, 64, &empty).unwrap();
+        let (d, b) = DynamicTriangleNode::decode_aggregate(codec, 64, &empty, false).unwrap();
         assert!(d.is_empty() && b.is_empty());
     }
 

@@ -79,6 +79,25 @@ pub enum StreamError {
     /// mid-batch, so further applies are refused instead of sending
     /// jobs to a pool in an undefined state.
     Poisoned,
+    /// A simulated epoch hit the configured round cap before every node
+    /// halted. Under a fault plan this is how a hung epoch (for example a
+    /// convergecast stalled on dropped chunks with an exhausted deadline)
+    /// surfaces instead of spinning forever; the batch did not apply
+    /// cleanly, so treat the engine as unusable.
+    RoundLimit {
+        /// Rounds executed when the cap fired.
+        rounds: u64,
+    },
+    /// The self-healing recovery protocol gave up: after the bounded
+    /// number of retransmission epochs some streams still failed
+    /// verification. The engine refuses to report a possibly-wrong
+    /// result — rebuild it, or rerun with a gentler fault plan.
+    RecoveryExhausted {
+        /// Retransmission epochs attempted.
+        attempts: u32,
+        /// Streams still unverified when the bound was hit.
+        pending: usize,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -95,6 +114,14 @@ impl fmt::Display for StreamError {
             StreamError::Poisoned => write!(
                 f,
                 "engine poisoned by an earlier worker panic; discard it and rebuild from a graph"
+            ),
+            StreamError::RoundLimit { rounds } => write!(
+                f,
+                "epoch hit the round cap after {rounds} rounds before all nodes halted"
+            ),
+            StreamError::RecoveryExhausted { attempts, pending } => write!(
+                f,
+                "recovery exhausted after {attempts} retransmission epochs with {pending} streams still unverified"
             ),
         }
     }

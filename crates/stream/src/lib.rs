@@ -123,12 +123,16 @@ mod workload;
 pub use arena::{ArenaStats, NeighborArena};
 pub use delta::{DeltaBatch, DeltaOp, EdgeDelta};
 pub use distributed::{
-    Aggregation, CongestCost, DistributedTriangleEngine, HubSplit, ReceivedBitsSkew, SimExecutor,
+    Aggregation, CongestCost, DistributedTriangleEngine, HubSplit, ReceivedBitsSkew, RecoveryStats,
+    SimExecutor,
 };
+// Fault schedules are authored against the simulator's types; re-export
+// them so chaos harnesses need only this crate.
+pub use congest_sim::{CrashWindow, FaultPlan};
 pub use engine::StreamEngine;
 pub use index::{ApplyMode, ApplyReport, StreamError, TriangleIndex};
 pub use pool::WorkerTelemetry;
 pub use runner::{LatencyStats, RecomputeStats, RunSummary, StalenessStats, WorkloadRunner};
-pub use serve::{Lease, ServeHandle, TriangleServer};
+pub use serve::{Lease, ServeHandle, TriangleServer, STALE_LEASE_WARN_EPOCHS};
 pub use sharded::ShardedTriangleIndex;
 pub use workload::{BaseGraph, Scenario, ScenarioKind};

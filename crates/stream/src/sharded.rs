@@ -445,7 +445,8 @@ impl ShardedTriangleIndex {
     /// * [`StreamError::Poisoned`] if an earlier batch's worker panic
     ///   was caught by a caller: the engine's shard state is undefined,
     ///   so instead of sending jobs to a poisoned pool every further
-    ///   apply is refused cleanly. Rebuild the engine from a graph.
+    ///   apply is refused cleanly until [`recover`](Self::recover)
+    ///   reseeds the engine from a known-good graph.
     pub fn apply(&mut self, batch: &DeltaBatch) -> Result<ApplyReport, StreamError> {
         if self.poisoned() {
             return Err(StreamError::Poisoned);
@@ -497,6 +498,35 @@ impl ShardedTriangleIndex {
         };
         report.deltas_seen = 0;
         report
+    }
+
+    /// Rebuilds a poisoned engine in place from `graph`, so one panicked
+    /// job is not terminal for a long-lived writer (e.g. a
+    /// [`TriangleServer`](crate::TriangleServer)'s): the dead pool is
+    /// dropped — which closes its job channels and **joins every worker
+    /// thread**, panicked ones included — the shard store, triangle set
+    /// and support counters are reseeded from `graph`, and a fresh pool
+    /// spawns lazily on the next pipelined batch. Apply mode, thresholds
+    /// and accumulated telemetry survive; buffered deferred deltas do
+    /// **not** (the batch that poisoned the engine may be half-applied,
+    /// so `graph` is the new ground truth and older buffered intent
+    /// cannot be replayed against it safely).
+    ///
+    /// `graph` is whatever consistent state the caller still holds — a
+    /// published serve view frozen with [`snapshot`](Self::snapshot), a
+    /// persisted checkpoint, or the base graph plus a replayable delta
+    /// log. Calling this on a healthy engine is allowed and simply
+    /// resets it to `graph`.
+    pub fn recover(&mut self, graph: &Graph) {
+        self.pool = None;
+        self.store = ShardStore::new(graph.node_count(), self.store.shard_count());
+        for node in graph.nodes() {
+            self.store.seed(node, graph.neighbors(node));
+        }
+        self.triangles = congest_graph::triangles::list_all(graph);
+        self.support = NodeSupport::seed_from(&self.triangles, graph.node_count());
+        self.edge_count = graph.edge_count();
+        self.pending = PendingBuffer::default();
     }
 
     /// Freezes the current graph (pending deltas excluded) into an
@@ -1401,6 +1431,81 @@ mod tests {
         // Flushing refuses to touch the store too (and keeps nothing
         // half-applied).
         assert_eq!(idx.flush(), ApplyReport::default());
+    }
+
+    #[test]
+    fn recover_after_worker_panic_resumes_oracle_exact_applies() {
+        use crate::delta::DeltaOp;
+        use crate::index::TriangleIndex;
+        use crate::pool::BatchRun;
+        use crate::shard::Shard;
+
+        let g = Gnp::new(24, 0.2).seeded(23).generate();
+        let mut idx = parallel(ShardedTriangleIndex::from_graph(&g, 3));
+        let mut b = DeltaBatch::new();
+        b.insert(v(0), v(1)).insert(v(1), v(2)).insert(v(0), v(2));
+        idx.apply(&b).expect("healthy engine applies");
+        // The consistent state a real writer would still hold (published
+        // view / checkpoint), frozen before the poisoning batch.
+        let checkpoint = idx.snapshot();
+
+        // Poison the engine's own pool the way a mid-batch worker panic
+        // does (see `apply_after_worker_panic_returns_a_clean_error`).
+        {
+            let pool = idx.pool.as_ref().expect("pool spawned on first batch");
+            let mut run = BatchRun::new(pool, 0);
+            run.start_record(
+                vec![
+                    Arc::new(Shard::new(1)),
+                    Arc::new(Shard::new(1)),
+                    Arc::new(Shard::new(1)),
+                ],
+                vec![
+                    vec![ShardOp {
+                        local: 99,
+                        other: v(1),
+                        op: DeltaOp::Insert,
+                    }],
+                    Vec::new(),
+                    Vec::new(),
+                ],
+                vec![Vec::new(), Vec::new(), Vec::new()],
+            );
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.finish_record()));
+            assert!(caught.is_err());
+        }
+        assert!(idx.poisoned());
+        let mut refused = DeltaBatch::new();
+        refused.insert(v(3), v(4));
+        assert_eq!(idx.apply(&refused).unwrap_err(), StreamError::Poisoned);
+
+        // Recovery from the checkpoint: the dead pool is joined, state
+        // reseeds, and pooled applies resume oracle-exactly.
+        idx.recover(&checkpoint);
+        assert!(!idx.poisoned());
+        let mut reference = TriangleIndex::from_graph(&checkpoint);
+        for step in 0..4u32 {
+            let mut b = DeltaBatch::new();
+            for j in 0..10u32 {
+                let a = (step * 7 + j * 5) % 24;
+                let c = (step * 3 + j * 11 + 1) % 24;
+                if a != c {
+                    if (step + j) % 3 == 0 {
+                        b.remove(v(a), v(c));
+                    } else {
+                        b.insert(v(a), v(c));
+                    }
+                }
+            }
+            let rr = reference.apply(&b).expect("reference applies");
+            let rs = idx.apply(&b).expect("recovered engine applies");
+            assert_eq!(rr, rs, "step {step}");
+            assert_eq!(idx.triangles(), reference.triangles(), "step {step}");
+        }
+        assert!(idx.matches_oracle());
+        // The recovered engine went back through the (fresh) pool.
+        assert!(idx.pool.is_some(), "a new pool spawned after recovery");
     }
 
     #[test]
