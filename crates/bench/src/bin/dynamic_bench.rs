@@ -57,6 +57,10 @@
 //! configuration. `--trace-out PATH` re-runs a small convergecast
 //! stream *after* the measured sections with span tracing enabled and
 //! writes the collected spans as chrome://tracing trace-event JSON.
+//! `--input FILE` replays a temporal edge-list file (`src dst [w] time`
+//! lines) through the dynamic engine as an extra section, batched by
+//! `--replay size:N|window:MS` (default `size:500`); its round costs
+//! and oracle verdict land under the JSON's `"replay"` key.
 //!
 //! The headline and hotspot sections also export the simulator's
 //! received-bits skew (max over mean per-node received bits, the
@@ -69,11 +73,12 @@ use std::fmt::Write as _;
 
 use congest_bench::gate::HOTSPOT_SPLIT_IMPROVEMENT_FLOOR;
 use congest_bench::{json, table::fmt_f64, Table};
+use congest_graph::temporal::TemporalLoader;
 use congest_graph::{GraphBuilder, NodeId};
 use congest_sim::Bandwidth;
 use congest_stream::{
-    Aggregation, ApplyMode, BaseGraph, CongestCost, DeltaBatch, DistributedTriangleEngine,
-    FaultPlan, HubSplit, RecoveryStats, Scenario,
+    Aggregation, ApplyMode, BaseGraph, BatchSource, CongestCost, DeltaBatch,
+    DistributedTriangleEngine, FaultPlan, HubSplit, RecoveryStats, Replay, ReplayPolicy, Scenario,
 };
 use congest_triangles::{find_triangles, list_triangles, FindingConfig, ListingConfig};
 
@@ -361,9 +366,92 @@ fn capture_trace(path: &std::path::Path) {
     );
 }
 
+/// Replays a temporal edge-list file through the distributed dynamic
+/// engine. The same measurement loop as the headline — per-batch round
+/// costs and a final oracle check — but over recorded arrivals and
+/// departures instead of a synthetic `Scenario`. Returns the JSON
+/// object for the report's `"replay"` key.
+fn run_replay_section(input: &std::path::Path, replay_spec: Option<&str>) -> String {
+    let policy = ReplayPolicy::parse(replay_spec.unwrap_or("size:500"))
+        .unwrap_or_else(|e| panic!("--replay: {e}"));
+    let timeline = TemporalLoader::new()
+        .load_path(input)
+        .unwrap_or_else(|e| panic!("load {}: {e}", input.display()));
+    let label = input
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| input.display().to_string());
+    let replay = Replay::new(timeline, policy).with_label(&label);
+    let timeline = replay.timeline();
+
+    let base = replay.base_graph();
+    let mut engine = DistributedTriangleEngine::from_graph(&base);
+    let mut max_batch_rounds = 0u64;
+    let mut deltas = 0usize;
+    let mut batches = 0usize;
+    for batch in replay.batch_iter() {
+        deltas += batch.len();
+        engine
+            .apply(&batch)
+            .expect("replayed deltas are in range: the loader bounds node ids");
+        max_batch_rounds = max_batch_rounds.max(engine.last_batch_cost().rounds);
+        batches += 1;
+    }
+    assert_eq!(
+        batches,
+        replay.batch_count(),
+        "Replay::batch_count must match the batches its iterator yields"
+    );
+    let total = engine.total_cost();
+    let mean_rounds = total.rounds as f64 / batches.max(1) as f64;
+    let oracle_ok = engine.matches_oracle();
+    assert!(oracle_ok, "replayed stream diverged from the oracle");
+    println!(
+        "\nreplay {label} ({} policy): {} events over {} batches, \
+         {mean_rounds:.1} rounds/batch (max {max_batch_rounds}), \
+         {} final triangles, oracle ok",
+        replay
+            .replay_policy()
+            .expect("replay sources have a policy"),
+        timeline.len(),
+        batches,
+        engine.triangle_count(),
+    );
+
+    let mut out = String::from("{");
+    json::push_str(&mut out, "file", &input.display().to_string());
+    json::push_str(&mut out, "source", &BatchSource::name(&replay));
+    json::push_num(
+        &mut out,
+        "source_fingerprint",
+        BatchSource::fingerprint(&replay) as f64,
+    );
+    json::push_str(
+        &mut out,
+        "policy",
+        &replay
+            .replay_policy()
+            .expect("replay sources have a policy"),
+    );
+    json::push_num(&mut out, "node_count", replay.node_count() as f64);
+    json::push_num(&mut out, "events", timeline.len() as f64);
+    json::push_num(&mut out, "batches", batches as f64);
+    json::push_num(&mut out, "deltas", deltas as f64);
+    json::push_num(&mut out, "mean_rounds_per_batch", mean_rounds);
+    json::push_num(&mut out, "max_batch_rounds", max_batch_rounds as f64);
+    json::push_num(&mut out, "total_rounds", total.rounds as f64);
+    json::push_num(&mut out, "total_bits", total.bits as f64);
+    json::push_num(&mut out, "final_triangles", engine.triangle_count() as f64);
+    json::push_bool(&mut out, "oracle_ok", oracle_ok);
+    json::finish_object(&mut out);
+    out
+}
+
 fn main() {
     let mut quick = false;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut input: Option<std::path::PathBuf> = None;
+    let mut replay_spec: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -371,7 +459,17 @@ fn main() {
             "--trace-out" => {
                 trace_out = Some(it.next().expect("--trace-out requires a value").into());
             }
-            other => panic!("unknown flag {other} (expected --quick or --trace-out)"),
+            "--input" => {
+                input = Some(it.next().expect("--input requires a file path").into());
+            }
+            "--replay" => {
+                let spec = it.next().expect("--replay requires size:N or window:MS");
+                ReplayPolicy::parse(&spec).unwrap_or_else(|e| panic!("--replay: {e}"));
+                replay_spec = Some(spec);
+            }
+            other => {
+                panic!("unknown flag {other} (expected --quick, --trace-out, --input, or --replay)")
+            }
         }
     }
 
@@ -637,16 +735,27 @@ fn main() {
         eprintln!("ERROR: at least one run diverged from the centralized oracle");
     }
 
+    // Optional replay section: a recorded temporal file through the
+    // same dynamic engine, reported alongside the synthetic runs.
+    let replay_json = input
+        .as_deref()
+        .map(|path| run_replay_section(path, replay_spec.as_deref()));
+
     // Machine-readable trajectory for the CI gate. Round counts are
     // deterministic per seed, so the gate needs no hardware fingerprint
-    // — only the scenario shape (`quick`, `headline_n`) must match.
+    // — only the scenario shape (`quick`, `headline_n`) and the batch
+    // source (`source_fingerprint`) must match. The top-level
+    // `source_fingerprint` must be emitted before `"runs"` because the
+    // gate's extractor takes the first occurrence of each key, and the
+    // nested `RunSummary`-shaped objects carry their own copies.
     let mut json = String::from("{\"bench\":\"dynamic\",\"schema_version\":3,");
     let _ = write!(
         json,
-        "\"quick\":{},\"headline_n\":{},\"headline_batches\":{},",
+        "\"quick\":{},\"headline_n\":{},\"headline_batches\":{},\"source_fingerprint\":{},",
         if quick { 1 } else { 0 },
         headline_run.n,
         headline_run.batches,
+        BatchSource::fingerprint(&headline),
     );
     json.push_str("\"runs\":[");
     for (i, r) in runs.iter().chain([&deferred, &headline_run]).enumerate() {
@@ -684,7 +793,8 @@ fn main() {
          \"hotspot_rounds_per_batch\":{},\
          \"hotspot_received_bits_skew_unsplit\":{},\
          \"hotspot_received_bits_skew_split\":{},\
-         \"hotspot_split_round_improvement\":{hotspot_improvement:.3}}}",
+         \"hotspot_split_round_improvement\":{hotspot_improvement:.3},\
+         \"replay\":{}}}",
         fault_drop1.mean_rounds_per_batch(),
         fault_drop1.recovery_rounds_per_batch(),
         headline_run.max_batch_rounds,
@@ -698,6 +808,7 @@ fn main() {
         hotspot.split_rounds,
         json::num(hotspot.unsplit_skew),
         json::num(hotspot.split_skew),
+        replay_json.as_deref().unwrap_or("null"),
     );
     std::fs::write("BENCH_dynamic.json", &json).expect("write BENCH_dynamic.json");
     println!("\nwrote BENCH_dynamic.json ({} runs)", runs.len() + 2);

@@ -26,14 +26,19 @@
 //!    leases actually let readers scale instead of serializing them.
 //!
 //! `--quick` shrinks the graph, windows and ramp cap (what CI runs);
-//! `--readers N` overrides the reader-thread count. Results land in
-//! `BENCH_serve.json` — flat top-level keys for the gated metrics
-//! (`serve_max_sustainable_rps`, `serve_read_p50_us`,
+//! `--readers N` overrides the reader-thread count. `--input FILE`
+//! swaps the synthetic churn scenario for a replayed temporal edge-list
+//! file (`src dst [w] time` lines) batched by `--replay
+//! size:N|window:MS` (default `size:500`) — the load generator then
+//! cycles the recorded batches instead of the generated ones. Results
+//! land in `BENCH_serve.json` — flat top-level keys for the gated
+//! metrics (`serve_max_sustainable_rps`, `serve_read_p50_us`,
 //! `serve_read_p99_us`, `serve_write_throughput_ratio`) plus the
-//! `hardware_threads`/`quick` fingerprint `serve_gate` compares under,
-//! and the observability registry snapshot (which carries the
-//! `serve.active_leases` / `serve.oldest_lease_epoch_lag` gauges from
-//! the final publishes).
+//! `hardware_threads`/`quick`/`source_fingerprint` fingerprint
+//! `serve_gate` compares under (a baseline recorded against one batch
+//! source never gates a run against another), and the observability
+//! registry snapshot (which carries the `serve.active_leases` /
+//! `serve.oldest_lease_epoch_lag` gauges from the final publishes).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -42,9 +47,13 @@ use std::time::{Duration, Instant};
 
 use congest_bench::gate::{SERVE_WRITE_RATIO_FLOOR, SMALLBATCH_FLOOR_MIN_THREADS};
 use congest_bench::{table::fmt_f64, Table};
+use congest_graph::temporal::TemporalLoader;
 use congest_graph::{AdjacencyView, Graph, NodeId};
 use congest_obs::Histogram;
-use congest_stream::{BaseGraph, DeltaBatch, Scenario, ShardedTriangleIndex, TriangleServer};
+use congest_stream::{
+    BaseGraph, BatchSource, DeltaBatch, Replay, ReplayPolicy, Scenario, ShardedTriangleIndex,
+    TriangleServer,
+};
 
 /// Read SLO: a leased point query must complete within 1 ms of its
 /// scheduled arrival. Reads are sub-microsecond when the server keeps
@@ -66,12 +75,16 @@ const READ_SCALING_FLOOR: f64 = 1.2;
 struct Args {
     quick: bool,
     readers: Option<usize>,
+    input: Option<std::path::PathBuf>,
+    replay: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         readers: None,
+        input: None,
+        replay: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -81,7 +94,18 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--readers needs a value");
                 args.readers = Some(v.parse().expect("--readers takes a positive integer"));
             }
-            other => panic!("unknown flag {other:?} (supported: --quick, --readers N)"),
+            "--input" => {
+                args.input = Some(it.next().expect("--input requires a file path").into());
+            }
+            "--replay" => {
+                let spec = it.next().expect("--replay requires size:N or window:MS");
+                ReplayPolicy::parse(&spec).unwrap_or_else(|e| panic!("--replay: {e}"));
+                args.replay = Some(spec);
+            }
+            other => panic!(
+                "unknown flag {other:?} (supported: --quick, --readers N, \
+                 --input FILE, --replay size:N|window:MS)"
+            ),
         }
     }
     args
@@ -373,8 +397,45 @@ fn main() {
     let scenario = Scenario::uniform_churn(n, num_batches, batch_size)
         .with_base(BaseGraph::Gnp { p: 8.0 / n as f64 })
         .seeded(0x5EB7E);
-    let base = scenario.base_graph();
-    let batches = scenario.batches();
+
+    // The load source: the synthetic churn scenario by default, or a
+    // replayed temporal edge-list file under `--input`. Both roads go
+    // through `BatchSource`, so the identity that lands in the JSON
+    // (name + fingerprint + policy) is uniform and `serve_gate` can
+    // refuse cross-source baseline comparisons.
+    let (source_name, source_fingerprint, replay_policy, base, batches) = match &args.input {
+        Some(path) => {
+            let policy = ReplayPolicy::parse(args.replay.as_deref().unwrap_or("size:500"))
+                .unwrap_or_else(|e| panic!("--replay: {e}"));
+            let timeline = TemporalLoader::new()
+                .load_path(path)
+                .unwrap_or_else(|e| panic!("load {}: {e}", path.display()));
+            assert!(
+                !timeline.is_empty(),
+                "{}: a replayed serve workload needs at least one event",
+                path.display()
+            );
+            let label = path
+                .file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            let replay = Replay::new(timeline, policy).with_label(&label);
+            (
+                BatchSource::name(&replay),
+                BatchSource::fingerprint(&replay),
+                replay.replay_policy(),
+                replay.base_graph(),
+                replay.batches(),
+            )
+        }
+        None => (
+            BatchSource::name(&scenario),
+            BatchSource::fingerprint(&scenario),
+            None,
+            scenario.base_graph(),
+            scenario.batches(),
+        ),
+    };
 
     // Cheap end-to-end correctness guard before timing anything: one
     // pass of the stream through the served engine must match the
@@ -393,8 +454,10 @@ fn main() {
     }
 
     println!(
-        "# serve_bench — n={n}, {num_batches}x{batch_size} churn, {readers} reader(s), \
+        "# serve_bench — {source_name}: n={}, {} batch(es), {readers} reader(s), \
          {hardware_threads} hardware thread(s){}\n",
+        base.node_count(),
+        batches.len(),
         if args.quick { ", --quick" } else { "" }
     );
 
@@ -484,8 +547,14 @@ fn main() {
     let mut json = String::from("{\"bench\":\"serve\",\"schema_version\":1,");
     let _ = write!(
         json,
-        "\"quick\":{},\"hardware_threads\":{hardware_threads},\"serve_readers\":{readers},",
+        "\"quick\":{},\"hardware_threads\":{hardware_threads},\"serve_readers\":{readers},\
+         \"source\":\"{}\",\"source_fingerprint\":{source_fingerprint},\"replay_policy\":{},",
         u8::from(args.quick),
+        congest_obs::json::escape(&source_name),
+        replay_policy
+            .as_deref()
+            .map(|p| format!("\"{}\"", congest_obs::json::escape(p)))
+            .unwrap_or_else(|| "null".to_string()),
     );
     let (max_rps, p50, p99) = match &sustained {
         Some(s) => (s.target_rps, s.p50_us, s.p99_us),

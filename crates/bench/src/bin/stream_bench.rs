@@ -40,8 +40,13 @@
 //! stream with leased readers *after* the gated sweeps with span
 //! tracing enabled and writes the collected spans as chrome://tracing
 //! trace-event JSON (the sweeps themselves always run with tracing
-//! disabled so the gated numbers are never skewed by instrumentation).
-//! All flags are recorded in the JSON metadata.
+//! disabled so the gated numbers are never skewed by instrumentation);
+//! `--input FILE` replays a temporal `src dst [w] time` edge list
+//! through the single-threaded and pooled engines after the sweeps,
+//! batched by `--replay {size:N|window:MS}` (default `size:500`), and
+//! lands the whole replay — source fingerprint, per-round latency
+//! series, both run summaries — in a `"replay"` JSON section. All flags
+//! are recorded in the JSON metadata.
 //!
 //! Output: a plain-text table on stdout (diffable, like every other
 //! harness binary) and a machine-readable `BENCH_stream.json` in the
@@ -53,9 +58,11 @@ use std::time::{Duration, Instant};
 
 use congest_bench::gate::{SMALLBATCH_FLOOR_MIN_THREADS, SMALLBATCH_SPEEDUP_FLOOR};
 use congest_bench::{json, table::fmt_f64, Table};
+use congest_graph::temporal::TemporalLoader;
 use congest_graph::{count_common, NodeId, GALLOP_RATIO};
 use congest_stream::{
-    Aggregation, ApplyMode, BaseGraph, DistributedTriangleEngine, FaultPlan, RunSummary, Scenario,
+    split_batch_for_workers, Aggregation, ApplyMode, BaseGraph, BatchSource,
+    DistributedTriangleEngine, FaultPlan, Replay, ReplayPolicy, RunSummary, Scenario,
     ShardedTriangleIndex, TriangleServer, WorkloadRunner,
 };
 
@@ -128,6 +135,8 @@ struct Args {
     flush_deadline_ms: Option<f64>,
     quick: bool,
     trace_out: Option<std::path::PathBuf>,
+    input: Option<std::path::PathBuf>,
+    replay: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -155,10 +164,17 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out").into()),
+            "--input" => args.input = Some(value("--input").into()),
+            "--replay" => {
+                let spec = value("--replay");
+                // Validate eagerly so a typo fails before an hour of sweeps.
+                ReplayPolicy::parse(&spec).unwrap_or_else(|e| panic!("--replay: {e}"));
+                args.replay = Some(spec);
+            }
             other => {
                 panic!(
-                    "unknown flag {other} (expected --shards, --flush-deadline-ms, --quick \
-                     or --trace-out)"
+                    "unknown flag {other} (expected --shards, --flush-deadline-ms, --quick, \
+                     --trace-out, --input or --replay)"
                 )
             }
         }
@@ -390,6 +406,129 @@ fn capture_trace(path: &std::path::Path) {
     );
 }
 
+/// Cap on the per-round latency series embedded in the replay JSON:
+/// enough to plot CI's quick replay end to end without the file growing
+/// with the input. Rounds past the cap still land in the histogram
+/// percentiles; the JSON records how many were truncated.
+const REPLAY_SERIES_CAP: usize = 256;
+
+/// The `--input` temporal-file replay: loads the file, runs it through
+/// the single-threaded and S=4 pooled engines via [`WorkloadRunner`]
+/// (both oracle-verified), then drives one more pass manually to record
+/// the per-round latency series through a `congest-obs` histogram and to
+/// hold [`split_batch_for_workers`] to its per-worker quota on real
+/// batches. Returns the `"replay"` JSON object, or `None` without
+/// `--input`.
+fn run_replay_section(args: &Args) -> Option<String> {
+    let path = args.input.as_ref()?;
+    let spec = args
+        .replay
+        .clone()
+        .unwrap_or_else(|| "size:500".to_string());
+    let policy = ReplayPolicy::parse(&spec).unwrap_or_else(|e| panic!("--replay: {e}"));
+    let list = TemporalLoader::new()
+        .load_path(path)
+        .unwrap_or_else(|e| panic!("--input: {e}"));
+    let label = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "temporal".to_string());
+    let events = list.len();
+    let self_loops = list.self_loops_skipped();
+    let duplicates = list.duplicates_dropped();
+    let replay = Replay::new(list, policy).with_label(&label);
+    let fingerprint = replay.fingerprint();
+    let rounds = replay.batch_count();
+
+    let single = WorkloadRunner::from_source(replay.clone())
+        .recompute_every(0)
+        .verified(true)
+        .run();
+    let sharded = WorkloadRunner::from_source(replay.clone())
+        .with_shards(4)
+        .recompute_every(0)
+        .verified(true)
+        .run();
+    assert!(single.oracle_ok, "replayed single run diverged from oracle");
+    assert!(
+        sharded.oracle_ok,
+        "replayed sharded run diverged from oracle"
+    );
+    assert_eq!(single.final_triangles, sharded.final_triangles);
+
+    // Per-round latency pass: one more walk of the stream, this time
+    // recording each round individually (the runner only keeps
+    // percentiles). The split check rides along on real batches.
+    let workers = 4usize;
+    let base = replay.base_graph();
+    let mut engine = ShardedTriangleIndex::from_graph(&base, workers);
+    let mut hist = congest_obs::Histogram::new();
+    let mut series_us: Vec<f64> = Vec::new();
+    for batch in replay.batch_iter() {
+        let parts = split_batch_for_workers(&batch, workers);
+        for (i, part) in parts.iter().enumerate() {
+            let quota = batch.len() / workers + usize::from(batch.len() % workers > i);
+            assert_eq!(part.len(), quota, "worker {i} split quota violated");
+        }
+        let start = Instant::now();
+        engine
+            .apply(&batch)
+            .expect("replayed batches only touch in-range nodes");
+        let d = start.elapsed();
+        hist.record(d);
+        if series_us.len() < REPLAY_SERIES_CAP {
+            series_us.push(d.as_secs_f64() * 1e6);
+        }
+    }
+    assert!(engine.matches_oracle(), "replay latency pass diverged");
+
+    println!(
+        "\nreplay: {} ({} events, policy {spec})",
+        replay.name(),
+        events
+    );
+    println!(
+        "  rounds {rounds}, single {:.0} deltas/s, pooled S=4 {:.0} deltas/s, \
+         round p50/p99/max {:.0}/{:.0}/{:.0} us, final triangles {}",
+        single.deltas_per_sec,
+        sharded.deltas_per_sec,
+        hist.value_at_quantile_us(0.50),
+        hist.value_at_quantile_us(0.99),
+        hist.max_ns() as f64 / 1e3,
+        sharded.final_triangles,
+    );
+
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"file\":\"{}\",\"source\":\"{}\",\"source_fingerprint\":{fingerprint},\
+         \"policy\":\"{}\",\"node_count\":{},\"events\":{events},\"rounds\":{rounds},\
+         \"self_loops_skipped\":{self_loops},\"duplicates_dropped\":{duplicates},\
+         \"latency_p50_us\":{},\"latency_p99_us\":{},\"latency_max_us\":{},\
+         \"round_latency_truncated\":{},\"round_latency_us\":[",
+        json::escape(&path.display().to_string()),
+        json::escape(&replay.name()),
+        json::escape(&spec),
+        replay.node_count(),
+        json::num(hist.value_at_quantile_us(0.50)),
+        json::num(hist.value_at_quantile_us(0.99)),
+        json::num(hist.max_ns() as f64 / 1e3),
+        rounds.saturating_sub(series_us.len()),
+    );
+    for (i, us) in series_us.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", json::num(*us));
+    }
+    out.push_str("],\"runs\":[");
+    out.push_str(&single.to_json());
+    out.push(',');
+    out.push_str(&sharded.to_json());
+    out.push_str("]}");
+    Some(out)
+}
+
 fn main() {
     let args = parse_args();
     let mut table = Table::new([
@@ -615,16 +754,24 @@ fn main() {
          balanced 4096v4096 {kernel_balanced:.0} Melems/s (merge)"
     );
 
+    // The temporal-file replay (when requested) runs after the gated
+    // sweeps so its engine work never contends with a gated measurement.
+    let replay_json = run_replay_section(&args);
+
     let any_oracle_failure = summaries.iter().any(|s| !s.oracle_ok);
     if any_oracle_failure {
         eprintln!("ERROR: at least one run diverged from the centralized oracle");
     }
 
     // Machine-readable trajectory for future PRs (and the CI gate).
+    // `source_fingerprint` identifies the headline workload and must stay
+    // ahead of `"runs"`: the gate's flat-key extractor takes the first
+    // occurrence, and every run summary carries its own copy.
     let mut json = String::from("{\"bench\":\"stream\",\"schema_version\":4,");
     let _ = write!(
         json,
-        "\"args_shards\":{},\"args_flush_deadline_ms\":{},\"quick\":{},\"args_trace_out\":{},",
+        "\"args_shards\":{},\"args_flush_deadline_ms\":{},\"quick\":{},\"args_trace_out\":{},\
+         \"args_input\":{},\"args_replay\":{},\"source_fingerprint\":{},",
         args.shards
             .map(|s| s.to_string())
             .unwrap_or_else(|| "null".to_string()),
@@ -636,6 +783,15 @@ fn main() {
             .as_ref()
             .map(|p| format!("\"{}\"", json::escape(&p.display().to_string())))
             .unwrap_or_else(|| "null".to_string()),
+        args.input
+            .as_ref()
+            .map(|p| format!("\"{}\"", json::escape(&p.display().to_string())))
+            .unwrap_or_else(|| "null".to_string()),
+        args.replay
+            .as_ref()
+            .map(|s| format!("\"{}\"", json::escape(s)))
+            .unwrap_or_else(|| "null".to_string()),
+        BatchSource::fingerprint(&headline_scenario()),
     );
     json.push_str("\"runs\":[");
     for (i, s) in summaries.iter().enumerate() {
@@ -677,6 +833,7 @@ fn main() {
          \"hotspot_pool_worker_busy_mean_share\":{},\
          \"intersect_kernel_skewed_melems_per_sec\":{:.3},\
          \"intersect_kernel_balanced_melems_per_sec\":{:.3},\
+         \"replay\":{},\
          \"obs\":{}}}",
         single.deltas_per_sec,
         json::num(s1_ratio),
@@ -693,6 +850,7 @@ fn main() {
         json::num(hotspot_pool.worker_busy_mean_share.unwrap_or(f64::NAN)),
         kernel_skewed,
         kernel_balanced,
+        replay_json.as_deref().unwrap_or("null"),
         congest_obs::snapshot().to_json(),
     );
     std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");

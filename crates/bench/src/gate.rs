@@ -154,9 +154,12 @@ pub const STREAM_GATE_METRICS_LOWER_IS_BETTER: [&str; 1] = ["hotspot_pool_p99_us
 /// The fingerprint keys that must match between a `BENCH_stream.json`
 /// baseline and a fresh run for the stream gate to have teeth:
 /// `hardware_threads` pins the machine (every gated metric is
-/// timing-derived) and `quick` pins the sweep shape (the small-batch and
-/// hotspot sweeps shrink under `--quick`, which CI uses).
-pub const STREAM_GATE_FINGERPRINT: [&str; 2] = ["hardware_threads", "quick"];
+/// timing-derived), `quick` pins the sweep shape (the small-batch and
+/// hotspot sweeps shrink under `--quick`, which CI uses), and
+/// `source_fingerprint` pins the batch source itself — a baseline
+/// measured on one workload (or one replayed file) must never gate a
+/// run measured on another.
+pub const STREAM_GATE_FINGERPRINT: [&str; 3] = ["hardware_threads", "quick", "source_fingerprint"];
 
 /// Absolute floor for the pool-vs-spawn small-batch speedup, enforced by
 /// `stream_gate` (in addition to the baseline comparison) whenever the
@@ -198,8 +201,9 @@ pub const DYNAMIC_GATE_METRICS_LOWER_IS_BETTER: [&str; 3] = [
 
 /// The fingerprint keys that must match between a `BENCH_dynamic.json`
 /// baseline and a fresh run for the dynamic gate to have teeth: they
-/// pin the scenario shape, not the hardware.
-pub const DYNAMIC_GATE_FINGERPRINT: [&str; 2] = ["quick", "headline_n"];
+/// pin the scenario shape — including which batch source fed the
+/// engine (`source_fingerprint`) — not the hardware.
+pub const DYNAMIC_GATE_FINGERPRINT: [&str; 3] = ["quick", "headline_n", "source_fingerprint"];
 
 /// Absolute floor for the hotspot round improvement of the helper-split
 /// schedule over the unsplit protocol (`dynamic_bench` enforces it
@@ -222,9 +226,10 @@ pub const SERVE_GATE_METRICS_LOWER_IS_BETTER: [&str; 1] = ["serve_read_p99_us"];
 /// The fingerprint keys that must match between a `BENCH_serve.json`
 /// baseline and a fresh run for the serve gate to have teeth:
 /// `hardware_threads` pins the machine (readers and the writer contend
-/// for cores, so every serve metric is hardware-bound) and `quick` pins
-/// the ramp shape (CI sweeps a shorter ramp under `--quick`).
-pub const SERVE_GATE_FINGERPRINT: [&str; 2] = ["hardware_threads", "quick"];
+/// for cores, so every serve metric is hardware-bound), `quick` pins
+/// the ramp shape (CI sweeps a shorter ramp under `--quick`), and
+/// `source_fingerprint` pins the batch source feeding the writer.
+pub const SERVE_GATE_FINGERPRINT: [&str; 3] = ["hardware_threads", "quick", "source_fingerprint"];
 
 /// Absolute floor for the serve write-throughput ratio (readers attached
 /// vs detached), enforced in-binary by `serve_bench` whenever the

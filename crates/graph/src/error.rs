@@ -27,6 +27,15 @@ pub enum GraphError {
         /// Explanation of the failure.
         reason: String,
     },
+    /// Reading or writing an edge-list file failed. The OS error is
+    /// carried as text so the error type stays `Clone + Eq` (callers
+    /// compare and replay errors in property tests).
+    Io {
+        /// Path of the file involved.
+        path: String,
+        /// The underlying I/O failure, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -43,6 +52,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::ParseEdgeList { line, reason } => {
                 write!(f, "failed to parse edge list at line {line}: {reason}")
+            }
+            GraphError::Io { path, detail } => {
+                write!(f, "I/O error on {path}: {detail}")
             }
         }
     }
@@ -68,6 +80,12 @@ mod tests {
             reason: "not a number".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        let e = GraphError::Io {
+            path: "edges.txt".into(),
+            detail: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("edges.txt"));
+        assert!(e.to_string().contains("permission denied"));
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod graph;
 pub mod heavy;
 mod node;
 pub mod properties;
+pub mod temporal;
 mod triangle;
 pub mod triangles;
 mod view;

@@ -1,0 +1,529 @@
+//! Temporal edge-list ingestion: SNAP/LDBC-style `src dst [w] time`
+//! files, plus the deterministic synthetic writer CI replays without any
+//! network access.
+//!
+//! The on-disk format is the one the timely/differential replay tools
+//! consume: one whitespace-separated record per line, either
+//! `src dst time` or `src dst weight time`, with `#`/`%` comment lines
+//! and blank lines ignored. Times are non-negative integers in whatever
+//! unit the file chooses (SNAP exports use seconds; the synthetic writer
+//! uses milliseconds) — the replay driver only ever compares them. A
+//! negative weight marks the event as an edge *departure*; any other
+//! weight (including the implicit `1` of three-field records) is an
+//! arrival. That convention lets one file carry real churn — births and
+//! deaths — instead of insert-only growth.
+//!
+//! Loading is strict where silence would corrupt a benchmark and lenient
+//! where real exports are messy:
+//!
+//! * malformed records (wrong field count, non-numeric tokens) fail with
+//!   a line-numbered [`GraphError::ParseEdgeList`] and the load returns
+//!   nothing — never a half-parsed timeline;
+//! * endpoints at or above an explicitly declared node count fail the
+//!   same way (without a declared count the loader infers `max id + 1`);
+//! * self-loops are skipped and counted (SNAP exports contain them, and
+//!   the simple-graph engines cannot represent them);
+//! * exact duplicate events (same time, edge and sign) are dropped and
+//!   counted — replaying a duplicated arrival would silently no-op but
+//!   still bill the engines for it.
+//!
+//! The surviving events are stably sorted by time (ties keep file
+//! order), so downstream batching is deterministic for a given file, and
+//! the whole timeline folds into a [`TemporalEdgeList::fingerprint`]
+//! that bench gates compare to refuse cross-source baselines.
+
+use std::path::Path;
+
+use crate::{GraphError, NodeId};
+
+/// Mask folding fingerprints to 52 bits: the value survives a round trip
+/// through an `f64` JSON number exactly, which is how the bench gates'
+/// flat-key extractor compares it.
+const FINGERPRINT_MASK: u64 = (1 << 52) - 1;
+
+/// Folds a word stream into a 52-bit FNV-1a fingerprint.
+///
+/// Deterministic, order-sensitive, and small enough (`< 2^52`) to embed
+/// in bench JSON as a plain number without precision loss. Not a
+/// cryptographic hash — it exists so two runs can cheaply agree (or
+/// refuse to agree) on *which* input they measured.
+pub fn fingerprint64<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h & FINGERPRINT_MASK
+}
+
+/// One timestamped edge event of a temporal edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TemporalEvent {
+    /// Event time, in the file's own unit.
+    pub time: u64,
+    /// Lower endpoint (events are normalized so `u < v`).
+    pub u: NodeId,
+    /// Higher endpoint.
+    pub v: NodeId,
+    /// Signed weight: negative means the edge departs at `time`, any
+    /// other value means it arrives.
+    pub weight: i64,
+}
+
+impl TemporalEvent {
+    /// Whether this event removes the edge (negative weight).
+    pub fn is_departure(&self) -> bool {
+        self.weight < 0
+    }
+}
+
+/// A parsed, time-sorted temporal edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalEdgeList {
+    node_count: usize,
+    events: Vec<TemporalEvent>,
+    self_loops_skipped: usize,
+    duplicates_dropped: usize,
+}
+
+impl TemporalEdgeList {
+    /// Number of nodes (declared via
+    /// [`TemporalLoader::with_node_count`], or inferred as `max id + 1`).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The events, stably sorted by time (ties keep file order).
+    pub fn events(&self) -> &[TemporalEvent] {
+        &self.events
+    }
+
+    /// Number of surviving events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Self-loop records skipped during the load.
+    pub fn self_loops_skipped(&self) -> usize {
+        self.self_loops_skipped
+    }
+
+    /// Exact duplicate events dropped during the load.
+    pub fn duplicates_dropped(&self) -> usize {
+        self.duplicates_dropped
+    }
+
+    /// First and last event times, `None` when empty.
+    pub fn time_span(&self) -> Option<(u64, u64)> {
+        match (self.events.first(), self.events.last()) {
+            (Some(first), Some(last)) => Some((first.time, last.time)),
+            _ => None,
+        }
+    }
+
+    /// Deterministic 52-bit fingerprint of the whole timeline (node
+    /// count plus every event in order). Two loads agree on it exactly
+    /// when they parsed the same effective timeline.
+    pub fn fingerprint(&self) -> u64 {
+        let header = [0x007E_4A11_u64, self.node_count as u64];
+        let words = header.into_iter().chain(self.events.iter().flat_map(|e| {
+            [
+                e.time,
+                e.u.index() as u64,
+                e.v.index() as u64,
+                e.weight as u64,
+            ]
+        }));
+        fingerprint64(words)
+    }
+}
+
+/// Parser for `src dst [w] time` edge-list text.
+///
+/// ```
+/// use congest_graph::temporal::TemporalLoader;
+///
+/// let text = "# toy timeline\n0 1 10\n1 2 -1 20\n";
+/// let list = TemporalLoader::new().parse_str(text).unwrap();
+/// assert_eq!(list.node_count(), 3);
+/// assert_eq!(list.len(), 2);
+/// assert!(list.events()[1].is_departure());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TemporalLoader {
+    node_count: Option<usize>,
+    header_lines: usize,
+}
+
+impl TemporalLoader {
+    /// A loader with no declared node count and no forced header skip.
+    pub fn new() -> Self {
+        TemporalLoader::default()
+    }
+
+    /// Declares the node count: any endpoint at or above `n` becomes a
+    /// line-numbered parse error instead of silently growing the graph.
+    pub fn with_node_count(mut self, n: usize) -> Self {
+        self.node_count = Some(n);
+        self
+    }
+
+    /// Unconditionally skips the first `lines` lines (some SNAP exports
+    /// carry uncommented header lines, which the timely replay tools
+    /// also skip by count).
+    pub fn with_header_lines(mut self, lines: usize) -> Self {
+        self.header_lines = lines;
+        self
+    }
+
+    /// Loads and parses a file. I/O failures become
+    /// [`GraphError::Io`]; parse failures are line-numbered. Either way
+    /// nothing half-applied escapes: the error is the only output.
+    pub fn load_path<P: AsRef<Path>>(&self, path: P) -> Result<TemporalEdgeList, GraphError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| GraphError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        self.parse_str(&text)
+    }
+
+    /// Parses edge-list text (the file-free form the property tests and
+    /// the synthetic writer round-trip through).
+    pub fn parse_str(&self, text: &str) -> Result<TemporalEdgeList, GraphError> {
+        let mut events: Vec<TemporalEvent> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut self_loops = 0usize;
+        let mut duplicates = 0usize;
+        let mut max_id = 0usize;
+
+        for (index, raw) in text.lines().enumerate() {
+            let line = index + 1;
+            if index < self.header_lines {
+                continue;
+            }
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split_whitespace().collect();
+            let (src, dst, weight, time) = match fields.as_slice() {
+                [s, d, t] => (*s, *d, None, *t),
+                [s, d, w, t] => (*s, *d, Some(*w), *t),
+                _ => {
+                    return Err(parse_error(
+                        line,
+                        format!("expected `src dst [w] time`, got {} field(s)", fields.len()),
+                    ));
+                }
+            };
+            let src = parse_field::<u32>(line, "src", src)?;
+            let dst = parse_field::<u32>(line, "dst", dst)?;
+            let weight = match weight {
+                Some(w) => parse_field::<i64>(line, "weight", w)?,
+                None => 1,
+            };
+            let time = parse_field::<u64>(line, "time", time)?;
+
+            if src == dst {
+                self_loops += 1;
+                continue;
+            }
+            let (u, v) = if src < dst { (src, dst) } else { (dst, src) };
+            if let Some(n) = self.node_count {
+                if v as usize >= n {
+                    return Err(parse_error(
+                        line,
+                        format!("node {v} is outside the declared node count {n}"),
+                    ));
+                }
+            }
+            max_id = max_id.max(v as usize);
+            if !seen.insert((time, u, v, weight < 0)) {
+                duplicates += 1;
+                continue;
+            }
+            events.push(TemporalEvent {
+                time,
+                u: NodeId(u),
+                v: NodeId(v),
+                weight,
+            });
+        }
+
+        // Stable by time: records sharing a timestamp keep file order,
+        // so the sorted timeline is a pure function of the file bytes.
+        events.sort_by_key(|e| e.time);
+        let node_count = self
+            .node_count
+            .unwrap_or(if events.is_empty() { 0 } else { max_id + 1 });
+        Ok(TemporalEdgeList {
+            node_count,
+            events,
+            self_loops_skipped: self_loops,
+            duplicates_dropped: duplicates,
+        })
+    }
+}
+
+fn parse_error(line: usize, reason: String) -> GraphError {
+    GraphError::ParseEdgeList { line, reason }
+}
+
+fn parse_field<T: std::str::FromStr>(line: usize, name: &str, token: &str) -> Result<T, GraphError>
+where
+    T::Err: std::fmt::Display,
+{
+    token
+        .parse::<T>()
+        .map_err(|e| parse_error(line, format!("{name} field {token:?}: {e}")))
+}
+
+/// Deterministic synthetic temporal-file writer.
+///
+/// Emits a realistic churn timeline — arrivals of fresh uniform edges
+/// interleaved with departures of currently-live ones, at
+/// non-decreasing millisecond timestamps — entirely from a seed, so CI
+/// can exercise the full writer → loader → replay pipeline with no
+/// network access. Output is byte-stable per seed (the seed itself is
+/// embedded in the header comment, so distinct seeds can never collide
+/// byte-for-byte).
+///
+/// ```
+/// use congest_graph::temporal::{SyntheticTemporal, TemporalLoader};
+///
+/// let writer = SyntheticTemporal::new(50, 200).seeded(7);
+/// let text = writer.render();
+/// assert_eq!(text, writer.render()); // byte-stable
+/// let list = TemporalLoader::new().parse_str(&text).unwrap();
+/// assert_eq!(list.len(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTemporal {
+    n: usize,
+    events: usize,
+    seed: u64,
+    remove_fraction: f64,
+}
+
+impl SyntheticTemporal {
+    /// A writer producing `events` events on `n` nodes (default seed 0,
+    /// 30% departures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no pair to connect) or `events == 0`.
+    pub fn new(n: usize, events: usize) -> Self {
+        assert!(n >= 2, "need at least 2 nodes to form edges, got {n}");
+        assert!(events > 0, "need at least one event");
+        SyntheticTemporal {
+            n,
+            events,
+            seed: 0,
+            remove_fraction: 0.3,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of events that depart a live edge (builder
+    /// style, clamped to `[0, 1]`).
+    pub fn with_remove_fraction(mut self, fraction: f64) -> Self {
+        self.remove_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Renders the timeline as edge-list text.
+    pub fn render(&self) -> String {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = String::with_capacity(self.events * 12 + 128);
+        out.push_str(&format!(
+            "# synthetic temporal edge list: n={} events={} seed={:#x}\n",
+            self.n, self.events, self.seed
+        ));
+        out.push_str("# format: src dst w time (w < 0 departs the edge)\n");
+
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        let mut time = 0u64;
+        for _ in 0..self.events {
+            time += rng.gen_range(1u64..=3);
+            if !live.is_empty() && rng.gen_bool(self.remove_fraction) {
+                let i = rng.gen_range(0..live.len());
+                let (u, v) = live.swap_remove(i);
+                out.push_str(&format!("{u} {v} -1 {time}\n"));
+            } else {
+                let u = rng.gen_range(0..self.n as u32);
+                let mut v = rng.gen_range(0..self.n as u32);
+                while v == u {
+                    v = rng.gen_range(0..self.n as u32);
+                }
+                let (u, v) = if u < v { (u, v) } else { (v, u) };
+                if !live.contains(&(u, v)) {
+                    live.push((u, v));
+                }
+                out.push_str(&format!("{u} {v} 1 {time}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes the rendered timeline to `path` ([`GraphError::Io`] on
+    /// failure).
+    pub fn write_to<P: AsRef<Path>>(&self, path: P) -> Result<(), GraphError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.render()).map_err(|e| GraphError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_and_four_field_records_parse() {
+        let list = TemporalLoader::new()
+            .parse_str("0 5 100\n2 1 -3 50\n")
+            .unwrap();
+        assert_eq!(list.node_count(), 6);
+        // Sorted by time; endpoints normalized lo/hi.
+        assert_eq!(
+            list.events(),
+            &[
+                TemporalEvent {
+                    time: 50,
+                    u: NodeId(1),
+                    v: NodeId(2),
+                    weight: -3
+                },
+                TemporalEvent {
+                    time: 100,
+                    u: NodeId(0),
+                    v: NodeId(5),
+                    weight: 1
+                },
+            ]
+        );
+        assert_eq!(list.time_span(), Some((50, 100)));
+    }
+
+    #[test]
+    fn comments_blanks_and_headers_are_skipped() {
+        let text = "garbage header line\n# comment\n% matrix-market comment\n\n0 1 7\n";
+        let list = TemporalLoader::new()
+            .with_header_lines(1)
+            .parse_str(text)
+            .unwrap();
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_carry_their_line_number() {
+        for (text, line) in [
+            ("0 1 5\nnot numbers here\n", 2),
+            ("0 1\n", 1),
+            ("0 1 2 3 4 5\n", 1),
+            ("0 1 5\n1 2 x\n", 2),
+        ] {
+            match TemporalLoader::new().parse_str(text) {
+                Err(GraphError::ParseEdgeList { line: l, .. }) => assert_eq!(l, line, "{text:?}"),
+                other => panic!("expected a line-{line} parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn declared_node_count_rejects_out_of_range_ids() {
+        let err = TemporalLoader::new()
+            .with_node_count(3)
+            .parse_str("0 1 5\n0 3 6\n")
+            .unwrap_err();
+        match err {
+            GraphError::ParseEdgeList { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("node 3"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Without a declared count the same text infers n = 4.
+        let list = TemporalLoader::new().parse_str("0 1 5\n0 3 6\n").unwrap();
+        assert_eq!(list.node_count(), 4);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_counted_not_kept() {
+        let list = TemporalLoader::new()
+            .parse_str("3 3 1\n0 1 5\n1 0 5\n0 1 -1 5\n")
+            .unwrap();
+        assert_eq!(list.self_loops_skipped(), 1);
+        // `1 0 5` duplicates `0 1 5` after normalization; the departure
+        // at the same time is a distinct event.
+        assert_eq!(list.duplicates_dropped(), 1);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = TemporalLoader::new()
+            .load_path("/definitely/not/here.txt")
+            .unwrap_err();
+        match err {
+            GraphError::Io { path, .. } => assert!(path.contains("not/here")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_timelines() {
+        let a = TemporalLoader::new().parse_str("0 1 5\n1 2 9\n").unwrap();
+        let b = TemporalLoader::new().parse_str("0 1 5\n1 2 10\n").unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            TemporalLoader::new()
+                .parse_str("0 1 5\n1 2 9\n")
+                .unwrap()
+                .fingerprint()
+        );
+        assert!(a.fingerprint() < (1 << 52));
+    }
+
+    #[test]
+    fn synthetic_writer_is_deterministic_and_loadable() {
+        let w = SyntheticTemporal::new(30, 120).seeded(42);
+        assert_eq!(w.render(), w.render());
+        assert_ne!(
+            w.render(),
+            SyntheticTemporal::new(30, 120).seeded(43).render()
+        );
+        let list = TemporalLoader::new().parse_str(&w.render()).unwrap();
+        assert_eq!(list.len(), 120);
+        assert!(list.node_count() <= 30);
+        assert!(list.events().iter().any(|e| e.is_departure()));
+        assert!(list.events().windows(2).all(|p| p[0].time <= p[1].time));
+    }
+
+    #[test]
+    fn empty_timeline_is_fine() {
+        let list = TemporalLoader::new().parse_str("# nothing\n").unwrap();
+        assert!(list.is_empty());
+        assert_eq!(list.node_count(), 0);
+        assert_eq!(list.time_span(), None);
+    }
+}

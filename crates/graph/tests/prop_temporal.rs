@@ -1,0 +1,186 @@
+//! Property tests for the temporal edge-list pipeline: the loader must
+//! never panic on arbitrary text, errors must carry the offending line
+//! number and leave nothing half-applied, and the synthetic writer must
+//! round-trip byte-stably through the loader for every seed.
+
+use std::path::PathBuf;
+
+use congest_graph::temporal::{SyntheticTemporal, TemporalLoader};
+use congest_graph::GraphError;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fresh path under the cargo-managed integration-test temp dir.
+fn tmp_path(name: &str, seed: u64) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("{name}-{seed:x}.tel"))
+}
+
+/// Deterministic garbage: lines mixing valid records, near-miss records
+/// (bad field counts, non-numeric tokens, negative times), comments and
+/// junk bytes — the space a messy real-world export lives in.
+fn garbage_text(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let lines = rng.gen_range(0usize..40);
+    for _ in 0..lines {
+        match rng.gen_range(0u32..8) {
+            0 => out.push_str(&format!(
+                "{} {} {}\n",
+                rng.gen_range(0u32..50),
+                rng.gen_range(0u32..50),
+                rng.gen_range(0u64..1000),
+            )),
+            1 => out.push_str(&format!(
+                "{} {} {} {}\n",
+                rng.gen_range(0u32..50),
+                rng.gen_range(0u32..50),
+                rng.gen_range(-3i64..3),
+                rng.gen_range(0u64..1000),
+            )),
+            2 => out.push_str("# comment line\n"),
+            3 => out.push('\n'),
+            4 => out.push_str(&format!("{}\n", rng.gen_range(0u32..100))),
+            5 => out.push_str("one two three\n"),
+            6 => out.push_str(&format!(
+                "{} {} -{}\n",
+                rng.gen_range(0u32..50),
+                rng.gen_range(0u32..50),
+                rng.gen_range(1u64..9),
+            )),
+            _ => {
+                for _ in 0..rng.gen_range(1usize..12) {
+                    out.push((32 + rng.gen_range(0u8..94)) as char);
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary text never panics the loader; failures are
+    /// line-numbered within the file and successes keep every invariant
+    /// the replay driver relies on (sorted times, normalized endpoints,
+    /// in-range ids).
+    #[test]
+    fn garbage_never_panics_and_errors_point_at_a_line(seed in any::<u64>()) {
+        let text = garbage_text(seed);
+        let line_count = text.lines().count();
+        match TemporalLoader::new().parse_str(&text) {
+            Ok(list) => {
+                prop_assert!(list.events().windows(2).all(|p| p[0].time <= p[1].time));
+                for e in list.events() {
+                    prop_assert!(e.u < e.v, "endpoints not normalized: {e:?}");
+                    prop_assert!(e.v.index() < list.node_count());
+                }
+            }
+            Err(GraphError::ParseEdgeList { line, reason }) => {
+                prop_assert!(line >= 1 && line <= line_count,
+                    "line {line} outside 1..={line_count}: {reason}");
+                prop_assert!(!reason.is_empty());
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    /// One malformed line poisons the whole load — the error names
+    /// exactly that line and no partial timeline escapes. The same text
+    /// without the bad line parses clean, so the rejection is precise,
+    /// not a side effect of surrounding records.
+    #[test]
+    fn a_single_bad_line_fails_the_load_with_its_number(
+        seed in any::<u64>(),
+        at in 0usize..60,
+    ) {
+        let text = SyntheticTemporal::new(20, 60).seeded(seed).render();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let at = at.min(lines.len());
+        lines.insert(at, "3 4 not_a_time");
+        let poisoned = lines.join("\n");
+        match TemporalLoader::new().parse_str(&poisoned) {
+            Err(GraphError::ParseEdgeList { line, reason }) => {
+                prop_assert_eq!(line, at + 1);
+                prop_assert!(reason.contains("not_a_time"), "{}", reason);
+            }
+            other => prop_assert!(false, "expected a parse error, got {other:?}"),
+        }
+        prop_assert!(TemporalLoader::new().parse_str(&text).is_ok());
+    }
+
+    /// Truncating a file mid-byte either still parses (the cut landed on
+    /// a record boundary, or left a shorter-but-valid record) or fails
+    /// on the final line — never a panic, never an error blamed on an
+    /// intact line.
+    #[test]
+    fn truncated_files_fail_cleanly_or_parse_a_prefix(
+        seed in any::<u64>(),
+        cut_back in 1usize..40,
+    ) {
+        let text = SyntheticTemporal::new(16, 40).seeded(seed).render();
+        let cut = text.len().saturating_sub(cut_back);
+        let truncated = &text[..cut];
+        let full = TemporalLoader::new().parse_str(&text).unwrap();
+        match TemporalLoader::new().parse_str(truncated) {
+            Ok(list) => prop_assert!(list.len() <= full.len()),
+            Err(GraphError::ParseEdgeList { line, .. }) => {
+                prop_assert_eq!(line, truncated.lines().count());
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    /// Replaying a file concatenated with itself drops every repeated
+    /// event as a duplicate and yields the *identical* timeline — same
+    /// fingerprint, same length — so accidental double-ingestion cannot
+    /// silently double-bill the engines.
+    #[test]
+    fn self_concatenation_is_fully_deduplicated(seed in any::<u64>()) {
+        let text = SyntheticTemporal::new(12, 50).seeded(seed).render();
+        let once = TemporalLoader::new().parse_str(&text).unwrap();
+        let twice = TemporalLoader::new()
+            .parse_str(&format!("{text}{text}"))
+            .unwrap();
+        prop_assert_eq!(twice.duplicates_dropped(), once.len());
+        prop_assert_eq!(twice.len(), once.len());
+        prop_assert_eq!(twice.fingerprint(), once.fingerprint());
+    }
+
+    /// Writer → disk → loader is byte-stable and identity-preserving:
+    /// the same seed always produces the same file and fingerprint,
+    /// distinct seeds produce distinct bytes (the seed is in the
+    /// header), and `load_path` agrees exactly with `parse_str`.
+    #[test]
+    fn writer_disk_loader_round_trip_is_stable(seed in any::<u64>()) {
+        let writer = SyntheticTemporal::new(25, 80).seeded(seed);
+        let text = writer.render();
+        prop_assert_eq!(&text, &writer.render());
+        prop_assert!(text != SyntheticTemporal::new(25, 80).seeded(seed ^ 1).render());
+
+        let path = tmp_path("roundtrip", seed);
+        writer.write_to(&path).unwrap();
+        let from_disk = TemporalLoader::new().load_path(&path).unwrap();
+        let from_str = TemporalLoader::new().parse_str(&text).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(from_disk.fingerprint(), from_str.fingerprint());
+        prop_assert_eq!(from_disk.len(), 80);
+        prop_assert_eq!(from_disk.events(), from_str.events());
+    }
+}
+
+/// An unreadable path is a typed I/O error naming the path — not a
+/// panic, not an empty timeline.
+#[test]
+fn unreadable_path_is_a_typed_io_error() {
+    let path = tmp_path("missing-dir", 0).join("nope.tel");
+    match TemporalLoader::new().load_path(&path) {
+        Err(GraphError::Io { path: p, detail }) => {
+            assert!(p.contains("nope.tel"), "{p}");
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected GraphError::Io, got {other:?}"),
+    }
+}

@@ -61,14 +61,21 @@
 //!   supertrait is what makes the layer **snapshot-free**: the
 //!   centralized oracle and the paper's Theorem 1/2 drivers run directly
 //!   on a live index with no `O(m)` rebuild.
-//! * [`Scenario`] / [`WorkloadRunner`] — a load-test harness: deterministic
-//!   update streams (uniform churn, hotspot/power-law churn,
-//!   planted-triangle bursts, grow-then-shrink) over the existing
-//!   `congest-graph` generators, driven at an optional target batch rate,
+//! * [`BatchSource`] / [`Scenario`] / [`Replay`] — where batches come
+//!   from: [`Scenario`] generates the four deterministic synthetic
+//!   families (uniform churn, hotspot/power-law churn, planted-triangle
+//!   bursts, grow-then-shrink) over the existing `congest-graph`
+//!   generators, and [`Replay`] chops a loaded temporal edge-list file
+//!   ([`congest_graph::temporal`]) into batches by fixed size or time
+//!   window ([`ReplayPolicy`]). Every source names and fingerprints
+//!   itself so bench gates refuse cross-source baseline comparisons.
+//! * [`WorkloadRunner`] — a load-test harness generic over any
+//!   [`BatchSource`]: drives batches at an optional target rate,
 //!   flushed by batch count and/or a staleness deadline
 //!   ([`WorkloadRunner::flush_deadline`]), summarized as throughput,
 //!   latency percentiles, at-flush staleness percentiles and
-//!   incremental-vs-recompute speedup ([`RunSummary`], JSON-serializable).
+//!   incremental-vs-recompute speedup ([`RunSummary`], JSON-serializable
+//!   with the source's identity embedded).
 //!
 //! The centralized reference listing
 //! ([`congest_graph::triangles::list_all_on`]) is both the seed for
@@ -118,6 +125,7 @@ mod runner;
 mod serve;
 mod shard;
 mod sharded;
+mod source;
 mod workload;
 
 pub use arena::{ArenaStats, NeighborArena};
@@ -135,4 +143,5 @@ pub use pool::WorkerTelemetry;
 pub use runner::{LatencyStats, RecomputeStats, RunSummary, StalenessStats, WorkloadRunner};
 pub use serve::{Lease, ServeHandle, TriangleServer, STALE_LEASE_WARN_EPOCHS};
 pub use sharded::ShardedTriangleIndex;
-pub use workload::{BaseGraph, Scenario, ScenarioKind};
+pub use source::{split_batch_for_workers, BatchIter, BatchSource, Replay, ReplayPolicy};
+pub use workload::{BaseGraph, Scenario, ScenarioBatchIter, ScenarioKind};

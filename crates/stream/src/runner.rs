@@ -1,7 +1,9 @@
-//! The workload runner: drives a [`TriangleIndex`] through a [`Scenario`]
-//! and measures what a service operator would ask about — throughput,
-//! per-batch latency percentiles, and how much the incremental engine
-//! saves over recomputing the triangle set from scratch.
+//! The workload runner: drives a [`TriangleIndex`] through any
+//! [`BatchSource`] — a synthetic [`Scenario`] or a replayed temporal
+//! file — and measures what a service operator would ask about:
+//! throughput, per-batch latency percentiles, and how much the
+//! incremental engine saves over recomputing the triangle set from
+//! scratch.
 //!
 //! Latency and staleness percentiles come from streaming log-bucketed
 //! [`Histogram`]s (fixed ≈ 30 KiB each, ≤ 1.6% relative bucket error),
@@ -17,6 +19,7 @@ use congest_obs::Histogram;
 use crate::engine::StreamEngine;
 use crate::index::{ApplyMode, ApplyReport, TriangleIndex};
 use crate::sharded::ShardedTriangleIndex;
+use crate::source::BatchSource;
 use crate::workload::Scenario;
 
 /// Latency percentiles over the per-batch apply times, in microseconds.
@@ -119,8 +122,15 @@ pub struct RecomputeStats {
 /// Everything one run of a scenario produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
-    /// Scenario name (`kind/base`).
+    /// Batch-source name (`kind/base` for scenarios, `replay/<file>` for
+    /// temporal replays).
     pub scenario: String,
+    /// The source's deterministic 52-bit fingerprint. Gates compare this
+    /// to refuse baselines measured on a different workload.
+    pub source_fingerprint: u64,
+    /// Replay policy label (`size:N` / `window:MS`), `None` for
+    /// generated sources.
+    pub replay_policy: Option<String>,
     /// Number of nodes.
     pub n: usize,
     /// Number of batches driven.
@@ -191,6 +201,15 @@ impl RunSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         json::push_str(&mut out, "scenario", &self.scenario);
+        json::push_num(
+            &mut out,
+            "source_fingerprint",
+            self.source_fingerprint as f64,
+        );
+        match &self.replay_policy {
+            Some(p) => json::push_str(&mut out, "replay_policy", p),
+            None => json::push_raw(&mut out, "replay_policy", "null"),
+        }
         json::push_num(&mut out, "n", self.n as f64);
         json::push_num(&mut out, "batch_count", self.batch_count as f64);
         json::push_num(&mut out, "batch_size", self.batch_size as f64);
@@ -280,7 +299,10 @@ impl RunSummary {
     }
 }
 
-/// Drives a [`TriangleIndex`] through a [`Scenario`].
+/// Drives a triangle engine through any [`BatchSource`].
+///
+/// The default source type is [`Scenario`], so the historical
+/// constructor keeps working unchanged:
 ///
 /// ```
 /// use congest_stream::{BaseGraph, Scenario, WorkloadRunner};
@@ -292,9 +314,24 @@ impl RunSummary {
 /// assert!(summary.oracle_ok);
 /// assert!(summary.deltas_per_sec > 0.0);
 /// ```
+///
+/// A replayed temporal file drives the identical measurement loop:
+///
+/// ```
+/// use congest_graph::temporal::TemporalLoader;
+/// use congest_stream::{Replay, ReplayPolicy, WorkloadRunner};
+///
+/// let list = TemporalLoader::new()
+///     .parse_str("0 1 10\n1 2 12\n0 2 25\n")
+///     .unwrap();
+/// let replay = Replay::new(list, ReplayPolicy::BySize(2));
+/// let summary = WorkloadRunner::from_source(replay).verified(true).run();
+/// assert!(summary.oracle_ok);
+/// assert_eq!(summary.replay_policy.as_deref(), Some("size:2"));
+/// ```
 #[derive(Debug, Clone)]
-pub struct WorkloadRunner {
-    scenario: Scenario,
+pub struct WorkloadRunner<S: BatchSource = Scenario> {
+    source: S,
     mode: ApplyMode,
     /// `None` drives the single-threaded [`TriangleIndex`]; `Some(s)`
     /// drives a [`ShardedTriangleIndex`] with `s` shards.
@@ -320,13 +357,28 @@ pub struct WorkloadRunner {
     spawn_per_batch: bool,
 }
 
-impl WorkloadRunner {
+impl WorkloadRunner<Scenario> {
     /// A runner with eager application, the single-threaded engine, no
     /// pacing, recompute sampling every 8 batches and no final oracle
     /// check.
     pub fn new(scenario: Scenario) -> Self {
+        Self::from_source(scenario)
+    }
+
+    /// The scenario this runner drives.
+    pub fn scenario(&self) -> &Scenario {
+        &self.source
+    }
+}
+
+impl<S: BatchSource> WorkloadRunner<S> {
+    /// A runner over any [`BatchSource`], with the same defaults as
+    /// [`WorkloadRunner::new`]: eager application, the single-threaded
+    /// engine, no pacing, recompute sampling every 8 batches and no
+    /// final oracle check.
+    pub fn from_source(source: S) -> Self {
         WorkloadRunner {
-            scenario,
+            source,
             mode: ApplyMode::Eager,
             shards: None,
             flush_every: 8,
@@ -420,14 +472,14 @@ impl WorkloadRunner {
         self
     }
 
-    /// The scenario this runner drives.
-    pub fn scenario(&self) -> &Scenario {
-        &self.scenario
+    /// The batch source this runner drives.
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
-    /// Runs the scenario once and summarizes it.
+    /// Runs the workload once and summarizes it.
     pub fn run(&self) -> RunSummary {
-        let base = self.scenario.base_graph();
+        let base = self.source.base_graph();
         match self.shards {
             None => self.run_engine(TriangleIndex::from_graph(&base).with_mode(self.mode), &base),
             Some(s) => {
@@ -446,13 +498,15 @@ impl WorkloadRunner {
         }
     }
 
-    /// Drives any [`StreamEngine`] through the scenario. The engine is an
+    /// Drives any [`StreamEngine`] through the source. The engine is an
     /// [`AdjacencyView`](congest_graph::AdjacencyView), so the recompute
     /// baseline and the oracle check read its live adjacency directly —
-    /// no snapshot rebuild anywhere on the measurement path.
+    /// no snapshot rebuild anywhere on the measurement path. Batches are
+    /// pulled lazily off [`BatchSource::batch_iter`]: a replayed file's
+    /// deltas are never all resident at once.
     fn run_engine<E: StreamEngine>(&self, mut index: E, base: &congest_graph::Graph) -> RunSummary {
         let base_edges = base.edge_count();
-        let batches = self.scenario.batches();
+        let batch_count = self.source.batch_count();
 
         let mut totals = ApplyReport::default();
         let mut latency_hist = Histogram::new();
@@ -467,7 +521,7 @@ impl WorkloadRunner {
         let run_start = Instant::now();
         let mut next_slot = run_start;
 
-        for (i, batch) in batches.iter().enumerate() {
+        for (i, batch) in self.source.batch_iter().enumerate() {
             if let Some(interval) = pacing_interval {
                 let now = Instant::now();
                 if next_slot > now {
@@ -478,12 +532,12 @@ impl WorkloadRunner {
 
             let start = Instant::now();
             let report = index
-                .apply(batch)
-                .expect("scenario batches only touch in-range nodes");
+                .apply(&batch)
+                .expect("batch sources only touch in-range nodes");
             totals.absorb(&report);
             let flush_due = self.mode == ApplyMode::Deferred
                 && ((i + 1) % self.flush_every == 0
-                    || i + 1 == batches.len()
+                    || i + 1 == batch_count
                     || self.deadline_exceeded(&index));
             if flush_due {
                 congest_obs::span!("runner", "flush");
@@ -508,6 +562,11 @@ impl WorkloadRunner {
                 assert!(recount.len() <= base.node_count().pow(3));
                 sampling_total += sample_start.elapsed();
             }
+        }
+        // Safety net for sources whose iterator disagrees with their
+        // declared batch count: deferred work must never outlive the run.
+        if self.mode == ApplyMode::Deferred && index.pending_age().is_some() {
+            totals.absorb(&index.flush());
         }
         let elapsed = run_start.elapsed();
 
@@ -581,10 +640,12 @@ impl WorkloadRunner {
             congest_obs::counter_add("runner.flushes", staleness_hist.count());
         }
         RunSummary {
-            scenario: self.scenario.name(),
-            n: self.scenario.node_count(),
-            batch_count: batches.len(),
-            batch_size: self.scenario.batch_size(),
+            scenario: self.source.name(),
+            source_fingerprint: self.source.fingerprint(),
+            replay_policy: self.source.replay_policy(),
+            n: self.source.node_count(),
+            batch_count,
+            batch_size: self.source.batch_size(),
             mode: effective_mode.name().to_string(),
             shards: self.shards.map(|_| index.shard_count()),
             flush_every: (effective_mode == ApplyMode::Deferred).then_some(self.flush_every),
@@ -596,7 +657,7 @@ impl WorkloadRunner {
             elapsed_secs,
             busy_secs: busy.as_secs_f64(),
             deltas_per_sec: totals.deltas_seen as f64 / measured_secs,
-            batches_per_sec: batches.len() as f64 / measured_secs,
+            batches_per_sec: batch_count as f64 / measured_secs,
             target_batches_per_sec: self.target_batches_per_sec,
             latency: LatencyStats::from_histogram(&latency_hist),
             staleness: StalenessStats::from_histogram(&staleness_hist),
@@ -947,5 +1008,50 @@ mod tests {
     #[should_panic(expected = "target rate must be positive")]
     fn pacing_rejects_nonpositive_rates() {
         let _ = WorkloadRunner::new(small_scenario()).paced(0.0);
+    }
+
+    #[test]
+    fn summaries_carry_the_source_identity() {
+        let scenario = small_scenario();
+        let summary = WorkloadRunner::new(scenario.clone()).run();
+        assert_eq!(
+            summary.source_fingerprint,
+            BatchSource::fingerprint(&scenario)
+        );
+        assert!(summary.source_fingerprint < (1 << 52));
+        assert_eq!(summary.replay_policy, None);
+        let json = summary.to_json();
+        assert!(json.contains(&format!(
+            "\"source_fingerprint\":{}",
+            summary.source_fingerprint
+        )));
+        assert!(json.contains("\"replay_policy\":null"));
+        // A different seed is a different workload identity.
+        let other = WorkloadRunner::new(small_scenario().seeded(99)).run();
+        assert_ne!(other.source_fingerprint, summary.source_fingerprint);
+    }
+
+    #[test]
+    fn replayed_files_run_the_same_measurement_loop() {
+        use crate::source::{Replay, ReplayPolicy};
+        use congest_graph::temporal::{SyntheticTemporal, TemporalLoader};
+
+        let text = SyntheticTemporal::new(24, 300).seeded(41).render();
+        let list = TemporalLoader::new().parse_str(&text).unwrap();
+        let replay = Replay::new(list, ReplayPolicy::BySize(25)).with_label("synthetic");
+        let expected_fp = replay.fingerprint();
+        let summary = WorkloadRunner::from_source(replay)
+            .with_mode(ApplyMode::Deferred)
+            .flush_every(4)
+            .verified(true)
+            .run();
+        assert!(summary.oracle_ok);
+        assert_eq!(summary.scenario, "replay/synthetic");
+        assert_eq!(summary.source_fingerprint, expected_fp);
+        assert_eq!(summary.replay_policy.as_deref(), Some("size:25"));
+        assert_eq!(summary.batch_count, 12);
+        assert_eq!(summary.totals.deltas_seen, 300);
+        let json = summary.to_json();
+        assert!(json.contains("\"replay_policy\":\"size:25\""));
     }
 }

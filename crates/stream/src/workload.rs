@@ -229,6 +229,11 @@ impl Scenario {
         self.batch_size
     }
 
+    /// The seed the stream and base graph derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The scenario's name, `kind/base`.
     pub fn name(&self) -> String {
         format!("{}/{}", self.kind.name(), self.base.name())
@@ -242,84 +247,106 @@ impl Scenario {
     }
 
     /// Expands the scenario into its deterministic batch stream.
+    ///
+    /// Materializes every batch; for large streams prefer
+    /// [`Scenario::batch_iter`], which generates lazily and is
+    /// bit-identical batch for batch.
     pub fn batches(&self) -> Vec<DeltaBatch> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut batches = Vec::with_capacity(self.batch_count);
-        // Grow-then-shrink keeps the stack of edges it inserted so the
-        // shrink phase can tear them down in reverse order.
-        let mut grown: Vec<(NodeId, NodeId)> = Vec::new();
-        let grow_batches = self.batch_count.div_ceil(2);
+        self.batch_iter().collect()
+    }
 
-        for batch_index in 0..self.batch_count {
-            let mut batch = DeltaBatch::new();
-            match self.kind {
-                ScenarioKind::UniformChurn => {
-                    for _ in 0..self.batch_size {
-                        let (u, v) = self.uniform_pair(&mut rng);
-                        if rng.gen_bool(0.5) {
-                            batch.insert(u, v);
-                        } else {
-                            batch.remove(u, v);
-                        }
-                    }
-                }
-                ScenarioKind::HotspotChurn { exponent } => {
-                    for _ in 0..self.batch_size {
-                        let (u, v) = self.hotspot_pair(&mut rng, exponent);
-                        if rng.gen_bool(0.5) {
-                            batch.insert(u, v);
-                        } else {
-                            batch.remove(u, v);
-                        }
-                    }
-                }
-                ScenarioKind::PlantedBurst {
-                    burst_every,
-                    triangles_per_burst,
-                } => {
-                    for _ in 0..self.batch_size {
-                        let (u, v) = self.uniform_pair(&mut rng);
-                        if rng.gen_bool(0.5) {
-                            batch.insert(u, v);
-                        } else {
-                            batch.remove(u, v);
-                        }
-                    }
-                    // Bursts need three distinct nodes; on degenerate
-                    // two-node graphs the scenario degrades to plain churn.
-                    if burst_every > 0 && batch_index % burst_every == 0 && self.n >= 3 {
-                        for _ in 0..triangles_per_burst {
-                            let [a, b, c] = self.uniform_triple(&mut rng);
-                            batch.insert(a, b).insert(b, c).insert(a, c);
-                        }
-                    }
-                }
-                ScenarioKind::GrowThenShrink => {
-                    if batch_index < grow_batches {
-                        for _ in 0..self.batch_size {
-                            let (u, v) = self.uniform_pair(&mut rng);
-                            grown.push((u, v));
-                            batch.insert(u, v);
-                        }
+    /// A lazy, deterministic iterator over the scenario's batches.
+    ///
+    /// Yields exactly [`Scenario::batch_count`] batches, identical to the
+    /// elements of [`Scenario::batches`] — the RNG is threaded through
+    /// the iterator state, so generating batch `i` requires generating
+    /// `0..i` first (there is no random access).
+    pub fn batch_iter(&self) -> ScenarioBatchIter<'_> {
+        ScenarioBatchIter {
+            scenario: self,
+            rng: StdRng::seed_from_u64(self.seed),
+            grown: Vec::new(),
+            next_index: 0,
+        }
+    }
+
+    /// Generates batch `batch_index`, advancing `rng` and the
+    /// grow-then-shrink `grown` stack exactly as the historical
+    /// monolithic loop did.
+    fn generate_batch(
+        &self,
+        batch_index: usize,
+        rng: &mut StdRng,
+        grown: &mut Vec<(NodeId, NodeId)>,
+    ) -> DeltaBatch {
+        let grow_batches = self.batch_count.div_ceil(2);
+        let mut batch = DeltaBatch::new();
+        match self.kind {
+            ScenarioKind::UniformChurn => {
+                for _ in 0..self.batch_size {
+                    let (u, v) = self.uniform_pair(rng);
+                    if rng.gen_bool(0.5) {
+                        batch.insert(u, v);
                     } else {
-                        for _ in 0..self.batch_size {
-                            let (u, v) = match grown.pop() {
-                                Some(pair) => pair,
-                                None => self.uniform_pair(&mut rng),
-                            };
-                            batch.remove(u, v);
-                        }
+                        batch.remove(u, v);
                     }
                 }
             }
-            batches.push(batch);
+            ScenarioKind::HotspotChurn { exponent } => {
+                for _ in 0..self.batch_size {
+                    let (u, v) = self.hotspot_pair(rng, exponent);
+                    if rng.gen_bool(0.5) {
+                        batch.insert(u, v);
+                    } else {
+                        batch.remove(u, v);
+                    }
+                }
+            }
+            ScenarioKind::PlantedBurst {
+                burst_every,
+                triangles_per_burst,
+            } => {
+                for _ in 0..self.batch_size {
+                    let (u, v) = self.uniform_pair(rng);
+                    if rng.gen_bool(0.5) {
+                        batch.insert(u, v);
+                    } else {
+                        batch.remove(u, v);
+                    }
+                }
+                // Bursts need three distinct nodes; on degenerate
+                // two-node graphs the scenario degrades to plain churn.
+                if burst_every > 0 && batch_index.is_multiple_of(burst_every) && self.n >= 3 {
+                    for _ in 0..triangles_per_burst {
+                        let [a, b, c] = self.uniform_triple(rng);
+                        batch.insert(a, b).insert(b, c).insert(a, c);
+                    }
+                }
+            }
+            ScenarioKind::GrowThenShrink => {
+                if batch_index < grow_batches {
+                    for _ in 0..self.batch_size {
+                        let (u, v) = self.uniform_pair(rng);
+                        grown.push((u, v));
+                        batch.insert(u, v);
+                    }
+                } else {
+                    for _ in 0..self.batch_size {
+                        let (u, v) = match grown.pop() {
+                            Some(pair) => pair,
+                            None => self.uniform_pair(rng),
+                        };
+                        batch.remove(u, v);
+                    }
+                }
+            }
         }
-        batches
+        batch
     }
 
     /// Total number of deltas across the expanded stream.
     pub fn total_deltas(&self) -> usize {
-        self.batches().iter().map(DeltaBatch::len).sum()
+        self.batch_iter().map(|b| b.len()).sum()
     }
 
     fn uniform_pair(&self, rng: &mut StdRng) -> (NodeId, NodeId) {
@@ -372,6 +399,41 @@ impl Scenario {
         ((self.n as f64) * x.powf(exponent)) as usize % self.n
     }
 }
+
+/// Lazy iterator over a [`Scenario`]'s deterministic batch stream.
+///
+/// Created by [`Scenario::batch_iter`]. Carries the churn RNG and the
+/// grow-then-shrink stack, so each batch is produced on demand without
+/// materializing the whole stream.
+#[derive(Debug, Clone)]
+pub struct ScenarioBatchIter<'a> {
+    scenario: &'a Scenario,
+    rng: StdRng,
+    grown: Vec<(NodeId, NodeId)>,
+    next_index: usize,
+}
+
+impl Iterator for ScenarioBatchIter<'_> {
+    type Item = DeltaBatch;
+
+    fn next(&mut self) -> Option<DeltaBatch> {
+        if self.next_index >= self.scenario.batch_count {
+            return None;
+        }
+        let batch = self
+            .scenario
+            .generate_batch(self.next_index, &mut self.rng, &mut self.grown);
+        self.next_index += 1;
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.scenario.batch_count - self.next_index;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ScenarioBatchIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -502,5 +564,20 @@ mod tests {
     #[should_panic(expected = "at least 2 nodes")]
     fn rejects_degenerate_node_counts() {
         let _ = Scenario::uniform_churn(1, 1, 1);
+    }
+
+    #[test]
+    fn batch_iter_matches_materialized_batches() {
+        for s in [
+            Scenario::uniform_churn(30, 6, 9).seeded(11),
+            Scenario::hotspot_churn(30, 6, 9).seeded(12),
+            Scenario::planted_bursts(30, 6, 9).seeded(13),
+            Scenario::grow_then_shrink(30, 6, 9).seeded(14),
+        ] {
+            let iter = s.batch_iter();
+            assert_eq!(iter.len(), 6);
+            let streamed: Vec<_> = iter.collect();
+            assert_eq!(streamed, s.batches(), "{}", s.name());
+        }
     }
 }
